@@ -1,0 +1,62 @@
+// Command scaldfmt pretty-prints HDL source in the canonical style: one
+// statement per line, uniform spacing, minimal quoting.  Like gofmt, it
+// reads a file (or stdin with "-") and writes the formatted source to
+// stdout; -w rewrites the file in place and -l lists files whose
+// formatting would change.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"scaldtv/internal/hdl"
+)
+
+func main() {
+	write := flag.Bool("w", false, "rewrite the file in place")
+	list := flag.Bool("l", false, "list files whose formatting differs")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: scaldfmt [-w] [-l] file.scald ...  (or - for stdin)")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, path := range flag.Args() {
+		if err := format(path, *write, *list); err != nil {
+			fmt.Fprintf(os.Stderr, "scaldfmt: %v\n", err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func format(path string, write, list bool) error {
+	var src []byte
+	var err error
+	if path == "-" {
+		src, err = io.ReadAll(os.Stdin)
+	} else {
+		src, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	f, err := hdl.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	out := hdl.Format(f)
+	switch {
+	case list:
+		if out != string(src) {
+			fmt.Println(path)
+		}
+	case write && path != "-":
+		return os.WriteFile(path, []byte(out), 0o644)
+	default:
+		fmt.Print(out)
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+// Command scaldgen emits a synthetic S-1 Mark IIA-style pipelined design
+// in the textual HDL, standing in for the paper's proprietary 6357-chip
+// design database (§3.3).  Pipe its output to scaldtv:
+//
+//	scaldgen -chips 6357 > markiia.scald
+//	scaldtv markiia.scald
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scaldtv/internal/gen"
+)
+
+func main() {
+	chips := flag.Int("chips", 6357, "target MSI chip count")
+	inject := flag.Int("inject", 0, "number of deliberately failing paths to inject")
+	cases := flag.Int("cases", 0, "number of case-analysis cycles to append")
+	varCycle := flag.Bool("varcycle", false, "add the variable-length-cycle tail that needs case analysis (§3.3.2)")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: scaldgen [-chips n] [-inject n] [-cases n]")
+		os.Exit(2)
+	}
+	fmt.Print(gen.Source(gen.Config{Chips: *chips, Inject: *inject, Cases: *cases, VariableCycle: *varCycle}))
+}

@@ -1,0 +1,180 @@
+// Command scaldtv is the SCALD Timing Verifier driver: it reads a design
+// in the textual SCALD-like HDL, expands its macros, verifies every timing
+// constraint, and prints the error, summary and cross-reference listings.
+//
+// Usage:
+//
+//	scaldtv [flags] design.scald
+//
+//	-lib          make the Chapter-3 component library available
+//	-summary      print the Fig 3-10 timing summary listing
+//	-xref         print the cross-reference listing of undefined signals
+//	-stats        print execution and storage statistics
+//	-case n       print the summary for case n (default 0)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scaldtv"
+	"scaldtv/internal/sections"
+	"scaldtv/internal/stats"
+)
+
+func main() {
+	lib := flag.Bool("lib", false, "make the component library available")
+	summary := flag.Bool("summary", false, "print the timing summary listing")
+	xref := flag.Bool("xref", false, "print the cross-reference listing")
+	statsFlag := flag.Bool("stats", false, "print execution and storage statistics")
+	caseIdx := flag.Int("case", 0, "case index for the timing summary")
+	autoCorr := flag.Bool("autocorr", false, "automatically insert CORR delays into register feedback paths (§4.2.3)")
+	art := flag.Bool("art", false, "print ASCII timing diagrams")
+	artWidth := flag.Int("artwidth", 64, "timing diagram width in columns")
+	lintFlag := flag.Bool("lint", false, "run the structural design-rule checks")
+	jsonFlag := flag.Bool("json", false, "emit the result as JSON (suppresses the listings)")
+	dotFlag := flag.Bool("dot", false, "emit the design as a Graphviz digraph and exit")
+	slack := flag.Int("slack", 0, "print the N most critical constraint margins with a cycle-time estimate")
+	minPeriod := flag.Bool("minperiod", false, "bisect for the shortest clean clock period (§1.1) and exit")
+	sectionsFlag := flag.Bool("sections", false, "verify each file as an independent section and cross-check interface assertions (§2.5.2)")
+	flag.Parse()
+
+	if *sectionsFlag {
+		if flag.NArg() < 2 {
+			fmt.Fprintln(os.Stderr, "usage: scaldtv -sections a.scald b.scald ...")
+			os.Exit(2)
+		}
+		srcs := map[string]string{}
+		for _, path := range flag.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fail(err)
+			}
+			text := string(data)
+			if *lib {
+				text += "\n" + scaldtv.Library
+			}
+			srcs[path] = text
+		}
+		rep, err := sections.Verify(srcs, scaldtv.Options{})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(rep.String())
+		if !rep.Clean() {
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: scaldtv [flags] design.scald")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	text := string(src)
+	if *lib {
+		text = text + "\n" + scaldtv.Library
+	}
+	design, rep, err := scaldtv.CompileWithReport(text)
+	if err != nil {
+		fail(err)
+	}
+	if *autoCorr {
+		ins, err := scaldtv.AutoCorr(design)
+		if err != nil {
+			fail(err)
+		}
+		for _, in := range ins {
+			fmt.Printf("autocorr: inserted %s ns fictitious delay into feedback of %s (via %s)\n",
+				in.Delay, in.Storage, in.Via)
+		}
+	}
+	if *dotFlag {
+		fmt.Print(scaldtv.DOT(design))
+		return
+	}
+	if *minPeriod {
+		hi := design.Period * 4
+		min, err := scaldtv.MinimumPeriod(text, scaldtv.NS(0.5), hi, scaldtv.NS(0.25))
+		if err != nil {
+			fail(err)
+		}
+		if min == 0 {
+			fmt.Printf("no clean period found up to %s ns\n", hi)
+			os.Exit(1)
+		}
+		fmt.Printf("minimum clean clock period: %s ns (declared: %s ns)\n", min, design.Period)
+		return
+	}
+	res, err := scaldtv.Verify(design, scaldtv.Options{KeepWaves: *summary || *art, Margins: *slack > 0})
+	if err != nil {
+		fail(err)
+	}
+
+	if *jsonFlag {
+		out, err := scaldtv.JSONReport(res)
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(out)
+		fmt.Println()
+		if res.Errors() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *lintFlag {
+		findings := scaldtv.Lint(design)
+		fmt.Printf("DESIGN RULE CHECKS: %d finding(s)\n", len(findings))
+		for _, f := range findings {
+			fmt.Printf("  %s\n", f)
+		}
+		fmt.Println()
+	}
+
+	fmt.Print(scaldtv.Summary(res))
+	fmt.Println()
+	fmt.Print(scaldtv.ErrorListing(res))
+	if *xref {
+		fmt.Println()
+		fmt.Print(scaldtv.CrossReference(res))
+	}
+	if *summary {
+		fmt.Println()
+		fmt.Print(scaldtv.TimingSummary(res, *caseIdx))
+	}
+	if *art {
+		fmt.Println()
+		fmt.Print(scaldtv.WaveArt(res, *caseIdx, *artWidth))
+	}
+	if *slack > 0 {
+		fmt.Println()
+		fmt.Print(scaldtv.SlackListing(res, *slack))
+	}
+	if *statsFlag {
+		fmt.Println()
+		var t31 stats.Table31
+		t31.FromVerify(res.Stats)
+		fmt.Print(t31.String())
+		fmt.Println()
+		fmt.Print(stats.Table32(rep, 0))
+		fmt.Println()
+		fmt.Print(rep.SummaryListing())
+		fmt.Println()
+		fmt.Print(stats.Measure(design, nil).String())
+	}
+	if res.Errors() {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "scaldtv:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,60 @@
+// Quickstart: build a small synchronous circuit programmatically, verify
+// its timing constraints, and print the paper-style listings.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scaldtv"
+)
+
+func main() {
+	// A 50 ns machine: an 8-bit register captures a data bus on the cycle
+	// clock; the bus is asserted stable from 37.5 ns (clock unit 6) to
+	// 75 ns (= 25 ns, wrapping) — comfortably covering the clock edge.
+	b := scaldtv.NewBuilder("quickstart")
+	b.SetPeriod(scaldtv.NS(50))
+	b.SetClockUnit(scaldtv.NS(6.25))
+
+	ck := b.Net("CK .P0-4")            // precision clock, high 0–25 ns, rises at the cycle boundary
+	data := b.Vector("DATA .S6-12", 8) // stable 37.5 → 25 ns (wrapping)
+	q := b.Vector("Q", 8)
+
+	b.Register("OUT REG", scaldtv.Delay(1.5, 4.5), q,
+		scaldtv.Conn{Net: ck}, scaldtv.Conns(data...))
+	b.SetupHold("OUT REG CHK", scaldtv.NS(2.5), scaldtv.NS(1.5),
+		scaldtv.Conns(data...), scaldtv.Conn{Net: ck})
+
+	design, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := scaldtv.Verify(design, scaldtv.Options{KeepWaves: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(scaldtv.Summary(res))
+	fmt.Println()
+	fmt.Print(scaldtv.TimingSummary(res, 0))
+	fmt.Println()
+	fmt.Print(scaldtv.ErrorListing(res))
+
+	// Now break the timing: assert the data stable only from 48.75 ns —
+	// 0.25 ns of set-up where 2.5 ns is required.
+	fmt.Println("\n---- with late data ----")
+	late, err := scaldtv.VerifySource(`
+design "QUICKSTART LATE"
+period 50ns
+clockunit 6.25ns
+reg "OUT REG" delay=(1.5,4.5) ("CK .P0-4", "DATA .S7.8-12"<0:7>) -> (Q<0:7>)
+setuphold "OUT REG CHK" setup=2.5 hold=1.5 ("DATA .S7.8-12"<0:7>, "CK .P0-4")
+`, scaldtv.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(scaldtv.ErrorListing(late))
+}

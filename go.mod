@@ -1,0 +1,3 @@
+module scaldtv
+
+go 1.22

@@ -1,0 +1,340 @@
+// Package assertion implements the signal assertion language of §2.5: the
+// timing assertions designers embed in signal names.
+//
+// Assertions are given at the end of signal names, preceded by a period:
+//
+//	MEM CLK .P2-3 L        precision clock, low 2–3 clock units
+//	XYZ .C2-3,5-6          non-precision clock, high 2–3 and 5–6
+//	XYZ .C2+10.0           high at 2, stays high 10.0 ns (unscaled width)
+//	XYZ .P(-0.5,0.5)2-3    explicit skew specification
+//	W DATA .S0-6           stable from 0 to 6, may change the rest
+//
+// Because the assertion is part of the name, every use of a signal carries
+// the same assertion by construction; the package also exposes the base
+// name so the verifier can detect two different assertions accidentally
+// applied to one logical signal.
+package assertion
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"scaldtv/internal/tick"
+	"scaldtv/internal/values"
+)
+
+// Kind classifies an assertion.
+type Kind int
+
+// The assertion kinds of §2.5.
+const (
+	None           Kind = iota // no assertion on the name
+	PrecisionClock             // .P — clock adjusted to the precision skew
+	Clock                      // .C — non-precision clock
+	Stable                     // .S — stable/changing specification
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case PrecisionClock:
+		return ".P"
+	case Clock:
+		return ".C"
+	case Stable:
+		return ".S"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// TimeRange is one element of a value specification.  Start and End are in
+// designer clock units and may be fractional; if IsWidth is set, End is
+// instead an absolute width in nanoseconds that does not scale with the
+// clock period (the "2+10.0" form of §2.5.1).
+type TimeRange struct {
+	Start   float64
+	End     float64
+	WidthNS tick.Time
+	IsWidth bool
+}
+
+// Assertion is a parsed signal assertion.
+type Assertion struct {
+	Kind        Kind
+	Ranges      []TimeRange
+	Skew        *tick.Range // explicit skew override in ns, nil for default
+	LowAsserted bool        // the trailing L polarity assertion
+}
+
+// Signal is a signal name with its embedded assertion separated out.
+type Signal struct {
+	Base   string     // the name with the assertion stripped, space-trimmed
+	Assert *Assertion // nil when the name carries no assertion
+	Raw    string     // the original full name
+}
+
+// Parse splits a full signal name into its base name and assertion.  A name
+// with no recognizable assertion suffix parses successfully with a nil
+// Assert.
+func Parse(name string) (Signal, error) {
+	raw := name
+	idx, kind := findAssertion(name)
+	if idx < 0 {
+		return Signal{Base: strings.TrimSpace(name), Raw: raw}, nil
+	}
+	base := strings.TrimSpace(name[:idx])
+	if base == "" {
+		return Signal{}, fmt.Errorf("assertion: empty signal name in %q", raw)
+	}
+	body := strings.TrimSpace(name[idx+2:]) // skip ".X"
+	a, err := parseBody(kind, body)
+	if err != nil {
+		return Signal{}, fmt.Errorf("assertion: signal %q: %v", raw, err)
+	}
+	return Signal{Base: base, Assert: a, Raw: raw}, nil
+}
+
+// MustParse is Parse for names known to be valid; it panics on error.
+func MustParse(name string) Signal {
+	s, err := Parse(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// findAssertion locates the assertion suffix: a '.' followed (after
+// optional spaces) by P, C or S and then an assertion body or end of name.
+// The *last* such occurrence wins, since assertions terminate the name.
+func findAssertion(name string) (int, Kind) {
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] != '.' {
+			continue
+		}
+		if i+1 >= len(name) {
+			continue
+		}
+		var k Kind
+		switch name[i+1] {
+		case 'P':
+			k = PrecisionClock
+		case 'C':
+			k = Clock
+		case 'S':
+			k = Stable
+		default:
+			continue
+		}
+		// The marker must terminate a word: next char is a digit, space,
+		// '(', '-', '+', or end of string.
+		if i+2 < len(name) {
+			c := name[i+2]
+			if !(c >= '0' && c <= '9') && c != ' ' && c != '(' && c != '-' && c != '+' {
+				continue
+			}
+		}
+		// The marker must follow a space or the start (".S" glued to a
+		// word would be part of an ordinary dotted name).
+		if i > 0 && name[i-1] != ' ' {
+			continue
+		}
+		return i, k
+	}
+	return -1, None
+}
+
+func parseBody(kind Kind, body string) (*Assertion, error) {
+	a := &Assertion{Kind: kind}
+	s := strings.TrimSpace(body)
+
+	// Optional skew specification "( -1.0 , 1.0 )".
+	if strings.HasPrefix(s, "(") {
+		close := strings.IndexByte(s, ')')
+		if close < 0 {
+			return nil, fmt.Errorf("unterminated skew specification")
+		}
+		inner := s[1:close]
+		parts := strings.Split(inner, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("skew specification needs two values, got %q", inner)
+		}
+		lo, err1 := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		hi, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad skew specification %q", inner)
+		}
+		if lo > 0 || hi < 0 || lo > hi {
+			return nil, fmt.Errorf("skew specification %q must bracket zero", inner)
+		}
+		r := tick.Range{Min: tick.FromNS(lo), Max: tick.FromNS(hi)}
+		a.Skew = &r
+		s = strings.TrimSpace(s[close+1:])
+	}
+
+	// Optional trailing polarity assertion.
+	if strings.HasSuffix(s, " L") || s == "L" {
+		a.LowAsserted = true
+		s = strings.TrimSpace(strings.TrimSuffix(s, "L"))
+	}
+
+	if s == "" {
+		if kind == Stable {
+			return nil, fmt.Errorf("stable assertion needs a value specification")
+		}
+		return nil, fmt.Errorf("clock assertion needs a value specification")
+	}
+
+	for _, field := range strings.Split(s, ",") {
+		tr, err := parseRange(strings.TrimSpace(field))
+		if err != nil {
+			return nil, err
+		}
+		a.Ranges = append(a.Ranges, tr)
+	}
+	return a, nil
+}
+
+// parseRange reads "4", "4-6", or "2+10.0".
+func parseRange(s string) (TimeRange, error) {
+	if s == "" {
+		return TimeRange{}, fmt.Errorf("empty time range")
+	}
+	// Find the separator, skipping a leading sign.
+	sep, sepIdx := byte(0), -1
+	for i := 1; i < len(s); i++ {
+		if s[i] == '-' || s[i] == '+' {
+			sep, sepIdx = s[i], i
+			break
+		}
+	}
+	if sepIdx < 0 {
+		start, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return TimeRange{}, fmt.Errorf("bad time %q", s)
+		}
+		// A single time assumes an interval of one clock unit (§2.5.1).
+		return TimeRange{Start: start, End: start + 1}, nil
+	}
+	start, err := strconv.ParseFloat(strings.TrimSpace(s[:sepIdx]), 64)
+	if err != nil {
+		return TimeRange{}, fmt.Errorf("bad time %q", s[:sepIdx])
+	}
+	second, err := strconv.ParseFloat(strings.TrimSpace(s[sepIdx+1:]), 64)
+	if err != nil {
+		return TimeRange{}, fmt.Errorf("bad time %q", s[sepIdx+1:])
+	}
+	if sep == '+' {
+		// The second number is a width in nanoseconds that does not scale
+		// with the cycle time.
+		return TimeRange{Start: start, WidthNS: tick.FromNS(second), IsWidth: true}, nil
+	}
+	return TimeRange{Start: start, End: second}, nil
+}
+
+// Env carries the design-level quantities needed to turn an assertion into
+// a waveform.
+type Env struct {
+	Period        tick.Time
+	ClockUnit     tick.Time  // duration of one designer clock unit
+	PrecisionSkew tick.Range // default skew for .P clocks
+	ClockSkew     tick.Range // default skew for .C clocks
+}
+
+// Waveform renders the assertion as the initial value of the signal over
+// the clock period (§2.9): clocks become 0/1 waveforms shifted and smeared
+// by their skew; stable assertions become STABLE within the asserted
+// window and CHANGING outside it.
+func (a *Assertion) Waveform(env Env) (values.Waveform, error) {
+	if env.Period <= 0 || env.ClockUnit <= 0 {
+		return values.Waveform{}, fmt.Errorf("assertion: invalid environment (period %v, clock unit %v)", env.Period, env.ClockUnit)
+	}
+	cu := func(u float64) tick.Time {
+		t := u * float64(env.ClockUnit)
+		if t >= 0 {
+			return tick.Time(t + 0.5)
+		}
+		return tick.Time(t - 0.5)
+	}
+	switch a.Kind {
+	case Clock, PrecisionClock:
+		asserted, idle := values.V1, values.V0
+		if a.LowAsserted {
+			asserted, idle = values.V0, values.V1
+		}
+		w := values.Const(env.Period, idle)
+		for _, r := range a.Ranges {
+			start := cu(r.Start)
+			var end tick.Time
+			if r.IsWidth {
+				end = start + r.WidthNS
+			} else {
+				end = cu(r.End)
+			}
+			if end == start {
+				continue
+			}
+			w = w.Paint(start, end, asserted)
+		}
+		skew := env.ClockSkew
+		if a.Kind == PrecisionClock {
+			skew = env.PrecisionSkew
+		}
+		if a.Skew != nil {
+			skew = *a.Skew
+		}
+		if !skew.IsZero() {
+			w = w.Delay(skew)
+		}
+		return w, nil
+	case Stable:
+		w := values.Const(env.Period, values.VC)
+		for _, r := range a.Ranges {
+			start := cu(r.Start)
+			var end tick.Time
+			if r.IsWidth {
+				end = start + r.WidthNS
+			} else {
+				end = cu(r.End)
+			}
+			if end == start {
+				continue
+			}
+			w = w.Paint(start, end, values.VS)
+		}
+		return w, nil
+	}
+	return values.Waveform{}, fmt.Errorf("assertion: kind %v has no waveform", a.Kind)
+}
+
+// String renders the assertion back in its source form.
+func (a *Assertion) String() string {
+	if a == nil {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString(a.Kind.String())
+	if a.Skew != nil {
+		fmt.Fprintf(&sb, "(%s,%s)", a.Skew.Min, a.Skew.Max)
+	}
+	for i, r := range a.Ranges {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if r.IsWidth {
+			fmt.Fprintf(&sb, "%s+%s", trimFloat(r.Start), r.WidthNS)
+		} else {
+			fmt.Fprintf(&sb, "%s-%s", trimFloat(r.Start), trimFloat(r.End))
+		}
+	}
+	if a.LowAsserted {
+		sb.WriteString(" L")
+	}
+	return sb.String()
+}
+
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'f', -1, 64)
+}

@@ -1,0 +1,282 @@
+package assertion
+
+import (
+	"testing"
+
+	"scaldtv/internal/tick"
+	"scaldtv/internal/values"
+)
+
+// The S-1 Mark IIA / Fig 2-5 environment: 50 ns cycle, 6.25 ns clock units
+// (8 per cycle), precision skew ±1 ns, non-precision ±5 ns.
+var markIIA = Env{
+	Period:        50 * tick.NS,
+	ClockUnit:     tick.FromNS(6.25),
+	PrecisionSkew: tick.R(-1, 1),
+	ClockSkew:     tick.R(-5, 5),
+}
+
+func ns(f float64) tick.Time { return tick.FromNS(f) }
+
+func TestParsePlainName(t *testing.T) {
+	s, err := Parse("ALU OUTPUT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Base != "ALU OUTPUT" || s.Assert != nil {
+		t.Errorf("plain name parsed wrong: %+v", s)
+	}
+}
+
+func TestParseStable(t *testing.T) {
+	s, err := Parse("W DATA .S0-6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Base != "W DATA" {
+		t.Errorf("base = %q", s.Base)
+	}
+	a := s.Assert
+	if a == nil || a.Kind != Stable || len(a.Ranges) != 1 {
+		t.Fatalf("assertion wrong: %+v", a)
+	}
+	if a.Ranges[0].Start != 0 || a.Ranges[0].End != 6 {
+		t.Errorf("range = %+v", a.Ranges[0])
+	}
+}
+
+func TestParseClockVariants(t *testing.T) {
+	cases := []struct {
+		in      string
+		kind    Kind
+		low     bool
+		nRanges int
+		skewSet bool
+	}{
+		{"XYZ .C 4-6 L", Clock, true, 1, false},
+		{"XYZ .C2-3,5-6", Clock, false, 2, false},
+		{"XYZ .C2,5", Clock, false, 2, false},
+		{"XYZ .P2-3", PrecisionClock, false, 1, false},
+		{"CK .P(-0.5,0.5)2-3", PrecisionClock, false, 1, true},
+		{"CK .P2-3 L", PrecisionClock, true, 1, false},
+	}
+	for _, c := range cases {
+		s, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		a := s.Assert
+		if a == nil {
+			t.Errorf("Parse(%q): no assertion", c.in)
+			continue
+		}
+		if a.Kind != c.kind || a.LowAsserted != c.low || len(a.Ranges) != c.nRanges || (a.Skew != nil) != c.skewSet {
+			t.Errorf("Parse(%q) = %+v", c.in, a)
+		}
+	}
+}
+
+func TestParseSingleTimeIsOneUnit(t *testing.T) {
+	s := MustParse("XYZ .C2,5")
+	r := s.Assert.Ranges
+	if r[0].Start != 2 || r[0].End != 3 || r[1].Start != 5 || r[1].End != 6 {
+		t.Errorf("single-time ranges = %+v, want one-unit intervals", r)
+	}
+}
+
+func TestParseWidthForm(t *testing.T) {
+	s := MustParse("XYZ .C2+10.0")
+	r := s.Assert.Ranges[0]
+	if !r.IsWidth || r.Start != 2 || r.WidthNS != ns(10) {
+		t.Errorf("width form = %+v", r)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		".S0-6",        // empty base name
+		"X .S",         // missing value spec
+		"X .C",         // missing value spec
+		"X .C(1,2",     // unterminated skew
+		"X .C(1)2-3",   // one-element skew
+		"X .C(a,b)2-3", // non-numeric skew
+		"X .C(1,2)2-3", // skew not bracketing zero
+		"X .S4-",       // missing end
+		"X .S4,,5",     // empty range element
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseDoesNotGrabDottedWords(t *testing.T) {
+	// A '.' not followed by a marker letter and body stays in the name.
+	for _, in := range []string{"U4.Q", "BUS.PARITY", "A.Cxx", "X .Sx-y", "X .S,"} {
+		s, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if s.Assert != nil {
+			t.Errorf("Parse(%q) found a phantom assertion %v", in, s.Assert)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	MustParse("X .C(1,2")
+}
+
+func TestClockWaveform(t *testing.T) {
+	// "CK .P2-3" with zero skew override for crispness: high 12.5–18.75 ns.
+	env := markIIA
+	env.PrecisionSkew = tick.Range{}
+	s := MustParse("CK .P2-3")
+	w, err := s.Assert.Waveform(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.At(ns(12.5)) != values.V1 || w.At(ns(18)) != values.V1 {
+		t.Errorf("clock not high in window: %v", w)
+	}
+	if w.At(ns(12)) != values.V0 || w.At(ns(19)) != values.V0 || w.At(0) != values.V0 {
+		t.Errorf("clock not low outside window: %v", w)
+	}
+}
+
+func TestClockWaveformLowAsserted(t *testing.T) {
+	env := markIIA
+	env.PrecisionSkew = tick.Range{}
+	s := MustParse("CK .P2-3 L")
+	w, _ := s.Assert.Waveform(env)
+	if w.At(ns(13)) != values.V0 {
+		t.Errorf("low-asserted clock should be low in window: %v", w)
+	}
+	if w.At(0) != values.V1 {
+		t.Errorf("low-asserted clock should idle high: %v", w)
+	}
+}
+
+func TestClockWaveformSkew(t *testing.T) {
+	// Precision default skew ±1 ns: the waveform is rotated -1 ns and
+	// carries 2 ns of skew.
+	s := MustParse("CK .P2-3")
+	w, _ := s.Assert.Waveform(markIIA)
+	if w.Skew != ns(2) {
+		t.Errorf("skew = %v, want 2ns", w.Skew)
+	}
+	if w.At(ns(11.5)) != values.V1 || w.At(ns(11)) != values.V0 {
+		t.Errorf("skewed clock shifted wrong: %v", w)
+	}
+	// Explicit skew overrides the default.
+	s2 := MustParse("CK .P(-0.5,0.5)2-3")
+	w2, _ := s2.Assert.Waveform(markIIA)
+	if w2.Skew != ns(1) {
+		t.Errorf("explicit skew = %v, want 1ns", w2.Skew)
+	}
+	// Non-precision clocks default to the wider skew.
+	s3 := MustParse("CK .C2-3")
+	w3, _ := s3.Assert.Waveform(markIIA)
+	if w3.Skew != ns(10) {
+		t.Errorf("non-precision skew = %v, want 10ns", w3.Skew)
+	}
+}
+
+func TestClockWaveformWidthForm(t *testing.T) {
+	env := markIIA
+	env.ClockSkew = tick.Range{}
+	s := MustParse("XYZ .C2+10.0")
+	w, _ := s.Assert.Waveform(env)
+	if w.At(ns(12.5)) != values.V1 || w.At(ns(22)) != values.V1 || w.At(ns(23)) != values.V0 {
+		t.Errorf("width-form clock wrong: %v", w)
+	}
+}
+
+func TestStableWaveform(t *testing.T) {
+	// "READ ADR .S4-9" on an 8-unit cycle: stable 25→6.25 ns wrapping.
+	s := MustParse("READ ADR .S4-9")
+	w, err := s.Assert.Waveform(markIIA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.At(ns(25)) != values.VS || w.At(ns(49)) != values.VS || w.At(ns(3)) != values.VS {
+		t.Errorf("stable window wrong: %v", w)
+	}
+	if w.At(ns(10)) != values.VC || w.At(ns(24)) != values.VC {
+		t.Errorf("changing window wrong: %v", w)
+	}
+}
+
+func TestWaveformEnvValidation(t *testing.T) {
+	s := MustParse("X .S0-4")
+	if _, err := s.Assert.Waveform(Env{}); err == nil {
+		t.Error("zero environment accepted")
+	}
+}
+
+func TestAssertionString(t *testing.T) {
+	for _, in := range []string{"X .S0-6", "X .C2-3,5-6 L", "X .P(-1.0,1.0)2-3"} {
+		s := MustParse(in)
+		rendered := s.Assert.String()
+		// Round-trip: parsing base + rendered assertion gives an equal assertion.
+		s2 := MustParse(s.Base + " " + rendered)
+		if s2.Assert.Kind != s.Assert.Kind || s2.Assert.LowAsserted != s.Assert.LowAsserted ||
+			len(s2.Assert.Ranges) != len(s.Assert.Ranges) {
+			t.Errorf("%q → %q did not round-trip: %+v vs %+v", in, rendered, s.Assert, s2.Assert)
+		}
+	}
+	var nilA *Assertion
+	if nilA.String() != "" {
+		t.Error("nil assertion should render empty")
+	}
+}
+
+func TestParseDirectives(t *testing.T) {
+	d, err := ParseDirectives("HZZW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, rest := d.Head()
+	if h != DirHold || rest != "ZZW" {
+		t.Errorf("Head = %c, %q", h, rest)
+	}
+	if _, err := ParseDirectives("HX"); err == nil {
+		t.Error("invalid letter accepted")
+	}
+	if d, err := ParseDirectives("hz"); err != nil || d != "HZ" {
+		t.Errorf("lower-case directives should normalize: %v, %v", d, err)
+	}
+	e, _ := ParseDirectives("")
+	h, rest = e.Head()
+	if h != DirEvaluate || rest != "" || !e.Empty() {
+		t.Error("empty directives should yield default E")
+	}
+	if d.String() != "&HZZW" || e.String() != "" {
+		t.Errorf("String rendering wrong: %q, %q", d.String(), e.String())
+	}
+}
+
+func TestDirectiveSemantics(t *testing.T) {
+	cases := []struct {
+		d               Directive
+		wire, gate, chk bool
+	}{
+		{DirEvaluate, false, false, false},
+		{DirWire, true, false, false},
+		{DirZero, true, true, false},
+		{DirAssert, false, false, true},
+		{DirHold, true, true, true},
+	}
+	for _, c := range cases {
+		if c.d.ZeroesWire() != c.wire || c.d.ZeroesGate() != c.gate || c.d.ChecksStability() != c.chk {
+			t.Errorf("directive %c semantics wrong", c.d)
+		}
+	}
+}

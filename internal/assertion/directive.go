@@ -1,0 +1,73 @@
+package assertion
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Directive is one evaluation-directive letter (§2.6), controlling how one
+// level of gating evaluates the signal it is attached to.
+type Directive byte
+
+// The evaluation directives of §2.6.
+const (
+	DirEvaluate Directive = 'E' // evaluate the gate with no special action
+	DirWire     Directive = 'W' // zero the wire going into the gate
+	DirZero     Directive = 'Z' // zero the gate and the wire going into it
+	DirAssert   Directive = 'A' // check other inputs stable while this input is asserted; assume they enable the gate
+	DirHold     Directive = 'H' // combined effects of Z and A
+)
+
+// ZeroesWire reports whether the directive removes the interconnection
+// delay into the gate.
+func (d Directive) ZeroesWire() bool { return d == DirWire || d == DirZero || d == DirHold }
+
+// ZeroesGate reports whether the directive removes the gate's own
+// propagation delay (the clock timing then refers to the gate output,
+// §2.6).
+func (d Directive) ZeroesGate() bool { return d == DirZero || d == DirHold }
+
+// ChecksStability reports whether the directive requires the gate's other
+// inputs to be stable while this input is asserted, and assumes they enable
+// the gate.
+func (d Directive) ChecksStability() bool { return d == DirAssert || d == DirHold }
+
+// Directives is an evaluation string such as "HZZW": each letter governs
+// one successive level of gating; each gate consumes the first letter and
+// passes the rest along with its output value (§2.8).
+type Directives string
+
+// ParseDirectives validates an evaluation string (the text after '&' in the
+// design source).  The empty string is valid and means default evaluation.
+func ParseDirectives(s string) (Directives, error) {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	for i := 0; i < len(s); i++ {
+		switch Directive(s[i]) {
+		case DirEvaluate, DirWire, DirZero, DirAssert, DirHold:
+		default:
+			return "", fmt.Errorf("assertion: invalid evaluation directive %q in %q", s[i], s)
+		}
+	}
+	return Directives(s), nil
+}
+
+// Head returns the directive governing the current gating level and the
+// remainder to pass downstream.  An exhausted string yields the default
+// directive E.
+func (d Directives) Head() (Directive, Directives) {
+	if len(d) == 0 {
+		return DirEvaluate, ""
+	}
+	return Directive(d[0]), d[1:]
+}
+
+// Empty reports whether no directives remain.
+func (d Directives) Empty() bool { return len(d) == 0 }
+
+// String renders the directive string with its source-form '&' prefix.
+func (d Directives) String() string {
+	if d == "" {
+		return ""
+	}
+	return "&" + string(d)
+}

@@ -1,0 +1,241 @@
+// Package autocorr automates the correlation fix of §4.2.3.  The Timing
+// Verifier reasons in absolute times, so a register fed back from its own
+// output through a skewed clock buffer draws a false hold error (Fig 4-1);
+// the paper's remedy is a designer-inserted fictitious CORR delay at least
+// as long as the clock skew (Fig 4-2), and it closes with "it would be
+// preferable if a simple method could be devised to automatically solve
+// this problem".  This package is that method: it finds storage elements
+// whose data cone feeds back from their own outputs, computes the clock
+// path's delay uncertainty, and splices the CORR delay into exactly the
+// feedback branches.
+package autocorr
+
+import (
+	"fmt"
+
+	"scaldtv/internal/assertion"
+	"scaldtv/internal/netlist"
+	"scaldtv/internal/tick"
+)
+
+// Insertion records one automatic CORR placement.
+type Insertion struct {
+	Storage string    // the storage element protected
+	Via     string    // the feedback net the delay was spliced into
+	Delay   tick.Time // the fictitious delay inserted (= clock uncertainty)
+}
+
+// Apply analyses the design, splices CORR delays into register feedback
+// paths, and returns what it did.  The design is modified in place and
+// revalidated.
+func Apply(d *netlist.Design) ([]Insertion, error) {
+	a := &analyzer{d: d, uncertainty: map[netlist.NetID]tick.Time{}}
+	var plans []plan
+	for pi := range d.Prims {
+		p := &d.Prims[pi]
+		if !p.Kind.IsStorage() {
+			continue
+		}
+		ckConn := p.In[0].Bits[0]
+		u := a.clockUncertainty(ckConn)
+		if u <= 0 {
+			continue
+		}
+		// Which first-hop connections out of this storage element's
+		// outputs lead back into its own data port?
+		dataNets := map[netlist.NetID]bool{}
+		for _, c := range p.In[1].Bits {
+			dataNets[c.Net] = true
+		}
+		outNets := map[netlist.NetID]bool{}
+		for _, port := range p.Out {
+			for _, o := range port.Bits {
+				outNets[o] = true
+			}
+		}
+		for o := range outNets {
+			for _, sinkPrim := range d.Nets[o].Fanout {
+				sp := &d.Prims[sinkPrim]
+				if sp.Kind.IsChecker() || sp.Kind.IsStorage() {
+					continue
+				}
+				if a.reaches(sinkPrim, dataNets, map[netlist.PrimID]bool{}) {
+					plans = append(plans, plan{prim: netlist.PrimID(pi), sink: sinkPrim, net: o, delay: u})
+				}
+			}
+		}
+	}
+	return a.splice(plans)
+}
+
+type plan struct {
+	prim  netlist.PrimID // the protected storage element
+	sink  netlist.PrimID // the comb element whose input is spliced
+	net   netlist.NetID  // the feedback net
+	delay tick.Time
+}
+
+type analyzer struct {
+	d           *netlist.Design
+	uncertainty map[netlist.NetID]tick.Time
+}
+
+// clockUncertainty accumulates the delay spread along the clock's
+// combinational path back to its source, plus the source's assertion skew
+// and the interconnection spread at the storage element's pin.
+func (a *analyzer) clockUncertainty(c netlist.Conn) tick.Time {
+	dir, _ := c.Directives.Head()
+	u := a.d.WireDelay(c.Net, dir).Width() + a.netUncertainty(c.Net, map[netlist.NetID]bool{})
+	return u
+}
+
+func (a *analyzer) netUncertainty(n netlist.NetID, visiting map[netlist.NetID]bool) tick.Time {
+	if u, ok := a.uncertainty[n]; ok {
+		return u
+	}
+	if visiting[n] {
+		return 0 // combinational loop: reported elsewhere
+	}
+	visiting[n] = true
+	defer delete(visiting, n)
+
+	net := &a.d.Nets[n]
+	var u tick.Time
+	if net.Driver == netlist.NoDriver {
+		if net.Assert != nil &&
+			(net.Assert.Kind == assertion.Clock || net.Assert.Kind == assertion.PrecisionClock) {
+			env := a.d.Env()
+			skew := env.ClockSkew
+			if net.Assert.Kind == assertion.PrecisionClock {
+				skew = env.PrecisionSkew
+			}
+			if net.Assert.Skew != nil {
+				skew = *net.Assert.Skew
+			}
+			u = skew.Width()
+		}
+	} else {
+		p := &a.d.Prims[net.Driver]
+		if !p.Kind.IsStorage() && !p.Kind.IsChecker() {
+			u = p.Delay.Width()
+			if p.RF != nil {
+				u = p.RF.Envelope().Width()
+			}
+			var worst tick.Time
+			for _, port := range p.In {
+				for _, ic := range port.Bits {
+					dir, _ := ic.Directives.Head()
+					w := a.d.WireDelay(ic.Net, dir).Width() + a.netUncertainty(ic.Net, visiting)
+					worst = max(worst, w)
+				}
+			}
+			u += worst
+			if gd, _ := firstDirective(p); gd.ZeroesGate() {
+				// De-skewed gating (§2.6): the clock timing refers to the
+				// gate output; no uncertainty accumulates here.
+				u = 0
+			}
+		}
+	}
+	a.uncertainty[n] = u
+	return u
+}
+
+func firstDirective(p *netlist.Prim) (assertion.Directive, bool) {
+	for _, port := range p.In {
+		for _, c := range port.Bits {
+			if !c.Directives.Empty() {
+				d, _ := c.Directives.Head()
+				return d, true
+			}
+		}
+	}
+	return assertion.DirEvaluate, false
+}
+
+// reaches reports whether the output cone of prim pi reaches any of the
+// target nets through combinational logic.
+func (a *analyzer) reaches(pi netlist.PrimID, targets map[netlist.NetID]bool, seen map[netlist.PrimID]bool) bool {
+	if seen[pi] {
+		return false
+	}
+	seen[pi] = true
+	p := &a.d.Prims[pi]
+	for _, port := range p.Out {
+		for _, o := range port.Bits {
+			if targets[o] {
+				return true
+			}
+			for _, next := range a.d.Nets[o].Fanout {
+				np := &a.d.Prims[next]
+				if np.Kind.IsStorage() {
+					// The feedback must enter the *data* port directly;
+					// reaching another storage element ends the path.
+					continue
+				}
+				if np.Kind.IsChecker() {
+					continue
+				}
+				if a.reaches(next, targets, seen) {
+					return true
+				}
+			}
+		}
+	}
+	// Direct connection: one of this prim's outputs IS a target — handled
+	// above; additionally the prim may drive a net that a target conn
+	// reads (same thing).  Also check whether any output net equals a
+	// target reached via zero hops.
+	return false
+}
+
+// splice inserts the planned CORR buffers and revalidates the design.
+func (a *analyzer) splice(plans []plan) ([]Insertion, error) {
+	var out []Insertion
+	done := map[[2]int32]bool{} // (sink, net) pairs already spliced
+	for _, pl := range plans {
+		key := [2]int32{int32(pl.sink), int32(pl.net)}
+		if done[key] {
+			continue
+		}
+		done[key] = true
+		d := a.d
+		origName := d.Nets[pl.net].Name
+		name := fmt.Sprintf("%s/AUTOCORR %d", d.Nets[pl.net].Base, len(out))
+		newID, err := d.NewNet(name, name)
+		if err != nil {
+			return out, fmt.Errorf("autocorr: %v", err)
+		}
+		// The fictitious delay element.
+		d.Prims = append(d.Prims, netlist.Prim{
+			Kind:  netlist.KBuf,
+			Name:  fmt.Sprintf("AUTOCORR %d (%s)", len(out), d.Prims[pl.prim].Name),
+			Width: 1,
+			Delay: tick.Range{Min: pl.delay, Max: pl.delay},
+			In:    []netlist.Port{{Name: "I0", Bits: []netlist.Conn{{Net: pl.net}}}},
+			Out:   []netlist.OutPort{{Name: "O", Bits: []netlist.NetID{newID}}},
+		})
+		// Redirect the feedback sink's connections from the original net
+		// to the delayed copy.
+		sink := &d.Prims[pl.sink]
+		for portIdx := range sink.In {
+			for bitIdx := range sink.In[portIdx].Bits {
+				if sink.In[portIdx].Bits[bitIdx].Net == pl.net {
+					sink.In[portIdx].Bits[bitIdx].Net = newID
+				}
+			}
+		}
+		out = append(out, Insertion{
+			Storage: d.Prims[pl.prim].Name,
+			Via:     origName,
+			Delay:   pl.delay,
+		})
+	}
+	if len(out) > 0 {
+		a.d.RebuildFanout()
+		if err := a.d.Check(); err != nil {
+			return out, fmt.Errorf("autocorr: design invalid after splicing: %v", err)
+		}
+	}
+	return out, nil
+}

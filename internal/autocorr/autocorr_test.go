@@ -1,0 +1,176 @@
+package autocorr
+
+import (
+	"strings"
+	"testing"
+
+	"scaldtv/internal/netlist"
+	"scaldtv/internal/tick"
+	"scaldtv/internal/verify"
+)
+
+func ns(f float64) tick.Time { return tick.FromNS(f) }
+
+// buildFig41 is the Fig 4-1 correlation circuit: a register fed back
+// through a multiplexer, clocked through a buffer inserting 5 ns of skew.
+func buildFig41(t *testing.T) *netlist.Design {
+	t.Helper()
+	b := netlist.NewBuilder("fig4-1")
+	b.SetPeriod(50 * tick.NS)
+	b.SetDefaultWire(tick.Range{})
+	b.SetPrecisionSkew(tick.Range{})
+
+	ck := b.Net("CK .P20-30")
+	bufCk := b.Net("BUF CK")
+	load := b.Net("LOAD .S0-50")
+	newData := b.Net("NEW DATA .S0-50")
+	q, dIn := b.Net("Q"), b.Net("D")
+
+	b.Buf("CK BUF", tick.R(0, 5), []netlist.NetID{bufCk}, netlist.Conns(ck))
+	b.Mux(netlist.KMux2, "HOLD MUX", tick.R(1, 2), tick.Range{}, []netlist.NetID{dIn},
+		netlist.Conns(load), netlist.Conns(q), netlist.Conns(newData))
+	b.Register("REG", tick.R(1, 2), []netlist.NetID{q}, netlist.Conn{Net: bufCk}, netlist.Conns(dIn))
+	b.SetupHold("REG CHK", ns(2.0), ns(1.5), netlist.Conns(dIn), netlist.Conn{Net: bufCk})
+	return b.MustBuild()
+}
+
+func TestApplyFixesFig41(t *testing.T) {
+	d := buildFig41(t)
+
+	// Without the transform: the known false hold error.
+	res, err := verify.Run(d, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hadHold := false
+	for _, v := range res.Violations {
+		if v.Kind == verify.HoldViolation {
+			hadHold = true
+		}
+	}
+	if !hadHold {
+		t.Fatal("fixture should reproduce the Fig 4-1 false hold error")
+	}
+
+	ins, err := Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 1 {
+		t.Fatalf("insertions = %+v, want exactly one", ins)
+	}
+	if ins[0].Delay != ns(5) {
+		t.Errorf("inserted delay = %v, want the 5 ns clock uncertainty", ins[0].Delay)
+	}
+	if ins[0].Storage != "REG" || ins[0].Via != "Q" {
+		t.Errorf("insertion placement wrong: %+v", ins[0])
+	}
+
+	// With the transform: the false error is gone (Fig 4-2).
+	res2, err := verify.Run(d, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res2.Violations {
+		if v.Kind == verify.HoldViolation {
+			t.Errorf("hold error survived the automatic CORR: %v", v)
+		}
+	}
+}
+
+func TestApplyOnlyDelaysFeedbackBranch(t *testing.T) {
+	// Q also feeds unrelated forward logic: that path must not be delayed.
+	d := buildFig41(t)
+	b2 := netlist.NewBuilder("with-forward")
+	_ = b2
+	// Extend the existing design directly: add a forward buffer reading Q.
+	q, _ := d.NetByName("Q")
+	fwd, err := d.NewNet("FWD", "FWD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Prims = append(d.Prims, netlist.Prim{
+		Kind: netlist.KBuf, Name: "FWD BUF", Width: 1, Delay: tick.R(1, 1),
+		In:  []netlist.Port{{Name: "I0", Bits: []netlist.Conn{{Net: q}}}},
+		Out: []netlist.OutPort{{Name: "O", Bits: []netlist.NetID{fwd}}},
+	})
+	d.RebuildFanout()
+	if _, err := Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	// The forward buffer still reads Q directly.
+	for _, p := range d.Prims {
+		if p.Name == "FWD BUF" && p.In[0].Bits[0].Net != q {
+			t.Error("forward branch was redirected through the CORR delay")
+		}
+		if p.Name == "HOLD MUX" && p.In[1].Bits[0].Net == q {
+			t.Error("feedback branch was not redirected")
+		}
+	}
+}
+
+func TestApplyNoFeedbackNoChange(t *testing.T) {
+	b := netlist.NewBuilder("forward-only")
+	b.SetPeriod(50 * tick.NS)
+	b.SetDefaultWire(tick.Range{})
+	ck := b.Net("CK .P20-30")
+	bufCk := b.Net("BUF CK")
+	b.Buf("CK BUF", tick.R(0, 5), []netlist.NetID{bufCk}, netlist.Conns(ck))
+	q := b.Net("Q")
+	b.Register("REG", tick.R(1, 2), []netlist.NetID{q}, netlist.Conn{Net: bufCk}, netlist.Conns(b.Net("D .S0-30")))
+	d := b.MustBuild()
+	nPrims := len(d.Prims)
+	ins, err := Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 0 || len(d.Prims) != nPrims {
+		t.Errorf("no-feedback design modified: %+v", ins)
+	}
+}
+
+func TestApplyNoUncertaintyNoChange(t *testing.T) {
+	// Feedback, but a crisp clock: no correlation problem to fix.
+	b := netlist.NewBuilder("crisp")
+	b.SetPeriod(50 * tick.NS)
+	b.SetDefaultWire(tick.Range{})
+	b.SetPrecisionSkew(tick.Range{})
+	ck := b.Net("CK .P20-30")
+	q, dIn := b.Net("Q"), b.Net("D")
+	b.Mux(netlist.KMux2, "MUX", tick.R(1, 2), tick.Range{}, []netlist.NetID{dIn},
+		netlist.Conns(b.Net("LOAD .S0-50")), netlist.Conns(q), netlist.Conns(b.Net("ND .S0-50")))
+	b.Register("REG", tick.R(1, 2), []netlist.NetID{q}, netlist.Conn{Net: ck}, netlist.Conns(dIn))
+	d := b.MustBuild()
+	ins, err := Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 0 {
+		t.Errorf("crisp-clock design modified: %+v", ins)
+	}
+}
+
+func TestApplyAssertedClockSkewCounts(t *testing.T) {
+	// The precision-clock assertion's own ±1 ns skew is clock uncertainty
+	// too: feedback under it gets a 2 ns CORR.
+	b := netlist.NewBuilder("asserted-skew")
+	b.SetPeriod(50 * tick.NS)
+	b.SetDefaultWire(tick.Range{})
+	b.SetPrecisionSkew(tick.R(-1, 1))
+	ck := b.Net("CK .P20-30")
+	q, dIn := b.Net("Q"), b.Net("D")
+	b.Mux(netlist.KMux2, "MUX", tick.R(1, 2), tick.Range{}, []netlist.NetID{dIn},
+		netlist.Conns(b.Net("LOAD .S0-50")), netlist.Conns(q), netlist.Conns(b.Net("ND .S0-50")))
+	b.Register("REG", tick.R(1, 2), []netlist.NetID{q}, netlist.Conn{Net: ck}, netlist.Conns(dIn))
+	d := b.MustBuild()
+	ins, err := Apply(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 1 || ins[0].Delay != ns(2) {
+		t.Errorf("insertions = %+v, want one 2 ns CORR", ins)
+	}
+	if !strings.Contains(ins[0].Storage, "REG") {
+		t.Errorf("storage name wrong: %+v", ins[0])
+	}
+}

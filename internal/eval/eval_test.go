@@ -1,0 +1,618 @@
+package eval
+
+import (
+	"testing"
+
+	"scaldtv/internal/netlist"
+	"scaldtv/internal/tick"
+	"scaldtv/internal/values"
+)
+
+const p50 = 50 * tick.NS
+
+func ns(f float64) tick.Time { return tick.FromNS(f) }
+
+// fixture pairs a design builder with a map of externally-forced waveforms,
+// standing in for the verifier's relaxation state.
+type fixture struct {
+	b     *netlist.Builder
+	waves map[netlist.NetID]values.Waveform
+}
+
+func newFixture() *fixture {
+	b := netlist.NewBuilder("eval-test")
+	b.SetPeriod(p50)
+	b.SetDefaultWire(tick.Range{}) // zero wire delay unless a test sets one
+	b.SetPrecisionSkew(tick.Range{})
+	b.SetClockSkew(tick.Range{})
+	return &fixture{b: b, waves: map[netlist.NetID]values.Waveform{}}
+}
+
+func (f *fixture) force(n netlist.NetID, w values.Waveform) { f.waves[n] = w }
+
+func (f *fixture) eval(t *testing.T, pid netlist.PrimID) []Signal {
+	t.Helper()
+	d, err := f.b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Prim(d, &d.Prims[pid], func(n netlist.NetID) Signal {
+		w, ok := f.waves[n]
+		if !ok {
+			w = values.Const(p50, values.VU)
+		}
+		return Signal{Wave: w}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func clockWave(hi0, hi1 float64) values.Waveform {
+	return values.Const(p50, values.V0).Paint(ns(hi0), ns(hi1), values.V1)
+}
+
+func stableWave(ch0, ch1 float64) values.Waveform {
+	return values.Const(p50, values.VS).Paint(ns(ch0), ns(ch1), values.VC)
+}
+
+func TestOrGate(t *testing.T) {
+	f := newFixture()
+	a := f.b.Net("A")
+	c := f.b.Net("C")
+	o := f.b.Net("O")
+	pid := f.b.Gate(netlist.KOr, "or1", tick.R(1.0, 2.9), []netlist.NetID{o},
+		netlist.Conns(a), netlist.Conns(c))
+	f.force(a, clockWave(10, 20))
+	f.force(c, values.Const(p50, values.V0))
+	out := f.eval(t, pid)
+	if len(out) != 1 {
+		t.Fatalf("got %d outputs", len(out))
+	}
+	w := out[0].Wave
+	// Shifted by the 1.0 ns minimum; 1.9 ns of skew.
+	if w.Skew != ns(1.9) {
+		t.Errorf("skew = %v, want 1.9ns", w.Skew)
+	}
+	if w.At(ns(11)) != values.V1 || w.At(ns(20.5)) != values.V1 || w.At(ns(21)) != values.V0 {
+		t.Errorf("OR output wrong: %v", w)
+	}
+}
+
+func TestGateWorstCase(t *testing.T) {
+	f := newFixture()
+	a, c, o := f.b.Net("A"), f.b.Net("C"), f.b.Net("O")
+	pid := f.b.Gate(netlist.KOr, "or1", tick.Range{}, []netlist.NetID{o},
+		netlist.Conns(a), netlist.Conns(c))
+	f.force(a, stableWave(10, 20)) // stable except changing 10–20
+	f.force(c, stableWave(15, 30))
+	w := f.eval(t, pid)[0].Wave
+	if w.At(ns(5)) != values.VS || w.At(ns(12)) != values.VC || w.At(ns(25)) != values.VC || w.At(ns(35)) != values.VS {
+		t.Errorf("worst-case OR wrong: %v", w)
+	}
+}
+
+func TestNotAndBuf(t *testing.T) {
+	f := newFixture()
+	a, o1, o2 := f.b.Net("A"), f.b.Net("O1"), f.b.Net("O2")
+	p1 := f.b.Gate(netlist.KNot, "inv", tick.R(1, 1), []netlist.NetID{o1}, netlist.Conns(a))
+	p2 := f.b.Buf("buf", tick.R(2, 2), []netlist.NetID{o2}, netlist.Conns(a))
+	f.force(a, clockWave(10, 20))
+	w1 := f.eval(t, p1)[0].Wave
+	if w1.At(ns(12)) != values.V0 || w1.At(ns(5)) != values.V1 {
+		t.Errorf("NOT wrong: %v", w1)
+	}
+	w2 := f.eval(t, p2)[0].Wave
+	if w2.At(ns(13)) != values.V1 || w2.At(ns(11)) != values.V0 {
+		t.Errorf("BUF wrong: %v", w2)
+	}
+}
+
+func TestInvertedConnection(t *testing.T) {
+	f := newFixture()
+	a, o := f.b.Net("A"), f.b.Net("O")
+	pid := f.b.Buf("buf", tick.Range{}, []netlist.NetID{o}, netlist.Invert(netlist.Conns(a)))
+	f.force(a, clockWave(10, 20))
+	w := f.eval(t, pid)[0].Wave
+	if w.At(ns(15)) != values.V0 || w.At(ns(5)) != values.V1 {
+		t.Errorf("complement rail wrong: %v", w)
+	}
+}
+
+func TestNandNorXor(t *testing.T) {
+	f := newFixture()
+	a, c := f.b.Net("A"), f.b.Net("C")
+	o1, o2, o3 := f.b.Net("O1"), f.b.Net("O2"), f.b.Net("O3")
+	pn := f.b.Gate(netlist.KNand, "nand", tick.Range{}, []netlist.NetID{o1}, netlist.Conns(a), netlist.Conns(c))
+	pr := f.b.Gate(netlist.KNor, "nor", tick.Range{}, []netlist.NetID{o2}, netlist.Conns(a), netlist.Conns(c))
+	px := f.b.Gate(netlist.KXor, "xor", tick.Range{}, []netlist.NetID{o3}, netlist.Conns(a), netlist.Conns(c))
+	f.force(a, values.Const(p50, values.V1))
+	f.force(c, clockWave(10, 20))
+	if w := f.eval(t, pn)[0].Wave; w.At(ns(15)) != values.V0 || w.At(ns(5)) != values.V1 {
+		t.Errorf("NAND wrong: %v", w)
+	}
+	if w := f.eval(t, pr)[0].Wave; w.At(ns(15)) != values.V0 || w.At(ns(5)) != values.V0 {
+		t.Errorf("NOR wrong: %v", w)
+	}
+	if w := f.eval(t, px)[0].Wave; w.At(ns(15)) != values.V0 || w.At(ns(5)) != values.V1 {
+		t.Errorf("XOR wrong: %v", w)
+	}
+}
+
+func TestChgGate(t *testing.T) {
+	// The CHG function used for ALUs and parity trees (§2.4.2).
+	f := newFixture()
+	a, c, o := f.b.Net("A"), f.b.Net("C"), f.b.Net("O")
+	pid := f.b.Gate(netlist.KChg, "chg", tick.R(3, 6), []netlist.NetID{o},
+		netlist.Conns(a), netlist.Conns(c))
+	f.force(a, stableWave(10, 20))
+	f.force(c, clockWave(25, 30)) // a 0/1 clock also counts as "changing" at its edges
+	w := f.eval(t, pid)[0].Wave
+	// Input a changing 10–20 → output changing 13–26 (3 min +3 skew).
+	if w.At(ns(5)) != values.VS {
+		t.Errorf("CHG stable region wrong: %v", w)
+	}
+	if w.At(ns(14)) != values.VC {
+		t.Errorf("CHG change region wrong: %v", w)
+	}
+	// Clock transitions at 25 and 30 also appear as changes: with the
+	// 3/6 ns delay the edge at 25 produces a change window 28–31, visible
+	// once the carried skew is incorporated (as the checkers do).
+	inc := w.IncorporateSkew()
+	if inc.At(ns(28.5)) != values.VC || inc.At(ns(30.5)) != values.VC {
+		t.Errorf("CHG must register clock edges: %v", inc)
+	}
+	if inc.At(ns(27.5)) != values.VS {
+		t.Errorf("CHG change window starts too early: %v", inc)
+	}
+}
+
+func TestWireDelayApplied(t *testing.T) {
+	f := newFixture()
+	f.b.SetDefaultWire(tick.R(0, 2))
+	a, o := f.b.Net("A"), f.b.Net("O")
+	pid := f.b.Buf("buf", tick.Range{}, []netlist.NetID{o}, netlist.Conns(a))
+	f.force(a, clockWave(10, 20))
+	w := f.eval(t, pid)[0].Wave
+	if w.Skew != ns(2) {
+		t.Errorf("wire skew = %v, want 2ns", w.Skew)
+	}
+}
+
+func TestDirectiveZeroesWireAndGate(t *testing.T) {
+	f := newFixture()
+	f.b.SetDefaultWire(tick.R(0, 2))
+	a, c, o := f.b.Net("CK"), f.b.Net("EN"), f.b.Net("O")
+	// &H: zero wire+gate on the clock path, check/assume the enable.
+	pid := f.b.Gate(netlist.KAnd, "gate", tick.R(1, 2), []netlist.NetID{o},
+		f.b.Directive("H", netlist.Conns(a)), netlist.Conns(c))
+	f.force(a, clockWave(10, 20))
+	f.force(c, stableWave(0, 50)) // always changing: would normally poison the output
+	w := f.eval(t, pid)[0].Wave
+	// The enable is assumed to enable the gate; clock passes through with
+	// no gate delay and no wire delay.
+	if w.Skew != 0 {
+		t.Errorf("H directive left skew %v", w.Skew)
+	}
+	if w.At(ns(15)) != values.V1 || w.At(ns(5)) != values.V0 {
+		t.Errorf("H directive output wrong: %v", w)
+	}
+}
+
+func TestDirectiveZOnly(t *testing.T) {
+	f := newFixture()
+	f.b.SetDefaultWire(tick.R(0, 2))
+	a, c, o := f.b.Net("CK"), f.b.Net("EN"), f.b.Net("O")
+	// &Z zeroes delays but does NOT assume the other inputs enable.
+	pid := f.b.Gate(netlist.KAnd, "gate", tick.R(1, 2), []netlist.NetID{o},
+		f.b.Directive("Z", netlist.Conns(a)), netlist.Conns(c))
+	f.force(a, clockWave(10, 20))
+	f.force(c, values.Const(p50, values.VS))
+	w := f.eval(t, pid)[0].Wave
+	// AND(1, S) = S during the high window.
+	if w.At(ns(15)) != values.VS || w.At(ns(5)) != values.V0 {
+		t.Errorf("Z directive output wrong: %v", w)
+	}
+	// The enable's wire delay still applies (only the directive input's
+	// wire is zeroed), but since the enable is constant it cannot shift.
+	if w.Skew != 0 {
+		t.Errorf("Z directive left skew %v on clock path", w.Skew)
+	}
+}
+
+func TestDirectiveStringPropagates(t *testing.T) {
+	f := newFixture()
+	a, c, o := f.b.Net("CK"), f.b.Net("EN"), f.b.Net("O")
+	pid := f.b.Gate(netlist.KAnd, "gate", tick.R(1, 2), []netlist.NetID{o},
+		f.b.Directive("HZ", netlist.Conns(a)), netlist.Conns(c))
+	f.force(a, clockWave(10, 20))
+	f.force(c, values.Const(p50, values.V1))
+	out := f.eval(t, pid)[0]
+	if string(out.Dirs) != "Z" {
+		t.Errorf("remaining directives = %q, want Z", out.Dirs)
+	}
+}
+
+func TestRegisterBasic(t *testing.T) {
+	// Fig 2-1: a register clocked at 20 ns with 1.0/3.8 ns delay: output
+	// changes only during 21–23.8, stable the rest of the cycle.
+	f := newFixture()
+	ck, d, q := f.b.Net("CK"), f.b.Net("D"), f.b.Net("Q")
+	pid := f.b.Register("reg", tick.R(1.0, 3.8), []netlist.NetID{q},
+		netlist.Conn{Net: ck}, netlist.Conns(d))
+	f.force(ck, clockWave(20, 30))
+	f.force(d, stableWave(40, 45))
+	w := f.eval(t, pid)[0].Wave
+	if w.At(ns(21)) != values.VC || w.At(ns(23)) != values.VC {
+		t.Errorf("change window missing: %v", w)
+	}
+	if w.At(ns(20.5)) != values.VS || w.At(ns(24)) != values.VS || w.At(ns(45)) != values.VS || w.At(0) != values.VS {
+		t.Errorf("output not stable outside window: %v", w)
+	}
+}
+
+func TestRegisterCapturesConstantData(t *testing.T) {
+	f := newFixture()
+	ck, d, q := f.b.Net("CK"), f.b.Net("D"), f.b.Net("Q")
+	pid := f.b.Register("reg", tick.R(1, 2), []netlist.NetID{q},
+		netlist.Conn{Net: ck}, netlist.Conns(d))
+	f.force(ck, clockWave(20, 30))
+	f.force(d, values.Const(p50, values.V1))
+	w := f.eval(t, pid)[0].Wave
+	if w.At(ns(25)) != values.V1 || w.At(ns(45)) != values.V1 || w.At(ns(5)) != values.V1 {
+		t.Errorf("captured constant not propagated: %v", w)
+	}
+	if w.At(ns(21.5)) != values.VC {
+		t.Errorf("change window missing: %v", w)
+	}
+}
+
+func TestRegisterClockSkewWidensWindow(t *testing.T) {
+	f := newFixture()
+	ck, d, q := f.b.Net("CK"), f.b.Net("D"), f.b.Net("Q")
+	pid := f.b.Register("reg", tick.R(1, 2), []netlist.NetID{q},
+		netlist.Conn{Net: ck}, netlist.Conns(d))
+	f.force(ck, clockWave(20, 30).Delay(tick.R(-1, 1))) // ±1 ns clock skew
+	f.force(d, stableWave(40, 45))
+	w := f.eval(t, pid)[0].Wave
+	// Edge window 19–21, change window 20–23.
+	if w.At(ns(20.5)) != values.VC || w.At(ns(22.5)) != values.VC {
+		t.Errorf("skewed change window wrong: %v", w)
+	}
+	if w.At(ns(19.5)) != values.VS || w.At(ns(23.5)) != values.VS {
+		t.Errorf("window too wide: %v", w)
+	}
+}
+
+func TestRegisterNeverClocked(t *testing.T) {
+	f := newFixture()
+	ck, d, q := f.b.Net("CK"), f.b.Net("D"), f.b.Net("Q")
+	pid := f.b.Register("reg", tick.R(1, 2), []netlist.NetID{q},
+		netlist.Conn{Net: ck}, netlist.Conns(d))
+	f.force(ck, values.Const(p50, values.V0))
+	f.force(d, stableWave(0, 50))
+	w := f.eval(t, pid)[0].Wave
+	if v, ok := w.ConstantValue(); !ok || v != values.VS {
+		t.Errorf("unclocked register should hold stable: %v", w)
+	}
+}
+
+func TestRegisterUnknownClock(t *testing.T) {
+	f := newFixture()
+	ck, d, q := f.b.Net("CK"), f.b.Net("D"), f.b.Net("Q")
+	pid := f.b.Register("reg", tick.R(1, 2), []netlist.NetID{q},
+		netlist.Conn{Net: ck}, netlist.Conns(d))
+	f.force(ck, values.Const(p50, values.VU))
+	f.force(d, values.Const(p50, values.V1))
+	w := f.eval(t, pid)[0].Wave
+	if v, ok := w.ConstantValue(); !ok || v != values.VU {
+		t.Errorf("unknown clock should give unknown output: %v", w)
+	}
+}
+
+func TestRegisterRS(t *testing.T) {
+	f := newFixture()
+	ck, d, q := f.b.Net("CK"), f.b.Net("D"), f.b.Net("Q")
+	set, rst := f.b.Net("SET"), f.b.Net("RST")
+	pid := f.b.RegisterRS("reg", tick.R(1, 2), []netlist.NetID{q},
+		netlist.Conn{Net: ck}, netlist.Conns(d), netlist.Conn{Net: set}, netlist.Conn{Net: rst})
+	f.force(ck, clockWave(20, 30))
+	f.force(d, stableWave(40, 45))
+
+	// Inactive SET/RESET: behaves like the plain register.
+	f.force(set, values.Const(p50, values.V0))
+	f.force(rst, values.Const(p50, values.V0))
+	w := f.eval(t, pid)[0].Wave
+	if w.At(ns(21.5)) != values.VC || w.At(ns(10)) != values.VS {
+		t.Errorf("inactive RS wrong: %v", w)
+	}
+
+	// SET asserted: output forced high everywhere.
+	f.force(set, values.Const(p50, values.V1))
+	w = f.eval(t, pid)[0].Wave
+	if v, ok := w.ConstantValue(); !ok || v != values.V1 {
+		t.Errorf("SET should force 1: %v", w)
+	}
+
+	// RESET asserted.
+	f.force(set, values.Const(p50, values.V0))
+	f.force(rst, values.Const(p50, values.V1))
+	w = f.eval(t, pid)[0].Wave
+	if v, ok := w.ConstantValue(); !ok || v != values.V0 {
+		t.Errorf("RESET should force 0: %v", w)
+	}
+
+	// Both asserted: undefined.
+	f.force(set, values.Const(p50, values.V1))
+	w = f.eval(t, pid)[0].Wave
+	if v, ok := w.ConstantValue(); !ok || v != values.VU {
+		t.Errorf("SET+RESET should be undefined: %v", w)
+	}
+
+	// A reset pulse inside the cycle overrides during (delayed) assertion.
+	f.force(set, values.Const(p50, values.V0))
+	f.force(rst, clockWave(40, 45))
+	w = f.eval(t, pid)[0].Wave
+	if w.At(ns(43)) != values.V0 {
+		t.Errorf("reset pulse should force 0 at 43ns: %v", w)
+	}
+	if w.At(ns(41.2)) != values.VC {
+		t.Errorf("reset edge should show change at 41.2ns: %v", w)
+	}
+	if w.At(ns(10)) != values.VS {
+		t.Errorf("output should be stable outside overrides: %v", w)
+	}
+}
+
+func TestLatchTransparent(t *testing.T) {
+	f := newFixture()
+	e, d, q := f.b.Net("E"), f.b.Net("D"), f.b.Net("Q")
+	pid := f.b.Latch("latch", tick.R(1.0, 3.5), []netlist.NetID{q},
+		netlist.Conn{Net: e}, netlist.Conns(d))
+	f.force(e, clockWave(20, 30))
+	f.force(d, stableWave(22, 26)) // changes while the latch is open
+	w := f.eval(t, pid)[0].Wave
+	// While open: follows data (delayed 1.0 min, skew 2.5 → change 23–31).
+	if w.At(ns(24)) != values.VC {
+		t.Errorf("transparent change missing: %v", w)
+	}
+	// While closed: holds.
+	if w.At(ns(10)) != values.VS || w.At(ns(45)) != values.VS {
+		t.Errorf("hold region wrong: %v", w)
+	}
+	// Opening edge: may change (held vs new data) — delayed 21–23.5.
+	if w.At(ns(22)) != values.VC {
+		t.Errorf("opening change missing: %v", w)
+	}
+}
+
+func TestLatchConstantData(t *testing.T) {
+	f := newFixture()
+	e, d, q := f.b.Net("E"), f.b.Net("D"), f.b.Net("Q")
+	pid := f.b.Latch("latch", tick.R(1, 2), []netlist.NetID{q},
+		netlist.Conn{Net: e}, netlist.Conns(d))
+	f.force(e, clockWave(20, 30))
+	f.force(d, values.Const(p50, values.V1))
+	w := f.eval(t, pid)[0].Wave
+	if v, ok := w.ConstantValue(); !ok || v != values.V1 {
+		t.Errorf("constant data through latch should be constant: %v", w)
+	}
+}
+
+func TestLatchClosingCapturesStableData(t *testing.T) {
+	f := newFixture()
+	e, d, q := f.b.Net("E"), f.b.Net("D"), f.b.Net("Q")
+	pid := f.b.Latch("latch", tick.Range{}, []netlist.NetID{q},
+		netlist.Conn{Net: e}, netlist.Conns(d))
+	// Enable with skew: closing band.
+	f.force(e, clockWave(20, 30).Delay(tick.R(0, 2)))
+	f.force(d, values.Const(p50, values.VS))
+	w := f.eval(t, pid)[0].Wave
+	// During the closing band (30–32) data is stable: output stays stable.
+	if w.At(ns(31)) != values.VS {
+		t.Errorf("closing band with stable data should stay stable: %v", w)
+	}
+}
+
+func TestLatchRS(t *testing.T) {
+	f := newFixture()
+	e, d, q := f.b.Net("E"), f.b.Net("D"), f.b.Net("Q")
+	set, rst := f.b.Net("SET"), f.b.Net("RST")
+	pid := f.b.LatchRS("latch", tick.R(1, 2), []netlist.NetID{q},
+		netlist.Conn{Net: e}, netlist.Conns(d), netlist.Conn{Net: set}, netlist.Conn{Net: rst})
+	f.force(e, clockWave(20, 30))
+	f.force(d, values.Const(p50, values.VS))
+	f.force(set, values.Const(p50, values.V1))
+	f.force(rst, values.Const(p50, values.V0))
+	w := f.eval(t, pid)[0].Wave
+	if v, ok := w.ConstantValue(); !ok || v != values.V1 {
+		t.Errorf("latch SET should force 1: %v", w)
+	}
+}
+
+func TestMux2ConstantSelect(t *testing.T) {
+	f := newFixture()
+	s, d0, d1, o := f.b.Net("S"), f.b.Net("D0"), f.b.Net("D1"), f.b.Net("O")
+	pid := f.b.Mux(netlist.KMux2, "mux", tick.R(1.2, 3.3), tick.R(0.3, 1.2), []netlist.NetID{o},
+		netlist.Conns(s), netlist.Conns(d0), netlist.Conns(d1))
+	f.force(s, values.Const(p50, values.V0))
+	f.force(d0, stableWave(10, 20))
+	f.force(d1, values.Const(p50, values.VS))
+	w := f.eval(t, pid)[0].Wave
+	// Selected input 0: change 10–20 shifted by 1.2 min (+2.1 skew).
+	if w.At(ns(12)) != values.VC || w.At(ns(5)) != values.VS {
+		t.Errorf("mux constant-select wrong: %v", w)
+	}
+	if w.Skew != ns(2.1) {
+		t.Errorf("mux skew = %v, want 2.1ns", w.Skew)
+	}
+
+	// Select 1 picks the quiet input.
+	f.force(s, values.Const(p50, values.V1))
+	w = f.eval(t, pid)[0].Wave
+	if v, ok := w.ConstantValue(); !ok || v != values.VS {
+		t.Errorf("mux select-1 should be all stable: %v", w)
+	}
+}
+
+func TestMux2StableSelect(t *testing.T) {
+	// Fig 2-6 semantics: a stable-but-unknown select means the output is
+	// the worst case across both data inputs.
+	f := newFixture()
+	s, d0, d1, o := f.b.Net("S"), f.b.Net("D0"), f.b.Net("D1"), f.b.Net("O")
+	pid := f.b.Mux(netlist.KMux2, "mux", tick.Range{}, tick.Range{}, []netlist.NetID{o},
+		netlist.Conns(s), netlist.Conns(d0), netlist.Conns(d1))
+	f.force(s, values.Const(p50, values.VS))
+	f.force(d0, stableWave(10, 20))
+	f.force(d1, stableWave(30, 40))
+	w := f.eval(t, pid)[0].Wave
+	if w.At(ns(15)) != values.VC || w.At(ns(35)) != values.VC {
+		t.Errorf("stable select must union changes: %v", w)
+	}
+	if w.At(ns(25)) != values.VS || w.At(ns(5)) != values.VS {
+		t.Errorf("stable select stable region wrong: %v", w)
+	}
+}
+
+func TestMux2ChangingSelect(t *testing.T) {
+	f := newFixture()
+	s, d0, d1, o := f.b.Net("S"), f.b.Net("D0"), f.b.Net("D1"), f.b.Net("O")
+	pid := f.b.Mux(netlist.KMux2, "mux", tick.Range{}, tick.Range{}, []netlist.NetID{o},
+		netlist.Conns(s), netlist.Conns(d0), netlist.Conns(d1))
+	f.force(s, clockWave(20, 30)) // a clock driving the select line (§4.1)
+	f.force(d0, values.Const(p50, values.VS))
+	f.force(d1, values.Const(p50, values.VS))
+	w := f.eval(t, pid)[0].Wave
+	// At the select edges the output may change between the two stables.
+	if w.At(ns(20)) != values.VC || w.At(ns(30)) != values.VC {
+		t.Errorf("select edges must show change: %v", w)
+	}
+	// Between edges the output tracks one stable input.
+	if w.At(ns(25)) != values.VS || w.At(ns(10)) != values.VS {
+		t.Errorf("between edges should be stable: %v", w)
+	}
+}
+
+func TestMux4PartialConstantSelect(t *testing.T) {
+	f := newFixture()
+	s0, s1 := f.b.Net("S0"), f.b.Net("S1")
+	d := []netlist.NetID{f.b.Net("D0"), f.b.Net("D1"), f.b.Net("D2"), f.b.Net("D3")}
+	o := f.b.Net("O")
+	pid := f.b.Mux(netlist.KMux4, "mux4", tick.Range{}, tick.Range{}, []netlist.NetID{o},
+		[]netlist.Conn{{Net: s0}, {Net: s1}},
+		netlist.Conns(d[0]), netlist.Conns(d[1]), netlist.Conns(d[2]), netlist.Conns(d[3]))
+	// S1 pinned 0: only D0/D1 are candidates; S0 stable-unknown.
+	f.force(s1, values.Const(p50, values.V0))
+	f.force(s0, values.Const(p50, values.VS))
+	f.force(d[0], values.Const(p50, values.VS))
+	f.force(d[1], stableWave(10, 20))
+	f.force(d[2], stableWave(0, 50)) // always changing, but not a candidate
+	f.force(d[3], stableWave(0, 50))
+	w := f.eval(t, pid)[0].Wave
+	if w.At(ns(15)) != values.VC {
+		t.Errorf("candidate D1's change must show: %v", w)
+	}
+	if w.At(ns(30)) != values.VS {
+		t.Errorf("non-candidates must be excluded: %v", w)
+	}
+}
+
+func TestCheckerPrimsHaveNoOutput(t *testing.T) {
+	f := newFixture()
+	i, ck := f.b.Net("I"), f.b.Net("CK")
+	pid := f.b.SetupHold("chk", ns(2.5), ns(1.5), netlist.Conns(i), netlist.Conn{Net: ck})
+	out := f.eval(t, pid)
+	if out != nil {
+		t.Errorf("checker produced output: %v", out)
+	}
+}
+
+func TestMultiBitRegister(t *testing.T) {
+	f := newFixture()
+	ck := f.b.Net("CK")
+	d := f.b.Vector("D", 4)
+	q := f.b.Vector("Q", 4)
+	pid := f.b.Register("reg", tick.R(1, 2), q, netlist.Conn{Net: ck}, netlist.Conns(d...))
+	f.force(ck, clockWave(20, 30))
+	for i, n := range d {
+		if i%2 == 0 {
+			f.force(n, values.Const(p50, values.V1))
+		} else {
+			f.force(n, stableWave(40, 45))
+		}
+	}
+	out := f.eval(t, pid)
+	if len(out) != 4 {
+		t.Fatalf("got %d outputs", len(out))
+	}
+	if out[0].Wave.At(ns(40)) != values.V1 || out[2].Wave.At(ns(40)) != values.V1 {
+		t.Error("even bits should capture the constant")
+	}
+	if out[1].Wave.At(ns(40)) != values.VS || out[3].Wave.At(ns(40)) != values.VS {
+		t.Error("odd bits should be stable")
+	}
+}
+
+// TestVectorMemoizationSemantics: the per-bit memoization (§3.3.2
+// economy) must be invisible — bits with identical inputs share results,
+// bits with different inputs get their own.
+func TestVectorMemoizationSemantics(t *testing.T) {
+	f := newFixture()
+	a := f.b.Vector("A", 4)
+	c := f.b.Vector("C", 4)
+	o := f.b.Vector("O", 4)
+	ins := make([]netlist.Conn, 4)
+	for i := range ins {
+		ins[i] = netlist.Conn{Net: a[i]}
+	}
+	cs := make([]netlist.Conn, 4)
+	for i := range cs {
+		cs[i] = netlist.Conn{Net: c[i]}
+	}
+	pid := f.b.Gate(netlist.KOr, "or", tick.R(1, 2), o, ins, cs)
+	// Bits 0 and 1 identical; bit 2 differs in one input; bit 3 constant.
+	f.force(a[0], stableWave(10, 20))
+	f.force(a[1], stableWave(10, 20))
+	f.force(a[2], stableWave(30, 40))
+	f.force(a[3], values.Const(p50, values.V1))
+	for _, n := range c {
+		f.force(n, values.Const(p50, values.V0))
+	}
+	out := f.eval(t, pid)
+	if !out[0].Wave.Equal(out[1].Wave) {
+		t.Error("identical bits should share a waveform")
+	}
+	if out[2].Wave.Equal(out[0].Wave) {
+		t.Error("differing bit incorrectly shared")
+	}
+	if v, ok := out[3].Wave.ConstantValue(); !ok || v != values.V1 {
+		t.Errorf("constant bit wrong: %v", out[3].Wave)
+	}
+	if out[2].Wave.At(ns(35)) != values.VC || out[2].Wave.At(ns(15)) != values.VS {
+		t.Errorf("bit 2 semantics wrong: %v", out[2].Wave)
+	}
+}
+
+// TestGateRFEnvelopeInGate: a gate with rise/fall delays whose output is
+// value-unknown uses the conservative envelope.
+func TestGateRFEnvelopeInGate(t *testing.T) {
+	f := newFixture()
+	a, o := f.b.Net("A"), f.b.Net("O")
+	pid := f.b.GateRF(netlist.KBuf, "rfbuf", tick.R(2, 3), tick.R(5, 7), []netlist.NetID{o}, netlist.Conns(a))
+	f.force(a, stableWave(10, 20)) // S/C: no edge directions known
+	w := f.eval(t, pid)[0].Wave.IncorporateSkew()
+	// Envelope 2..7: changing 12–27.
+	if w.At(ns(13)) != values.VC || w.At(ns(26)) != values.VC {
+		t.Errorf("envelope too narrow: %v", w)
+	}
+	if w.At(ns(11)) != values.VS || w.At(ns(28)) != values.VS {
+		t.Errorf("envelope too wide: %v", w)
+	}
+	// A crisp clock input takes the exact per-edge delays.
+	f.force(a, clockWave(10, 20))
+	w2 := f.eval(t, pid)[0].Wave
+	if w2.At(ns(13.5)) != values.V1 || w2.At(ns(26)) != values.VF {
+		t.Errorf("per-edge delays wrong: %v", w2)
+	}
+}

@@ -1,0 +1,585 @@
+// Package expand implements the SCALD Macro Expander (§3.3.2): it turns a
+// parsed HDL file into the flat primitive netlist the Timing Verifier
+// evaluates.  Pass 1 resolves macro definitions and signal synonyms (port
+// bindings); Pass 2 emits the fully elaborated design, one vectored
+// primitive instance at a time.
+package expand
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scaldtv/internal/assertion"
+	"scaldtv/internal/hdl"
+	"scaldtv/internal/netlist"
+	"scaldtv/internal/values"
+)
+
+// SummaryListing renders the Pass-1 expansion summary the paper's Macro
+// Expander produced: every macro definition with its use count and the
+// primitives its expansions contributed, plus the root-level census.
+func (r *Report) SummaryListing() string {
+	var names []string
+	for name := range r.UsesByMacro {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	sb.WriteString("MACRO EXPANSION SUMMARY (pass 1)\n\n")
+	fmt.Fprintf(&sb, "  %-30s %8s %12s\n", "MACRO", "USES", "PRIMITIVES")
+	for _, name := range names {
+		fmt.Fprintf(&sb, "  %-30s %8d %12d\n", name, r.UsesByMacro[name], r.PrimsByMacro[name])
+	}
+	if root := r.PrimsByMacro[""]; root > 0 {
+		fmt.Fprintf(&sb, "  %-30s %8s %12d\n", "(root)", "", root)
+	}
+	fmt.Fprintf(&sb, "\n  %d macro expansions, %d primitives, %d synonyms resolved\n",
+		r.MacroUses, r.Primitives, r.Synonyms)
+	return sb.String()
+}
+
+// maxDepth caps macro nesting to catch recursive definitions.
+const maxDepth = 64
+
+// Report carries the expansion statistics the paper reports in Table 3-2:
+// the primitive census by type, the vectored and scalarised instance
+// counts, and the synonym (port-binding) count from Pass 1.
+type Report struct {
+	MacroUses  int
+	Synonyms   int                  // port bindings resolved
+	Primitives int                  // vectored primitive instances emitted
+	ScalarBits int                  // instances × width: the unvectorised count
+	Census     map[netlist.Kind]int // instances per primitive type
+	CensusBits map[netlist.Kind]int // summed widths per primitive type
+
+	UsesByMacro  map[string]int // expansions per macro definition
+	PrimsByMacro map[string]int // primitives contributed per macro ("" = root)
+}
+
+// AvgWidth returns the average primitive width (Table 3-2 reports 6.5).
+func (r *Report) AvgWidth() float64 {
+	if r.Primitives == 0 {
+		return 0
+	}
+	return float64(r.ScalarBits) / float64(r.Primitives)
+}
+
+// TypesUsed returns the number of distinct primitive types (Table 3-2
+// reports 22), in a deterministic order.
+func (r *Report) TypesUsed() []netlist.Kind {
+	var out []netlist.Kind
+	for k := range r.Census {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+type expander struct {
+	b      *netlist.Builder
+	macros map[string]*hdl.Macro
+	report *Report
+	labels map[string]int // per-kind counters for default labels
+}
+
+// frame is one level of macro expansion context.
+type frame struct {
+	path     string
+	macro    string // the macro definition being expanded, "" at the root
+	params   map[string]int
+	bindings map[string][]netlist.Conn // port name → actual connections
+	locals   map[string]hdl.PortDecl   // local declarations
+}
+
+// Expand flattens the parsed file into a verified netlist design.
+func Expand(f *hdl.File) (*netlist.Design, *Report, error) {
+	name := f.Design
+	if name == "" {
+		name = "unnamed"
+	}
+	b := netlist.NewBuilder(name)
+	if f.Period <= 0 {
+		return nil, nil, fmt.Errorf("expand: the design must specify a clock period (§2.2)")
+	}
+	b.SetPeriod(f.Period)
+	if f.ClockUnit > 0 {
+		b.SetClockUnit(f.ClockUnit)
+	}
+	if f.HasWire {
+		b.SetDefaultWire(f.Wire)
+	}
+	if f.HasPSkew {
+		b.SetPrecisionSkew(f.PSkew)
+	}
+	if f.HasCSkew {
+		b.SetClockSkew(f.CSkew)
+	}
+	if f.WiredOr {
+		b.SetWiredOr(true)
+	}
+
+	e := &expander{
+		b:      b,
+		macros: map[string]*hdl.Macro{},
+		report: &Report{
+			Census: map[netlist.Kind]int{}, CensusBits: map[netlist.Kind]int{},
+			UsesByMacro: map[string]int{}, PrimsByMacro: map[string]int{},
+		},
+		labels: map[string]int{},
+	}
+	// Pass 1: collect macro definitions.
+	for _, m := range f.Macros {
+		if _, dup := e.macros[m.Name]; dup {
+			return nil, nil, fmt.Errorf("expand: macro %q defined twice (line %d)", m.Name, m.Line)
+		}
+		e.macros[m.Name] = m
+	}
+	root := &frame{path: "", params: map[string]int{}, bindings: map[string][]netlist.Conn{}, locals: map[string]hdl.PortDecl{}}
+
+	// Root signal pre-declarations.
+	for _, sd := range f.Signals {
+		lo, hi := 0, 0
+		if sd.HasRange {
+			var err error
+			lo, hi, err = e.evalRange(sd.Lo, sd.Hi, root.params)
+			if err != nil {
+				return nil, nil, fmt.Errorf("expand: signal %q: %v", sd.Name, err)
+			}
+		}
+		if _, err := e.globalBits(sd.Name, sd.HasRange, lo, hi); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Pass 2: expand the body.
+	for _, inst := range f.Body {
+		if err := e.instance(inst, root, 0); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Interconnection overrides (§2.5.3).
+	for _, wd := range f.Wires {
+		sig, err := assertion.Parse(wd.Name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("expand: wire %q: %v", wd.Name, err)
+		}
+		nets := e.b.NetsByBase(sig.Base)
+		if len(nets) == 0 {
+			return nil, nil, fmt.Errorf("expand: wire declaration names unknown signal %q", wd.Name)
+		}
+		e.b.SetWire(wd.Delay, nets...)
+	}
+
+	// Case specifications (§2.7.1).
+	for _, cd := range f.Cases {
+		var assigns []netlist.CaseAssign
+		for _, a := range cd.Assigns {
+			sig, err := assertion.Parse(a.Signal)
+			if err != nil {
+				return nil, nil, fmt.Errorf("expand: case %q: %v", cd.Label, err)
+			}
+			v := values.V0
+			if a.Value == 1 {
+				v = values.V1
+			}
+			assigns = append(assigns, netlist.Assign(sig.Base, v))
+		}
+		e.b.AddCase(cd.Label, assigns...)
+	}
+
+	d, err := e.b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, e.report, nil
+}
+
+func (e *expander) evalRange(lo, hi hdl.Expr, params map[string]int) (int, int, error) {
+	l, err := lo.Eval(params)
+	if err != nil {
+		return 0, 0, err
+	}
+	h, err := hi.Eval(params)
+	if err != nil {
+		return 0, 0, err
+	}
+	if l > h {
+		return 0, 0, fmt.Errorf("inverted bit range <%d:%d>", l, h)
+	}
+	if l < 0 {
+		return 0, 0, fmt.Errorf("negative bit index %d", l)
+	}
+	return l, h, nil
+}
+
+// globalBits resolves a global signal reference to its nets, creating them
+// on first use with the Builder's vector naming.
+func (e *expander) globalBits(name string, hasRange bool, lo, hi int) ([]netlist.NetID, error) {
+	if !hasRange {
+		return []netlist.NetID{e.b.Net(name)}, nil
+	}
+	sig, err := assertion.Parse(name)
+	if err != nil {
+		return nil, fmt.Errorf("expand: %v", err)
+	}
+	suffix := ""
+	if sig.Assert != nil {
+		suffix = " " + sig.Assert.String()
+	}
+	out := make([]netlist.NetID, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		out = append(out, e.b.Net(fmt.Sprintf("%s<%d>%s", sig.Base, i, suffix)))
+	}
+	return out, nil
+}
+
+// resolve turns a signal expression into connections within a frame.
+func (e *expander) resolve(se *hdl.SigExpr, fr *frame) ([]netlist.Conn, error) {
+	var conns []netlist.Conn
+
+	if bound, ok := fr.bindings[se.Name]; ok {
+		// Macro port: the actual connection, optionally sub-sliced.
+		if se.HasRange {
+			lo, hi, err := e.evalRange(se.Lo, se.Hi, fr.params)
+			if err != nil {
+				return nil, fmt.Errorf("expand: line %d: %v", se.Line, err)
+			}
+			if hi >= len(bound) {
+				return nil, fmt.Errorf("expand: line %d: port %q bit %d exceeds bound width %d", se.Line, se.Name, hi, len(bound))
+			}
+			conns = append(conns, bound[lo:hi+1]...)
+		} else {
+			conns = append(conns, bound...)
+		}
+	} else if decl, ok := fr.locals[se.Name]; ok {
+		// Macro local: a uniquified global per expansion (the /M markers).
+		uname := fr.path + se.Name
+		dlo, dhi := 0, 0
+		if decl.HasRange {
+			var err error
+			dlo, dhi, err = e.evalRange(decl.Lo, decl.Hi, fr.params)
+			if err != nil {
+				return nil, fmt.Errorf("expand: line %d: local %q: %v", se.Line, se.Name, err)
+			}
+		}
+		all, err := e.globalBits(uname, decl.HasRange, dlo, dhi)
+		if err != nil {
+			return nil, err
+		}
+		if se.HasRange {
+			lo, hi, err := e.evalRange(se.Lo, se.Hi, fr.params)
+			if err != nil {
+				return nil, fmt.Errorf("expand: line %d: %v", se.Line, err)
+			}
+			if lo < dlo || hi > dhi {
+				return nil, fmt.Errorf("expand: line %d: local %q<%d:%d> outside declared <%d:%d>", se.Line, se.Name, lo, hi, dlo, dhi)
+			}
+			all = all[lo-dlo : hi-dlo+1]
+		}
+		conns = netlist.ConnsOf(all)
+	} else {
+		lo, hi := 0, 0
+		var err error
+		if se.HasRange {
+			lo, hi, err = e.evalRange(se.Lo, se.Hi, fr.params)
+			if err != nil {
+				return nil, fmt.Errorf("expand: line %d: %v", se.Line, err)
+			}
+		}
+		nets, err := e.globalBits(se.Name, se.HasRange, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		conns = netlist.ConnsOf(nets)
+	}
+
+	if se.Invert {
+		conns = netlist.Invert(conns)
+	}
+	if se.Dirs != "" {
+		conns = e.b.Directive(se.Dirs, conns)
+	}
+	return conns, nil
+}
+
+// outNets resolves an output signal expression: outputs must be plain net
+// references (no complement rail, no directives).
+func (e *expander) outNets(se *hdl.SigExpr, fr *frame) ([]netlist.NetID, error) {
+	if se.Invert || se.Dirs != "" {
+		return nil, fmt.Errorf("expand: line %d: output %q cannot carry - or & decorations", se.Line, se.Name)
+	}
+	conns, err := e.resolve(se, fr)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]netlist.NetID, len(conns))
+	for i, c := range conns {
+		if c.Invert || !c.Directives.Empty() {
+			return nil, fmt.Errorf("expand: line %d: output %q is bound through a decorated connection", se.Line, se.Name)
+		}
+		out[i] = c.Net
+	}
+	return out, nil
+}
+
+var kindByName = map[string]netlist.Kind{
+	"buf": netlist.KBuf, "not": netlist.KNot,
+	"and": netlist.KAnd, "or": netlist.KOr,
+	"nand": netlist.KNand, "nor": netlist.KNor,
+	"xor": netlist.KXor, "chg": netlist.KChg,
+	"mux2": netlist.KMux2, "mux4": netlist.KMux4, "mux8": netlist.KMux8,
+	"reg": netlist.KReg, "regrs": netlist.KRegRS,
+	"latch": netlist.KLatch, "latchrs": netlist.KLatchRS,
+	"setuphold":         netlist.KSetupHold,
+	"setupriseholdfall": netlist.KSetupRiseHoldFall,
+	"minpulse":          netlist.KMinPulse,
+}
+
+func (e *expander) label(inst *hdl.Instance, fr *frame) string {
+	if inst.Label != "" {
+		return fr.path + inst.Label
+	}
+	key := inst.Kind
+	if inst.Kind == "use" {
+		key = inst.Macro
+	}
+	e.labels[key]++
+	return fmt.Sprintf("%s%s.%d", fr.path, key, e.labels[key])
+}
+
+func (e *expander) tally(fr *frame, k netlist.Kind, width int) {
+	e.report.Primitives++
+	e.report.ScalarBits += width
+	e.report.Census[k]++
+	e.report.CensusBits[k] += width
+	e.report.PrimsByMacro[fr.macro]++
+}
+
+func (e *expander) instance(inst *hdl.Instance, fr *frame, depth int) error {
+	if depth > maxDepth {
+		return fmt.Errorf("expand: line %d: macro nesting deeper than %d (recursive macro?)", inst.Line, maxDepth)
+	}
+	if inst.Kind == "use" {
+		return e.expandUse(inst, fr, depth)
+	}
+	k, ok := kindByName[inst.Kind]
+	if !ok {
+		return fmt.Errorf("expand: line %d: unknown primitive %q", inst.Line, inst.Kind)
+	}
+	label := e.label(inst, fr)
+
+	ins := make([][]netlist.Conn, len(inst.Ins))
+	for i, se := range inst.Ins {
+		c, err := e.resolve(se, fr)
+		if err != nil {
+			return err
+		}
+		ins[i] = c
+	}
+	var outs [][]netlist.NetID
+	for _, se := range inst.Outs {
+		o, err := e.outNets(se, fr)
+		if err != nil {
+			return err
+		}
+		outs = append(outs, o)
+	}
+
+	need := func(nIn, nOut int) error {
+		if len(ins) != nIn || len(outs) != nOut {
+			return fmt.Errorf("expand: line %d: %s needs %d inputs and %d outputs, has %d and %d",
+				inst.Line, inst.Kind, nIn, nOut, len(ins), len(outs))
+		}
+		return nil
+	}
+	scalar := func(c []netlist.Conn, what string) (netlist.Conn, error) {
+		if len(c) != 1 {
+			return netlist.Conn{}, fmt.Errorf("expand: line %d: %s %s must be one bit wide, is %d", inst.Line, inst.Kind, what, len(c))
+		}
+		return c[0], nil
+	}
+
+	switch {
+	case k.IsGate():
+		if len(outs) != 1 || len(ins) < 1 {
+			return fmt.Errorf("expand: line %d: %s needs at least one input and exactly one output", inst.Line, inst.Kind)
+		}
+		e.tally(fr, k, len(outs[0]))
+		if inst.HasRF {
+			e.b.GateRF(k, label, inst.Rise, inst.Fall, outs[0], ins...)
+		} else {
+			e.b.Gate(k, label, inst.Delay, outs[0], ins...)
+		}
+	case k.NumSelects() > 0:
+		ns := k.NumSelects()
+		if err := need(ns+k.NumMuxData(), 1); err != nil {
+			return err
+		}
+		sel := make([]netlist.Conn, ns)
+		for i := 0; i < ns; i++ {
+			s, err := scalar(ins[i], fmt.Sprintf("select %d", i))
+			if err != nil {
+				return err
+			}
+			sel[i] = s
+		}
+		e.tally(fr, k, len(outs[0]))
+		e.b.Mux(k, label, inst.Delay, inst.SelDelay, outs[0], sel, ins[ns:]...)
+	case k == netlist.KReg, k == netlist.KLatch:
+		if err := need(2, 1); err != nil {
+			return err
+		}
+		ck, err := scalar(ins[0], "clock/enable")
+		if err != nil {
+			return err
+		}
+		e.tally(fr, k, len(outs[0]))
+		if k == netlist.KReg {
+			e.b.Register(label, inst.Delay, outs[0], ck, ins[1])
+		} else {
+			e.b.Latch(label, inst.Delay, outs[0], ck, ins[1])
+		}
+	case k == netlist.KRegRS, k == netlist.KLatchRS:
+		if err := need(4, 1); err != nil {
+			return err
+		}
+		ck, err := scalar(ins[0], "clock/enable")
+		if err != nil {
+			return err
+		}
+		set, err := scalar(ins[2], "set")
+		if err != nil {
+			return err
+		}
+		rst, err := scalar(ins[3], "reset")
+		if err != nil {
+			return err
+		}
+		e.tally(fr, k, len(outs[0]))
+		if k == netlist.KRegRS {
+			e.b.RegisterRS(label, inst.Delay, outs[0], ck, ins[1], set, rst)
+		} else {
+			e.b.LatchRS(label, inst.Delay, outs[0], ck, ins[1], set, rst)
+		}
+	case k == netlist.KSetupHold, k == netlist.KSetupRiseHoldFall:
+		if err := need(2, 0); err != nil {
+			return err
+		}
+		ck, err := scalar(ins[1], "clock")
+		if err != nil {
+			return err
+		}
+		e.tally(fr, k, len(ins[0]))
+		if k == netlist.KSetupHold {
+			e.b.SetupHold(label, inst.Setup, inst.Hold, ins[0], ck)
+		} else {
+			e.b.SetupRiseHoldFall(label, inst.Setup, inst.Hold, ins[0], ck)
+		}
+	case k == netlist.KMinPulse:
+		if err := need(1, 0); err != nil {
+			return err
+		}
+		in, err := scalar(ins[0], "input")
+		if err != nil {
+			return err
+		}
+		e.tally(fr, k, 1)
+		e.b.MinPulse(label, inst.High, inst.Low, in)
+	default:
+		return fmt.Errorf("expand: line %d: unhandled primitive kind %v", inst.Line, k)
+	}
+	return nil
+}
+
+func (e *expander) expandUse(inst *hdl.Instance, fr *frame, depth int) error {
+	m, ok := e.macros[inst.Macro]
+	if !ok {
+		return fmt.Errorf("expand: line %d: unknown macro %q", inst.Line, inst.Macro)
+	}
+	e.report.MacroUses++
+	e.report.UsesByMacro[m.Name]++
+
+	// Value parameters.
+	params := map[string]int{}
+	for _, pn := range m.Params {
+		exp, ok := inst.ParamVals[pn]
+		if !ok {
+			return fmt.Errorf("expand: line %d: macro %q needs parameter %s", inst.Line, m.Name, pn)
+		}
+		v, err := exp.Eval(fr.params)
+		if err != nil {
+			return fmt.Errorf("expand: line %d: parameter %s: %v", inst.Line, pn, err)
+		}
+		params[pn] = v
+	}
+	for pn := range inst.ParamVals {
+		known := false
+		for _, declared := range m.Params {
+			if declared == pn {
+				known = true
+			}
+		}
+		if !known {
+			return fmt.Errorf("expand: line %d: macro %q has no parameter %s", inst.Line, m.Name, pn)
+		}
+	}
+
+	// Port bindings (the Pass-1 synonym resolution).
+	sub := &frame{
+		path:     e.label(inst, fr) + "/",
+		macro:    m.Name,
+		params:   params,
+		bindings: map[string][]netlist.Conn{},
+		locals:   map[string]hdl.PortDecl{},
+	}
+	for _, pd := range m.Ports {
+		se, ok := inst.Conns[pd.Name]
+		if !ok {
+			return fmt.Errorf("expand: line %d: macro %q port %s not connected", inst.Line, m.Name, pd.Name)
+		}
+		conns, err := e.resolve(se, fr)
+		if err != nil {
+			return err
+		}
+		want := 1
+		if pd.HasRange {
+			lo, hi, err := e.evalRange(pd.Lo, pd.Hi, params)
+			if err != nil {
+				return fmt.Errorf("expand: line %d: port %s: %v", inst.Line, pd.Name, err)
+			}
+			want = hi - lo + 1
+		}
+		if len(conns) == 1 && want > 1 {
+			// Scalar broadcast across a vector port, as with primitive
+			// data ports.
+			bc := make([]netlist.Conn, want)
+			for i := range bc {
+				bc[i] = conns[0]
+			}
+			conns = bc
+		}
+		if len(conns) != want {
+			return fmt.Errorf("expand: line %d: macro %q port %s is %d bits, connection %q is %d",
+				inst.Line, m.Name, pd.Name, want, se.Name, len(conns))
+		}
+		sub.bindings[pd.Name] = conns
+		e.report.Synonyms += len(conns)
+	}
+	for port := range inst.Conns {
+		if _, ok := sub.bindings[port]; !ok {
+			return fmt.Errorf("expand: line %d: macro %q has no port %s", inst.Line, m.Name, port)
+		}
+	}
+	for _, ld := range m.Locals {
+		sub.locals[ld.Name] = ld
+	}
+
+	for _, child := range m.Body {
+		if err := e.instance(child, sub, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+// Package gen generates synthetic pipelined-processor designs of the
+// S-1 Mark IIA's character (§3.3), standing in for the proprietary
+// 6357-chip design database the paper evaluates on.  A design is a ring of
+// identical pipeline stages built from the Chapter-3 component library —
+// register files, ALUs with output latches, multiplexers, OR gates and
+// pipeline registers — with the Mark IIA design rules: 50 ns cycle,
+// 0.0/2.0 ns default interconnection delay, ±1 ns precision clock skew.
+//
+// Generated designs are timing-clean by construction; Config.Inject adds
+// deliberately slow paths so error reporting can be exercised at scale.
+package gen
+
+import (
+	"fmt"
+	"strings"
+
+	"scaldtv/internal/expand"
+	"scaldtv/internal/hdl"
+	"scaldtv/internal/lib"
+	"scaldtv/internal/netlist"
+)
+
+// Config parameterises the generated design.
+type Config struct {
+	// Chips is the target MSI chip count; it is rounded up to whole
+	// pipeline stages.  The paper's example has 6357 chips.
+	Chips int
+	// Inject adds this many deliberately failing paths (late data into a
+	// checked register), for exercising error reporting.
+	Inject int
+	// Cases appends case-analysis specifications over the stage control
+	// signal, exercising incremental reevaluation.
+	Cases int
+	// VariableCycle adds a variable-length-cycle tail: a two-multiplexer
+	// exclusive-path structure (Fig 2-6 at scale) whose timing only
+	// closes under case analysis — the design style for which "case
+	// analysis is essential" (§3.3.2).  With it set, the design fails
+	// without the MODE cases and passes with them.
+	VariableCycle bool
+}
+
+// chipsPerStage is the MSI chip census of one pipeline stage: 8 OR gates,
+// 4 byte multiplexers, 1 ALU, 1 write-enable gate, 1 register file,
+// 1 result multiplexer and 1 pipeline register.
+const chipsPerStage = 17
+
+// ChipsPerStage reports the chip count of one generated pipeline stage.
+func ChipsPerStage() int { return chipsPerStage }
+
+// Stages returns the stage count used for a chip target.
+func Stages(chips int) int {
+	s := (chips + chipsPerStage - 1) / chipsPerStage
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Source emits the design as HDL text, so generated designs exercise the
+// same reader → macro-expander → verifier pipeline the paper measures in
+// Table 3-1.
+func Source(cfg Config) string {
+	stages := Stages(cfg.Chips)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "design \"MARK IIA STYLE %d CHIP\"\n", stages*chipsPerStage)
+	sb.WriteString(`period 50ns
+clockunit 6.25ns
+defaultwire 0ns 2ns
+skew precision -1ns 1ns
+skew clock -5ns 5ns
+`)
+	sb.WriteString(lib.Prelude)
+	sb.WriteString(`
+; Global clocks and controls.  MCK is the pipeline clock (rising at the
+; cycle boundary); WCK strobes the register-file writes; ENCK opens the
+; ALU output latches.
+`)
+
+	for s := 0; s < stages; s++ {
+		prev := (s + stages - 1) % stages
+		q := func(stage int) string { return fmt.Sprintf("STG%d Q", stage) }
+		in := q(prev)
+		fmt.Fprintf(&sb, "\n; ---- pipeline stage %d ----\n", s)
+		// First-level OR gates over input bit pairs.
+		for i := 0; i < 4; i++ {
+			fmt.Fprintf(&sb, "use \"2 OR 10101\" \"S%d ORA%d\" (A=\"%s\"<%d>, B=\"%s\"<%d>, O=\"S%d A\"<%d>)\n",
+				s, i, in, 2*i, in, 2*i+1, s, i)
+		}
+		// Second-level OR gates.
+		for i := 0; i < 4; i++ {
+			fmt.Fprintf(&sb, "use \"2 OR 10101\" \"S%d ORB%d\" (A=\"S%d A\"<%d>, B=\"%s\"<%d>, O=\"S%d B\"<%d>)\n",
+				s, i, s, i, in, 8+i, s, i)
+		}
+		// Byte multiplexers assembling the ALU's B operand.
+		for i := 0; i < 4; i++ {
+			d1 := ((i + 2) % 4) * 8
+			fmt.Fprintf(&sb, "use \"2 MUX 10173\" \"S%d MX%d\" SIZE=8 (S=\"CTRL .S0-8\", D0=\"%s\"<%d:%d>, D1=\"%s\"<%d:%d>, O=\"S%d MX\"<%d:%d>)\n",
+				s, i, in, 8*i, 8*i+7, in, d1, d1+7, s, 8*i, 8*i+7)
+		}
+		// The ALU with its output latch.  The carry comes from the first
+		// OR level; the second level models off-path decode logic.
+		fmt.Fprintf(&sb, "use \"ALU 10181\" \"S%d ALU\" SIZE=32 (A=\"%s\"<0:31>, B=\"S%d MX\"<0:31>, C1=\"S%d A\"<0>, S=\"FN .S0-8\"<0:3>, E=\"ENCK .P4-5\", F=\"S%d F\"<0:31>)\n",
+			s, in, s, s, s)
+		// Register-file write path: gated write enable plus the 10145A.
+		fmt.Fprintf(&sb, "and \"S%d WE GATE\" delay=(1.0,2.9) (-\"WCK .P3-4 L\" &H, -\"WRITE .S0-6 L\") -> (\"S%d WE\")\n", s, s)
+		fmt.Fprintf(&sb, "use \"16W RAM 10145A\" \"S%d RAM\" SIZE=8 (I=\"%s\"<0:7>, A=\"%s\"<16:19>, WE=\"S%d WE\", CS=\"CTRL .S0-8\", DO=\"S%d DO\")\n",
+			s, in, in, s, s)
+		// Result selection and the pipeline register.
+		fmt.Fprintf(&sb, "use \"2 MUX 10173\" \"S%d RES MX\" SIZE=32 (S=\"CTRL2 .S0-8\", D0=\"S%d F\"<0:31>, D1=\"S%d DO\", O=\"S%d R\"<0:31>)\n",
+			s, s, s, s)
+		fmt.Fprintf(&sb, "use \"REG 10176\" \"S%d REG\" SIZE=32 (CK=\"MCK .P0-4\", I=\"S%d R\"<0:31>, Q=\"%s\"<0:31>)\n",
+			s, s, q(s))
+	}
+
+	// A not-yet-designed input, for the cross-reference listing of §2.5:
+	// undriven and unasserted, taken always stable.
+	sb.WriteString("\nuse \"2 OR 10101\" \"SPARE GATE\" (A=\"SPARE IN\", B=\"STG0 Q\"<5>, O=\"SPARE OUT\")\n")
+
+	// Injected failures: a long OR chain whose output misses the set-up
+	// of a checked register.
+	for i := 0; i < cfg.Inject; i++ {
+		fmt.Fprintf(&sb, "\n; ---- injected slow path %d ----\n", i)
+		for j := 0; j < 12; j++ {
+			a := fmt.Sprintf("\"SLOW%d N%d\"", i, j-1)
+			if j == 0 {
+				a = "\"STG0 Q\"<0>"
+			}
+			fmt.Fprintf(&sb, "use \"2 OR 10101\" \"SLOW%d OR%d\" (A=%s, B=\"STG0 Q\"<%d>, O=\"SLOW%d N%d\")\n",
+				i, j, a, (j+1)%32, i, j)
+		}
+		fmt.Fprintf(&sb, "use \"REG 10176\" \"SLOW%d REG\" SIZE=1 (CK=\"MCK .P0-4\", I=\"SLOW%d N11\", Q=\"SLOW%d Q\")\n",
+			i, i, i)
+	}
+
+	if cfg.VariableCycle {
+		// A short-cycle/long-cycle selector: MODE routes the stage-0
+		// result either directly or through a 12 ns decode chain, and a
+		// second multiplexer guarantees a 16 ns chain is taken at most
+		// once.  Without case analysis the apparent two-chain path misses
+		// the 2.5 ns register set-up at the cycle boundary.
+		sb.WriteString("\n; ---- variable-length-cycle tail (case analysis essential) ----\n")
+		sb.WriteString("buf \"VC DELAY A\" delay=(16,16) (\"STG0 Q\"<0>) -> (\"VC D1\")\n")
+		sb.WriteString("use \"2 MUX 10173\" \"VC MUX1\" SIZE=1 (S=\"MODE .S0-8\", D0=\"STG0 Q\"<0>, D1=\"VC D1\", O=\"VC M1\")\n")
+		sb.WriteString("buf \"VC DELAY B\" delay=(16,16) (\"VC M1\") -> (\"VC D2\")\n")
+		sb.WriteString("use \"2 MUX 10173\" \"VC MUX2\" SIZE=1 (S=\"MODE .S0-8\", D0=\"VC D2\", D1=\"VC M1\", O=\"VC R\")\n")
+		sb.WriteString("use \"REG 10176\" \"VC REG\" SIZE=1 (CK=\"MCK .P0-4\", I=\"VC R\", Q=\"VC Q\")\n")
+	}
+	for c := 0; c < cfg.Cases; c++ {
+		if cfg.VariableCycle {
+			fmt.Fprintf(&sb, "\ncase \"MODE\" = %d\n", c%2)
+		} else {
+			fmt.Fprintf(&sb, "\ncase \"CTRL\" = %d\n", c%2)
+		}
+	}
+	return sb.String()
+}
+
+// Generate parses and expands a generated design.
+func Generate(cfg Config) (*netlist.Design, *expand.Report, error) {
+	src := Source(cfg)
+	f, err := hdl.Parse(src)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gen: generated source does not parse: %v", err)
+	}
+	return expand.Expand(f)
+}

@@ -1,0 +1,39 @@
+package gen
+
+import (
+	"testing"
+	"time"
+
+	"scaldtv/internal/verify"
+)
+
+// TestScale6357 runs the paper's full-scale 6357-chip experiment once, as
+// a smoke test that the Table 3-1 workload completes and stays clean.  It
+// is skipped in -short mode.
+func TestScale6357(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale experiment skipped in -short mode")
+	}
+	t0 := time.Now()
+	d, rep, err := Generate(Config{Chips: 6357})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := time.Now()
+	res, err := verify.Run(d, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2 := time.Now()
+	t.Logf("chips=6357 stages=%d prims=%d nets=%d scalarbits=%d avgwidth=%.1f",
+		Stages(6357), rep.Primitives, len(d.Nets), rep.ScalarBits, rep.AvgWidth())
+	t.Logf("expand=%v verify=%v events=%d evals=%d violations=%d",
+		t1.Sub(t0), t2.Sub(t1), res.Stats.Events, res.Stats.PrimEvals, len(res.Violations))
+	if res.Errors() {
+		t.Errorf("full-scale design should be clean, got %d violations (first: %v)",
+			len(res.Violations), res.Violations[0])
+	}
+	if rep.Primitives < 8000 {
+		t.Errorf("primitive count %d below the paper's scale (~8282)", rep.Primitives)
+	}
+}

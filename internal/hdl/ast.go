@@ -1,0 +1,121 @@
+package hdl
+
+import (
+	"scaldtv/internal/tick"
+)
+
+// File is a parsed HDL source file.
+type File struct {
+	Design    string
+	Period    tick.Time
+	ClockUnit tick.Time
+	HasWire   bool
+	Wire      tick.Range
+	HasPSkew  bool
+	PSkew     tick.Range
+	HasCSkew  bool
+	CSkew     tick.Range
+	WiredOr   bool
+	Macros    []*Macro
+	Body      []*Instance // root-level instances
+	Signals   []SignalDecl
+	Wires     []WireDecl
+	Cases     []CaseDecl
+}
+
+// Macro is a named, parameterized definition expanded at each use
+// (§2.4, Fig 3-5).
+type Macro struct {
+	Name   string
+	Params []string   // value parameters (SIZE, ...)
+	Ports  []PortDecl // connectable signals (the /P markers)
+	Locals []PortDecl // macro-local signals (the /M markers)
+	Body   []*Instance
+	Line   int
+}
+
+// PortDecl declares a macro port or local with an optional vector range.
+type PortDecl struct {
+	Name     string
+	HasRange bool
+	Lo, Hi   Expr
+}
+
+// SignalDecl pre-declares a (vector) signal at the root level.
+type SignalDecl struct {
+	Name     string
+	HasRange bool
+	Lo, Hi   Expr
+}
+
+// WireDecl overrides the interconnection delay of a signal (§2.5.3).
+type WireDecl struct {
+	Name  string
+	Delay tick.Range
+}
+
+// CaseDecl is one case-analysis cycle: a list of signal = constant
+// assignments (§2.7.1).
+type CaseDecl struct {
+	Label   string
+	Assigns []CaseAssign
+}
+
+// CaseAssign maps a signal to 0 or 1 for a case.
+type CaseAssign struct {
+	Signal string
+	Value  int
+}
+
+// Instance is a primitive or macro instantiation.
+type Instance struct {
+	Kind  string // primitive keyword ("and", "reg", ...) or "use"
+	Macro string // macro name when Kind == "use"
+	Label string // optional instance label
+
+	// Properties.
+	HasDelay    bool
+	Delay       tick.Range
+	HasSelDelay bool
+	SelDelay    tick.Range
+	HasRF       bool
+	Rise, Fall  tick.Range // direction-dependent delays (§4.2.2)
+	Setup, Hold tick.Time
+	High, Low   tick.Time
+	ParamVals   map[string]Expr // value-parameter bindings for "use"
+
+	Ins   []*SigExpr          // positional inputs (primitives)
+	Outs  []*SigExpr          // positional outputs (primitives)
+	Conns map[string]*SigExpr // named port bindings for "use"
+
+	Line int
+}
+
+// SigExpr references a signal, optionally complemented, bit-sliced, and
+// carrying an evaluation-directive string.
+type SigExpr struct {
+	Invert   bool
+	Name     string // full signal name, possibly with embedded assertion
+	HasRange bool
+	Lo, Hi   Expr // bit range <lo:hi>; a single index parses as <i:i>
+	Dirs     string
+	Line     int
+}
+
+// Expr is a constant integer expression over macro value parameters
+// (needed for vector bounds like SIZE-1).
+type Expr interface {
+	Eval(env map[string]int) (int, error)
+}
+
+// NumExpr is an integer literal.
+type NumExpr int
+
+// VarExpr references a value parameter.
+type VarExpr string
+
+// BinExpr applies +, -, * or / to two sub-expressions.
+type BinExpr struct {
+	Op   byte
+	L, R Expr
+}

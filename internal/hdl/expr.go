@@ -1,0 +1,47 @@
+package hdl
+
+import "fmt"
+
+// Eval returns the literal's value.
+func (n NumExpr) Eval(map[string]int) (int, error) { return int(n), nil }
+
+// Eval looks the parameter up in the expansion environment.
+func (v VarExpr) Eval(env map[string]int) (int, error) {
+	if val, ok := env[string(v)]; ok {
+		return val, nil
+	}
+	return 0, fmt.Errorf("hdl: undefined parameter %q", string(v))
+}
+
+// Eval applies the operator.
+func (b BinExpr) Eval(env map[string]int) (int, error) {
+	l, err := b.L.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	r, err := b.R.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch b.Op {
+	case '+':
+		return l + r, nil
+	case '-':
+		return l - r, nil
+	case '*':
+		return l * r, nil
+	case '/':
+		if r == 0 {
+			return 0, fmt.Errorf("hdl: division by zero in parameter expression")
+		}
+		return l / r, nil
+	}
+	return 0, fmt.Errorf("hdl: unknown operator %q", b.Op)
+}
+
+// String renders expressions for diagnostics.
+func (n NumExpr) String() string { return fmt.Sprintf("%d", int(n)) }
+
+func (v VarExpr) String() string { return string(v) }
+
+func (b BinExpr) String() string { return fmt.Sprintf("(%v%c%v)", b.L, b.Op, b.R) }

@@ -1,0 +1,114 @@
+package hdl
+
+import (
+	"strings"
+	"testing"
+)
+
+const formatSample = `
+design "FMT SAMPLE"
+period 50ns
+clockunit 6.25ns
+defaultwire 0ns 2ns
+skew precision -1ns 1ns
+skew clock -5ns 5ns
+wiredor
+signal ADR<0:3>
+wire ADR 0ns 6ns
+
+macro "16W RAM" (SIZE) {
+    param I<0:SIZE-1>, A<0:3>, WE, DO
+    local WET
+    setuphold "I CHK" setup=4.5 hold=-1.0 (I<0:SIZE-1>, -WE)
+    minpulse high=4.0 (WE)
+    chg delay=(5.0, 9.0) (A<0:3>, WE) -> (DO)
+}
+
+mux2 "ADR MUX" delay=(1.2,3.3) seldelay=(0.3,1.2) ("CLK .P0-4" &Z, "READ ADR .S4-9"<0:3>, "W ADR .S0-6"<0:3>) -> (ADR<0:3>)
+and "WE GATE" delay=(1.0,2.9) (-"CK .P2-3 L" &H, -"WRITE .S0-6 L") -> (WE)
+use "16W RAM" RAM1 SIZE=32 (I="W DATA .S0-6"<0:31>, A=ADR<0:3>, WE=WE, DO=DO)
+buf B delayrf=(2,3,5,7) ("CK .P0-4") -> (RFOUT)
+case "CONTROL SIGNAL" = 0
+case "CONTROL SIGNAL" = 1, MODE = 0
+`
+
+func TestFormatIdempotent(t *testing.T) {
+	f1, err := Parse(formatSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1 := Format(f1)
+	f2, err := Parse(out1)
+	if err != nil {
+		t.Fatalf("formatted output does not parse: %v\n%s", err, out1)
+	}
+	out2 := Format(f2)
+	if out1 != out2 {
+		t.Errorf("formatting not idempotent:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+	}
+}
+
+func TestFormatPreservesStructure(t *testing.T) {
+	f1, err := Parse(formatSample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Parse(Format(f1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Design != f1.Design || f2.Period != f1.Period || f2.ClockUnit != f1.ClockUnit {
+		t.Error("header lost")
+	}
+	if !f2.WiredOr || !f2.HasPSkew || !f2.HasCSkew || !f2.HasWire {
+		t.Error("flags lost")
+	}
+	if len(f2.Macros) != len(f1.Macros) || len(f2.Body) != len(f1.Body) || len(f2.Cases) != len(f1.Cases) {
+		t.Errorf("counts changed: %d/%d macros, %d/%d body, %d/%d cases",
+			len(f2.Macros), len(f1.Macros), len(f2.Body), len(f1.Body), len(f2.Cases), len(f1.Cases))
+	}
+	m1, m2 := f1.Macros[0], f2.Macros[0]
+	if m2.Name != m1.Name || len(m2.Ports) != len(m1.Ports) || len(m2.Locals) != len(m1.Locals) {
+		t.Error("macro structure lost")
+	}
+	// The negative hold survives.
+	if f2.Macros[0].Body[0].Hold != f1.Macros[0].Body[0].Hold {
+		t.Error("negative hold lost")
+	}
+	// Directives and inversion survive.
+	mux := f2.Body[0]
+	if mux.Ins[0].Dirs != "Z" {
+		t.Errorf("directive lost: %+v", mux.Ins[0])
+	}
+	gate := f2.Body[1]
+	if !gate.Ins[0].Invert || gate.Ins[0].Dirs != "H" {
+		t.Errorf("complement rail lost: %+v", gate.Ins[0])
+	}
+	// RF delays survive.
+	rf := f2.Body[3]
+	if !rf.HasRF || rf.Rise != f1.Body[3].Rise || rf.Fall != f1.Body[3].Fall {
+		t.Errorf("delayrf lost: %+v", rf)
+	}
+}
+
+func TestFormatQuoting(t *testing.T) {
+	f, err := Parse(`
+period 50ns
+buf "use" delay=(1,1) ("AND GATE OUT") -> (PLAIN)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(f)
+	// Keyword-colliding labels and names with spaces stay quoted; plain
+	// identifiers do not grow quotes.
+	if !strings.Contains(out, `"use"`) || !strings.Contains(out, `"AND GATE OUT"`) {
+		t.Errorf("quoting wrong:\n%s", out)
+	}
+	if strings.Contains(out, `"PLAIN"`) {
+		t.Errorf("needless quoting:\n%s", out)
+	}
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("quoted output does not parse: %v", err)
+	}
+}

@@ -1,0 +1,739 @@
+package hdl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"scaldtv/internal/tick"
+)
+
+// PrimKinds lists the primitive instance keywords the language accepts.
+var PrimKinds = map[string]bool{
+	"and": true, "or": true, "nand": true, "nor": true, "xor": true,
+	"not": true, "buf": true, "chg": true,
+	"mux2": true, "mux4": true, "mux8": true,
+	"reg": true, "regrs": true, "latch": true, "latchrs": true,
+	"setuphold": true, "setupriseholdfall": true, "minpulse": true,
+}
+
+var propKeys = map[string]bool{
+	"delay": true, "seldelay": true, "delayrf": true,
+	"setup": true, "hold": true, "high": true, "low": true,
+}
+
+// Parser is a recursive-descent parser for the HDL.
+type Parser struct {
+	lex *Lexer
+	tok Token
+}
+
+// Parse parses a complete source file.
+func Parse(src string) (*File, error) {
+	p := &Parser{lex: NewLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	return p.parseFile()
+}
+
+func (p *Parser) next() error {
+	t, err := p.lex.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("hdl:%d:%d: %s", p.tok.Line, p.tok.Col, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) isPunct(s string) bool { return p.tok.Kind == TPunct && p.tok.Text == s }
+
+func (p *Parser) expectPunct(s string) error {
+	if !p.isPunct(s) {
+		return p.errf("expected %q, found %s", s, p.tok)
+	}
+	return p.next()
+}
+
+func (p *Parser) isKeyword(kw string) bool {
+	return p.tok.Kind == TIdent && strings.ToLower(p.tok.Text) == kw
+}
+
+// name accepts an identifier or quoted string as a name.
+func (p *Parser) name() (string, error) {
+	if p.tok.Kind != TIdent && p.tok.Kind != TString {
+		return "", p.errf("expected a name, found %s", p.tok)
+	}
+	s := p.tok.Text
+	return s, p.next()
+}
+
+// parseTime reads an optionally-negated time literal ("2.5", "50ns").
+func (p *Parser) parseTime() (tick.Time, error) {
+	neg := false
+	if p.isPunct("-") {
+		neg = true
+		if err := p.next(); err != nil {
+			return 0, err
+		}
+	}
+	if p.tok.Kind != TNumber {
+		return 0, p.errf("expected a time literal, found %s", p.tok)
+	}
+	t, err := tick.Parse(p.tok.Text)
+	if err != nil {
+		return 0, p.errf("%v", err)
+	}
+	if neg {
+		t = -t
+	}
+	return t, p.next()
+}
+
+func (p *Parser) parseRangePair() (tick.Range, error) {
+	lo, err := p.parseTime()
+	if err != nil {
+		return tick.Range{}, err
+	}
+	hi, err := p.parseTime()
+	if err != nil {
+		return tick.Range{}, err
+	}
+	r := tick.Range{Min: lo, Max: hi}
+	if !r.Valid() {
+		return r, p.errf("inverted range %s", r)
+	}
+	return r, nil
+}
+
+// parseDelayPair reads "( t , t )".
+func (p *Parser) parseDelayPair() (tick.Range, error) {
+	if err := p.expectPunct("("); err != nil {
+		return tick.Range{}, err
+	}
+	lo, err := p.parseTime()
+	if err != nil {
+		return tick.Range{}, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return tick.Range{}, err
+	}
+	hi, err := p.parseTime()
+	if err != nil {
+		return tick.Range{}, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return tick.Range{}, err
+	}
+	r := tick.Range{Min: lo, Max: hi}
+	if !r.Valid() {
+		return r, p.errf("inverted delay range %s", r)
+	}
+	return r, nil
+}
+
+// parseDelayQuad reads "( rmin , rmax , fmin , fmax )" for the
+// direction-dependent delays of §4.2.2.
+func (p *Parser) parseDelayQuad() (tick.Range, tick.Range, error) {
+	if err := p.expectPunct("("); err != nil {
+		return tick.Range{}, tick.Range{}, err
+	}
+	var ts [4]tick.Time
+	for i := 0; i < 4; i++ {
+		t, err := p.parseTime()
+		if err != nil {
+			return tick.Range{}, tick.Range{}, err
+		}
+		ts[i] = t
+		if i < 3 {
+			if err := p.expectPunct(","); err != nil {
+				return tick.Range{}, tick.Range{}, err
+			}
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return tick.Range{}, tick.Range{}, err
+	}
+	rise := tick.Range{Min: ts[0], Max: ts[1]}
+	fall := tick.Range{Min: ts[2], Max: ts[3]}
+	if !rise.Valid() || !fall.Valid() {
+		return rise, fall, p.errf("inverted rise/fall delay range")
+	}
+	return rise, fall, nil
+}
+
+func (p *Parser) parseFile() (*File, error) {
+	f := &File{}
+	for p.tok.Kind != TEOF {
+		if p.tok.Kind != TIdent {
+			return nil, p.errf("expected a statement, found %s", p.tok)
+		}
+		kw := strings.ToLower(p.tok.Text)
+		switch {
+		case kw == "design":
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			n, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			f.Design = n
+			if err := p.semicolon(); err != nil {
+				return nil, err
+			}
+		case kw == "period", kw == "clockunit":
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			t, err := p.parseTime()
+			if err != nil {
+				return nil, err
+			}
+			if kw == "period" {
+				f.Period = t
+			} else {
+				f.ClockUnit = t
+			}
+			if err := p.semicolon(); err != nil {
+				return nil, err
+			}
+		case kw == "defaultwire":
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			r, err := p.parseRangePair()
+			if err != nil {
+				return nil, err
+			}
+			f.HasWire, f.Wire = true, r
+			if err := p.semicolon(); err != nil {
+				return nil, err
+			}
+		case kw == "skew":
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			which := strings.ToLower(p.tok.Text)
+			if p.tok.Kind != TIdent || (which != "precision" && which != "clock") {
+				return nil, p.errf("skew must name precision or clock, found %s", p.tok)
+			}
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			r, err := p.parseRangePair()
+			if err != nil {
+				return nil, err
+			}
+			if which == "precision" {
+				f.HasPSkew, f.PSkew = true, r
+			} else {
+				f.HasCSkew, f.CSkew = true, r
+			}
+			if err := p.semicolon(); err != nil {
+				return nil, err
+			}
+		case kw == "wiredor":
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			f.WiredOr = true
+			if err := p.semicolon(); err != nil {
+				return nil, err
+			}
+		case kw == "macro":
+			m, err := p.parseMacro()
+			if err != nil {
+				return nil, err
+			}
+			f.Macros = append(f.Macros, m)
+		case kw == "signal":
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			n, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			sd := SignalDecl{Name: n}
+			if p.isPunct("<") {
+				lo, hi, err := p.parseBitRange()
+				if err != nil {
+					return nil, err
+				}
+				sd.HasRange, sd.Lo, sd.Hi = true, lo, hi
+			}
+			f.Signals = append(f.Signals, sd)
+			if err := p.semicolon(); err != nil {
+				return nil, err
+			}
+		case kw == "wire":
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			n, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			r, err := p.parseRangePair()
+			if err != nil {
+				return nil, err
+			}
+			f.Wires = append(f.Wires, WireDecl{Name: n, Delay: r})
+			if err := p.semicolon(); err != nil {
+				return nil, err
+			}
+		case kw == "case":
+			c, err := p.parseCase()
+			if err != nil {
+				return nil, err
+			}
+			f.Cases = append(f.Cases, c)
+		case kw == "use" || PrimKinds[kw]:
+			inst, err := p.parseInstance()
+			if err != nil {
+				return nil, err
+			}
+			f.Body = append(f.Body, inst)
+		default:
+			return nil, p.errf("unknown statement %q", p.tok.Text)
+		}
+	}
+	return f, nil
+}
+
+func (p *Parser) semicolon() error {
+	// Statements are newline-agnostic; the single terminator is ','.
+	// (The lexer strips ';' comments, so ',' doubles as the statement
+	// separator in this grammar.)
+	if p.isPunct(",") {
+		return p.next()
+	}
+	return nil
+}
+
+func (p *Parser) parseBitRange() (Expr, Expr, error) {
+	if err := p.expectPunct("<"); err != nil {
+		return nil, nil, err
+	}
+	lo, err := p.parseExpr()
+	if err != nil {
+		return nil, nil, err
+	}
+	hi := lo
+	if p.isPunct(":") {
+		if err := p.next(); err != nil {
+			return nil, nil, err
+		}
+		hi, err = p.parseExpr()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := p.expectPunct(">"); err != nil {
+		return nil, nil, err
+	}
+	return lo, hi, nil
+}
+
+func (p *Parser) parseMacro() (*Macro, error) {
+	m := &Macro{Line: p.tok.Line}
+	if err := p.next(); err != nil { // consume "macro"
+		return nil, err
+	}
+	n, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	m.Name = n
+	if p.isPunct("(") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		for !p.isPunct(")") {
+			if p.tok.Kind != TIdent {
+				return nil, p.errf("expected a parameter name, found %s", p.tok)
+			}
+			m.Params = append(m.Params, p.tok.Text)
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			if p.isPunct(",") {
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.next(); err != nil { // consume ")"
+			return nil, err
+		}
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !p.isPunct("}") {
+		if p.tok.Kind != TIdent {
+			return nil, p.errf("expected a macro body statement, found %s", p.tok)
+		}
+		kw := strings.ToLower(p.tok.Text)
+		switch {
+		case kw == "param" || kw == "local":
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			for {
+				pn, err := p.name()
+				if err != nil {
+					return nil, err
+				}
+				pd := PortDecl{Name: pn}
+				if p.isPunct("<") {
+					lo, hi, err := p.parseBitRange()
+					if err != nil {
+						return nil, err
+					}
+					pd.HasRange, pd.Lo, pd.Hi = true, lo, hi
+				}
+				if kw == "param" {
+					m.Ports = append(m.Ports, pd)
+				} else {
+					m.Locals = append(m.Locals, pd)
+				}
+				if !p.isPunct(",") {
+					break
+				}
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+			}
+		case kw == "use" || PrimKinds[kw]:
+			inst, err := p.parseInstance()
+			if err != nil {
+				return nil, err
+			}
+			m.Body = append(m.Body, inst)
+		default:
+			return nil, p.errf("unknown macro body statement %q", p.tok.Text)
+		}
+	}
+	return m, p.next() // consume "}"
+}
+
+func (p *Parser) parseCase() (CaseDecl, error) {
+	var c CaseDecl
+	if err := p.next(); err != nil { // consume "case"
+		return c, err
+	}
+	var labels []string
+	for {
+		sig, err := p.name()
+		if err != nil {
+			return c, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return c, err
+		}
+		if p.tok.Kind != TNumber || (p.tok.Text != "0" && p.tok.Text != "1") {
+			return c, p.errf("case value must be 0 or 1, found %s", p.tok)
+		}
+		v, _ := strconv.Atoi(p.tok.Text)
+		if err := p.next(); err != nil {
+			return c, err
+		}
+		c.Assigns = append(c.Assigns, CaseAssign{Signal: sig, Value: v})
+		labels = append(labels, fmt.Sprintf("%s = %d", sig, v))
+		if !p.isPunct(",") {
+			break
+		}
+		if err := p.next(); err != nil {
+			return c, err
+		}
+	}
+	c.Label = strings.Join(labels, ", ")
+	return c, nil
+}
+
+func (p *Parser) parseInstance() (*Instance, error) {
+	inst := &Instance{Kind: strings.ToLower(p.tok.Text), Line: p.tok.Line}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if inst.Kind == "use" {
+		mn, err := p.name()
+		if err != nil {
+			return nil, err
+		}
+		inst.Macro = mn
+	}
+	// Optional instance label: a name not followed by '=' that is not a
+	// property key and not the opening parenthesis.
+	if (p.tok.Kind == TString) || (p.tok.Kind == TIdent && !propKeys[strings.ToLower(p.tok.Text)]) {
+		label := p.tok.Text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.isPunct("=") {
+			// It was a value-parameter binding after all (use FOO SIZE=32).
+			if inst.Kind != "use" {
+				return nil, p.errf("unknown property %q", label)
+			}
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if inst.ParamVals == nil {
+				inst.ParamVals = map[string]Expr{}
+			}
+			inst.ParamVals[label] = e
+		} else {
+			inst.Label = label
+		}
+	}
+	// Properties and value parameters.
+	for p.tok.Kind == TIdent {
+		key := strings.ToLower(p.tok.Text)
+		rawKey := p.tok.Text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		switch key {
+		case "delay":
+			r, err := p.parseDelayPair()
+			if err != nil {
+				return nil, err
+			}
+			inst.HasDelay, inst.Delay = true, r
+		case "seldelay":
+			r, err := p.parseDelayPair()
+			if err != nil {
+				return nil, err
+			}
+			inst.HasSelDelay, inst.SelDelay = true, r
+		case "delayrf":
+			rise, fall, err := p.parseDelayQuad()
+			if err != nil {
+				return nil, err
+			}
+			inst.HasRF, inst.Rise, inst.Fall = true, rise, fall
+		case "setup", "hold", "high", "low":
+			t, err := p.parseTime()
+			if err != nil {
+				return nil, err
+			}
+			switch key {
+			case "setup":
+				inst.Setup = t
+			case "hold":
+				inst.Hold = t
+			case "high":
+				inst.High = t
+			case "low":
+				inst.Low = t
+			}
+		default:
+			if inst.Kind != "use" {
+				return nil, p.errf("unknown property %q", rawKey)
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if inst.ParamVals == nil {
+				inst.ParamVals = map[string]Expr{}
+			}
+			inst.ParamVals[rawKey] = e
+		}
+	}
+	// Connections.
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if inst.Kind == "use" {
+		inst.Conns = map[string]*SigExpr{}
+		for !p.isPunct(")") {
+			if p.tok.Kind != TIdent {
+				return nil, p.errf("expected a port name, found %s", p.tok)
+			}
+			port := p.tok.Text
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			se, err := p.parseSigExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := inst.Conns[port]; dup {
+				return nil, p.errf("port %q connected twice", port)
+			}
+			inst.Conns[port] = se
+			if p.isPunct(",") {
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.next(); err != nil { // ")"
+			return nil, err
+		}
+	} else {
+		for !p.isPunct(")") {
+			se, err := p.parseSigExpr()
+			if err != nil {
+				return nil, err
+			}
+			inst.Ins = append(inst.Ins, se)
+			if p.isPunct(",") {
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.next(); err != nil { // ")"
+			return nil, err
+		}
+		if p.isPunct("->") {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			for !p.isPunct(")") {
+				se, err := p.parseSigExpr()
+				if err != nil {
+					return nil, err
+				}
+				inst.Outs = append(inst.Outs, se)
+				if p.isPunct(",") {
+					if err := p.next(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return inst, p.semicolon()
+}
+
+func (p *Parser) parseSigExpr() (*SigExpr, error) {
+	se := &SigExpr{Line: p.tok.Line}
+	if p.isPunct("-") {
+		se.Invert = true
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	n, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	se.Name = n
+	if p.isPunct("<") {
+		lo, hi, err := p.parseBitRange()
+		if err != nil {
+			return nil, err
+		}
+		se.HasRange, se.Lo, se.Hi = true, lo, hi
+	}
+	if p.isPunct("&") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind != TIdent {
+			return nil, p.errf("expected directive letters after &, found %s", p.tok)
+		}
+		se.Dirs = p.tok.Text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	return se, nil
+}
+
+// parseExpr parses constant integer expressions over value parameters.
+func (p *Parser) parseExpr() (Expr, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("+") || p.isPunct("-") {
+		op := p.tok.Text[0]
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseTerm() (Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("*") || p.isPunct("/") {
+		op := p.tok.Text[0]
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseFactor() (Expr, error) {
+	switch {
+	case p.tok.Kind == TNumber:
+		v, err := strconv.Atoi(p.tok.Text)
+		if err != nil {
+			return nil, p.errf("vector bounds must be integers, found %q", p.tok.Text)
+		}
+		return NumExpr(v), p.next()
+	case p.tok.Kind == TIdent:
+		e := VarExpr(p.tok.Text)
+		return e, p.next()
+	case p.isPunct("("):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expectPunct(")")
+	case p.isPunct("-"):
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return BinExpr{Op: '-', L: NumExpr(0), R: e}, nil
+	}
+	return nil, p.errf("expected an expression, found %s", p.tok)
+}

@@ -1,0 +1,210 @@
+// Package hdl implements a textual equivalent of the SCALD Hardware
+// Description Language (McWilliams 1980, §2.4, §3.1).  The original
+// language is graphical — schematics drawn in SUDS — so this package
+// defines a text grammar carrying the same information: hierarchical
+// macros with value parameters, vectored ports with computed bit ranges,
+// signal names with embedded timing assertions ("W DATA .S0-6"),
+// complement rails ("-WE"), evaluation directives ("&H"), and the
+// case-analysis specifications of §2.7.1.
+//
+// Grammar sketch (';' introduces a comment to end of line):
+//
+//	design EXAMPLE;
+//	period 50ns;  clockunit 6.25ns;
+//	defaultwire 0ns 2ns;
+//	skew precision -1ns 1ns;
+//	skew clock -5ns 5ns;
+//
+//	macro "16W RAM 10145A" (SIZE) {
+//	    param I<0:SIZE-1>, A<0:3>, WE, DO<0:SIZE-1>;
+//	    chg delay=(5.0, 9.0) (A<0:3>, WE) -> (DO<0:SIZE-1>);
+//	    setuphold setup=4.5 hold=-1.0 (I<0:SIZE-1>, -WE);
+//	    setupriseholdfall setup=3.5 hold=1.0 (A<0:3>, WE);
+//	    minpulse high=4.0 (WE);
+//	}
+//
+//	and "WE GATE" delay=(1.0, 2.9) (-"CK .P2-3 L" &H, -"WRITE .S0-6 L") -> (WE);
+//	use "16W RAM 10145A" RAM1 SIZE=32 (I="W DATA .S0-6"<0:31>, A=ADR<0:3>, WE=WE, DO=DO<0:31>);
+//	wire ADR 0ns 6ns;
+//	case "CONTROL SIGNAL" = 0;
+//	case "CONTROL SIGNAL" = 1;
+package hdl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind classifies a lexical token.
+type TokKind int
+
+// Token kinds.
+const (
+	TEOF    TokKind = iota
+	TIdent          // bare identifier or keyword
+	TString         // quoted signal or macro name
+	TNumber         // numeric literal, possibly with a unit suffix (50ns, 6.25)
+	TPunct          // single punctuation rune, or the two-rune arrow "->"
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TEOF:
+		return "end of input"
+	case TString:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// Lexer tokenizes HDL source.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (l *Lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == ';':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentBody(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '.'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.  Lexical errors are returned as an error.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	tok := Token{Line: l.line, Col: l.col}
+	if l.pos >= len(l.src) {
+		tok.Kind = TEOF
+		return tok, nil
+	}
+	c := l.peekByte()
+	switch {
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return tok, fmt.Errorf("hdl:%d:%d: unterminated string", tok.Line, tok.Col)
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\n' {
+				return tok, fmt.Errorf("hdl:%d:%d: newline in string", tok.Line, tok.Col)
+			}
+			sb.WriteByte(ch)
+		}
+		tok.Kind = TString
+		tok.Text = sb.String()
+		return tok, nil
+	case isIdentStart(c):
+		var sb strings.Builder
+		for l.pos < len(l.src) && isIdentBody(l.peekByte()) {
+			sb.WriteByte(l.advance())
+		}
+		tok.Kind = TIdent
+		tok.Text = sb.String()
+		return tok, nil
+	case isDigit(c):
+		var sb strings.Builder
+		for l.pos < len(l.src) && (isDigit(l.peekByte()) || l.peekByte() == '.') {
+			sb.WriteByte(l.advance())
+		}
+		// Optional unit suffix glued to the number (50ns, 3us).
+		for l.pos < len(l.src) && isIdentStart(l.peekByte()) {
+			sb.WriteByte(l.advance())
+		}
+		tok.Kind = TNumber
+		tok.Text = sb.String()
+		return tok, nil
+	case c == '-':
+		l.advance()
+		if l.peekByte() == '>' {
+			l.advance()
+			tok.Kind = TPunct
+			tok.Text = "->"
+			return tok, nil
+		}
+		tok.Kind = TPunct
+		tok.Text = "-"
+		return tok, nil
+	case strings.IndexByte("(){}<>,=:&/*+", c) >= 0:
+		l.advance()
+		tok.Kind = TPunct
+		tok.Text = string(c)
+		return tok, nil
+	}
+	return tok, fmt.Errorf("hdl:%d:%d: unexpected character %q", tok.Line, tok.Col, c)
+}
+
+// LexAll tokenizes the entire input (for tests and error recovery).
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+		if t.Kind == TEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package lib provides the Chapter-3 component library as HDL source: the
+// timing models the paper defines for the Fairchild 10145A register file
+// (Fig 3-5), the 2-input multiplexer (Fig 3-6), the edge-triggered
+// register (Fig 3-7), the 2-input OR gate (Fig 3-8), and the
+// arithmetic/logic unit with output latch (Fig 3-9), plus the CORR
+// fictitious-delay macro of §4.2.3.
+//
+// Designs prepend Prelude to their source and instantiate the macros with
+// "use".
+package lib
+
+import (
+	"fmt"
+
+	"scaldtv/internal/hdl"
+)
+
+// Prelude is the component library in HDL source form.
+const Prelude = `
+; ---------------------------------------------------------------------------
+; SCALD Timing Verifier component library (McWilliams 1980, Chapter 3).
+; Delay, set-up, hold and pulse-width figures follow the data-sheet values
+; reproduced in the paper's figures.
+; ---------------------------------------------------------------------------
+
+; Fig 3-5: 16-word random access memory, Fairchild 10145A.  The write-data
+; inputs must be stable 4.5 ns before the falling edge of the write-enable
+; pulse (hold -1.0 ns); the address lines must be stable 3.5 ns before the
+; rising edge, throughout the pulse, and 1.0 ns beyond its falling edge; the
+; write-enable pulse must be at least 4.0 ns wide.  The read path is
+; modelled with CHG gates: only *when* the outputs change matters (§2.4.2).
+macro "16W RAM 10145A" (SIZE) {
+    param I<0:SIZE-1>, A<0:3>, WE, CS, DO
+    setuphold "I CHK" setup=4.5 hold=-1.0 (I<0:SIZE-1>, -WE)
+    setupriseholdfall "A CHK" setup=3.5 hold=1.0 (A<0:3>, WE)
+    minpulse "WE WIDTH" high=4.0 (WE)
+    chg "READ" delay=(5.0, 9.0) (A<0:3>, WE, CS) -> (DO)
+}
+
+; Fig 3-6: 2-input multiplexer, 1.2/3.3 ns data delay with an additional
+; 0.3/1.2 ns from the select input.
+macro "2 MUX 10173" (SIZE) {
+    param S, D0<0:SIZE-1>, D1<0:SIZE-1>, O<0:SIZE-1>
+    mux2 "MUX" delay=(1.2, 3.3) seldelay=(0.3, 1.2) (S, D0<0:SIZE-1>, D1<0:SIZE-1>) -> (O<0:SIZE-1>)
+}
+
+; Fig 3-7: edge-triggered register, 1.5/4.5 ns delay, 2.5 ns set-up and
+; 1.5 ns hold on the data inputs.
+macro "REG 10176" (SIZE) {
+    param CK, I<0:SIZE-1>, Q<0:SIZE-1>
+    reg "REG" delay=(1.5, 4.5) (CK, I<0:SIZE-1>) -> (Q<0:SIZE-1>)
+    setuphold "I CHK" setup=2.5 hold=1.5 (I<0:SIZE-1>, CK)
+}
+
+; Fig 3-8: 2-input OR gate, 1.0/2.9 ns.
+macro "2 OR 10101" {
+    param A, B, O
+    or "OR" delay=(1.0, 2.9) (A, B) -> (O)
+}
+
+; Fig 3-9: arithmetic/logic unit with output latch.  The propagation delay
+; from the data and function-select inputs is modelled by a CHG gate; the
+; output latch is transparent while E is high and checks set-up/hold around
+; its closing (falling) edge.
+macro "ALU 10181" (SIZE) {
+    param A<0:SIZE-1>, B<0:SIZE-1>, C1, S<0:3>, E, F<0:SIZE-1>
+    local R
+    chg "FUNC" delay=(2.0, 6.5) (A<0:SIZE-1>, B<0:SIZE-1>, C1, S<0>, S<1>, S<2>, S<3>) -> (R)
+    latch "OUT LATCH" delay=(1.0, 3.5) (E, R) -> (F<0:SIZE-1>)
+    setuphold "LATCH CHK" setup=2.5 hold=1.5 (R, -E)
+    minpulse "E WIDTH" high=4.0 (E)
+}
+
+; §4.2.3: the CORR fictitious delay inserted in register feedback paths to
+; suppress correlation false errors.  DELAY nanoseconds, exactly.
+macro "CORR 5NS" {
+    param I, O
+    buf "CORR" delay=(5.0, 5.0) (I) -> (O)
+}
+`
+
+// Macros parses the library and returns its macro definitions, for
+// embedding in generated designs.
+func Macros() ([]*hdl.Macro, error) {
+	f, err := hdl.Parse("period 50ns\n" + Prelude)
+	if err != nil {
+		return nil, fmt.Errorf("lib: library source does not parse: %v", err)
+	}
+	return f.Macros, nil
+}
+
+// Names lists the component names the library defines.
+func Names() []string {
+	return []string{
+		"16W RAM 10145A",
+		"2 MUX 10173",
+		"REG 10176",
+		"2 OR 10101",
+		"ALU 10181",
+		"CORR 5NS",
+	}
+}

@@ -1,0 +1,188 @@
+package lib
+
+import (
+	"strings"
+	"testing"
+
+	"scaldtv/internal/expand"
+	"scaldtv/internal/hdl"
+	"scaldtv/internal/netlist"
+	"scaldtv/internal/verify"
+)
+
+func TestLibraryParses(t *testing.T) {
+	ms, err := Macros()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(Names()) {
+		t.Fatalf("library defines %d macros, Names lists %d", len(ms), len(Names()))
+	}
+	byName := map[string]bool{}
+	for _, m := range ms {
+		byName[m.Name] = true
+	}
+	for _, n := range Names() {
+		if !byName[n] {
+			t.Errorf("macro %q missing from library", n)
+		}
+	}
+}
+
+func expandAndVerify(t *testing.T, body string) *verify.Result {
+	t.Helper()
+	src := `
+design LIBTEST
+period 50ns
+clockunit 6.25ns
+defaultwire 0ns 2ns
+skew precision -1ns 1ns
+` + Prelude + body
+	f, err := hdl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := expand.Expand(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := verify.Run(d, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRegisterMacroClean(t *testing.T) {
+	// Data stable 37.5→25 (wrapping) against the clock rising at ~50:
+	// comfortable set-up and hold.
+	res := expandAndVerify(t, `
+use "REG 10176" R1 SIZE=8 (CK="CK .P0-4", I="DATA .S6-12"<0:7>, Q=QOUT<0:7>)
+`)
+	if res.Errors() {
+		t.Errorf("register macro flagged a clean circuit: %v", res.Violations)
+	}
+}
+
+func TestRegisterMacroCatchesLateData(t *testing.T) {
+	res := expandAndVerify(t, `
+use "REG 10176" R1 SIZE=8 (CK="CK .P0-4", I="DATA .S7.8-8"<0:7>, Q=QOUT<0:7>)
+`)
+	found := false
+	for _, v := range res.Violations {
+		if v.Kind == verify.SetupViolation && strings.Contains(v.Prim, "R1/I CHK") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("late data not caught: %v", res.Violations)
+	}
+}
+
+func TestRAMMacro(t *testing.T) {
+	// A well-timed write: WE pulse from the low-asserted strobe 12.5–18.75
+	// (≈6.25 ns wide), addresses and data stable early.
+	res := expandAndVerify(t, `
+and "WE GATE" delay=(1.0,2.9) (-"CK .P2-3 L" &H, -"WRITE .S0-6 L") -> (WE)
+use "16W RAM 10145A" RAM1 SIZE=8 (I="W DATA .S0-5"<0:7>, A="ADR .S0-5"<0:3>, WE=WE, CS="CS SEL .S0-8", DO=DO)
+`)
+	if res.Errors() {
+		t.Errorf("RAM macro flagged a clean write: %v", res.Violations)
+	}
+}
+
+func TestRAMMacroCatchesNarrowPulse(t *testing.T) {
+	// A 2-unit-wide strobe shrunk to 3 ns by an explicit width clock:
+	// narrower than the 4.0 ns minimum write pulse.
+	res := expandAndVerify(t, `
+and "WE GATE" delay=(1.0,2.9) (-"CK .P(0,0)2+3.0 L" &H, -"WRITE .S0-6 L") -> (WE)
+use "16W RAM 10145A" RAM1 SIZE=8 (I="W DATA .S0-5"<0:7>, A="ADR .S0-5"<0:3>, WE=WE, CS="CS SEL .S0-8", DO=DO)
+`)
+	found := false
+	for _, v := range res.Violations {
+		if v.Kind == verify.MinPulseHighViolation {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("narrow write pulse not caught: %v", res.Violations)
+	}
+}
+
+func TestALUMacro(t *testing.T) {
+	// Operands stable from 12.5; latch open 25–31.25; the CHG settles by
+	// 12.5+2(wire)+6.5 = 21 — well before the latch closes.
+	res := expandAndVerify(t, `
+use "ALU 10181" ALU1 SIZE=8 (A="A OP .S2-9"<0:7>, B="B OP .S2-9"<0:7>, C1="CARRY .S2-9", S="FN .S2-9"<0:3>, E="LATCH EN .P4-5", F=F<0:7>)
+`)
+	if res.Errors() {
+		t.Errorf("ALU macro flagged a clean circuit: %v", res.Violations)
+	}
+}
+
+func TestALUMacroCatchesLateOperand(t *testing.T) {
+	// Operands settle only at 31.25: after the latch has closed.
+	res := expandAndVerify(t, `
+use "ALU 10181" ALU1 SIZE=8 (A="A OP .S5-9"<0:7>, B="B OP .S5-9"<0:7>, C1="CARRY .S2-9", S="FN .S2-9"<0:3>, E="LATCH EN .P4-5", F=F<0:7>)
+`)
+	found := false
+	for _, v := range res.Violations {
+		if v.Kind == verify.SetupViolation && strings.Contains(v.Prim, "ALU1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("late operand not caught: %v", res.Violations)
+	}
+}
+
+func TestMuxAndOrMacros(t *testing.T) {
+	res := expandAndVerify(t, `
+use "2 MUX 10173" M1 SIZE=8 (S="SEL .S0-8", D0="A BUS .S0-6"<0:7>, D1="B BUS .S0-6"<0:7>, O=OBUS<0:7>)
+use "2 OR 10101" G1 (A=OBUS<3>, B="C IN .S0-6", O=ORED)
+`)
+	if res.Errors() {
+		t.Errorf("mux/or macros flagged a clean circuit: %v", res.Violations)
+	}
+}
+
+func TestCorrMacro(t *testing.T) {
+	ms, _ := Macros()
+	var corr *hdl.Macro
+	for _, m := range ms {
+		if m.Name == "CORR 5NS" {
+			corr = m
+		}
+	}
+	if corr == nil {
+		t.Fatal("CORR macro missing")
+	}
+	if len(corr.Body) != 1 || corr.Body[0].Kind != "buf" {
+		t.Errorf("CORR body wrong: %+v", corr.Body)
+	}
+}
+
+func TestLibraryPrimCensus(t *testing.T) {
+	src := `
+design CENSUS
+period 50ns
+clockunit 6.25ns
+` + Prelude + `
+use "REG 10176" R1 SIZE=8 (CK="CK .P0-4", I="DATA .S6-12"<0:7>, Q=QOUT<0:7>)
+use "ALU 10181" A1 SIZE=8 (A=QOUT<0:7>, B="B OP .S2-9"<0:7>, C1="CARRY .S2-9", S="FN .S2-9"<0:3>, E="LATCH EN .P4-5", F=F<0:7>)
+`
+	f, err := hdl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := expand.Expand(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Census[netlist.KReg] != 1 || rep.Census[netlist.KLatch] != 1 || rep.Census[netlist.KChg] != 1 {
+		t.Errorf("census wrong: %+v", rep.Census)
+	}
+	if rep.Census[netlist.KSetupHold] != 2 {
+		t.Errorf("checker census wrong: %+v", rep.Census)
+	}
+}

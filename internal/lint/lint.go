@@ -1,0 +1,269 @@
+// Package lint performs structural design-rule checks complementary to
+// timing verification — the review a methodology-enforcing SCALD shop
+// would run on every design drop.  The rules encode the paper's design
+// discipline for synchronous sequential systems:
+//
+//   - every feedback path must contain a clocked storage element (§1.2.2:
+//     state "is never stored by just creating feedback paths within the
+//     logic") — combinational loops are errors;
+//   - storage elements need their set-up/hold constraints checked, as
+//     every Chapter-3 component model pairs a register with its checker;
+//   - gated clocks (storage clocked from combinational logic) need a
+//     minimum-pulse-width check, the Fig 1-5 hazard class;
+//   - storage clock/enable pins must trace back to an asserted clock;
+//   - driven signals that nothing reads deserve a look.
+package lint
+
+import (
+	"fmt"
+	"sort"
+
+	"scaldtv/internal/assertion"
+	"scaldtv/internal/netlist"
+)
+
+// Severity ranks a finding.
+type Severity int
+
+// Severities.
+const (
+	Warning Severity = iota
+	Error
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Finding is one design-rule hit.
+type Finding struct {
+	Rule     string
+	Severity Severity
+	Subject  string // instance or signal name
+	Detail   string
+}
+
+// String renders the finding.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s [%s] %s: %s", f.Severity, f.Rule, f.Subject, f.Detail)
+}
+
+// Check runs every rule and returns the findings, errors first.
+func Check(d *netlist.Design) []Finding {
+	var out []Finding
+	out = append(out, combLoops(d)...)
+	out = append(out, uncheckedStorage(d)...)
+	out = append(out, gatedClockWidth(d)...)
+	out = append(out, unassertedClocks(d)...)
+	out = append(out, danglingOutputs(d)...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Severity > out[j].Severity })
+	return out
+}
+
+// combLoops flags feedback paths with no storage element in them.
+func combLoops(d *netlist.Design) []Finding {
+	n := len(d.Nets)
+	adj := make([][]int32, n)
+	for pi := range d.Prims {
+		p := &d.Prims[pi]
+		if p.Kind.IsStorage() || p.Kind.IsChecker() {
+			continue
+		}
+		seen := map[int32]bool{}
+		for _, port := range p.In {
+			for _, c := range port.Bits {
+				if seen[int32(c.Net)] {
+					continue
+				}
+				seen[int32(c.Net)] = true
+				for _, op := range p.Out {
+					for _, o := range op.Bits {
+						adj[c.Net] = append(adj[c.Net], int32(o))
+					}
+				}
+			}
+		}
+	}
+	indeg := make([]int, n)
+	for _, es := range adj {
+		for _, e := range es {
+			indeg[e]++
+		}
+	}
+	queue := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, int32(i))
+		}
+	}
+	removed := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		removed++
+		for _, e := range adj[u] {
+			indeg[e]--
+			if indeg[e] == 0 {
+				queue = append(queue, e)
+			}
+		}
+	}
+	var out []Finding
+	if removed < n {
+		var names []string
+		for i := 0; i < n; i++ {
+			if indeg[i] > 0 {
+				names = append(names, d.Nets[i].Name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			out = append(out, Finding{
+				Rule: "comb-loop", Severity: Error, Subject: name,
+				Detail: "combinational feedback with no storage element in the loop (§1.2.2)",
+			})
+		}
+	}
+	return out
+}
+
+// uncheckedStorage flags storage elements whose data nets feed no
+// set-up/hold checker clocked compatibly.
+func uncheckedStorage(d *netlist.Design) []Finding {
+	// Nets observed by any checker's data port.
+	checked := map[netlist.NetID]bool{}
+	for pi := range d.Prims {
+		p := &d.Prims[pi]
+		if p.Kind == netlist.KSetupHold || p.Kind == netlist.KSetupRiseHoldFall {
+			for _, c := range p.In[0].Bits {
+				checked[c.Net] = true
+			}
+		}
+	}
+	var out []Finding
+	for pi := range d.Prims {
+		p := &d.Prims[pi]
+		if !p.Kind.IsStorage() {
+			continue
+		}
+		covered := false
+		for _, c := range p.In[1].Bits {
+			if checked[c.Net] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			out = append(out, Finding{
+				Rule: "unchecked-storage", Severity: Warning, Subject: p.Name,
+				Detail: "no SETUP HOLD CHK observes this element's data input (cf. Fig 3-7)",
+			})
+		}
+	}
+	return out
+}
+
+// gatedClockWidth flags storage clocked from combinational logic without a
+// minimum-pulse-width check on the gated clock net.
+func gatedClockWidth(d *netlist.Design) []Finding {
+	widthChecked := map[netlist.NetID]bool{}
+	for pi := range d.Prims {
+		p := &d.Prims[pi]
+		if p.Kind == netlist.KMinPulse {
+			widthChecked[p.In[0].Bits[0].Net] = true
+		}
+	}
+	var out []Finding
+	for pi := range d.Prims {
+		p := &d.Prims[pi]
+		if !p.Kind.IsStorage() {
+			continue
+		}
+		ckNet := p.In[0].Bits[0].Net
+		drv := d.Nets[ckNet].Driver
+		if drv == netlist.NoDriver {
+			continue
+		}
+		dk := d.Prims[drv].Kind
+		if dk.IsGate() && dk != netlist.KBuf && dk != netlist.KNot && !widthChecked[ckNet] {
+			out = append(out, Finding{
+				Rule: "gated-clock-width", Severity: Warning, Subject: p.Name,
+				Detail: fmt.Sprintf("clock %q is gated by %q with no MIN PULSE WIDTH check (Fig 1-5 hazard class)",
+					d.Nets[ckNet].Name, d.Prims[drv].Name),
+			})
+		}
+	}
+	return out
+}
+
+// unassertedClocks flags storage clock pins that trace back to signals
+// with no clock assertion.
+func unassertedClocks(d *netlist.Design) []Finding {
+	memo := map[netlist.NetID]int{} // 0 unknown, 1 asserted, 2 not
+	var trace func(n netlist.NetID, depth int) bool
+	trace = func(n netlist.NetID, depth int) bool {
+		if depth > 200 {
+			return false
+		}
+		if v, ok := memo[n]; ok {
+			return v == 1
+		}
+		memo[n] = 2
+		net := &d.Nets[n]
+		ok := false
+		if net.Assert != nil &&
+			(net.Assert.Kind == assertion.Clock || net.Assert.Kind == assertion.PrecisionClock) {
+			ok = true
+		} else if net.Driver != netlist.NoDriver {
+			p := &d.Prims[net.Driver]
+			if !p.Kind.IsStorage() && !p.Kind.IsChecker() {
+				for _, port := range p.In {
+					for _, c := range port.Bits {
+						if trace(c.Net, depth+1) {
+							ok = true
+						}
+					}
+				}
+			}
+		}
+		if ok {
+			memo[n] = 1
+		}
+		return ok
+	}
+	var out []Finding
+	for pi := range d.Prims {
+		p := &d.Prims[pi]
+		if !p.Kind.IsStorage() {
+			continue
+		}
+		ckNet := p.In[0].Bits[0].Net
+		if !trace(ckNet, 0) {
+			out = append(out, Finding{
+				Rule: "unasserted-clock", Severity: Warning, Subject: p.Name,
+				Detail: fmt.Sprintf("clock %q does not derive from any .C/.P asserted clock (§2.5.1)",
+					d.Nets[ckNet].Name),
+			})
+		}
+	}
+	return out
+}
+
+// danglingOutputs flags driven nets nothing reads.
+func danglingOutputs(d *netlist.Design) []Finding {
+	var out []Finding
+	for i := range d.Nets {
+		n := &d.Nets[i]
+		if n.Driver != netlist.NoDriver && len(n.Fanout) == 0 {
+			out = append(out, Finding{
+				Rule: "dangling-output", Severity: Warning, Subject: n.Name,
+				Detail: fmt.Sprintf("driven by %q but read by nothing", d.Prims[n.Driver].Name),
+			})
+		}
+	}
+	return out
+}

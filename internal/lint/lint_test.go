@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"scaldtv/internal/netlist"
+	"scaldtv/internal/tick"
+)
+
+func ns(f float64) tick.Time { return tick.FromNS(f) }
+
+func findRule(fs []Finding, rule string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Rule == rule {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestCleanDesign(t *testing.T) {
+	b := netlist.NewBuilder("clean")
+	b.SetPeriod(50 * tick.NS)
+	ck := b.Net("CK .P0-4")
+	d := b.Vector("D .S6-12", 4)
+	q := b.Vector("Q", 4)
+	b.Register("REG", tick.R(1.5, 4.5), q, netlist.Conn{Net: ck}, netlist.Conns(d...))
+	b.SetupHold("CHK", ns(2.5), ns(1.5), netlist.Conns(d...), netlist.Conn{Net: ck})
+	x := b.Net("X")
+	b.Gate(netlist.KOr, "SINK", tick.R(1, 2), []netlist.NetID{x}, netlist.Conns(q[0]), netlist.Conns(q[1]))
+	y := b.Net("Y")
+	b.Buf("SINK2", tick.Range{}, []netlist.NetID{y}, netlist.Conns(x))
+	des := b.MustBuild()
+	fs := Check(des)
+	for _, f := range fs {
+		if f.Rule != "dangling-output" { // Y itself dangles; everything else clean
+			t.Errorf("clean design flagged: %v", f)
+		}
+	}
+}
+
+func TestCombLoop(t *testing.T) {
+	b := netlist.NewBuilder("loop")
+	b.SetPeriod(50 * tick.NS)
+	x, y := b.Net("X"), b.Net("Y")
+	a := b.Net("A .S0-25")
+	b.Gate(netlist.KOr, "G1", tick.R(1, 1), []netlist.NetID{x}, netlist.Conns(y), netlist.Conns(a))
+	b.Gate(netlist.KOr, "G2", tick.R(1, 1), []netlist.NetID{y}, netlist.Conns(x), netlist.Conns(a))
+	fs := findRule(Check(b.MustBuild()), "comb-loop")
+	if len(fs) != 2 || fs[0].Severity != Error {
+		t.Errorf("comb loop findings = %v", fs)
+	}
+}
+
+func TestLoopThroughRegisterIsFine(t *testing.T) {
+	b := netlist.NewBuilder("regloop")
+	b.SetPeriod(50 * tick.NS)
+	ck := b.Net("CK .P0-4")
+	q, x := b.Net("Q"), b.Net("X")
+	b.Gate(netlist.KNot, "INV", tick.R(1, 2), []netlist.NetID{x}, netlist.Conns(q))
+	b.Register("REG", tick.R(1, 2), []netlist.NetID{q}, netlist.Conn{Net: ck}, netlist.Conns(x))
+	b.SetupHold("CHK", ns(1), ns(1), netlist.Conns(x), netlist.Conn{Net: ck})
+	fs := findRule(Check(b.MustBuild()), "comb-loop")
+	if len(fs) != 0 {
+		t.Errorf("register-broken loop flagged: %v", fs)
+	}
+}
+
+func TestUncheckedStorage(t *testing.T) {
+	b := netlist.NewBuilder("unchecked")
+	b.SetPeriod(50 * tick.NS)
+	ck := b.Net("CK .P0-4")
+	q := b.Net("Q")
+	b.Register("BARE REG", tick.R(1, 2), []netlist.NetID{q}, netlist.Conn{Net: ck}, netlist.Conns(b.Net("D .S0-25")))
+	fs := findRule(Check(b.MustBuild()), "unchecked-storage")
+	if len(fs) != 1 || fs[0].Subject != "BARE REG" {
+		t.Errorf("unchecked storage findings = %v", fs)
+	}
+}
+
+func TestGatedClockWidth(t *testing.T) {
+	b := netlist.NewBuilder("gated")
+	b.SetPeriod(50 * tick.NS)
+	ck := b.Net("CK .P20-30")
+	en := b.Net("EN .S0-10")
+	gck := b.Net("GCK")
+	b.Gate(netlist.KAnd, "GATE", tick.R(1, 2), []netlist.NetID{gck}, netlist.Conns(ck), netlist.Conns(en))
+	q := b.Net("Q")
+	d := b.Net("D .S0-25")
+	b.Register("REG", tick.R(1, 2), []netlist.NetID{q}, netlist.Conn{Net: gck}, netlist.Conns(d))
+	b.SetupHold("CHK", ns(1), ns(1), netlist.Conns(d), netlist.Conn{Net: gck})
+
+	fs := findRule(Check(b.MustBuild()), "gated-clock-width")
+	if len(fs) != 1 {
+		t.Fatalf("gated clock findings = %v", fs)
+	}
+
+	// Adding the MIN PULSE WIDTH check clears it.
+	b2 := netlist.NewBuilder("gated-ok")
+	b2.SetPeriod(50 * tick.NS)
+	ck2 := b2.Net("CK .P20-30")
+	en2 := b2.Net("EN .S0-10")
+	gck2 := b2.Net("GCK")
+	b2.Gate(netlist.KAnd, "GATE", tick.R(1, 2), []netlist.NetID{gck2}, netlist.Conns(ck2), netlist.Conns(en2))
+	q2 := b2.Net("Q")
+	d2 := b2.Net("D .S0-25")
+	b2.Register("REG", tick.R(1, 2), []netlist.NetID{q2}, netlist.Conn{Net: gck2}, netlist.Conns(d2))
+	b2.SetupHold("CHK", ns(1), ns(1), netlist.Conns(d2), netlist.Conn{Net: gck2})
+	b2.MinPulse("W", ns(5), ns(3), netlist.Conn{Net: gck2})
+	if fs := findRule(Check(b2.MustBuild()), "gated-clock-width"); len(fs) != 0 {
+		t.Errorf("width-checked gated clock still flagged: %v", fs)
+	}
+}
+
+func TestUnassertedClock(t *testing.T) {
+	b := netlist.NewBuilder("unasserted")
+	b.SetPeriod(50 * tick.NS)
+	notClock := b.Net("SOME SIGNAL .S0-25") // a stable assertion, not a clock
+	q := b.Net("Q")
+	d := b.Net("D .S0-25")
+	b.Register("REG", tick.R(1, 2), []netlist.NetID{q}, netlist.Conn{Net: notClock}, netlist.Conns(d))
+	b.SetupHold("CHK", ns(1), ns(1), netlist.Conns(d), netlist.Conn{Net: notClock})
+	fs := findRule(Check(b.MustBuild()), "unasserted-clock")
+	if len(fs) != 1 {
+		t.Errorf("unasserted clock findings = %v", fs)
+	}
+}
+
+func TestAssertedClockThroughGating(t *testing.T) {
+	// A clock derived through buffers and gates still counts as asserted.
+	b := netlist.NewBuilder("derived")
+	b.SetPeriod(50 * tick.NS)
+	ck := b.Net("CK .P20-30")
+	x, gck := b.Net("X"), b.Net("GCK")
+	b.Buf("B", tick.R(1, 2), []netlist.NetID{x}, netlist.Conns(ck))
+	b.Gate(netlist.KAnd, "G", tick.R(1, 2), []netlist.NetID{gck}, netlist.Conns(x), netlist.Conns(b.Net("EN .S0-10")))
+	q := b.Net("Q")
+	d := b.Net("D .S0-25")
+	b.Register("REG", tick.R(1, 2), []netlist.NetID{q}, netlist.Conn{Net: gck}, netlist.Conns(d))
+	b.SetupHold("CHK", ns(1), ns(1), netlist.Conns(d), netlist.Conn{Net: gck})
+	b.MinPulse("W", ns(5), 0, netlist.Conn{Net: gck})
+	if fs := findRule(Check(b.MustBuild()), "unasserted-clock"); len(fs) != 0 {
+		t.Errorf("derived clock flagged: %v", fs)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Rule: "comb-loop", Severity: Error, Subject: "X", Detail: "boom"}
+	if s := f.String(); !strings.Contains(s, "error") || !strings.Contains(s, "comb-loop") {
+		t.Errorf("rendering = %q", s)
+	}
+	if Warning.String() != "warning" {
+		t.Error("severity names wrong")
+	}
+}
+
+func TestErrorsSortFirst(t *testing.T) {
+	b := netlist.NewBuilder("mixed")
+	b.SetPeriod(50 * tick.NS)
+	x, y := b.Net("X"), b.Net("Y")
+	b.Gate(netlist.KOr, "G1", tick.R(1, 1), []netlist.NetID{x}, netlist.Conns(y), netlist.Conns(y))
+	b.Gate(netlist.KOr, "G2", tick.R(1, 1), []netlist.NetID{y}, netlist.Conns(x), netlist.Conns(x))
+	ck := b.Net("CK .P0-4")
+	q := b.Net("Q")
+	b.Register("BARE", tick.R(1, 2), []netlist.NetID{q}, netlist.Conn{Net: ck}, netlist.Conns(b.Net("D .S0-25")))
+	fs := Check(b.MustBuild())
+	if len(fs) < 2 || fs[0].Severity != Error {
+		t.Errorf("errors should sort first: %v", fs)
+	}
+}

@@ -1,0 +1,391 @@
+// Package logicsim implements a minimum/maximum-based gate-level logic
+// simulator in the style of TEGAS/SAGE/LAMP (§1.4.1.1) — the approach the
+// Timing Verifier is compared against.  Signals take six values: 0, 1, X
+// (initialisation), U (rising), D (falling) and E (potential spike); a
+// gate whose output is settling between its minimum and maximum delay
+// carries the appropriate ambiguity value in that window.
+//
+// Verifying timing this way requires simulating enough input vectors to
+// exercise every distinct timing path — exponentially many in general
+// (§1.4.1) — which is precisely the cost the Timing Verifier's symbolic
+// single pass eliminates.
+package logicsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"scaldtv/internal/tick"
+)
+
+// LValue is a six-value simulation value.
+type LValue uint8
+
+// The six simulation values of §1.4.1.1.
+const (
+	L0 LValue = iota // logic 0
+	L1               // logic 1
+	LX               // unknown / initialisation
+	LU               // rising: settling from 0 to 1
+	LD               // falling: settling from 1 to 0
+	LE               // potential spike, hazard, or race
+)
+
+// String names the value.
+func (v LValue) String() string {
+	switch v {
+	case L0:
+		return "0"
+	case L1:
+		return "1"
+	case LX:
+		return "X"
+	case LU:
+		return "U"
+	case LD:
+		return "D"
+	case LE:
+		return "E"
+	}
+	return fmt.Sprintf("LValue(%d)", uint8(v))
+}
+
+// possible returns whether the value may currently be 0 and may be 1.
+func (v LValue) possible() (can0, can1 bool) {
+	switch v {
+	case L0:
+		return true, false
+	case L1:
+		return false, true
+	}
+	return true, true
+}
+
+// Solid reports whether the value is a definite logic level.
+func (v LValue) Solid() bool { return v == L0 || v == L1 }
+
+// Kind identifies a simulator gate type.
+type Kind uint8
+
+// Gate kinds.
+const (
+	GBuf Kind = iota
+	GNot
+	GAnd
+	GOr
+	GNand
+	GNor
+	GXor
+	GDff // edge-triggered flip-flop: In[0] = clock, In[1] = data
+)
+
+// Gate is one simulated element.
+type Gate struct {
+	Kind  Kind
+	Name  string
+	Delay tick.Range
+	In    []int
+	Out   int
+
+	Setup, Hold tick.Time // GDff constraint checks
+
+	prevClk LValue
+}
+
+// Circuit is a gate network over integer-numbered nets.
+type Circuit struct {
+	nets  int
+	Gates []Gate
+}
+
+// AddNet allocates a net and returns its index.
+func (c *Circuit) AddNet() int {
+	c.nets++
+	return c.nets - 1
+}
+
+// AddNets allocates n nets.
+func (c *Circuit) AddNets(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = c.AddNet()
+	}
+	return out
+}
+
+// AddGate appends a gate and returns its index.
+func (c *Circuit) AddGate(g Gate) int {
+	c.Gates = append(c.Gates, g)
+	return len(c.Gates) - 1
+}
+
+// NumNets reports the allocated net count.
+func (c *Circuit) NumNets() int { return c.nets }
+
+// Violation is a constraint failure observed during simulation.
+type Violation struct {
+	Gate string
+	Kind string // "setup" or "hold"
+	At   tick.Time
+}
+
+type event struct {
+	at  tick.Time
+	seq int
+	net int
+	val LValue
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Simulator runs a Circuit.
+type Simulator struct {
+	c          *Circuit
+	fanout     [][]int
+	vals       []LValue
+	lastChange []tick.Time
+	lastSettle []tick.Time
+	now        tick.Time
+	seq        int
+	queue      eventHeap
+
+	pendingHold []holdWatch
+
+	// Events counts value changes processed — comparable to the Timing
+	// Verifier's event count.
+	Events     int
+	Violations []Violation
+}
+
+type holdWatch struct {
+	gate  int
+	until tick.Time
+	net   int
+}
+
+// New prepares a simulator with all nets at X.
+func New(c *Circuit) *Simulator {
+	s := &Simulator{
+		c:          c,
+		fanout:     make([][]int, c.nets),
+		vals:       make([]LValue, c.nets),
+		lastChange: make([]tick.Time, c.nets),
+		lastSettle: make([]tick.Time, c.nets),
+	}
+	for i := range s.vals {
+		s.vals[i] = LX
+	}
+	for gi := range c.Gates {
+		for _, in := range c.Gates[gi].In {
+			s.fanout[in] = append(s.fanout[in], gi)
+		}
+		c.Gates[gi].prevClk = LX
+	}
+	return s
+}
+
+// Value returns a net's current value.
+func (s *Simulator) Value(net int) LValue { return s.vals[net] }
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() tick.Time { return s.now }
+
+// LastChange returns when the net last changed value.
+func (s *Simulator) LastChange(net int) tick.Time { return s.lastChange[net] }
+
+// Set schedules an external drive of the net at the given absolute time.
+func (s *Simulator) Set(net int, v LValue, at tick.Time) {
+	if at < s.now {
+		at = s.now
+	}
+	s.schedule(at, net, v)
+}
+
+func (s *Simulator) schedule(at tick.Time, net int, v LValue) {
+	s.seq++
+	heap.Push(&s.queue, event{at: at, seq: s.seq, net: net, val: v})
+}
+
+// Run processes events until the queue empties or the horizon passes,
+// returning the time of the last processed event.
+func (s *Simulator) Run(until tick.Time) tick.Time {
+	last := s.now
+	for len(s.queue) > 0 && s.queue[0].at <= until {
+		e := heap.Pop(&s.queue).(event)
+		s.now = e.at
+		if s.vals[e.net] == e.val {
+			continue
+		}
+		old := s.vals[e.net]
+		s.vals[e.net] = e.val
+		s.lastChange[e.net] = e.at
+		if e.val.Solid() && !old.Solid() || e.val.Solid() && old.Solid() {
+			s.lastSettle[e.net] = e.at
+		}
+		s.Events++
+		last = e.at
+		s.checkHolds(e.net)
+		for _, gi := range s.fanout[e.net] {
+			s.evalGate(gi)
+		}
+	}
+	s.now = until
+	return last
+}
+
+// Settled reports whether no events remain.
+func (s *Simulator) Settled() bool { return len(s.queue) == 0 }
+
+func (s *Simulator) evalGate(gi int) {
+	g := &s.c.Gates[gi]
+	if g.Kind == GDff {
+		s.evalDff(gi)
+		return
+	}
+	can0, can1 := s.combPossible(g)
+	var target LValue
+	switch {
+	case can0 && !can1:
+		target = L0
+	case can1 && !can0:
+		target = L1
+	default:
+		target = LX
+	}
+	cur := s.vals[g.Out]
+	if cur == target {
+		return
+	}
+	if g.Delay.Width() > 0 || g.Delay.Min > 0 {
+		// Ambiguity value during the settling window.
+		amb := LX
+		switch {
+		case cur == L0 && target == L1:
+			amb = LU
+		case cur == L1 && target == L0:
+			amb = LD
+		case cur == LE || target == LX:
+			amb = LE
+		}
+		if g.Delay.Width() > 0 {
+			s.schedule(s.now+g.Delay.Min, g.Out, amb)
+		}
+		s.schedule(s.now+g.Delay.Max, g.Out, target)
+	} else {
+		s.schedule(s.now, g.Out, target)
+	}
+}
+
+func (s *Simulator) combPossible(g *Gate) (bool, bool) {
+	switch g.Kind {
+	case GBuf:
+		return s.vals[g.In[0]].possible()
+	case GNot:
+		c0, c1 := s.vals[g.In[0]].possible()
+		return c1, c0
+	case GAnd, GNand:
+		can0, can1 := false, true
+		for _, in := range g.In {
+			c0, c1 := s.vals[in].possible()
+			can0 = can0 || c0
+			can1 = can1 && c1
+		}
+		if g.Kind == GNand {
+			return can1, can0
+		}
+		return can0, can1
+	case GOr, GNor:
+		can0, can1 := true, false
+		for _, in := range g.In {
+			c0, c1 := s.vals[in].possible()
+			can0 = can0 && c0
+			can1 = can1 || c1
+		}
+		if g.Kind == GNor {
+			return can1, can0
+		}
+		return can0, can1
+	case GXor:
+		// Possible parities over the possible input values.
+		par := map[bool]bool{false: true}
+		for _, in := range g.In {
+			c0, c1 := s.vals[in].possible()
+			next := map[bool]bool{}
+			for p := range par {
+				if c0 {
+					next[p] = true
+				}
+				if c1 {
+					next[!p] = true
+				}
+			}
+			par = next
+		}
+		return par[false], par[true]
+	}
+	return true, true
+}
+
+func (s *Simulator) evalDff(gi int) {
+	g := &s.c.Gates[gi]
+	clk := s.vals[g.In[0]]
+	prev := g.prevClk
+	g.prevClk = clk
+	rising := clk == L1 && (prev == L0 || prev == LU || prev == LX)
+	if !rising {
+		return
+	}
+	d := g.In[1]
+	// Set-up: the data input must not have changed within Setup of the
+	// clocking instant.
+	if g.Setup > 0 && s.now-s.lastChange[d] < g.Setup && s.lastChange[d] > 0 {
+		s.Violations = append(s.Violations, Violation{Gate: g.Name, Kind: "setup", At: s.now})
+	}
+	if g.Hold > 0 {
+		s.pendingHold = append(s.pendingHold, holdWatch{gate: gi, until: s.now + g.Hold, net: d})
+	}
+	dv := s.vals[d]
+	target := dv
+	if !dv.Solid() {
+		target = LX
+	}
+	if s.vals[g.Out] != target {
+		if g.Delay.Width() > 0 {
+			amb := LX
+			if s.vals[g.Out] == L0 && target == L1 {
+				amb = LU
+			} else if s.vals[g.Out] == L1 && target == L0 {
+				amb = LD
+			}
+			s.schedule(s.now+g.Delay.Min, g.Out, amb)
+		}
+		s.schedule(s.now+g.Delay.Max, g.Out, target)
+	}
+}
+
+func (s *Simulator) checkHolds(net int) {
+	kept := s.pendingHold[:0]
+	for _, hw := range s.pendingHold {
+		if hw.net == net && s.now < hw.until {
+			s.Violations = append(s.Violations, Violation{
+				Gate: s.c.Gates[hw.gate].Name, Kind: "hold", At: s.now,
+			})
+			continue
+		}
+		if s.now < hw.until {
+			kept = append(kept, hw)
+		}
+	}
+	s.pendingHold = kept
+}

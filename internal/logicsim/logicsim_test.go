@@ -1,0 +1,296 @@
+package logicsim
+
+import (
+	"testing"
+
+	"scaldtv/internal/tick"
+)
+
+func ns(f float64) tick.Time { return tick.FromNS(f) }
+
+func TestLValueBasics(t *testing.T) {
+	if !L0.Solid() || !L1.Solid() || LX.Solid() || LU.Solid() {
+		t.Error("Solid wrong")
+	}
+	for _, v := range []LValue{L0, L1, LX, LU, LD, LE} {
+		if v.String() == "" {
+			t.Errorf("value %d has no name", v)
+		}
+	}
+	c0, c1 := LU.possible()
+	if !c0 || !c1 {
+		t.Error("rising value must be possibly 0 and possibly 1")
+	}
+}
+
+func TestAndGate(t *testing.T) {
+	var c Circuit
+	a, b, o := c.AddNet(), c.AddNet(), c.AddNet()
+	c.AddGate(Gate{Kind: GAnd, Delay: tick.R(1, 2), In: []int{a, b}, Out: o})
+	s := New(&c)
+	s.Set(a, L1, 0)
+	s.Set(b, L1, 0)
+	s.Run(ns(10))
+	if got := s.Value(o); got != L1 {
+		t.Errorf("AND(1,1) = %v", got)
+	}
+	// Falling input: ambiguity between 1 and 2 ns, solid after.
+	s.Set(b, L0, ns(10))
+	s.Run(ns(11) + 500) // 11.5 ns: inside the ambiguity window
+	if got := s.Value(o); got != LD {
+		t.Errorf("settling value = %v, want D", got)
+	}
+	s.Run(ns(13))
+	if got := s.Value(o); got != L0 {
+		t.Errorf("settled value = %v, want 0", got)
+	}
+}
+
+func TestGateTable(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		a, b LValue
+		want LValue
+	}{
+		{GAnd, L0, LX, L0}, // 0 dominates
+		{GAnd, L1, LX, LX},
+		{GOr, L1, LX, L1}, // 1 dominates
+		{GOr, L0, LX, LX},
+		{GNand, L1, L1, L0},
+		{GNor, L0, L0, L1},
+		{GXor, L1, L0, L1},
+		{GXor, L1, L1, L0},
+		{GXor, L1, LX, LX},
+	}
+	for _, cse := range cases {
+		var c Circuit
+		a, b, o := c.AddNet(), c.AddNet(), c.AddNet()
+		c.AddGate(Gate{Kind: cse.kind, In: []int{a, b}, Out: o})
+		s := New(&c)
+		s.Set(a, cse.a, 0)
+		s.Set(b, cse.b, 0)
+		s.Run(ns(5))
+		if got := s.Value(o); got != cse.want {
+			t.Errorf("%v(%v,%v) = %v, want %v", cse.kind, cse.a, cse.b, got, cse.want)
+		}
+	}
+}
+
+func TestNotBuf(t *testing.T) {
+	var c Circuit
+	a, x, y := c.AddNet(), c.AddNet(), c.AddNet()
+	c.AddGate(Gate{Kind: GNot, Delay: tick.R(1, 1), In: []int{a}, Out: x})
+	c.AddGate(Gate{Kind: GBuf, Delay: tick.R(1, 1), In: []int{a}, Out: y})
+	s := New(&c)
+	s.Set(a, L1, 0)
+	s.Run(ns(5))
+	if s.Value(x) != L0 || s.Value(y) != L1 {
+		t.Errorf("NOT/BUF = %v/%v", s.Value(x), s.Value(y))
+	}
+}
+
+func TestChainDelayAccumulates(t *testing.T) {
+	var c Circuit
+	in := c.AddNet()
+	prev := in
+	for i := 0; i < 5; i++ {
+		o := c.AddNet()
+		c.AddGate(Gate{Kind: GBuf, Delay: tick.R(2, 3), In: []int{prev}, Out: o})
+		prev = o
+	}
+	s := New(&c)
+	s.Set(in, L1, 0)
+	last := s.Run(ns(100))
+	if last != ns(15) {
+		t.Errorf("5×3 ns chain settled at %v, want 15 ns", last)
+	}
+	if s.Value(prev) != L1 {
+		t.Errorf("chain output = %v", s.Value(prev))
+	}
+	if !s.Settled() {
+		t.Error("queue should be empty")
+	}
+}
+
+func TestDffCapturesAndChecks(t *testing.T) {
+	var c Circuit
+	clk, d, q := c.AddNet(), c.AddNet(), c.AddNet()
+	c.AddGate(Gate{Kind: GDff, Name: "ff", Delay: tick.R(1, 2),
+		In: []int{clk, d}, Out: q, Setup: ns(3), Hold: ns(2)})
+	s := New(&c)
+	s.Set(clk, L0, 0)
+	s.Set(d, L1, 0)
+	s.Run(ns(10))
+	// Clean capture: data settled 10 ns before the edge.
+	s.Set(clk, L1, ns(10))
+	s.Run(ns(20))
+	if s.Value(q) != L1 {
+		t.Errorf("captured %v, want 1", s.Value(q))
+	}
+	if len(s.Violations) != 0 {
+		t.Errorf("clean capture flagged: %v", s.Violations)
+	}
+	// Set-up violation: data changes 1 ns before the edge.
+	s.Set(clk, L0, ns(20))
+	s.Set(d, L0, ns(29))
+	s.Set(clk, L1, ns(30))
+	s.Run(ns(40))
+	if len(s.Violations) != 1 || s.Violations[0].Kind != "setup" {
+		t.Errorf("setup violation not caught: %v", s.Violations)
+	}
+	// Hold violation: data changes 1 ns after the edge.
+	s.Set(clk, L0, ns(40))
+	s.Run(ns(45))
+	s.Set(clk, L1, ns(50))
+	s.Set(d, L1, ns(51))
+	s.Run(ns(60))
+	found := false
+	for _, v := range s.Violations {
+		if v.Kind == "hold" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hold violation not caught: %v", s.Violations)
+	}
+}
+
+func TestBenchApplyVector(t *testing.T) {
+	var c Circuit
+	ins := c.AddNets(2)
+	o := c.AddNet()
+	c.AddGate(Gate{Kind: GAnd, Delay: tick.R(2, 4), In: ins, Out: o})
+	b := NewBench(&c, ins, o, 50*tick.NS)
+	if s := b.ApplyVector(0b11); s != ns(4) {
+		t.Errorf("settle = %v, want 4 ns", s)
+	}
+	// No transition on the output: zero settle.
+	if s := b.ApplyVector(0b11); s != 0 {
+		t.Errorf("repeat vector settle = %v, want 0", s)
+	}
+}
+
+// TestExhaustiveFindsSensitisedWorstCase builds a circuit whose longest
+// topological path is only sensitised by specific input values: an
+// AND(slow-path, enable) where the slow path is a 3-buffer chain.  The
+// exhaustive sweep must find the full chain delay.
+func TestExhaustiveFindsSensitisedWorstCase(t *testing.T) {
+	var c Circuit
+	a, en := c.AddNet(), c.AddNet()
+	prev := a
+	for i := 0; i < 3; i++ {
+		o := c.AddNet()
+		c.AddGate(Gate{Kind: GBuf, Delay: tick.R(3, 3), In: []int{prev}, Out: o})
+		prev = o
+	}
+	out := c.AddNet()
+	c.AddGate(Gate{Kind: GAnd, Delay: tick.R(1, 1), In: []int{prev, en}, Out: out})
+	worst, cycles, events := ExhaustiveWorstSettle(&c, []int{a, en}, out, 50*tick.NS)
+	if worst != ns(10) {
+		t.Errorf("worst settle = %v, want 10 ns (3×3 chain + 1)", worst)
+	}
+	// 2^n Gray cycles plus 2·2^n complement-transition cycles.
+	if cycles != 4+2*4 {
+		t.Errorf("cycles = %d, want 12", cycles)
+	}
+	if events == 0 {
+		t.Error("no events counted")
+	}
+}
+
+// TestExhaustiveCostGrowsExponentially is the §1.4.1 claim in miniature:
+// the number of cycles the simulator must run doubles with every input.
+func TestExhaustiveCostGrowsExponentially(t *testing.T) {
+	cost := func(n int) int {
+		var c Circuit
+		ins := c.AddNets(n)
+		prev := ins[0]
+		for i := 1; i < n; i++ {
+			o := c.AddNet()
+			c.AddGate(Gate{Kind: GAnd, Delay: tick.R(1, 2), In: []int{prev, ins[i]}, Out: o})
+			prev = o
+		}
+		_, cycles, _ := ExhaustiveWorstSettle(&c, ins, prev, 50*tick.NS)
+		return cycles
+	}
+	c4, c6, c8 := cost(4), cost(6), cost(8)
+	if c6 != 4*c4 || c8 != 4*c6 {
+		t.Errorf("cycle counts %d, %d, %d do not quadruple per two inputs", c4, c6, c8)
+	}
+}
+
+func TestAmbiguityValueKinds(t *testing.T) {
+	// 0→1 shows U, 1→0 shows D during the settling window.
+	var c Circuit
+	a, o := c.AddNet(), c.AddNet()
+	c.AddGate(Gate{Kind: GBuf, Delay: tick.R(2, 4), In: []int{a}, Out: o})
+	s := New(&c)
+	s.Set(a, L0, 0)
+	s.Run(ns(10))
+	s.Set(a, L1, ns(10))
+	s.Run(ns(13))
+	if got := s.Value(o); got != LU {
+		t.Errorf("rising ambiguity = %v, want U", got)
+	}
+	s.Run(ns(20))
+	if got := s.Value(o); got != L1 {
+		t.Errorf("settled = %v", got)
+	}
+	s.Set(a, L0, ns(20))
+	s.Run(ns(23))
+	if got := s.Value(o); got != LD {
+		t.Errorf("falling ambiguity = %v, want D", got)
+	}
+}
+
+func TestHoldWatchExpires(t *testing.T) {
+	var c Circuit
+	clk, d, q := c.AddNet(), c.AddNet(), c.AddNet()
+	c.AddGate(Gate{Kind: GDff, Name: "ff", Delay: tick.R(1, 1),
+		In: []int{clk, d}, Out: q, Hold: ns(2)})
+	s := New(&c)
+	s.Set(clk, L0, 0)
+	s.Set(d, L1, 0)
+	s.Run(ns(5))
+	s.Set(clk, L1, ns(10))
+	// Data changes 5 ns after the edge: outside the 2 ns hold window.
+	s.Set(d, L0, ns(15))
+	s.Run(ns(20))
+	if len(s.Violations) != 0 {
+		t.Errorf("expired hold watch fired: %v", s.Violations)
+	}
+}
+
+func TestXorThreeInputs(t *testing.T) {
+	var c Circuit
+	ins := c.AddNets(3)
+	o := c.AddNet()
+	c.AddGate(Gate{Kind: GXor, In: ins, Out: o})
+	s := New(&c)
+	s.Set(ins[0], L1, 0)
+	s.Set(ins[1], L1, 0)
+	s.Set(ins[2], L1, 0)
+	s.Run(ns(5))
+	if got := s.Value(o); got != L1 {
+		t.Errorf("XOR(1,1,1) = %v, want 1 (odd parity)", got)
+	}
+	s.Set(ins[2], L0, ns(5))
+	s.Run(ns(10))
+	if got := s.Value(o); got != L0 {
+		t.Errorf("XOR(1,1,0) = %v, want 0", got)
+	}
+}
+
+func TestDffUnknownDataCapturesX(t *testing.T) {
+	var c Circuit
+	clk, d, q := c.AddNet(), c.AddNet(), c.AddNet()
+	c.AddGate(Gate{Kind: GDff, In: []int{clk, d}, Out: q, Delay: tick.R(1, 1)})
+	s := New(&c)
+	s.Set(clk, L0, 0)
+	s.Run(ns(1))
+	s.Set(clk, L1, ns(5)) // d still at initialisation X
+	s.Run(ns(10))
+	if got := s.Value(q); got != LX {
+		t.Errorf("capture of X = %v, want X", got)
+	}
+}

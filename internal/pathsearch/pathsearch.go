@@ -1,0 +1,333 @@
+// Package pathsearch implements a worst-case path-searching timing
+// analyser in the style of GRASP and the Race Analysis System (§1.4.2):
+// starting and terminating points are determined by the storage elements
+// (RAS-style), and every combinational path between them is characterised
+// by its minimum and maximum delay.
+//
+// This is the baseline the Timing Verifier improves upon: because the
+// search cannot take the value behaviour of control signals into account,
+// it reports paths that can never be sensitised — the spurious-error
+// failure mode of Fig 2-6 — whereas the Verifier's case analysis shows the
+// true 30 ns delay.
+package pathsearch
+
+import (
+	"fmt"
+	"sort"
+
+	"scaldtv/internal/netlist"
+	"scaldtv/internal/tick"
+)
+
+// Endpoint is one start→end combinational path summary.
+type Endpoint struct {
+	From string // starting net (register output or primary input)
+	To   string // terminating pin: "prim:port" of a storage or checker input
+	Min  tick.Time
+	Max  tick.Time
+}
+
+// Analysis is the result of a path search.
+type Analysis struct {
+	Endpoints []Endpoint
+	CombLoops []string // nets on combinational cycles (no storage break)
+}
+
+type edge struct {
+	to       int32
+	min, max tick.Time
+}
+
+type endPin struct {
+	label string
+	wire  tick.Range
+}
+
+// graph is the shared combinational-path graph used by both the
+// worst-case and the statistical analyses.
+type graph struct {
+	adj    [][]edge
+	ends   map[int32][]endPin
+	starts []int32
+	order  []int32
+	loops  []string
+}
+
+func buildGraph(d *netlist.Design) *graph {
+	n := len(d.Nets)
+	adj := make([][]edge, n)
+	ends := make(map[int32][]endPin)
+
+	addEnd := func(c netlist.Conn, prim, port string) {
+		w := d.WireDelay(c.Net, 'E')
+		ends[int32(c.Net)] = append(ends[int32(c.Net)], endPin{
+			label: prim + ":" + port,
+			wire:  w,
+		})
+	}
+
+	for pi := range d.Prims {
+		p := &d.Prims[pi]
+		switch {
+		case p.Kind.IsChecker():
+			for _, c := range p.In[0].Bits {
+				addEnd(c, p.Name, p.In[0].Name)
+			}
+		case p.Kind.IsStorage():
+			// Data (and control) inputs terminate paths; outputs start
+			// new ones (handled by the start set below).
+			for i, port := range p.In {
+				for _, c := range port.Bits {
+					_ = i
+					addEnd(c, p.Name, port.Name)
+				}
+			}
+		default:
+			// Combinational: every distinct input net feeds every output
+			// net with the wire delay at the pin plus the element delay.
+			outNets := map[int32]bool{}
+			for _, port := range p.Out {
+				for _, o := range port.Bits {
+					outNets[int32(o)] = true
+				}
+			}
+			seen := map[int32]bool{}
+			for ii, port := range p.In {
+				extra := tick.Range{}
+				if ii < p.Kind.NumSelects() {
+					extra = p.SelectDelay
+				}
+				for _, c := range port.Bits {
+					if seen[int32(c.Net)] {
+						continue
+					}
+					seen[int32(c.Net)] = true
+					dir, _ := c.Directives.Head()
+					w := d.WireDelay(c.Net, dir)
+					delay := p.Delay
+					if dir.ZeroesGate() {
+						delay = tick.Range{}
+					}
+					total := w.Add(delay).Add(extra)
+					for o := range outNets {
+						adj[c.Net] = append(adj[c.Net], edge{to: o, min: total.Min, max: total.Max})
+					}
+				}
+			}
+		}
+	}
+
+	// Primary outputs: driven nets nothing reads terminate paths too.
+	for i := range d.Nets {
+		if len(d.Nets[i].Fanout) == 0 && d.Nets[i].Driver != netlist.NoDriver {
+			ends[int32(i)] = append(ends[int32(i)], endPin{label: "output(" + d.Nets[i].Name + ")"})
+		}
+	}
+
+	// Starting points: storage outputs and undriven nets (RAS-style
+	// automatic determination).
+	var starts []int32
+	for i := range d.Nets {
+		drv := d.Nets[i].Driver
+		if drv == netlist.NoDriver || d.Prims[drv].Kind.IsStorage() {
+			if len(adj[i]) > 0 || len(ends[int32(i)]) > 0 {
+				starts = append(starts, int32(i))
+			}
+		}
+	}
+
+	// Topological order of the combinational graph; storage outputs and
+	// primary inputs have no incoming combinational edges by construction,
+	// so any residual cycle is a genuine combinational loop.
+	order, loops := topoOrder(n, adj, d)
+	return &graph{adj: adj, ends: ends, starts: starts, order: order, loops: loops}
+}
+
+// Analyze searches every combinational path of the design.
+func Analyze(d *netlist.Design) (*Analysis, error) {
+	g := buildGraph(d)
+	n := len(d.Nets)
+	adj, ends, starts, order := g.adj, g.ends, g.starts, g.order
+	a := &Analysis{CombLoops: g.loops}
+
+	// Longest/shortest path DP per start over the shared topological
+	// order.
+	const unset = tick.Time(-1)
+	minA := make([]tick.Time, n)
+	maxA := make([]tick.Time, n)
+	for _, s := range starts {
+		for i := range minA {
+			minA[i], maxA[i] = unset, unset
+		}
+		minA[s], maxA[s] = 0, 0
+		for _, u := range order {
+			if maxA[u] == unset {
+				continue
+			}
+			for _, e := range adj[u] {
+				if na := minA[u] + e.min; minA[e.to] == unset || na < minA[e.to] {
+					minA[e.to] = na
+				}
+				if na := maxA[u] + e.max; na > maxA[e.to] {
+					maxA[e.to] = na
+				}
+			}
+		}
+		for net, pins := range ends {
+			if maxA[net] == unset {
+				continue
+			}
+			for _, pin := range pins {
+				a.Endpoints = append(a.Endpoints, Endpoint{
+					From: d.Nets[s].Name,
+					To:   pin.label,
+					Min:  minA[net] + pin.wire.Min,
+					Max:  maxA[net] + pin.wire.Max,
+				})
+			}
+		}
+	}
+	sort.Slice(a.Endpoints, func(i, j int) bool {
+		if a.Endpoints[i].Max != a.Endpoints[j].Max {
+			return a.Endpoints[i].Max > a.Endpoints[j].Max
+		}
+		if a.Endpoints[i].From != a.Endpoints[j].From {
+			return a.Endpoints[i].From < a.Endpoints[j].From
+		}
+		return a.Endpoints[i].To < a.Endpoints[j].To
+	})
+	return a, nil
+}
+
+// topoOrder computes a topological order over the combinational edges,
+// returning the names of nets involved in combinational cycles.
+func topoOrder(n int, adj [][]edge, d *netlist.Design) ([]int32, []string) {
+	indeg := make([]int, n)
+	for _, es := range adj {
+		for _, e := range es {
+			indeg[e.to]++
+		}
+	}
+	queue := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, int32(i))
+		}
+	}
+	order := make([]int32, 0, n)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, e := range adj[u] {
+			indeg[e.to]--
+			if indeg[e.to] == 0 {
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	var loops []string
+	if len(order) < n {
+		for i := 0; i < n; i++ {
+			if indeg[i] > 0 {
+				loops = append(loops, d.Nets[i].Name)
+			}
+		}
+		sort.Strings(loops)
+	}
+	return order, loops
+}
+
+// Longest returns the endpoints sorted by maximum delay, descending (the
+// critical paths).
+func (a *Analysis) Longest() []Endpoint { return a.Endpoints }
+
+// Errors returns the endpoints whose maximum delay exceeds the budget —
+// the flat pass/fail judgement a path searcher can make without value
+// information.
+func (a *Analysis) Errors(budget tick.Time) []Endpoint {
+	var out []Endpoint
+	for _, e := range a.Endpoints {
+		if e.Max > budget {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the critical-path table.
+func (a *Analysis) String() string {
+	s := "WORST-CASE PATHS (path-search baseline)\n\n"
+	for i, e := range a.Endpoints {
+		if i >= 20 {
+			s += fmt.Sprintf("  … %d more\n", len(a.Endpoints)-i)
+			break
+		}
+		s += fmt.Sprintf("  %-30s → %-34s %8s / %-8s ns\n", e.From, e.To, e.Min, e.Max)
+	}
+	if len(a.CombLoops) > 0 {
+		s += fmt.Sprintf("\n  combinational loops through: %v\n", a.CombLoops)
+	}
+	return s
+}
+
+// ModuleDelay computes the minimum and maximum combinational latency from
+// a set of module input signals to a set of module output signals — the
+// measurement §4.2.1 describes for self-timed designs, where the result
+// sizes the delay inserted into the module's "done" circuit.  Signal names
+// are logical base names; every bit of each named signal participates.
+func ModuleDelay(d *netlist.Design, from, to []string) (tick.Range, error) {
+	g := buildGraph(d)
+	fromNets := map[int32]bool{}
+	for _, name := range from {
+		for _, n := range d.NetsByBase(name) {
+			fromNets[int32(n)] = true
+		}
+	}
+	toNets := map[int32]bool{}
+	for _, name := range to {
+		for _, n := range d.NetsByBase(name) {
+			toNets[int32(n)] = true
+		}
+	}
+	if len(fromNets) == 0 || len(toNets) == 0 {
+		return tick.Range{}, fmt.Errorf("pathsearch: module boundary signals not found")
+	}
+	const unset = tick.Time(-1)
+	n := len(d.Nets)
+	minA := make([]tick.Time, n)
+	maxA := make([]tick.Time, n)
+	for i := range minA {
+		minA[i], maxA[i] = unset, unset
+	}
+	for s := range fromNets {
+		minA[s], maxA[s] = 0, 0
+	}
+	for _, u := range g.order {
+		if maxA[u] == unset {
+			continue
+		}
+		for _, e := range g.adj[u] {
+			if na := minA[u] + e.min; minA[e.to] == unset || na < minA[e.to] {
+				minA[e.to] = na
+			}
+			if na := maxA[u] + e.max; na > maxA[e.to] {
+				maxA[e.to] = na
+			}
+		}
+	}
+	out := tick.Range{Min: tick.Infinity, Max: 0}
+	reached := false
+	for t := range toNets {
+		if maxA[t] == unset {
+			continue
+		}
+		reached = true
+		out.Min = min(out.Min, minA[t])
+		out.Max = max(out.Max, maxA[t])
+	}
+	if !reached {
+		return tick.Range{}, fmt.Errorf("pathsearch: no combinational path from the module inputs to its outputs")
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package pathsearch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"scaldtv/internal/netlist"
+	"scaldtv/internal/tick"
+)
+
+// Statistical (probability-based) path analysis in the style of DIGSIM
+// (§1.4.1.2, §4.2.4 — the paper's future-work direction).  Each component
+// delay becomes a normal distribution whose 3σ limits are the data-sheet
+// minimum and maximum: mean = (min+max)/2, σ = (max−min)/6.  Along a path,
+// means add; with uncorrelated components the variances add (σ grows as
+// √n), so a long path's statistical worst case is far better than the sum
+// of the maxima — the reason a "real design usually could be made to run
+// faster than the minimum/maximum system will predict" (§1.4.1.1).
+//
+// With Correlated set, every component is assumed to track together (the
+// same-production-run scenario of §4.2.4): sigmas add linearly and the
+// 3σ arrival degenerates to the worst-case sum — the paper's argument for
+// why min/max analysis "may therefore be the best" when correlations are
+// unknown.
+
+// StatOptions tunes the statistical analysis.
+type StatOptions struct {
+	// Correlated assumes all component delays track together (sigmas add
+	// linearly) instead of being independent (variances add).
+	Correlated bool
+}
+
+// StatEndpoint is one start→end path summary with a distribution.
+type StatEndpoint struct {
+	From  string
+	To    string
+	Mean  tick.Time
+	Sigma float64 // picoseconds
+}
+
+// Arrival returns the mean + k·σ arrival time.
+func (e StatEndpoint) Arrival(k float64) tick.Time {
+	return e.Mean + tick.Time(math.Round(k*e.Sigma))
+}
+
+// StatAnalysis is the result of a statistical path search.
+type StatAnalysis struct {
+	Endpoints []StatEndpoint
+	CombLoops []string
+	Opts      StatOptions
+}
+
+// AnalyzeStatistical runs the probability-based analysis over the same
+// path graph as Analyze.
+func AnalyzeStatistical(d *netlist.Design, opts StatOptions) (*StatAnalysis, error) {
+	g := buildGraph(d)
+	a := &StatAnalysis{CombLoops: g.loops, Opts: opts}
+	n := len(d.Nets)
+
+	// Per-start longest-path DP over (mean, spread).  Reconvergent paths
+	// are resolved by keeping the statistically-latest one (largest
+	// mean + 3σ) — the standard approximation for the max of normals.
+	type dist struct {
+		mean   tick.Time
+		spread float64 // σ if correlated is false is tracked via variance below
+		varr   float64
+		set    bool
+	}
+	sigmaOf := func(ds dist) float64 {
+		if opts.Correlated {
+			return ds.spread
+		}
+		return math.Sqrt(ds.varr)
+	}
+	arr := make([]dist, n)
+	for _, s := range g.starts {
+		for i := range arr {
+			arr[i] = dist{}
+		}
+		arr[s] = dist{set: true}
+		for _, u := range g.order {
+			if !arr[u].set {
+				continue
+			}
+			for _, e := range g.adj[u] {
+				mean := arr[u].mean + (e.min+e.max)/2
+				sg := float64(e.max-e.min) / 6
+				cand := dist{
+					mean:   mean,
+					spread: arr[u].spread + sg,
+					varr:   arr[u].varr + sg*sg,
+					set:    true,
+				}
+				cur := arr[e.to]
+				if !cur.set ||
+					float64(cand.mean)+3*sigmaOf(cand) > float64(cur.mean)+3*sigmaOf(cur) {
+					arr[e.to] = cand
+				}
+			}
+		}
+		for net, pins := range g.ends {
+			if !arr[net].set {
+				continue
+			}
+			for _, pin := range pins {
+				wMean := (pin.wire.Min + pin.wire.Max) / 2
+				wSigma := float64(pin.wire.Width()) / 6
+				ep := StatEndpoint{
+					From: d.Nets[s].Name,
+					To:   pin.label,
+					Mean: arr[net].mean + wMean,
+				}
+				if opts.Correlated {
+					ep.Sigma = arr[net].spread + wSigma
+				} else {
+					ep.Sigma = math.Sqrt(arr[net].varr + wSigma*wSigma)
+				}
+				a.Endpoints = append(a.Endpoints, ep)
+			}
+		}
+	}
+	sort.Slice(a.Endpoints, func(i, j int) bool {
+		ai, aj := a.Endpoints[i].Arrival(3), a.Endpoints[j].Arrival(3)
+		if ai != aj {
+			return ai > aj
+		}
+		if a.Endpoints[i].From != a.Endpoints[j].From {
+			return a.Endpoints[i].From < a.Endpoints[j].From
+		}
+		return a.Endpoints[i].To < a.Endpoints[j].To
+	})
+	return a, nil
+}
+
+// Errors returns the endpoints whose k-sigma arrival exceeds the budget.
+func (a *StatAnalysis) Errors(budget tick.Time, k float64) []StatEndpoint {
+	var out []StatEndpoint
+	for _, e := range a.Endpoints {
+		if e.Arrival(k) > budget {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the statistical critical-path table.
+func (a *StatAnalysis) String() string {
+	mode := "uncorrelated (RSS)"
+	if a.Opts.Correlated {
+		mode = "fully correlated"
+	}
+	s := fmt.Sprintf("STATISTICAL PATHS (probability-based, %s, 3σ shown)\n\n", mode)
+	for i, e := range a.Endpoints {
+		if i >= 20 {
+			s += fmt.Sprintf("  … %d more\n", len(a.Endpoints)-i)
+			break
+		}
+		s += fmt.Sprintf("  %-30s → %-34s mean %8s  3σ %8s ns\n",
+			e.From, e.To, e.Mean, e.Arrival(3))
+	}
+	return s
+}

@@ -1,0 +1,151 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scaldtv/internal/netlist"
+	"scaldtv/internal/verify"
+)
+
+// DOT renders the design as a Graphviz digraph: primitives as shaped
+// nodes (storage as boxes, checkers as diamonds, gates as ellipses),
+// primary inputs as plain names, and one edge per connection with vector
+// widths as labels.
+func DOT(d *netlist.Design) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=LR;\n  node [fontname=\"monospace\"];\n", d.Name)
+
+	esc := func(s string) string { return strings.ReplaceAll(s, `"`, `\"`) }
+	for pi := range d.Prims {
+		p := &d.Prims[pi]
+		shape := "ellipse"
+		switch {
+		case p.Kind.IsStorage():
+			shape = "box"
+		case p.Kind.IsChecker():
+			shape = "diamond"
+		case p.Kind.NumSelects() > 0:
+			shape = "trapezium"
+		}
+		fmt.Fprintf(&sb, "  p%d [label=\"%s\\n%s\" shape=%s];\n", pi, esc(p.Name), p.Kind, shape)
+	}
+	// Primary inputs (undriven nets with fanout), one node per base name.
+	inputs := map[string]bool{}
+	for i := range d.Nets {
+		n := &d.Nets[i]
+		if n.Driver == netlist.NoDriver && len(n.Fanout) > 0 {
+			inputs[vecBase(n.Name)] = true
+		}
+	}
+	var inNames []string
+	for name := range inputs {
+		inNames = append(inNames, name)
+	}
+	sort.Strings(inNames)
+	for i, name := range inNames {
+		fmt.Fprintf(&sb, "  in%d [label=%q shape=plaintext];\n", i, esc(name))
+	}
+	inIdx := func(name string) int {
+		for i, n := range inNames {
+			if n == name {
+				return i
+			}
+		}
+		return -1
+	}
+
+	// Edges: driver → sink per (driver prim or input, sink prim), with
+	// bit counts.
+	type edgeKey struct {
+		src  string
+		sink int
+	}
+	widths := map[edgeKey]int{}
+	labels := map[edgeKey]string{}
+	for pi := range d.Prims {
+		p := &d.Prims[pi]
+		for _, port := range p.In {
+			for _, c := range port.Bits {
+				n := &d.Nets[c.Net]
+				var src string
+				if n.Driver == netlist.NoDriver {
+					src = fmt.Sprintf("in%d", inIdx(vecBase(n.Name)))
+				} else {
+					src = fmt.Sprintf("p%d", n.Driver)
+				}
+				k := edgeKey{src, pi}
+				widths[k]++
+				labels[k] = vecBase(n.Name)
+			}
+		}
+	}
+	var keys []edgeKey
+	for k := range widths {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].src != keys[j].src {
+			return keys[i].src < keys[j].src
+		}
+		return keys[i].sink < keys[j].sink
+	})
+	for _, k := range keys {
+		lbl := labels[k]
+		if widths[k] > 1 {
+			lbl = fmt.Sprintf("%s ×%d", lbl, widths[k])
+		}
+		fmt.Fprintf(&sb, "  %s -> p%d [label=%q];\n", k.src, k.sink, esc(lbl))
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// vecBase strips a bit subscript and assertion from a net name for edge
+// labelling.
+func vecBase(name string) string {
+	if i := strings.IndexByte(name, '<'); i > 0 {
+		rest := ""
+		if j := strings.IndexByte(name[i:], '>'); j > 0 {
+			rest = name[i+j+1:]
+		}
+		return strings.TrimSpace(name[:i] + rest)
+	}
+	return name
+}
+
+// CaseDiff lists the signals whose relaxed waveforms differ between two
+// verified cases — exactly the cone the case mapping affected (§2.7).
+// Requires Options.KeepWaves.
+func CaseDiff(res *verify.Result, a, b int) string {
+	if a < 0 || b < 0 || a >= len(res.Cases) || b >= len(res.Cases) ||
+		res.Cases[a].Waves == nil || res.Cases[b].Waves == nil {
+		return "case diff unavailable: run the verifier with KeepWaves\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "SIGNALS DIFFERING BETWEEN CASE %d (%s) AND CASE %d (%s)\n\n",
+		a, res.Cases[a].Label, b, res.Cases[b].Label)
+	count := 0
+	seen := map[string]bool{}
+	for i := range res.Design.Nets {
+		wa, wb := res.Cases[a].Waves[i], res.Cases[b].Waves[i]
+		if wa.Equal(wb) {
+			continue
+		}
+		base := vecBase(res.Design.Nets[i].Name)
+		if seen[base] {
+			continue
+		}
+		seen[base] = true
+		count++
+		fmt.Fprintf(&sb, "  %-28s case %d: %s\n  %-28s case %d: %s\n",
+			base, a, WaveString(wa), "", b, WaveString(wb))
+	}
+	if count == 0 {
+		sb.WriteString("  none — the cases share every waveform\n")
+	} else {
+		fmt.Fprintf(&sb, "\n  %d signal(s) in the affected cone\n", count)
+	}
+	return sb.String()
+}

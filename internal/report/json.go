@@ -1,0 +1,74 @@
+package report
+
+import (
+	"encoding/json"
+
+	"scaldtv/internal/verify"
+)
+
+// jsonViolation is the machine-readable form of one violation.
+type jsonViolation struct {
+	Kind       string  `json:"kind"`
+	Case       string  `json:"case,omitempty"`
+	Primitive  string  `json:"primitive"`
+	Data       string  `json:"data,omitempty"`
+	Clock      string  `json:"clock,omitempty"`
+	RequiredNS float64 `json:"required_ns"`
+	ActualNS   float64 `json:"actual_ns"`
+	MarginNS   float64 `json:"margin_ns"`
+	AtNS       float64 `json:"at_ns"`
+	DataWave   string  `json:"data_wave,omitempty"`
+	ClockWave  string  `json:"clock_wave,omitempty"`
+	Detail     string  `json:"detail,omitempty"`
+}
+
+// jsonReport is the machine-readable verification outcome, for CI
+// integration.
+type jsonReport struct {
+	Design     string          `json:"design"`
+	PeriodNS   float64         `json:"period_ns"`
+	Primitives int             `json:"primitives"`
+	Nets       int             `json:"nets"`
+	Cases      int             `json:"cases"`
+	Events     int             `json:"events"`
+	Violations []jsonViolation `json:"violations"`
+	Undefined  []string        `json:"undefined_signals,omitempty"`
+	Pass       bool            `json:"pass"`
+}
+
+// JSON renders the verification result as machine-readable JSON.
+func JSON(res *verify.Result) ([]byte, error) {
+	out := jsonReport{
+		Design:     res.Design.Name,
+		PeriodNS:   res.Design.Period.NS(),
+		Primitives: res.Stats.Primitives,
+		Nets:       res.Stats.Nets,
+		Cases:      res.Stats.Cases,
+		Events:     res.Stats.Events,
+		Undefined:  res.Undefined,
+		Pass:       !res.Errors(),
+		Violations: []jsonViolation{},
+	}
+	for _, v := range res.Violations {
+		jv := jsonViolation{
+			Kind:       v.Kind.String(),
+			Case:       v.Case,
+			Primitive:  v.Prim,
+			Data:       v.Data,
+			Clock:      v.Clock,
+			RequiredNS: v.Required.NS(),
+			ActualNS:   v.Actual.NS(),
+			MarginNS:   v.Margin().NS(),
+			AtNS:       v.At.NS(),
+			Detail:     v.Detail,
+		}
+		if v.DataWave.Period > 0 {
+			jv.DataWave = WaveString(v.DataWave)
+		}
+		if v.ClockWave.Period > 0 {
+			jv.ClockWave = WaveString(v.ClockWave)
+		}
+		out.Violations = append(out.Violations, jv)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

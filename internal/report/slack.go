@@ -1,0 +1,79 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scaldtv/internal/tick"
+	"scaldtv/internal/verify"
+)
+
+// SlackListing renders the constraint margins sorted most-critical first —
+// the table a designer reads to find the paths limiting the cycle time.
+// The closing cycle-time estimate implements the §1.1 use: because design
+// clocks and assertions are specified in clock units that scale with the
+// period (§2.3), the worst set-up slack says how much faster (or how much
+// slower) the machine could run.  Requires Options.Margins.
+func SlackListing(res *verify.Result, topN int) string {
+	if len(res.Margins) == 0 {
+		return "slack listing unavailable: run the verifier with Margins\n"
+	}
+	if topN <= 0 {
+		topN = 20
+	}
+	ms := append([]verify.Margin(nil), res.Margins...)
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].Slack() < ms[j].Slack() })
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "CONSTRAINT MARGINS — design %s, cycle %s ns (%d constraints evaluated)\n\n",
+		res.Design.Name, res.Design.Period, len(ms))
+	fmt.Fprintf(&sb, "  %-10s %-34s %-26s %9s %9s %9s\n",
+		"SLACK", "CHECKER", "DATA", "REQUIRED", "ACTUAL", "AT")
+	shown := 0
+	for _, m := range ms {
+		if shown >= topN {
+			fmt.Fprintf(&sb, "  … %d more\n", len(ms)-shown)
+			break
+		}
+		shown++
+		mark := ""
+		if m.Slack() < 0 {
+			mark = "  << VIOLATED"
+		}
+		fmt.Fprintf(&sb, "  %-10s %-34s %-26s %9s %9s %9s%s\n",
+			m.Slack().String(), trunc(m.Prim, 34), trunc(m.Data, 26),
+			m.Required, m.Actual, m.At, mark)
+	}
+
+	// Cycle-time estimate from the worst set-up slack (§1.1): set-up
+	// margins track how early data settles relative to its clock edge;
+	// with clock-unit-scaled assertions the period can shrink by roughly
+	// the worst slack before the first constraint fails.
+	worst := tick.Infinity
+	for _, m := range ms {
+		if m.Kind == verify.SetupViolation && m.Slack() < worst {
+			worst = m.Slack()
+		}
+	}
+	if worst != tick.Infinity {
+		switch {
+		case worst > 0:
+			fmt.Fprintf(&sb, "\n  worst set-up slack %s ns: the %s ns cycle could shrink toward ~%s ns\n",
+				worst, res.Design.Period, res.Design.Period-worst)
+		case worst < 0:
+			fmt.Fprintf(&sb, "\n  worst set-up slack %s ns: the cycle must grow toward ~%s ns (or the path be reworked)\n",
+				worst, res.Design.Period-worst)
+		default:
+			sb.WriteString("\n  worst set-up slack 0.0 ns: the design is exactly at its cycle limit\n")
+		}
+	}
+	return sb.String()
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,111 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scaldtv/internal/tick"
+	"scaldtv/internal/values"
+	"scaldtv/internal/verify"
+)
+
+// VCD renders one verified case as a Value Change Dump for waveform
+// viewers.  The seven-value algebra maps onto VCD's four states:
+//
+//	0 → 0      1 → 1
+//	S → z      (stable at an unknown constant: "not driving a change")
+//	C, R, F → x (may be changing)
+//	U → x
+//
+// Vector bits with identical timing collapse into one variable, as in the
+// listings.  Requires Options.KeepWaves.
+func VCD(res *verify.Result, caseIdx int) string {
+	if caseIdx < 0 || caseIdx >= len(res.Cases) || res.Cases[caseIdx].Waves == nil {
+		return ""
+	}
+	cr := res.Cases[caseIdx]
+	groups := groupSignals(res.Design, cr.Waves)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "$date one clock period of %s $end\n", res.Design.Name)
+	sb.WriteString("$version scaldtv (SCALD Timing Verifier) $end\n")
+	sb.WriteString("$comment seven-value mapping: S->z, C/R/F/U->x $end\n")
+	sb.WriteString("$timescale 1ps $end\n")
+	fmt.Fprintf(&sb, "$scope module %s $end\n", vcdIdent(res.Design.Name))
+
+	ids := make([]string, len(groups))
+	for i, g := range groups {
+		ids[i] = vcdCode(i)
+		fmt.Fprintf(&sb, "$var wire 1 %s %s $end\n", ids[i], vcdIdent(g.name))
+	}
+	sb.WriteString("$upscope $end\n$enddefinitions $end\n")
+
+	// Collect change times across all groups.
+	type change struct {
+		at  tick.Time
+		idx int
+		v   byte
+	}
+	var changes []change
+	for i, g := range groups {
+		inc := g.wave.IncorporateSkew()
+		var pos tick.Time
+		for si, seg := range inc.Segs {
+			if si == 0 || vcdValue(seg.V) != vcdValue(inc.Segs[si-1].V) {
+				changes = append(changes, change{at: pos, idx: i, v: vcdValue(seg.V)})
+			}
+			pos += seg.W
+		}
+	}
+	sort.SliceStable(changes, func(a, b int) bool { return changes[a].at < changes[b].at })
+
+	cur := tick.Time(-1)
+	for _, c := range changes {
+		if c.at != cur {
+			fmt.Fprintf(&sb, "#%d\n", int64(c.at))
+			cur = c.at
+		}
+		fmt.Fprintf(&sb, "%c%s\n", c.v, ids[c.idx])
+	}
+	fmt.Fprintf(&sb, "#%d\n", int64(res.Design.Period))
+	return sb.String()
+}
+
+func vcdValue(v values.Value) byte {
+	switch v {
+	case values.V0:
+		return '0'
+	case values.V1:
+		return '1'
+	case values.VS:
+		return 'z'
+	}
+	return 'x'
+}
+
+// vcdCode generates the compact printable identifier codes VCD uses.
+func vcdCode(i int) string {
+	const base = 94 // printable ASCII '!'..'~'
+	var sb []byte
+	for {
+		sb = append(sb, byte('!'+i%base))
+		i /= base
+		if i == 0 {
+			break
+		}
+		i--
+	}
+	return string(sb)
+}
+
+// vcdIdent replaces characters VCD identifiers cannot carry.
+func vcdIdent(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		if c == ' ' || c == '<' || c == '>' || c == ':' {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,119 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"scaldtv/internal/tick"
+	"scaldtv/internal/values"
+	"scaldtv/internal/verify"
+)
+
+// Wave-art glyphs, one per signal value.
+var artGlyph = map[values.Value]byte{
+	values.V0: '_',
+	values.V1: '~',
+	values.VS: '=',
+	values.VC: 'x',
+	values.VR: '/',
+	values.VF: '\\',
+	values.VU: '?',
+}
+
+// WaveArtLine renders one waveform as a fixed-width ASCII strip, one glyph
+// per time bucket: _ low, ~ high, = stable, x changing, / rising,
+// \ falling, ? unknown.  Skew is incorporated so uncertainty shows as
+// bands.
+func WaveArtLine(w values.Waveform, width int) string {
+	if width <= 0 {
+		width = 64
+	}
+	inc := w.IncorporateSkew()
+	var sb strings.Builder
+	for col := 0; col < width; col++ {
+		// Sample the bucket at several points: if the value changes
+		// within the bucket, show the transition glyph.
+		t0 := tick.Time(int64(inc.Period) * int64(col) / int64(width))
+		t1 := tick.Time(int64(inc.Period)*int64(col+1)/int64(width) - 1)
+		if t1 < t0 {
+			t1 = t0
+		}
+		v0, v1 := inc.At(t0), inc.At(t1)
+		g := artGlyph[v0]
+		if v0 != v1 {
+			switch {
+			case v0 == values.V0 && v1 == values.V1:
+				g = '/'
+			case v0 == values.V1 && v1 == values.V0:
+				g = '\\'
+			default:
+				g = artGlyph[v1]
+			}
+		}
+		sb.WriteByte(g)
+	}
+	return sb.String()
+}
+
+// WaveArt renders the Fig 3-10 information as an ASCII timing diagram: a
+// time ruler followed by one strip per signal row (vector bits with
+// identical timing collapsed, as in TimingSummary).  Requires
+// Options.KeepWaves.
+func WaveArt(res *verify.Result, caseIdx, width int) string {
+	if caseIdx < 0 || caseIdx >= len(res.Cases) || res.Cases[caseIdx].Waves == nil {
+		return "wave art unavailable: run the verifier with KeepWaves\n"
+	}
+	if width <= 0 {
+		width = 64
+	}
+	cr := res.Cases[caseIdx]
+	groups := groupSignals(res.Design, cr.Waves)
+	nameW := 0
+	for _, g := range groups {
+		if len(g.name) > nameW {
+			nameW = len(g.name)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "WAVEFORMS — design %s, cycle %s ns", res.Design.Name, res.Design.Period)
+	if cr.Label != "" {
+		fmt.Fprintf(&sb, ", case %s", cr.Label)
+	}
+	sb.WriteString("\n")
+	sb.WriteString("  (_ low  ~ high  = stable  x changing  / rising  \\ falling  ? unknown)\n\n")
+
+	// Time ruler: a tick every width/8 columns.
+	ruler := make([]byte, width)
+	for i := range ruler {
+		ruler[i] = ' '
+	}
+	marks := 8
+	var labels strings.Builder
+	fmt.Fprintf(&labels, "  %-*s  ", nameW, "")
+	prev := 0
+	for m := 0; m <= marks; m++ {
+		col := width * m / marks
+		if col < width {
+			ruler[col] = '|'
+		}
+		t := tick.Time(int64(res.Design.Period) * int64(m) / int64(marks))
+		lbl := t.String()
+		pad := width*m/marks - prev
+		if pad < 0 {
+			pad = 0
+		}
+		if m < marks {
+			labels.WriteString(strings.Repeat(" ", pad))
+			labels.WriteString(lbl)
+			prev = width*m/marks + len(lbl)
+		}
+	}
+	sb.WriteString(labels.String())
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "  %-*s  %s\n", nameW, "", string(ruler))
+
+	for _, g := range groups {
+		fmt.Fprintf(&sb, "  %-*s  %s\n", nameW, g.name, WaveArtLine(g.wave, width))
+	}
+	return sb.String()
+}

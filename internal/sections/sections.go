@@ -1,0 +1,172 @@
+// Package sections implements the paper's modular verification workflow
+// (§2.5.2): a large design is verified section by section, each section a
+// separate source file, with interface signals carrying timing assertions
+// in their names.  "After each section is verified, SCALD checks to see
+// that all interface signals have the same timing assertions on them.  If
+// no section of a design being verified has a timing error and if all of
+// the interface signals of all such sections have consistent assertions on
+// them, then the entire design must be free of timing errors."
+package sections
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scaldtv/internal/expand"
+	"scaldtv/internal/hdl"
+	"scaldtv/internal/netlist"
+	"scaldtv/internal/verify"
+)
+
+// Section is one verified design section.
+type Section struct {
+	Name   string
+	Design *netlist.Design
+	Result *verify.Result
+
+	// Interface signals: produced (driven here) and consumed (undriven
+	// here, relying on an assertion), by base name → assertion spelling.
+	Produced map[string]string
+	Consumed map[string]string
+}
+
+// Mismatch records an interface inconsistency between two sections.
+type Mismatch struct {
+	Signal             string
+	SectionA, SectionB string
+	AssertA, AssertB   string
+}
+
+// String renders the mismatch.
+func (m Mismatch) String() string {
+	return fmt.Sprintf("interface signal %q: %s asserts %q but %s asserts %q",
+		m.Signal, m.SectionA, m.AssertA, m.SectionB, m.AssertB)
+}
+
+// Report is the outcome of a modular verification run.
+type Report struct {
+	Sections   []*Section
+	Mismatches []Mismatch
+	Violations int // total across sections
+}
+
+// Clean reports the §2.5.2 conclusion: every section verified without
+// error and every shared interface assertion is consistent, so the whole
+// design is free of timing errors.
+func (r *Report) Clean() bool { return r.Violations == 0 && len(r.Mismatches) == 0 }
+
+// Verify compiles and verifies each named section source independently and
+// cross-checks the interface assertions.
+func Verify(srcs map[string]string, opts verify.Options) (*Report, error) {
+	rep := &Report{}
+	var names []string
+	for name := range srcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		f, err := hdl.Parse(srcs[name])
+		if err != nil {
+			return nil, fmt.Errorf("sections: %s: %v", name, err)
+		}
+		d, _, err := expand.Expand(f)
+		if err != nil {
+			return nil, fmt.Errorf("sections: %s: %v", name, err)
+		}
+		res, err := verify.Run(d, opts)
+		if err != nil {
+			return nil, fmt.Errorf("sections: %s: %v", name, err)
+		}
+		sec := &Section{
+			Name: name, Design: d, Result: res,
+			Produced: map[string]string{},
+			Consumed: map[string]string{},
+		}
+		for i := range d.Nets {
+			n := &d.Nets[i]
+			if n.Assert == nil {
+				continue
+			}
+			base := logicalBase(n.Base)
+			if n.Driver == netlist.NoDriver {
+				sec.Consumed[base] = n.Assert.String()
+			} else {
+				sec.Produced[base] = n.Assert.String()
+			}
+		}
+		rep.Violations += len(res.Violations)
+		rep.Sections = append(rep.Sections, sec)
+	}
+
+	// Interface consistency: any signal appearing in two sections — in
+	// either role — must carry the same assertion spelling everywhere.
+	type seenAt struct {
+		section string
+		assert  string
+	}
+	seen := map[string]seenAt{}
+	record := func(secName, base, assert string) {
+		if prev, ok := seen[base]; ok {
+			if prev.assert != assert {
+				rep.Mismatches = append(rep.Mismatches, Mismatch{
+					Signal:   base,
+					SectionA: prev.section, AssertA: prev.assert,
+					SectionB: secName, AssertB: assert,
+				})
+			}
+			return
+		}
+		seen[base] = seenAt{secName, assert}
+	}
+	for _, sec := range rep.Sections {
+		for base, a := range sec.Produced {
+			record(sec.Name, base, a)
+		}
+		for base, a := range sec.Consumed {
+			record(sec.Name, base, a)
+		}
+	}
+	sort.Slice(rep.Mismatches, func(i, j int) bool { return rep.Mismatches[i].Signal < rep.Mismatches[j].Signal })
+	return rep, nil
+}
+
+// logicalBase strips a bit subscript so vector interfaces compare as one
+// signal.
+func logicalBase(base string) string {
+	if i := strings.IndexByte(base, '<'); i > 0 && strings.HasSuffix(base, ">") {
+		return base[:i]
+	}
+	return base
+}
+
+// String renders the modular verification summary.
+func (r *Report) String() string {
+	var sb strings.Builder
+	sb.WriteString("MODULAR VERIFICATION (§2.5.2)\n\n")
+	for _, sec := range r.Sections {
+		status := "clean"
+		if len(sec.Result.Violations) > 0 {
+			status = fmt.Sprintf("%d violation(s)", len(sec.Result.Violations))
+		}
+		fmt.Fprintf(&sb, "  section %-24s %4d primitives  %s\n",
+			sec.Name, len(sec.Design.Prims), status)
+	}
+	sb.WriteString("\n")
+	if len(r.Mismatches) > 0 {
+		sb.WriteString("  INTERFACE ASSERTION MISMATCHES\n")
+		for _, m := range r.Mismatches {
+			fmt.Fprintf(&sb, "    %s\n", m)
+		}
+		sb.WriteString("\n")
+	}
+	if r.Clean() {
+		sb.WriteString("  every section clean, every interface consistent:\n")
+		sb.WriteString("  the entire design is free of timing errors (§2.5.2)\n")
+	} else {
+		fmt.Fprintf(&sb, "  NOT CLEAN: %d violation(s), %d interface mismatch(es)\n",
+			r.Violations, len(r.Mismatches))
+	}
+	return sb.String()
+}

@@ -1,0 +1,110 @@
+package sections
+
+import (
+	"strings"
+	"testing"
+
+	"scaldtv/internal/lib"
+	"scaldtv/internal/verify"
+)
+
+const header = `
+period 50ns
+clockunit 6.25ns
+defaultwire 0ns 2ns
+skew precision -1ns 1ns
+`
+
+func fetch(assert string) string {
+	return header + lib.Prelude + `
+use "REG 10176" "SRC REG" SIZE=8 (CK="MCK .P0-4", I="SRC DATA .S6-12"<0:7>, Q="SRC Q"<0:7>)
+use "2 MUX 10173" "OP SEL" SIZE=8 (S="OP SELECT .S0-8", D0="SRC Q"<0:7>, D1="IMM .S0-8"<0:7>, O="OPERAND BUS ` + assert + `"<0:7>)
+`
+}
+
+func execute(assert string) string {
+	return header + lib.Prelude + `
+use "ALU 10181" "EXEC ALU" SIZE=8 (A="OPERAND BUS ` + assert + `"<0:7>, B="ACCUM .S2-9"<0:7>, C1="CARRY .S2-9", S="FUNC .S0-8"<0:3>, E="ENCK .P4-5", F=RESULT<0:7>)
+use "REG 10176" "STATUS REG" SIZE=8 (CK="MCK .P0-4", I=RESULT<0:7>, Q=STATUS<0:7>)
+`
+}
+
+func TestModularClean(t *testing.T) {
+	rep, err := Verify(map[string]string{
+		"fetch":   fetch(".S2.5-8.2"),
+		"execute": execute(".S2.5-8.2"),
+	}, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("expected clean modular run:\n%s", rep)
+	}
+	if len(rep.Sections) != 2 {
+		t.Fatalf("sections = %d", len(rep.Sections))
+	}
+	// The producer and the consumer both see the interface signal.
+	var prod, cons bool
+	for _, sec := range rep.Sections {
+		if _, ok := sec.Produced["OPERAND BUS"]; ok {
+			prod = true
+		}
+		if _, ok := sec.Consumed["OPERAND BUS"]; ok {
+			cons = true
+		}
+	}
+	if !prod || !cons {
+		t.Errorf("interface roles wrong: produced=%v consumed=%v", prod, cons)
+	}
+	if s := rep.String(); !strings.Contains(s, "free of timing errors") {
+		t.Errorf("summary wrong:\n%s", s)
+	}
+}
+
+func TestInterfaceMismatchCaught(t *testing.T) {
+	// The two designers disagree about when the bus is stable: the fetch
+	// side promises .S2.5-8.2, the execute side relies on .S2-8.2.
+	rep, err := Verify(map[string]string{
+		"fetch":   fetch(".S2.5-8.2"),
+		"execute": execute(".S2-8.2"),
+	}, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Mismatches) != 1 {
+		t.Fatalf("mismatches = %+v", rep.Mismatches)
+	}
+	m := rep.Mismatches[0]
+	if m.Signal != "OPERAND BUS" {
+		t.Errorf("mismatch signal = %q", m.Signal)
+	}
+	if rep.Clean() {
+		t.Error("mismatched interfaces must not be clean")
+	}
+	if s := rep.String(); !strings.Contains(s, "MISMATCH") {
+		t.Errorf("summary missing mismatch:\n%s", s)
+	}
+}
+
+func TestSectionViolationBlocksClean(t *testing.T) {
+	late := strings.Replace(fetch(".S2.5-8.2"), "SRC DATA .S6-12", "SRC DATA .S7.8-8", 1)
+	rep, err := Verify(map[string]string{
+		"fetch":   late,
+		"execute": execute(".S2.5-8.2"),
+	}, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations == 0 || rep.Clean() {
+		t.Errorf("section violation not reflected: %+v", rep)
+	}
+}
+
+func TestSectionErrors(t *testing.T) {
+	if _, err := Verify(map[string]string{"bad": "nonsense"}, verify.Options{}); err == nil {
+		t.Error("parse error not propagated")
+	}
+	if _, err := Verify(map[string]string{"bad": "period 50ns\nuse NO (A=B)"}, verify.Options{}); err == nil {
+		t.Error("expand error not propagated")
+	}
+}

@@ -1,0 +1,157 @@
+// Package tick provides the integer time base used throughout the timing
+// verifier.
+//
+// The paper (McWilliams 1980, §2.3) expresses component timing in absolute
+// units (nanoseconds) and design-level clocks and assertions in designer
+// chosen "clock units" that scale with the clock period.  All quantities in
+// the paper have 0.1 ns resolution or coarser, so an integer picosecond time
+// base represents every value exactly and keeps waveform arithmetic free of
+// floating point drift.
+package tick
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Time is a duration or instant measured in integer picoseconds.
+type Time int64
+
+// Common unit multipliers.
+const (
+	PS Time = 1
+	NS Time = 1000
+	US Time = 1000 * NS
+	MS Time = 1000 * US
+)
+
+// Infinity is a sentinel used for "no constraint" margins in reports.  It is
+// far larger than any realistic circuit period (about 106 days).
+const Infinity Time = 1<<63 - 1
+
+// FromNS converts a (possibly fractional) nanosecond quantity to a Time.
+// Values are rounded to the nearest picosecond; the paper's data never needs
+// sub-picosecond resolution.
+func FromNS(ns float64) Time {
+	if ns >= 0 {
+		return Time(ns*1000 + 0.5)
+	}
+	return Time(ns*1000 - 0.5)
+}
+
+// NS reports t in nanoseconds as a float64 (for display only).
+func (t Time) NS() float64 { return float64(t) / 1000 }
+
+// String renders the time in nanoseconds with the minimum number of decimal
+// places, matching the paper's listings (e.g. "5.5", "-1.0", "0.0").
+func (t Time) String() string {
+	neg := t < 0
+	v := t
+	if neg {
+		v = -v
+	}
+	whole := v / 1000
+	frac := v % 1000
+	var s string
+	switch {
+	case frac == 0:
+		s = fmt.Sprintf("%d.0", whole)
+	case frac%100 == 0:
+		s = fmt.Sprintf("%d.%d", whole, frac/100)
+	case frac%10 == 0:
+		s = fmt.Sprintf("%d.%02d", whole, frac/10)
+	default:
+		s = fmt.Sprintf("%d.%03d", whole, frac)
+	}
+	if neg {
+		return "-" + s
+	}
+	return s
+}
+
+// Parse reads a time literal.  An explicit unit suffix ("ps", "ns", "us",
+// "ms") may follow the number; a bare number is taken to be nanoseconds,
+// which is the paper's absolute unit.
+func Parse(s string) (Time, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("tick: empty time literal")
+	}
+	mult := NS
+	lower := strings.ToLower(s)
+	for _, u := range []struct {
+		suffix string
+		m      Time
+	}{{"ps", PS}, {"ns", NS}, {"us", US}, {"ms", MS}} {
+		if strings.HasSuffix(lower, u.suffix) {
+			mult = u.m
+			s = strings.TrimSpace(s[:len(s)-len(u.suffix)])
+			break
+		}
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("tick: bad time literal %q: %v", s, err)
+	}
+	scaled := f * float64(mult)
+	if scaled >= 0 {
+		return Time(scaled + 0.5), nil
+	}
+	return Time(scaled - 0.5), nil
+}
+
+// MustParse is Parse for literals known to be valid at compile time; it
+// panics on error and is intended for tests and built-in library source.
+func MustParse(s string) Time {
+	t, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Mod reduces t into the half-open interval [0, period).  It accepts
+// negative t, which arises constantly when set-up windows reach backwards
+// across the cycle boundary (§3.2: assertions are taken modulo the cycle
+// time).
+func Mod(t, period Time) Time {
+	if period <= 0 {
+		panic("tick: non-positive period")
+	}
+	m := t % period
+	if m < 0 {
+		m += period
+	}
+	return m
+}
+
+// Range is a closed min/max pair, used for propagation and interconnection
+// delays (§2.4, §2.5.3).
+type Range struct {
+	Min, Max Time
+}
+
+// R builds a Range from nanosecond quantities.
+func R(minNS, maxNS float64) Range {
+	return Range{Min: FromNS(minNS), Max: FromNS(maxNS)}
+}
+
+// Valid reports whether the range is well formed (Min ≤ Max).  Negative
+// minima are permitted: clock skew specifications such as (-1.0, +1.0)
+// deliberately reach backwards in time (§2.5.1).
+func (r Range) Valid() bool { return r.Min <= r.Max }
+
+// Width is the delay uncertainty Max-Min, which becomes waveform skew when a
+// signal passes through the delay (§2.8, Fig 2-8).
+func (r Range) Width() Time { return r.Max - r.Min }
+
+// Add composes two delays in series.
+func (r Range) Add(o Range) Range { return Range{Min: r.Min + o.Min, Max: r.Max + o.Max} }
+
+// IsZero reports whether the range is exactly zero delay.
+func (r Range) IsZero() bool { return r.Min == 0 && r.Max == 0 }
+
+// String renders the range as "min/max" in nanoseconds, the style used in
+// the paper's prose ("0.0/2.0 nsec").
+func (r Range) String() string { return r.Min.String() + "/" + r.Max.String() }

@@ -1,0 +1,170 @@
+package tick
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFromNS(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want Time
+	}{
+		{0, 0},
+		{1, 1000},
+		{2.5, 2500},
+		{-1, -1000},
+		{-2.5, -2500},
+		{0.001, 1},
+		{6.25, 6250},
+		{0.0004, 0}, // rounds to nearest ps
+		{0.0006, 1},
+	}
+	for _, c := range cases {
+		if got := FromNS(c.in); got != c.want {
+			t.Errorf("FromNS(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0.0"},
+		{1000, "1.0"},
+		{2500, "2.5"},
+		{-1000, "-1.0"},
+		{5500, "5.5"},
+		{6250, "6.25"},
+		{1, "0.001"},
+		{25500, "25.5"},
+		{47500, "47.5"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Time
+		ok   bool
+	}{
+		{"2.5", 2500, true},
+		{"2.5ns", 2500, true},
+		{"2.5 ns", 2500, true},
+		{"10ps", 10, true},
+		{"1us", 1000000, true},
+		{"1ms", 1000000000, true},
+		{"-1.0", -1000, true},
+		{"-1.0ns", -1000, true},
+		{"0", 0, true},
+		{"50NS", 50000, true},
+		{"", 0, false},
+		{"abc", 0, false},
+		{"1.2.3", 0, false},
+		{"ns", 0, false},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("Parse(%q) = %d, %v; want %d, nil", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", c.in)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	f := func(v int32) bool {
+		tm := Time(v)
+		got, err := Parse(tm.String())
+		return err == nil && got == tm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse(bad) did not panic")
+		}
+	}()
+	MustParse("not a time")
+}
+
+func TestMod(t *testing.T) {
+	cases := []struct {
+		t, p, want Time
+	}{
+		{0, 50, 0},
+		{50, 50, 0},
+		{75, 50, 25},
+		{-10, 50, 40},
+		{-50, 50, 0},
+		{-60, 50, 40},
+		{100, 50, 0},
+	}
+	for _, c := range cases {
+		if got := Mod(c.t, c.p); got != c.want {
+			t.Errorf("Mod(%d, %d) = %d, want %d", c.t, c.p, got, c.want)
+		}
+	}
+}
+
+func TestModProperty(t *testing.T) {
+	f := func(v int64) bool {
+		const p = 50000
+		m := Mod(Time(v%1<<40), p)
+		return m >= 0 && m < p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Mod with zero period did not panic")
+		}
+	}()
+	Mod(1, 0)
+}
+
+func TestRange(t *testing.T) {
+	r := R(1.0, 3.8)
+	if !r.Valid() {
+		t.Error("R(1.0, 3.8) should be valid")
+	}
+	if r.Width() != 2800 {
+		t.Errorf("Width = %d, want 2800", r.Width())
+	}
+	if got := r.Add(R(0, 2)).Max; got != 5800 {
+		t.Errorf("Add Max = %d, want 5800", got)
+	}
+	if r.String() != "1.0/3.8" {
+		t.Errorf("String = %q", r.String())
+	}
+	if (Range{Min: 5, Max: 3}).Valid() {
+		t.Error("inverted range should be invalid")
+	}
+	skew := R(-1, 1)
+	if !skew.Valid() {
+		t.Error("negative-min skew range should be valid")
+	}
+	if !(Range{}).IsZero() {
+		t.Error("zero range should report IsZero")
+	}
+	if r.IsZero() {
+		t.Error("nonzero range should not report IsZero")
+	}
+}

@@ -1,0 +1,106 @@
+package values
+
+import (
+	"testing"
+
+	"scaldtv/internal/tick"
+)
+
+// §4.2.2: direction-dependent delays — the nMOS-style asymmetric case.
+
+func TestDelayRFCrispClock(t *testing.T) {
+	// A clock high 20–30, rise delay 2/3, fall delay 5/7.
+	w := clock(20, 30).DelayRF(tick.R(2, 3), tick.R(5, 7))
+	for _, c := range []struct {
+		at   tick.Time
+		want Value
+	}{
+		{ns(21), V0},   // before the earliest rise
+		{ns(22.5), VR}, // rising band 22–23
+		{ns(23.5), V1}, // solid high
+		{ns(34.5), V1}, // the falling edge starts at 30+5
+		{ns(35.5), VF}, // falling band 35–37
+		{ns(37.5), V0},
+	} {
+		if got := w.At(c.at); got != c.want {
+			t.Errorf("At(%v) = %v, want %v\n%v", c.at, got, c.want, w)
+		}
+	}
+	if err := w.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// The pulse stretches: nominal 10 ns becomes at least 35-23 = 12 ns.
+	ps := w.HighPulses()
+	if len(ps) != 1 || ps[0].MinWidth != ns(12) {
+		t.Errorf("stretched pulse = %+v, want min width 12 ns", ps)
+	}
+}
+
+func TestDelayRFEqualFallsBackToDelay(t *testing.T) {
+	w := clock(20, 30)
+	a := w.DelayRF(tick.R(1, 3), tick.R(1, 3))
+	b := w.Delay(tick.R(1, 3))
+	if !a.Equal(b) {
+		t.Errorf("equal rise/fall should behave as Delay:\n%v\n%v", a, b)
+	}
+}
+
+func TestDelayRFSwallowedPulse(t *testing.T) {
+	// A 3 ns pulse where the rising edge may take up to 6 ns but the
+	// falling edge as little as 1 ns: the delayed edges may cross, so the
+	// pulse may vanish — a CHANGE region, never a guaranteed 1.
+	w := Const(p50, V0).Paint(ns(20), ns(23), V1).DelayRF(tick.R(2, 6), tick.R(1, 2))
+	sawC, saw1 := false, false
+	for _, s := range w.Segs {
+		if s.V == V1 {
+			saw1 = true
+		}
+		if s.V == VC {
+			sawC = true
+		}
+	}
+	if !sawC || saw1 {
+		t.Errorf("crossing edges should give C and no solid 1: %v", w)
+	}
+}
+
+func TestDelayRFUnknownValuesUseEnvelope(t *testing.T) {
+	// A stable/changing waveform has no known edge directions: the
+	// conservative envelope (min of mins, max of maxes) applies.
+	w := FromSpans(p50, VS, Span{ns(10), ns(20), VC})
+	got := w.DelayRF(tick.R(2, 3), tick.R(5, 7))
+	want := w.Delay(tick.Range{Min: ns(2), Max: ns(7)})
+	if !got.Equal(want) {
+		t.Errorf("envelope fallback wrong:\n%v\n%v", got, want)
+	}
+}
+
+func TestDelayRFConstant(t *testing.T) {
+	w := Const(p50, V1).DelayRF(tick.R(1, 2), tick.R(3, 4))
+	if v, ok := w.ConstantValue(); !ok || v != V1 {
+		t.Errorf("constant through RF delay changed: %v", w)
+	}
+}
+
+func TestDelayRFCarriedSkewFolds(t *testing.T) {
+	// Carried skew shifts both edge kinds alike and folds into the bands
+	// (with equal rise/fall delays the skew-carrying Delay path is used
+	// instead, preserving pulse widths).
+	w := clock(20, 30).WithSkew(ns(2)).DelayRF(tick.R(1, 1), tick.R(2, 2))
+	// Rise band 21–23 (1 ns delay + 2 ns skew), fall band 32–34.
+	if w.At(ns(22)) != VR || w.At(ns(33)) != VF {
+		t.Errorf("skew not folded into RF bands: %v", w)
+	}
+	if w.Skew != 0 {
+		t.Errorf("skew should be consumed, got %v", w.Skew)
+	}
+}
+
+func TestDelayRFPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	Const(p50, V0).DelayRF(tick.Range{Min: 3, Max: 1}, tick.R(1, 2))
+}

@@ -1,0 +1,345 @@
+package values
+
+import (
+	"scaldtv/internal/tick"
+)
+
+// Run is a maximal interval of a single value, with circular (wrap-aware)
+// merging: if the waveform starts and ends the period with the same value,
+// those segments form one run crossing the cycle boundary.  Start is taken
+// modulo the period; Start+Width may exceed the period for the wrapping
+// run.
+type Run struct {
+	Start tick.Time
+	Width tick.Time
+	V     Value
+}
+
+// End returns the (possibly unwrapped, i.e. > period) end of the run.
+func (r Run) End() tick.Time { return r.Start + r.Width }
+
+// Runs returns the circular runs of the waveform in time order of their
+// starts.  A constant waveform yields a single run starting at 0.  The
+// out-of-band skew is ignored: call IncorporateSkew first when transition
+// placement uncertainty matters.
+func (w Waveform) Runs() []Run {
+	n := w.normalize()
+	if v, ok := n.ConstantValue(); ok {
+		return []Run{{Start: 0, Width: n.Period, V: v}}
+	}
+	segs := n.Segs
+	var runs []Run
+	var pos tick.Time
+	for _, s := range segs {
+		runs = append(runs, Run{Start: pos, Width: s.W, V: s.V})
+		pos += s.W
+	}
+	// Wrap-merge: if first and last runs hold the same value they are one
+	// circular run starting at the last run's start.
+	if k := len(runs); k >= 2 && runs[0].V == runs[k-1].V {
+		runs[k-1].Width += runs[0].Width
+		runs = runs[1:]
+	}
+	return runs
+}
+
+// Transition records a value change at a single instant.
+type Transition struct {
+	At       tick.Time
+	From, To Value
+}
+
+// Transitions returns every value change over the period, in time order.
+// A constant waveform has none.
+func (w Waveform) Transitions() []Transition {
+	runs := w.Runs()
+	if len(runs) < 2 {
+		return nil
+	}
+	out := make([]Transition, 0, len(runs))
+	for i, r := range runs {
+		prev := runs[(i+len(runs)-1)%len(runs)]
+		out = append(out, Transition{At: tick.Mod(r.Start, w.Period), From: prev.V, To: r.V})
+	}
+	// Runs are already start-ordered except that the wrapped run sorts by
+	// its (mod-period) start; re-sort defensively.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].At < out[j-1].At; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Edge is a window within which a clock transition may occur.  For a crisp
+// transition Start == End; for a transition carried in a RISE/FALL/CHANGE
+// band the window spans the band.  End may exceed the period for a band
+// crossing the cycle boundary.
+type Edge struct {
+	Start, End tick.Time
+}
+
+// RisingEdges returns the windows in which the signal may transition from
+// low to high, operating on the skew-incorporated waveform.  They comprise
+// RISE bands, direct 0→1 (or stable→1) transitions, and — conservatively —
+// CHANGE bands, within which a rising edge cannot be ruled out.  UNKNOWN
+// regions contribute no edges; the verifier reports clocks with undefined
+// values separately.
+func (w Waveform) RisingEdges() []Edge {
+	return w.edges(VR, V1)
+}
+
+// FallingEdges is the mirror image of RisingEdges for high-to-low
+// transitions.
+func (w Waveform) FallingEdges() []Edge {
+	return w.edges(VF, V0)
+}
+
+func (w Waveform) edges(band, target Value) []Edge {
+	inc := w.IncorporateSkew()
+	runs := inc.Runs()
+	if len(runs) < 2 {
+		return nil
+	}
+	var out []Edge
+	for i, r := range runs {
+		prev := runs[(i+len(runs)-1)%len(runs)]
+		switch r.V {
+		case band, VC:
+			out = append(out, Edge{Start: tick.Mod(r.Start, inc.Period), End: tick.Mod(r.Start, inc.Period) + r.Width})
+		case target:
+			// Direct transition into the target level.  A preceding band
+			// run already covers the transition window.
+			if prev.V != band && prev.V != VC && prev.V != VU && prev.V != target {
+				t := tick.Mod(r.Start, inc.Period)
+				out = append(out, Edge{Start: t, End: t})
+			}
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Start < out[j-1].Start; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// constFlip reports whether crossing from value a to value b is a physical
+// level change: both are logic constants and they differ.  (A STABLE run
+// resolving into a known constant is representational, not physical — the
+// signal may have held that constant all along.)
+func constFlip(a, b Value) bool {
+	return a.Const() && b.Const() && a != b
+}
+
+// StableBack returns how far stability extends backwards from instant t:
+// the largest d ≤ period such that the value over [t-d, t) is everywhere
+// stable (0, 1 or STABLE) with no crisp 0↔1 level change inside.  A fully
+// stable waveform returns the period.
+func (w Waveform) StableBack(t tick.Time) tick.Time {
+	inc := w.IncorporateSkew()
+	t = tick.Mod(t, inc.Period)
+	var d tick.Time
+	var prev Value
+	first := true
+	for d < inc.Period {
+		r := inc.runContaining(tick.Mod(t-d-1, inc.Period))
+		if !r.V.Stable() {
+			break
+		}
+		if !first && constFlip(r.V, prev) {
+			break
+		}
+		ext := tick.Mod(t-d, inc.Period) - r.Start
+		if ext <= 0 {
+			ext += inc.Period
+		}
+		d += ext
+		prev, first = r.V, false
+	}
+	return min(d, inc.Period)
+}
+
+// StableFwd returns how far stability extends forwards from instant t: the
+// largest d ≤ period such that the value over [t, t+d) is everywhere
+// stable with no crisp 0↔1 level change inside.
+func (w Waveform) StableFwd(t tick.Time) tick.Time {
+	inc := w.IncorporateSkew()
+	t = tick.Mod(t, inc.Period)
+	var d tick.Time
+	var prev Value
+	first := true
+	for d < inc.Period {
+		r := inc.runContaining(tick.Mod(t+d, inc.Period))
+		if !r.V.Stable() {
+			break
+		}
+		if !first && constFlip(prev, r.V) {
+			break
+		}
+		ext := r.End() - tick.Mod(t+d, inc.Period)
+		d += ext
+		prev, first = r.V, false
+	}
+	return min(d, inc.Period)
+}
+
+// runContaining returns the circular run containing instant t ∈ [0, period).
+func (w Waveform) runContaining(t tick.Time) Run {
+	runs := w.Runs()
+	for _, r := range runs {
+		if t >= r.Start && t < r.End() {
+			return r
+		}
+		// The wrapping run also covers [0, End-period).
+		if r.End() > w.Period && t < r.End()-w.Period {
+			return Run{Start: r.Start - w.Period, Width: r.Width, V: r.V}
+		}
+	}
+	return runs[len(runs)-1]
+}
+
+// StableThroughout reports whether the value is stable at every instant of
+// [start, end) with no crisp 0↔1 level change inside — a window of length
+// ≤ period that may wrap the cycle boundary.  An empty window is trivially
+// stable.
+func (w Waveform) StableThroughout(start, end tick.Time) bool {
+	length := end - start
+	if length <= 0 {
+		return true
+	}
+	if length >= w.Period {
+		length = w.Period
+	}
+	inc := w.IncorporateSkew()
+	s := tick.Mod(start, inc.Period)
+	var covered tick.Time
+	var prev Value
+	first := true
+	for covered < length {
+		r := inc.runContaining(tick.Mod(s+covered, inc.Period))
+		if !r.V.Stable() {
+			return false
+		}
+		if !first && constFlip(prev, r.V) {
+			return false
+		}
+		ext := r.End() - tick.Mod(s+covered, inc.Period)
+		if ext <= 0 {
+			ext += inc.Period
+		}
+		covered += ext
+		prev, first = r.V, false
+	}
+	return true
+}
+
+// Activity reduces a waveform to its change behaviour: UNKNOWN where the
+// signal is undefined, CHANGE where it may be changing — including
+// picosecond markers at crisp 0↔1 level flips, which are physical changes
+// even though both levels are stable values — and STABLE elsewhere.  It is
+// the input transformation for the CHANGE function and for multiplexer
+// select aggregation.
+func (w Waveform) Activity() Waveform {
+	out := w.MapUnary(func(v Value) Value {
+		switch {
+		case v == VU:
+			return VU
+		case v.Changing():
+			return VC
+		}
+		return VS
+	})
+	for _, tr := range w.Transitions() {
+		if constFlip(tr.From, tr.To) {
+			out = out.Paint(tr.At, tr.At+1, VC)
+		}
+	}
+	return out
+}
+
+// Pulse describes one possible pulse of a waveform at a given polarity.
+// MinWidth is the guaranteed (worst-case narrowest) width; MaxWidth the
+// widest possible extent including transition bands.
+type Pulse struct {
+	Start    tick.Time // start of the earliest possible leading edge
+	MinWidth tick.Time
+	MaxWidth tick.Time
+}
+
+// HighPulses analyses the waveform for distinct intervals during which the
+// signal may be high: maximal circular groups of 1, RISE, FALL and CHANGE
+// runs.  The guaranteed width of a pulse is its longest contiguous solid-1
+// stretch — the leading edge may occur as late as the end of its RISE band
+// and the trailing edge as early as the start of its FALL band.  A group
+// with no solid-1 run (Fig 1-5's gated-clock hazard) has MinWidth 0: the
+// pulse may be arbitrarily narrow.  A waveform that is high (or stable) for
+// the whole period has no pulses.
+//
+// Out-of-band skew is deliberately *ignored*: a pure delay shifts both
+// edges of a pulse by the same amount, so its width is unchanged.  This is
+// precisely why the Verifier carries skew separately — to avoid incorrectly
+// asserting that minimum pulse width requirements have not been met (§2.8).
+func (w Waveform) HighPulses() []Pulse { return w.pulses(V1, V0) }
+
+// LowPulses is the mirror image of HighPulses for low-going pulses.
+func (w Waveform) LowPulses() []Pulse { return w.pulses(V0, V1) }
+
+func (w Waveform) pulses(level, rest Value) []Pulse {
+	inc := w.normalize()
+	runs := inc.Runs()
+	if len(runs) < 2 {
+		return nil
+	}
+	inGroup := func(v Value) bool {
+		return v == level || v == VR || v == VF || v == VC
+	}
+	// Find a starting index at a non-group run so circular groups are not
+	// split across the scan origin.
+	start := -1
+	for i, r := range runs {
+		if !inGroup(r.V) {
+			start = i
+			break
+		}
+	}
+	if start == -1 {
+		return nil // never definitively at rest: no distinct pulses
+	}
+	// Rotate the circular run list so a non-group run comes first; every
+	// group is then a contiguous stretch of the linear slice.
+	n := len(runs)
+	rot := make([]Run, 0, n)
+	for k := 0; k < n; k++ {
+		rot = append(rot, runs[(start+k)%n])
+	}
+	var out []Pulse
+	for i := 0; i < n; {
+		if !inGroup(rot[i].V) {
+			i++
+			continue
+		}
+		j := i
+		for j < n && inGroup(rot[j].V) {
+			j++
+		}
+		group := rot[i:j]
+		var maxw, solid, best tick.Time
+		for _, g := range group {
+			maxw += g.Width
+			if g.V == level {
+				solid += g.Width
+				best = max(best, solid)
+			} else {
+				solid = 0
+			}
+		}
+		out = append(out, Pulse{
+			Start:    tick.Mod(group[0].Start, inc.Period),
+			MinWidth: best,
+			MaxWidth: maxw,
+		})
+		i = j
+	}
+	return out
+}

@@ -1,0 +1,339 @@
+package values
+
+import (
+	"testing"
+
+	"scaldtv/internal/tick"
+)
+
+func clock(high0, high1 float64) Waveform {
+	return Const(p50, V0).Paint(ns(high0), ns(high1), V1)
+}
+
+func TestRuns(t *testing.T) {
+	w := clock(20, 30)
+	runs := w.Runs()
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs, want 2: %v", len(runs), runs)
+	}
+	// The low run wraps the cycle boundary: 30 → 70 (= 20 next cycle).
+	if runs[0].V != V0 && runs[1].V != V0 {
+		t.Fatal("no low run")
+	}
+	for _, r := range runs {
+		if r.V == V0 {
+			if r.Width != ns(40) {
+				t.Errorf("low run width %v, want 40ns", r.Width)
+			}
+			if tick.Mod(r.Start, p50) != ns(30) {
+				t.Errorf("low run start %v, want 30ns", r.Start)
+			}
+		}
+		if r.V == V1 && r.Width != ns(10) {
+			t.Errorf("high run width %v, want 10ns", r.Width)
+		}
+	}
+}
+
+func TestRunsConstant(t *testing.T) {
+	runs := Const(p50, VS).Runs()
+	if len(runs) != 1 || runs[0].Width != p50 || runs[0].V != VS {
+		t.Errorf("constant runs wrong: %v", runs)
+	}
+}
+
+func TestTransitions(t *testing.T) {
+	w := clock(20, 30)
+	trs := w.Transitions()
+	if len(trs) != 2 {
+		t.Fatalf("got %d transitions, want 2: %v", len(trs), trs)
+	}
+	if trs[0].At != ns(20) || trs[0].From != V0 || trs[0].To != V1 {
+		t.Errorf("rising transition wrong: %+v", trs[0])
+	}
+	if trs[1].At != ns(30) || trs[1].From != V1 || trs[1].To != V0 {
+		t.Errorf("falling transition wrong: %+v", trs[1])
+	}
+	if got := Const(p50, VS).Transitions(); got != nil {
+		t.Errorf("constant waveform has transitions: %v", got)
+	}
+}
+
+func TestRisingEdgesCrisp(t *testing.T) {
+	w := clock(20, 30)
+	edges := w.RisingEdges()
+	if len(edges) != 1 {
+		t.Fatalf("got %d rising edges, want 1: %v", len(edges), edges)
+	}
+	if edges[0].Start != ns(20) || edges[0].End != ns(20) {
+		t.Errorf("crisp edge should be zero-width at 20ns: %+v", edges[0])
+	}
+	f := w.FallingEdges()
+	if len(f) != 1 || f[0].Start != ns(30) || f[0].End != ns(30) {
+		t.Errorf("falling edge wrong: %v", f)
+	}
+}
+
+func TestRisingEdgesWithSkew(t *testing.T) {
+	// A ±1 ns precision clock: skew 2 ns total after Delay(-1, +1)
+	// relative to nominal.  The rising edge window must span the band.
+	w := clock(20, 30).Delay(tick.R(-1, 1))
+	edges := w.RisingEdges()
+	if len(edges) != 1 {
+		t.Fatalf("got %d edges: %v", len(edges), edges)
+	}
+	if edges[0].Start != ns(19) || edges[0].End != ns(21) {
+		t.Errorf("edge window = [%v,%v], want [19,21]ns", edges[0].Start, edges[0].End)
+	}
+}
+
+func TestEdgesMultiPhase(t *testing.T) {
+	// Two pulses per period (XYZ .C2-3,5-6 style).
+	w := Const(p50, V0).Paint(ns(10), ns(15), V1).Paint(ns(30), ns(35), V1)
+	r := w.RisingEdges()
+	if len(r) != 2 || r[0].Start != ns(10) || r[1].Start != ns(30) {
+		t.Errorf("rising edges wrong: %v", r)
+	}
+	f := w.FallingEdges()
+	if len(f) != 2 || f[0].Start != ns(15) || f[1].Start != ns(35) {
+		t.Errorf("falling edges wrong: %v", f)
+	}
+}
+
+func TestEdgesFromChangeBands(t *testing.T) {
+	// A CHANGE band cannot be ruled out as a clock edge.
+	w := Const(p50, V0).Paint(ns(5), ns(8), VC)
+	r := w.RisingEdges()
+	if len(r) != 1 || r[0].Start != ns(5) || r[0].End != ns(8) {
+		t.Errorf("change band should yield a conservative edge window: %v", r)
+	}
+}
+
+func TestEdgesNoneOnStable(t *testing.T) {
+	if got := Const(p50, VS).RisingEdges(); got != nil {
+		t.Errorf("stable signal has edges: %v", got)
+	}
+	if got := Const(p50, V1).RisingEdges(); got != nil {
+		t.Errorf("constant high has edges: %v", got)
+	}
+}
+
+func TestEdgesUnknownExcluded(t *testing.T) {
+	w := Const(p50, VU).Paint(ns(20), ns(30), V1)
+	// U → 1 transition: not counted as a clock edge (reported separately
+	// by the verifier as an undefined clock).
+	if got := w.RisingEdges(); len(got) != 0 {
+		t.Errorf("U→1 counted as edge: %v", got)
+	}
+}
+
+func TestStableBackFwd(t *testing.T) {
+	// Data stable 0–30, changing 30–40, stable 40–50 (wraps to 0).
+	w := FromSpans(p50, VS, Span{ns(30), ns(40), VC})
+	if got := w.StableBack(ns(20)); got != ns(30) {
+		t.Errorf("StableBack(20) = %v, want 30ns (wraps to 40 prev cycle)", got)
+	}
+	if got := w.StableFwd(ns(20)); got != ns(10) {
+		t.Errorf("StableFwd(20) = %v, want 10ns", got)
+	}
+	if got := w.StableBack(ns(30)); got != ns(40) {
+		t.Errorf("StableBack(30) = %v, want 40ns", got)
+	}
+	if got := w.StableFwd(ns(40)); got != ns(40) {
+		t.Errorf("StableFwd(40) = %v, want 40ns", got)
+	}
+	if got := w.StableBack(ns(35)); got != 0 {
+		t.Errorf("StableBack inside changing region = %v, want 0", got)
+	}
+	if got := w.StableFwd(ns(35)); got != 0 {
+		t.Errorf("StableFwd inside changing region = %v, want 0", got)
+	}
+}
+
+func TestStableBackFwdFullyStable(t *testing.T) {
+	w := Const(p50, V1)
+	if w.StableBack(ns(17)) != p50 || w.StableFwd(ns(17)) != p50 {
+		t.Error("fully stable waveform should report the whole period")
+	}
+}
+
+func TestStableBackConsidersSkew(t *testing.T) {
+	// Changing 30–40 with 3 ns skew: the change region extends to 43.
+	w := FromSpans(p50, VS, Span{ns(30), ns(40), VC}).WithSkew(ns(3))
+	if got := w.StableBack(ns(20)); got != ns(27) {
+		t.Errorf("StableBack(20) = %v, want 27ns (stability starts at 43)", got)
+	}
+}
+
+func TestStableThroughout(t *testing.T) {
+	w := FromSpans(p50, VS, Span{ns(30), ns(40), VC})
+	cases := []struct {
+		s, e float64
+		want bool
+	}{
+		{0, 30, true},
+		{0, 31, false},
+		{40, 50, true},
+		{40, 60, false}, // wraps into 0–10 stable, but 30–40 is inside? no: 40→60 = 40–50 + 0–10, both stable
+		{25, 35, false},
+		{35, 36, false},
+		{41, 41, true}, // empty window
+		{45, 55, true}, // wraps through boundary, all stable
+	}
+	// Fix the mistaken expectation above: [40,60) ≡ [40,50)+[0,10), all stable.
+	cases[3].want = true
+	for _, c := range cases {
+		if got := w.StableThroughout(ns(c.s), ns(c.e)); got != c.want {
+			t.Errorf("StableThroughout(%v,%v) = %v, want %v", c.s, c.e, got, c.want)
+		}
+	}
+}
+
+func TestStableThroughoutWholePeriod(t *testing.T) {
+	if !Const(p50, V0).StableThroughout(0, p50) {
+		t.Error("constant low should be stable throughout")
+	}
+	if FromSpans(p50, VS, Span{ns(1), ns(2), VR}).StableThroughout(0, p50) {
+		t.Error("brief rise should break whole-period stability")
+	}
+}
+
+func TestHighPulses(t *testing.T) {
+	w := clock(20, 30)
+	ps := w.HighPulses()
+	if len(ps) != 1 {
+		t.Fatalf("got %d pulses: %v", len(ps), ps)
+	}
+	if ps[0].MinWidth != ns(10) || ps[0].MaxWidth != ns(10) {
+		t.Errorf("crisp pulse widths = %v/%v, want 10/10", ps[0].MinWidth, ps[0].MaxWidth)
+	}
+	if ps[0].Start != ns(20) {
+		t.Errorf("pulse start = %v, want 20ns", ps[0].Start)
+	}
+}
+
+func TestHighPulsesWithSkew(t *testing.T) {
+	// 10 ns pulse through a gate with 5 ns delay spread: guaranteed width
+	// stays 10 ns while skew is carried out-of-band...
+	w := clock(20, 30).Delay(tick.R(5, 10))
+	ps := w.HighPulses()
+	if len(ps) != 1 || ps[0].MinWidth != ns(10) {
+		t.Fatalf("skew-carried pulse eroded: %v", ps)
+	}
+	// ...but once incorporated (combined with another changing signal) the
+	// guaranteed width erodes to 5 ns and the maximum grows to 15 ns.
+	inc := w.IncorporateSkew()
+	ps2 := inc.HighPulses()
+	if len(ps2) != 1 || ps2[0].MinWidth != ns(5) || ps2[0].MaxWidth != ns(15) {
+		t.Fatalf("incorporated pulse widths wrong: %v", ps2)
+	}
+}
+
+func TestRuntPulse(t *testing.T) {
+	// Fig 1-5: a possible 5 ns runt on a gated clock — modelled as a pure
+	// CHANGE band between solid lows.  Its guaranteed width is zero.
+	w := Const(p50, V0).Paint(ns(25), ns(30), VC)
+	ps := w.HighPulses()
+	if len(ps) != 1 || ps[0].MinWidth != 0 || ps[0].MaxWidth != ns(5) {
+		t.Fatalf("runt pulse analysis wrong: %v", ps)
+	}
+}
+
+func TestLowPulses(t *testing.T) {
+	// Active-low strobe: low 10–14.
+	w := Const(p50, V1).Paint(ns(10), ns(14), V0)
+	ps := w.LowPulses()
+	if len(ps) != 1 || ps[0].MinWidth != ns(4) {
+		t.Fatalf("low pulse wrong: %v", ps)
+	}
+	if hp := w.HighPulses(); len(hp) != 1 {
+		// The complementary high interval (wrapping 14→10) is also a pulse.
+		t.Fatalf("complementary high pulse wrong: %v", hp)
+	}
+}
+
+func TestPulsesNoneOnConstant(t *testing.T) {
+	if Const(p50, V1).HighPulses() != nil {
+		t.Error("constant high has pulses")
+	}
+	if Const(p50, VS).HighPulses() != nil {
+		t.Error("stable has pulses")
+	}
+}
+
+func TestPulsesWrappingGroup(t *testing.T) {
+	// High pulse wrapping the cycle boundary: 45→5.
+	w := Const(p50, V0).Paint(ns(45), ns(5), V1)
+	ps := w.HighPulses()
+	if len(ps) != 1 || ps[0].MinWidth != ns(10) {
+		t.Fatalf("wrapping pulse wrong: %v", ps)
+	}
+}
+
+func TestConstFlipBreaksStability(t *testing.T) {
+	// A crisp 0→1 flip at 25 ns is a physical change even though both
+	// levels are stable values.
+	w := Const(p50, V0).Paint(ns(25), ns(50), V1)
+	if got := w.StableBack(ns(40)); got != ns(15) {
+		t.Errorf("StableBack(40) = %v, want 15ns", got)
+	}
+	if got := w.StableFwd(ns(10)); got != ns(15) {
+		t.Errorf("StableFwd(10) = %v, want 15ns", got)
+	}
+	if w.StableThroughout(ns(20), ns(30)) {
+		t.Error("window across a level flip should not be stable")
+	}
+	if !w.StableThroughout(ns(0), ns(25)) || !w.StableThroughout(ns(25), ns(50)) {
+		t.Error("windows within one level should be stable")
+	}
+}
+
+func TestStableResolutionDoesNotBreakStability(t *testing.T) {
+	// STABLE resolving into a known constant is representational: the
+	// signal may have been that constant all along.
+	w := Const(p50, VS).Paint(ns(25), ns(50), V1)
+	if got := w.StableBack(ns(40)); got != p50 {
+		t.Errorf("StableBack across S→1 = %v, want full period", got)
+	}
+	if !w.StableThroughout(ns(20), ns(30)) {
+		t.Error("S→1 boundary should not break stability")
+	}
+}
+
+func TestActivity(t *testing.T) {
+	// Changing regions map to C; crisp 0↔1 flips get markers; stable and
+	// constant regions map to S.
+	w := FromSpans(p50, VS, Span{ns(10), ns(20), VC}).Paint(ns(30), ns(40), V1).Paint(ns(40), ns(50), V0)
+	a := w.Activity()
+	if a.At(ns(15)) != VC {
+		t.Errorf("changing region lost: %v", a)
+	}
+	if a.At(ns(5)) != VS || a.At(ns(35)) != VS {
+		t.Errorf("stable/constant regions wrong: %v", a)
+	}
+	// Flip markers at 30 (S→1? no, VS→V1 is not a flip)... 40 (1→0) is.
+	if a.At(ns(40)) != VC {
+		t.Errorf("flip marker missing at 40: %v", a)
+	}
+	if a.At(ns(30)) != VS {
+		t.Errorf("S→1 resolution must not mark activity: %v", a)
+	}
+	if err := a.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown propagates.
+	u := Const(p50, VU).Activity()
+	if v, ok := u.ConstantValue(); !ok || v != VU {
+		t.Errorf("U activity wrong: %v", u)
+	}
+}
+
+func TestActivityClock(t *testing.T) {
+	a := clock(20, 30).Activity()
+	if a.At(ns(20)) != VC || a.At(ns(30)) != VC {
+		t.Errorf("clock edges must mark activity: %v", a)
+	}
+	if a.At(ns(25)) != VS || a.At(ns(10)) != VS {
+		t.Errorf("clock levels must be quiet: %v", a)
+	}
+}

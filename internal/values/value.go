@@ -1,0 +1,344 @@
+// Package values implements the seven-value signal algebra and the periodic
+// waveform representation at the core of the SCALD Timing Verifier
+// (McWilliams 1980, §2.4.1, §2.4.2, §2.8).
+//
+// At any instant a signal has exactly one of seven values: the logic
+// constants 0 and 1, STABLE (holding some unknown constant), CHANGE (may be
+// changing), RISE (going from 0 to 1), FALL (going from 1 to 0), and UNKNOWN
+// (the initial value of every signal).  Combinational functions over these
+// values are uniformly defined to give worst-case results, e.g.
+// STABLE OR RISING = RISING, so that a single symbolic evaluation of one
+// clock period covers every state transition a conventional logic simulator
+// would need exponentially many vectors to exercise.
+package values
+
+import "fmt"
+
+// Value is one of the seven signal values.
+type Value uint8
+
+// The seven signal values (§2.4.1).
+const (
+	V0 Value = iota // logic false
+	V1              // logic true
+	VS              // STABLE: holding an unknown constant value
+	VC              // CHANGE: may be changing
+	VR              // RISE: going from 0 to 1
+	VF              // FALL: going from 1 to 0
+	VU              // UNKNOWN: initial value of all signals
+
+	numValues = 7
+)
+
+// String returns the single-letter form used in the paper's listings.
+func (v Value) String() string {
+	switch v {
+	case V0:
+		return "0"
+	case V1:
+		return "1"
+	case VS:
+		return "S"
+	case VC:
+		return "C"
+	case VR:
+		return "R"
+	case VF:
+		return "F"
+	case VU:
+		return "U"
+	}
+	return fmt.Sprintf("Value(%d)", uint8(v))
+}
+
+// Name returns the long form used in error messages ("STABLE", "RISE", ...).
+func (v Value) Name() string {
+	switch v {
+	case V0:
+		return "0"
+	case V1:
+		return "1"
+	case VS:
+		return "STABLE"
+	case VC:
+		return "CHANGE"
+	case VR:
+		return "RISE"
+	case VF:
+		return "FALL"
+	case VU:
+		return "UNKNOWN"
+	}
+	return v.String()
+}
+
+// Stable reports whether the value is guaranteed not to be changing:
+// 0, 1, or STABLE.
+func (v Value) Stable() bool { return v == V0 || v == V1 || v == VS }
+
+// Changing reports whether the value may be in transition: CHANGE, RISE or
+// FALL.
+func (v Value) Changing() bool { return v == VC || v == VR || v == VF }
+
+// Known reports whether the value is defined (anything but UNKNOWN).
+func (v Value) Known() bool { return v != VU }
+
+// Const reports whether the value is a logic constant (0 or 1).
+func (v Value) Const() bool { return v == V0 || v == V1 }
+
+// Valid reports whether v is one of the seven defined values.
+func (v Value) Valid() bool { return v < numValues }
+
+// All lists the seven values, for table-driven and property tests.
+var All = [numValues]Value{V0, V1, VS, VC, VR, VF, VU}
+
+// The binary truth tables.  Every table is uniformly worst-case (§2.4.2):
+// when the output could be any of several behaviours, the entry is the value
+// covering all of them, preferring the most specific transition value (R or
+// F) when the direction is determined and CHANGE otherwise.
+var (
+	orTable  [numValues][numValues]Value
+	andTable [numValues][numValues]Value
+	xorTable [numValues][numValues]Value
+)
+
+func init() {
+	for _, a := range All {
+		for _, b := range All {
+			orTable[a][b] = orOf(a, b)
+			andTable[a][b] = andOf(a, b)
+			xorTable[a][b] = xorOf(a, b)
+		}
+	}
+}
+
+func orOf(a, b Value) Value {
+	// 1 dominates regardless of the other input, including UNKNOWN.
+	if a == V1 || b == V1 {
+		return V1
+	}
+	// 0 is the identity.
+	if a == V0 {
+		return b
+	}
+	if b == V0 {
+		return a
+	}
+	// With the dominant constant ruled out, UNKNOWN is contagious.
+	if a == VU || b == VU {
+		return VU
+	}
+	// Both are in {S, C, R, F}.
+	if a == b {
+		return a
+	}
+	if a == VS {
+		return b // S OR R = R, S OR F = F, S OR C = C (worst case)
+	}
+	if b == VS {
+		return a
+	}
+	// Two distinct transition values combine to CHANGE.
+	return VC
+}
+
+func andOf(a, b Value) Value {
+	if a == V0 || b == V0 {
+		return V0
+	}
+	if a == V1 {
+		return b
+	}
+	if b == V1 {
+		return a
+	}
+	if a == VU || b == VU {
+		return VU
+	}
+	if a == b {
+		return a
+	}
+	if a == VS {
+		return b
+	}
+	if b == VS {
+		return a
+	}
+	return VC
+}
+
+func xorOf(a, b Value) Value {
+	// XOR has no dominant constant, so UNKNOWN always wins.
+	if a == VU || b == VU {
+		return VU
+	}
+	if a == V0 {
+		return b
+	}
+	if b == V0 {
+		return a
+	}
+	if a == V1 {
+		return Not(b)
+	}
+	if b == V1 {
+		return Not(a)
+	}
+	if a == VS && b == VS {
+		return VS
+	}
+	// A stable-but-unknown input turns a directed transition on the other
+	// input into an undirected one, and any two transitioning inputs may
+	// produce pulses in either direction.
+	return VC
+}
+
+// Or returns the worst-case INCLUSIVE-OR of a and b.
+func Or(a, b Value) Value { return orTable[a][b] }
+
+// And returns the worst-case AND of a and b.
+func And(a, b Value) Value { return andTable[a][b] }
+
+// Xor returns the worst-case EXCLUSIVE-OR of a and b.
+func Xor(a, b Value) Value { return xorTable[a][b] }
+
+// Not returns the complement.  RISE and FALL exchange; 0 and 1 exchange;
+// STABLE, CHANGE and UNKNOWN are self-complementary.
+func Not(a Value) Value {
+	switch a {
+	case V0:
+		return V1
+	case V1:
+		return V0
+	case VR:
+		return VF
+	case VF:
+		return VR
+	}
+	return a
+}
+
+// Chg is the CHANGE function (§2.4.2): UNKNOWN if any input is undefined,
+// CHANGE if any defined input is changing, otherwise STABLE.  It models
+// complex combinational logic — parity trees, adders, ALUs — whose actual
+// function is irrelevant to timing.
+func Chg(ins ...Value) Value {
+	out := VS
+	for _, v := range ins {
+		if v == VU {
+			return VU
+		}
+		if v.Changing() {
+			out = VC
+		}
+	}
+	return out
+}
+
+// Either returns the worst-case value of a signal known to be *one of* a or
+// b, with no ordering between them.  It is the data-combination rule for
+// multiplexers whose select input is STABLE: if both candidates are stable
+// the output is stable (it is one constant or the other); a transition on
+// either candidate is taken at face value.
+func Either(a, b Value) Value {
+	if a == b {
+		return a
+	}
+	if a == VU || b == VU {
+		return VU
+	}
+	if a.Stable() && b.Stable() {
+		return VS
+	}
+	if a.Stable() {
+		return b
+	}
+	if b.Stable() {
+		return a
+	}
+	return VC
+}
+
+// Mix returns the value of an *ordered* transition band: the signal was a
+// and is becoming b, with the instant of the transition uncertain within the
+// band.  This is how separately-carried skew is folded into a waveform
+// (§2.8, Fig 2-9): a 0→1 boundary widens into a RISE band, 1→0 into FALL,
+// and transitions without a determined direction into CHANGE.
+func Mix(a, b Value) Value {
+	if a == b {
+		return a
+	}
+	if a == VU || b == VU {
+		return VU
+	}
+	switch {
+	case a == V0 && b == V1, a == V0 && b == VR, a == VR && b == V1:
+		return VR
+	case a == V1 && b == V0, a == V1 && b == VF, a == VF && b == V0:
+		return VF
+	}
+	return VC
+}
+
+// Mux2 returns the worst-case output of a two-input multiplexer with select
+// s, and data inputs a (selected when s=0) and b (selected when s=1).
+func Mux2(s, a, b Value) Value {
+	switch {
+	case s == V0:
+		return a
+	case s == V1:
+		return b
+	case s == VU:
+		return VU
+	case s == VS:
+		return Either(a, b)
+	}
+	// Select is changing: the output may switch between the two data
+	// values at any time within the select transition, unless both data
+	// inputs are the same logic constant.
+	if a == b && a.Const() {
+		return a
+	}
+	if a == VU || b == VU {
+		return VU
+	}
+	return VC
+}
+
+// MuxN returns the worst-case output of an n-input multiplexer whose select
+// field has the given aggregate value (fold the select bits with Chg-style
+// classification: constant selects must be folded by the caller into an
+// index; here sel conveys only stable/changing/unknown).  ins are the
+// candidate data inputs.
+func MuxN(sel Value, ins ...Value) Value {
+	if len(ins) == 0 {
+		return VU
+	}
+	switch {
+	case sel == VU:
+		return VU
+	case sel.Changing():
+		out := ins[0]
+		same := true
+		for _, v := range ins[1:] {
+			if v != out {
+				same = false
+			}
+		}
+		if same && out.Const() {
+			return out
+		}
+		for _, v := range ins {
+			if v == VU {
+				return VU
+			}
+		}
+		return VC
+	}
+	// Stable select of unknown value: output is one of the inputs.
+	out := ins[0]
+	for _, v := range ins[1:] {
+		out = Either(out, v)
+	}
+	return out
+}

@@ -1,0 +1,368 @@
+package values
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueString(t *testing.T) {
+	want := map[Value]string{V0: "0", V1: "1", VS: "S", VC: "C", VR: "R", VF: "F", VU: "U"}
+	for v, s := range want {
+		if v.String() != s {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), s)
+		}
+	}
+	if Value(99).String() == "" {
+		t.Error("invalid value should still render")
+	}
+	if VS.Name() != "STABLE" || VC.Name() != "CHANGE" || VU.Name() != "UNKNOWN" {
+		t.Error("long names wrong")
+	}
+	if VR.Name() != "RISE" || VF.Name() != "FALL" || V0.Name() != "0" {
+		t.Error("long names wrong")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	for _, v := range All {
+		if v.Stable() == v.Changing() && v != VU {
+			t.Errorf("%v: Stable and Changing must partition defined values", v)
+		}
+	}
+	if !V0.Stable() || !V1.Stable() || !VS.Stable() {
+		t.Error("0, 1, S are stable")
+	}
+	if !VC.Changing() || !VR.Changing() || !VF.Changing() {
+		t.Error("C, R, F are changing")
+	}
+	if VU.Stable() || VU.Changing() || VU.Known() {
+		t.Error("U is neither stable nor changing nor known")
+	}
+	if !V0.Const() || !V1.Const() || VS.Const() {
+		t.Error("Const covers exactly 0 and 1")
+	}
+	if !V0.Valid() || Value(7).Valid() {
+		t.Error("Valid boundary wrong")
+	}
+}
+
+// Specific table entries the paper calls out or that the model depends on.
+func TestOrTable(t *testing.T) {
+	cases := []struct{ a, b, want Value }{
+		{V0, V0, V0}, {V0, V1, V1}, {V1, V1, V1},
+		{V1, VU, V1}, // 1 dominates even over unknown
+		{V0, VU, VU}, // 0 is identity
+		{VS, VR, VR}, // the paper's explicit worst-case example (§2.4.2)
+		{VS, VF, VF}, //
+		{VS, VC, VC}, //
+		{VS, VS, VS}, //
+		{VR, VF, VC}, // opposing transitions may pulse
+		{VR, VR, VR}, //
+		{VF, VF, VF}, //
+		{VC, VR, VC}, //
+		{VU, VS, VU}, //
+		{VU, VR, VU}, //
+		{V0, VR, VR}, //
+		{V1, VR, V1}, // output pinned high
+	}
+	for _, c := range cases {
+		if got := Or(c.a, c.b); got != c.want {
+			t.Errorf("Or(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := Or(c.b, c.a); got != c.want {
+			t.Errorf("Or(%v,%v) = %v, want %v (commuted)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestAndTable(t *testing.T) {
+	cases := []struct{ a, b, want Value }{
+		{V0, VU, V0}, // 0 dominates
+		{V1, VU, VU}, // 1 is identity
+		{V1, VR, VR},
+		{V0, VR, V0},
+		{VS, VR, VR},
+		{VS, VF, VF},
+		{VR, VF, VC},
+		{VS, VS, VS},
+		{VC, VC, VC},
+	}
+	for _, c := range cases {
+		if got := And(c.a, c.b); got != c.want {
+			t.Errorf("And(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := And(c.b, c.a); got != c.want {
+			t.Errorf("And(%v,%v) = %v, want %v (commuted)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestXorTable(t *testing.T) {
+	cases := []struct{ a, b, want Value }{
+		{V0, V0, V0}, {V0, V1, V1}, {V1, V1, V0},
+		{V0, VR, VR},
+		{V1, VR, VF}, // inverted transition
+		{V1, VF, VR},
+		{VS, VR, VC}, // direction depends on the stable input's value
+		{VS, VS, VS},
+		{VR, VR, VC}, // worst case: the transitions need not be simultaneous
+		{VU, V1, VU}, // no dominant constant for XOR
+		{VU, V0, VU},
+	}
+	for _, c := range cases {
+		if got := Xor(c.a, c.b); got != c.want {
+			t.Errorf("Xor(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := Xor(c.b, c.a); got != c.want {
+			t.Errorf("Xor(%v,%v) = %v, want %v (commuted)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestNot(t *testing.T) {
+	want := map[Value]Value{V0: V1, V1: V0, VS: VS, VC: VC, VR: VF, VF: VR, VU: VU}
+	for in, out := range want {
+		if got := Not(in); got != out {
+			t.Errorf("Not(%v) = %v, want %v", in, got, out)
+		}
+		if got := Not(Not(in)); got != in {
+			t.Errorf("Not(Not(%v)) = %v, not involutive", in, got)
+		}
+	}
+}
+
+func TestDeMorganWorstCase(t *testing.T) {
+	// The worst-case tables respect De Morgan duality exactly.
+	for _, a := range All {
+		for _, b := range All {
+			if got, want := Not(And(a, b)), Or(Not(a), Not(b)); got != want {
+				t.Errorf("¬(%v∧%v) = %v, but ¬%v∨¬%v = %v", a, b, got, a, b, want)
+			}
+		}
+	}
+}
+
+func TestCommutativity(t *testing.T) {
+	for _, a := range All {
+		for _, b := range All {
+			if Or(a, b) != Or(b, a) {
+				t.Errorf("Or not commutative at (%v,%v)", a, b)
+			}
+			if And(a, b) != And(b, a) {
+				t.Errorf("And not commutative at (%v,%v)", a, b)
+			}
+			if Xor(a, b) != Xor(b, a) {
+				t.Errorf("Xor not commutative at (%v,%v)", a, b)
+			}
+			if Either(a, b) != Either(b, a) {
+				t.Errorf("Either not commutative at (%v,%v)", a, b)
+			}
+		}
+	}
+}
+
+func TestAssociativity(t *testing.T) {
+	for _, a := range All {
+		for _, b := range All {
+			for _, c := range All {
+				if Or(Or(a, b), c) != Or(a, Or(b, c)) {
+					t.Errorf("Or not associative at (%v,%v,%v): %v vs %v",
+						a, b, c, Or(Or(a, b), c), Or(a, Or(b, c)))
+				}
+				if And(And(a, b), c) != And(a, And(b, c)) {
+					t.Errorf("And not associative at (%v,%v,%v)", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestIdempotence(t *testing.T) {
+	for _, a := range All {
+		if Or(a, a) != a {
+			t.Errorf("Or(%v,%v) != %v", a, a, a)
+		}
+		if And(a, a) != a {
+			t.Errorf("And(%v,%v) != %v", a, a, a)
+		}
+		if Either(a, a) != a {
+			t.Errorf("Either(%v,%v) != %v", a, a, a)
+		}
+		if Mix(a, a) != a {
+			t.Errorf("Mix(%v,%v) != %v", a, a, a)
+		}
+	}
+}
+
+// Soundness: the symbolic result must cover every concrete behaviour.  We
+// check that wherever both inputs are logic constants, the tables agree with
+// Boolean logic, and that a changing input never yields a constant output
+// unless a dominant constant pins it.
+func TestSoundness(t *testing.T) {
+	type bf func(a, b bool) bool
+	boolTab := []struct {
+		name string
+		sym  func(Value, Value) Value
+		conc bf
+	}{
+		{"Or", Or, func(a, b bool) bool { return a || b }},
+		{"And", And, func(a, b bool) bool { return a && b }},
+		{"Xor", Xor, func(a, b bool) bool { return a != b }},
+	}
+	toV := func(b bool) Value {
+		if b {
+			return V1
+		}
+		return V0
+	}
+	for _, f := range boolTab {
+		for _, a := range []bool{false, true} {
+			for _, b := range []bool{false, true} {
+				if got, want := f.sym(toV(a), toV(b)), toV(f.conc(a, b)); got != want {
+					t.Errorf("%s(%v,%v) = %v, want %v", f.name, toV(a), toV(b), got, want)
+				}
+			}
+		}
+		// A changing non-dominated input must not produce a constant.
+		for _, ch := range []Value{VC, VR, VF} {
+			if out := f.sym(VS, ch); out.Const() {
+				t.Errorf("%s(S,%v) = %v claims a constant from a changing input", f.name, ch, out)
+			}
+		}
+	}
+}
+
+func TestChg(t *testing.T) {
+	cases := []struct {
+		in   []Value
+		want Value
+	}{
+		{[]Value{VS, VS}, VS},
+		{[]Value{V0, V1, VS}, VS},
+		{[]Value{VS, VC}, VC},
+		{[]Value{VR, VS}, VC},
+		{[]Value{VF}, VC},
+		{[]Value{VS, VU}, VU},
+		{[]Value{VC, VU}, VU}, // unknown beats changing
+		{[]Value{}, VS},
+	}
+	for _, c := range cases {
+		if got := Chg(c.in...); got != c.want {
+			t.Errorf("Chg(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEither(t *testing.T) {
+	cases := []struct{ a, b, want Value }{
+		{V0, V1, VS}, // one of two constants: stable, value unknown
+		{V0, V0, V0},
+		{VS, V1, VS},
+		{VS, VR, VR}, // may be the rising one: worst case rising
+		{V0, VC, VC},
+		{VR, VF, VC},
+		{VU, V1, VU},
+	}
+	for _, c := range cases {
+		if got := Either(c.a, c.b); got != c.want {
+			t.Errorf("Either(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMix(t *testing.T) {
+	cases := []struct{ a, b, want Value }{
+		{V0, V1, VR}, // transition band 0→1 is a RISE band (Fig 2-9)
+		{V1, V0, VF},
+		{V0, VR, VR},
+		{VR, V1, VR},
+		{V1, VF, VF},
+		{VF, V0, VF},
+		{VS, VC, VC},
+		{VS, V0, VC}, // stable-unknown resolving to 0 may transition
+		{VU, V1, VU},
+		{V1, VU, VU},
+		{VR, VF, VC},
+	}
+	for _, c := range cases {
+		if got := Mix(c.a, c.b); got != c.want {
+			t.Errorf("Mix(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMux2(t *testing.T) {
+	cases := []struct{ s, a, b, want Value }{
+		{V0, VR, VF, VR}, // select 0 picks input a
+		{V1, VR, VF, VF}, // select 1 picks input b
+		{VS, VS, VS, VS}, // stable select, stable data: stable
+		{VS, VC, VS, VC}, // worst case across candidates
+		{VS, V0, V1, VS}, // one of two constants
+		{VR, V0, V0, V0}, // equal constant data rides through a changing select
+		{VR, V0, V1, VC}, // changing select between different data: may change
+		{VR, VS, VS, VC}, // two stable signals may still differ in value
+		{VU, V0, V0, VU},
+		{VC, VU, V0, VU},
+	}
+	for _, c := range cases {
+		if got := Mux2(c.s, c.a, c.b); got != c.want {
+			t.Errorf("Mux2(%v,%v,%v) = %v, want %v", c.s, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMuxN(t *testing.T) {
+	if got := MuxN(VS, V0, V1, V0, V1); got != VS {
+		t.Errorf("MuxN(S, consts) = %v, want S", got)
+	}
+	if got := MuxN(VS, VS, VC, VS, VS); got != VC {
+		t.Errorf("MuxN(S, with changing) = %v, want C", got)
+	}
+	if got := MuxN(VC, V1, V1, V1, V1); got != V1 {
+		t.Errorf("MuxN(C, all 1) = %v, want 1", got)
+	}
+	if got := MuxN(VC, V1, V0, V1, V1); got != VC {
+		t.Errorf("MuxN(C, mixed) = %v, want C", got)
+	}
+	if got := MuxN(VU, V1, V1); got != VU {
+		t.Errorf("MuxN(U, ...) = %v, want U", got)
+	}
+	if got := MuxN(VC, V1, VU); got != VU {
+		t.Errorf("MuxN(C, with U) = %v, want U", got)
+	}
+	if got := MuxN(VS); got != VU {
+		t.Errorf("MuxN with no inputs = %v, want U", got)
+	}
+	if got := MuxN(VR, VS, VS); got != VC {
+		t.Errorf("MuxN(R, stables) = %v, want C", got)
+	}
+}
+
+func TestTablesClosedOverValues(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := Value(a%7), Value(b%7)
+		return Or(x, y).Valid() && And(x, y).Valid() && Xor(x, y).Valid() &&
+			Not(x).Valid() && Either(x, y).Valid() && Mix(x, y).Valid()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Monotonicity in the information order: replacing an input with UNKNOWN
+// must never make the output *more* defined in a way that contradicts the
+// original (U is the top of the uncertainty order except where a dominant
+// constant pins the output).
+func TestUnknownAbsorbs(t *testing.T) {
+	for _, a := range All {
+		if out := Or(a, VU); out != VU && out != V1 {
+			t.Errorf("Or(%v,U) = %v, want U or pinned 1", a, out)
+		}
+		if out := And(a, VU); out != VU && out != V0 {
+			t.Errorf("And(%v,U) = %v, want U or pinned 0", a, out)
+		}
+		if out := Xor(a, VU); out != VU {
+			t.Errorf("Xor(%v,U) = %v, want U", a, out)
+		}
+	}
+}

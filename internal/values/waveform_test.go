@@ -1,0 +1,465 @@
+package values
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scaldtv/internal/tick"
+)
+
+const p50 = 50 * tick.NS
+
+func ns(f float64) tick.Time { return tick.FromNS(f) }
+
+func TestConstAndCheck(t *testing.T) {
+	w := Const(p50, VS)
+	if err := w.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := w.ConstantValue(); !ok || v != VS {
+		t.Errorf("ConstantValue = %v,%v", v, ok)
+	}
+	if w.At(0) != VS || w.At(p50-1) != VS || w.At(p50) != VS || w.At(-1) != VS {
+		t.Error("At on constant wrong")
+	}
+}
+
+func TestConstPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	Const(0, VS)
+}
+
+func TestCheckCatchesCorruption(t *testing.T) {
+	bad := []Waveform{
+		{Period: p50, Segs: nil},
+		{Period: p50, Segs: []Segment{{V: VS, W: p50 - 1}}},
+		{Period: p50, Segs: []Segment{{V: VS, W: p50}, {V: VC, W: 1}}},
+		{Period: p50, Segs: []Segment{{V: VS, W: 0}, {V: VC, W: p50}}},
+		{Period: p50, Skew: -1, Segs: []Segment{{V: VS, W: p50}}},
+		{Period: 0, Segs: []Segment{{V: VS, W: 0}}},
+		{Period: p50, Segs: []Segment{{V: Value(9), W: p50}}},
+	}
+	for i, w := range bad {
+		if err := w.Check(); err == nil {
+			t.Errorf("case %d: corrupt waveform passed Check", i)
+		}
+	}
+}
+
+func TestPaint(t *testing.T) {
+	// Clock high 20–30 ns within a 50 ns period.
+	w := Const(p50, V0).Paint(ns(20), ns(30), V1)
+	if err := w.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		at   tick.Time
+		want Value
+	}{
+		{0, V0}, {ns(19.999), V0}, {ns(20), V1}, {ns(29.999), V1}, {ns(30), V0}, {ns(49), V0},
+	} {
+		if got := w.At(c.at); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestPaintWrapping(t *testing.T) {
+	// Stable 40→10 wrapping through the cycle boundary.
+	w := Const(p50, VC).Paint(ns(40), ns(10), VS)
+	if w.At(ns(45)) != VS || w.At(0) != VS || w.At(ns(9)) != VS {
+		t.Error("wrapped span not painted")
+	}
+	if w.At(ns(10)) != VC || w.At(ns(39)) != VC {
+		t.Error("unpainted region overwritten")
+	}
+	if err := w.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaintDegenerate(t *testing.T) {
+	w := Const(p50, V0)
+	if got := w.Paint(ns(5), ns(5), V1); !got.Equal(w) {
+		t.Error("empty span changed waveform")
+	}
+	// Identical modular endpoints with different absolute values: paint all.
+	if got := w.Paint(ns(5), ns(5)+p50, V1); got.At(0) != V1 || got.At(ns(49)) != V1 {
+		t.Error("full-period span should paint everything")
+	}
+	// Modulo behaviour on negative starts.
+	got := w.Paint(ns(-5), ns(5), V1)
+	if got.At(ns(46)) != V1 || got.At(ns(4)) != V1 || got.At(ns(6)) != V0 {
+		t.Error("negative start did not wrap")
+	}
+}
+
+func TestFromSpans(t *testing.T) {
+	w := FromSpans(p50, VC, Span{ns(0), ns(30), VS}, Span{ns(10), ns(20), V1})
+	if w.At(ns(5)) != VS || w.At(ns(15)) != V1 || w.At(ns(25)) != VS || w.At(ns(40)) != VC {
+		t.Errorf("FromSpans layering wrong: %v", w)
+	}
+}
+
+func TestRotate(t *testing.T) {
+	w := Const(p50, V0).Paint(ns(20), ns(30), V1)
+	r := w.Rotate(ns(5))
+	if r.At(ns(25)) != V1 || r.At(ns(34)) != V1 || r.At(ns(35)) != V0 || r.At(ns(24)) != V0 {
+		t.Errorf("Rotate(5ns) wrong: %v", r)
+	}
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Rotation by the period is identity.
+	if !w.Rotate(p50).Equal(w) {
+		t.Error("Rotate(period) != identity")
+	}
+	// Rotating a pulse across the cycle boundary wraps it.
+	r2 := w.Rotate(ns(25))
+	if r2.At(ns(45)) != V1 || r2.At(ns(4)) != V1 || r2.At(ns(5)) != V0 {
+		t.Errorf("wrap rotate wrong: %v", r2)
+	}
+	// Negative rotation is the inverse.
+	if !w.Rotate(ns(7)).Rotate(ns(-7)).Equal(w) {
+		t.Error("negative rotation not inverse")
+	}
+}
+
+func TestRotateProperty(t *testing.T) {
+	f := func(d1, d2 int32, at int32) bool {
+		w := Const(p50, V0).Paint(ns(20), ns(30), V1).Paint(ns(35), ns(36), VC)
+		a := w.Rotate(tick.Time(d1)).Rotate(tick.Time(d2))
+		b := w.Rotate(tick.Time(d1) + tick.Time(d2))
+		return a.Equal(b) && a.At(tick.Time(at)) == w.At(tick.Time(at)-tick.Time(d1)-tick.Time(d2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDelayCarriesSkew(t *testing.T) {
+	// Figure 2-8: OR gate with 5.0 min / 10.0 max ns delay.  The output is
+	// delayed by the minimum and the skew field picks up the difference,
+	// preserving the width of the pulse.
+	in := Const(p50, V0).Paint(ns(10), ns(20), V1)
+	out := in.Delay(tick.R(5, 10))
+	if out.Skew != ns(5) {
+		t.Errorf("skew = %v, want 5ns", out.Skew)
+	}
+	if out.At(ns(15)) != V1 || out.At(ns(24)) != V1 || out.At(ns(25)) != V0 {
+		t.Errorf("delayed waveform wrong: %v", out)
+	}
+	// The solid-high width before incorporation is exactly 10 ns.
+	var high tick.Time
+	var pos tick.Time
+	for _, s := range out.Segs {
+		if s.V == V1 {
+			high += s.W
+		}
+		pos += s.W
+	}
+	if high != ns(10) {
+		t.Errorf("pulse width eroded to %v, want 10ns", high)
+	}
+	// Delays accumulate.
+	out2 := out.Delay(tick.R(1, 3))
+	if out2.Skew != ns(7) {
+		t.Errorf("accumulated skew = %v, want 7ns", out2.Skew)
+	}
+}
+
+func TestDelayPanicsOnInvalidRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	Const(p50, VS).Delay(tick.Range{Min: 5, Max: 3})
+}
+
+func TestIncorporateSkew(t *testing.T) {
+	// Figure 2-9: the delayed pulse from Fig 2-8 with its 5 ns skew folded
+	// into the value: rising band 15–20, solid one 20–25, falling band
+	// 25–30 — the transition may occur anywhere within each band.
+	in := Const(p50, V0).Paint(ns(10), ns(20), V1)
+	out := in.Delay(tick.R(5, 10)).IncorporateSkew()
+	if out.Skew != 0 {
+		t.Errorf("skew not consumed: %v", out.Skew)
+	}
+	for _, c := range []struct {
+		at   tick.Time
+		want Value
+	}{
+		{ns(14), V0}, {ns(15), VR}, {ns(19), VR}, {ns(20), V1}, {ns(24), V1},
+		{ns(25), VF}, {ns(29), VF}, {ns(30), V0}, {ns(40), V0},
+	} {
+		if got := out.At(c.at); got != c.want {
+			t.Errorf("At(%v) = %v, want %v\nwaveform: %v", c.at, got, c.want, out)
+		}
+	}
+	if err := out.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncorporateSkewNoop(t *testing.T) {
+	w := Const(p50, V0).Paint(ns(10), ns(20), V1)
+	if !w.IncorporateSkew().Equal(w) {
+		t.Error("zero skew incorporation changed waveform")
+	}
+	c := Const(p50, VS).WithSkew(ns(3))
+	if got := c.IncorporateSkew(); got.Skew != 0 || got.At(0) != VS {
+		t.Error("constant waveform skew should vanish")
+	}
+}
+
+func TestIncorporateSkewSwallowsShortSegment(t *testing.T) {
+	// A 2 ns high pulse delayed with 5 ns of uncertainty: the solid-1
+	// segment is swallowed; the whole region becomes transitional.
+	w := Const(p50, V0).Paint(ns(10), ns(12), V1).WithSkew(ns(5))
+	out := w.IncorporateSkew()
+	if out.At(ns(13)) == V1 {
+		t.Errorf("swallowed pulse still reports solid 1: %v", out)
+	}
+	// There must be no solid-1 anywhere: min possible width is preserved
+	// as 2ns but position uncertainty spans 10–17.
+	for tt := tick.Time(0); tt < p50; tt += 100 {
+		if out.At(tt) == V1 {
+			t.Fatalf("unexpected solid 1 at %v: %v", tt, out)
+		}
+	}
+	if out.At(ns(11)) == V0 {
+		t.Error("transition region reported solid 0")
+	}
+}
+
+func TestIncorporateSkewTotalUncertainty(t *testing.T) {
+	w := Const(p50, V0).Paint(ns(10), ns(20), V1).WithSkew(p50 + 1)
+	out := w.IncorporateSkew()
+	if v, ok := out.ConstantValue(); !ok || !v.Changing() {
+		t.Errorf("total uncertainty should collapse to a changing constant, got %v", out)
+	}
+}
+
+func TestMapUnary(t *testing.T) {
+	w := Const(p50, V0).Paint(ns(20), ns(30), V1).WithSkew(ns(2))
+	n := w.MapUnary(Not)
+	if n.At(0) != V1 || n.At(ns(25)) != V0 {
+		t.Error("Not mapping wrong")
+	}
+	if n.Skew != ns(2) {
+		t.Error("unary map must preserve skew")
+	}
+}
+
+func TestCombineConstKeepsSkew(t *testing.T) {
+	a := Const(p50, V0).Paint(ns(10), ns(20), V1).WithSkew(ns(4))
+	b := Const(p50, V0)
+	out := Combine(a, b, Or)
+	if out.Skew != ns(4) {
+		t.Errorf("combining with a constant must keep skew, got %v", out.Skew)
+	}
+	if out.At(ns(15)) != V1 || out.At(ns(5)) != V0 {
+		t.Error("OR with constant 0 should be identity")
+	}
+	one := Const(p50, V1)
+	if v, ok := Combine(a, one, Or).ConstantValue(); !ok || v != V1 {
+		t.Error("OR with constant 1 should pin high")
+	}
+}
+
+func TestCombineIncorporatesSkews(t *testing.T) {
+	a := Const(p50, V0).Paint(ns(10), ns(20), V1).WithSkew(ns(3))
+	b := Const(p50, V0).Paint(ns(30), ns(40), V1).WithSkew(ns(2))
+	out := Combine(a, b, Or)
+	if out.Skew != 0 {
+		t.Errorf("combining two changing signals must incorporate skew, got %v", out.Skew)
+	}
+	// Rising band of a: 10–13.
+	if out.At(ns(11)) != VR {
+		t.Errorf("missing rise band from input a: %v", out)
+	}
+	// Falling band of b: 40–42.
+	if out.At(ns(41)) != VF {
+		t.Errorf("missing fall band from input b: %v", out)
+	}
+	if out.At(ns(15)) != V1 || out.At(ns(35)) != V1 || out.At(ns(25)) != V0 {
+		t.Errorf("OR result wrong: %v", out)
+	}
+}
+
+func TestCombinePanicsOnPeriodMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	Combine(Const(p50, V0), Const(p50+1, V0), Or)
+}
+
+func TestCombineN(t *testing.T) {
+	a := Const(p50, V0).Paint(ns(10), ns(20), V1)
+	b := Const(p50, V0).Paint(ns(15), ns(25), V1)
+	c := Const(p50, V0).Paint(ns(22), ns(30), V1)
+	out := CombineN(Or, a, b, c)
+	if out.At(ns(12)) != V1 || out.At(ns(24)) != V1 || out.At(ns(29)) != V1 || out.At(ns(31)) != V0 || out.At(ns(5)) != V0 {
+		t.Errorf("3-input OR wrong: %v", out)
+	}
+}
+
+func TestCombineNPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	CombineN(Or)
+}
+
+func TestEqual(t *testing.T) {
+	a := Const(p50, V0).Paint(ns(20), ns(30), V1)
+	b := FromSpans(p50, V0, Span{ns(20), ns(25), V1}, Span{ns(25), ns(30), V1})
+	if !a.Equal(b) {
+		t.Error("segmentation differences must not affect equality")
+	}
+	if a.Equal(a.WithSkew(1)) {
+		t.Error("different skew must differ")
+	}
+	if a.Equal(a.Paint(0, 1, V1)) {
+		t.Error("different values must differ")
+	}
+	if a.Equal(Const(p50+1, V0)) {
+		t.Error("different periods must differ")
+	}
+}
+
+func TestString(t *testing.T) {
+	w := Const(p50, VS).Paint(ns(5), ns(10), VC).WithSkew(ns(1))
+	s := w.String()
+	if s == "" || w.WithSkew(0).String() == s {
+		t.Errorf("String rendering suspicious: %q", s)
+	}
+}
+
+// Property: painting then checking never corrupts the invariants, for
+// arbitrary spans.
+func TestPaintProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	w := Const(p50, VS)
+	for i := 0; i < 2000; i++ {
+		s := tick.Time(rng.Int63n(int64(3 * p50)))
+		e := tick.Time(rng.Int63n(int64(3 * p50)))
+		v := All[rng.Intn(len(All))]
+		w = w.Paint(s, e, v)
+		if err := w.Check(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if s != e && w.At(s) != v && tick.Mod(s, p50) != tick.Mod(e, p50) {
+			t.Fatalf("iteration %d: At(start) = %v, painted %v", i, w.At(s), v)
+		}
+	}
+}
+
+// Property: Delay distributes over sequences and IncorporateSkew preserves
+// invariants.
+func TestDelayIncorporateProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		w := Const(p50, V0)
+		for j := 0; j < 3; j++ {
+			s := tick.Time(rng.Int63n(int64(p50)))
+			e := tick.Time(rng.Int63n(int64(p50)))
+			w = w.Paint(s, e, All[rng.Intn(3)])
+		}
+		dmin := tick.Time(rng.Int63n(int64(10 * tick.NS)))
+		dmax := dmin + tick.Time(rng.Int63n(int64(10*tick.NS)))
+		out := w.Delay(tick.Range{Min: dmin, Max: dmax}).IncorporateSkew()
+		if err := out.Check(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if out.Skew != 0 {
+			t.Fatalf("iteration %d: skew survived incorporation", i)
+		}
+	}
+}
+
+// quick.Check property: CombineAll with a 1-ary identity equals the input
+// up to skew incorporation, and with constants matches the function.
+func TestCombineAllProperties(t *testing.T) {
+	w := Const(p50, VS).Paint(ns(10), ns(20), VC)
+	ident := values_CombineAll1(w)
+	if !ident.Equal(w) {
+		t.Errorf("identity CombineAll changed waveform: %v vs %v", ident, w)
+	}
+	// All-constant inputs produce a constant.
+	c := CombineAll(func(vs []Value) Value { return Or(vs[0], vs[1]) },
+		Const(p50, V0), Const(p50, V1))
+	if v, ok := c.ConstantValue(); !ok || v != V1 {
+		t.Errorf("constant fold wrong: %v", c)
+	}
+	// Single varying input keeps its skew.
+	sk := Const(p50, V0).Paint(ns(10), ns(20), V1).WithSkew(ns(3))
+	out := CombineAll(func(vs []Value) Value { return Or(vs[0], vs[1]) }, sk, Const(p50, V0))
+	if out.Skew != ns(3) {
+		t.Errorf("single-varying CombineAll lost skew: %v", out.Skew)
+	}
+}
+
+func values_CombineAll1(w Waveform) Waveform {
+	return CombineAll(func(vs []Value) Value { return vs[0] }, w)
+}
+
+func TestCombineAllPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	CombineAll(func(vs []Value) Value { return vs[0] })
+}
+
+func TestCombineAllPeriodMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	CombineAll(func(vs []Value) Value { return vs[0] }, Const(p50, VS), Const(p50+1, VS))
+}
+
+func TestWithSkewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	Const(p50, VS).WithSkew(-1)
+}
+
+// Property: Combine with Or is monotone w.r.t. pinning — OR with constant
+// 1 pins everything, OR with 0 is identity — for random waveforms.
+func TestCombineOrIdentityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 200; i++ {
+		w := Const(p50, VS)
+		for j := 0; j < 4; j++ {
+			s := tick.Time(rng.Int63n(int64(p50)))
+			e := tick.Time(rng.Int63n(int64(p50)))
+			w = w.Paint(s, e, All[rng.Intn(len(All))])
+		}
+		if got := Combine(w, Const(p50, V0), Or); !got.Equal(w) {
+			t.Fatalf("OR with 0 not identity:\n%v\n%v", w, got)
+		}
+		one := Combine(w, Const(p50, V1), Or)
+		for _, seg := range one.Segs {
+			if seg.V != V1 {
+				t.Fatalf("OR with 1 not pinned: %v", one)
+			}
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"scaldtv/internal/netlist"
+	"scaldtv/internal/tick"
+	"scaldtv/internal/values"
+)
+
+// chk builds a one-checker design around explicit data/clock assertions
+// and returns its violations.
+func chk(t *testing.T, kind netlist.Kind, setup, hold tick.Time, dataName, ckName string) []Violation {
+	t.Helper()
+	b := netlist.NewBuilder("chk")
+	b.SetPeriod(50 * tick.NS)
+	b.SetClockUnit(tick.NS)
+	b.SetDefaultWire(tick.Range{})
+	b.SetPrecisionSkew(tick.Range{})
+	data := b.Net(dataName)
+	ck := b.Net(ckName)
+	switch kind {
+	case netlist.KSetupHold:
+		b.SetupHold("CHK", setup, hold, netlist.Conns(data), netlist.Conn{Net: ck})
+	case netlist.KSetupRiseHoldFall:
+		b.SetupRiseHoldFall("CHK", setup, hold, netlist.Conns(data), netlist.Conn{Net: ck})
+	}
+	res, err := Run(b.MustBuild(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Violations
+}
+
+func kinds(vs []Violation) []ViolationKind {
+	var out []ViolationKind
+	for _, v := range vs {
+		out = append(out, v.Kind)
+	}
+	return out
+}
+
+func TestSetupHoldCleanMargins(t *testing.T) {
+	// Edge at 20; data stable 10–40: setup 10, hold 20.
+	vs := chk(t, netlist.KSetupHold, ns(5), ns(5), "D .S10-40", "CK .P20-30")
+	if len(vs) != 0 {
+		t.Errorf("clean margins flagged: %v", vs)
+	}
+}
+
+func TestHoldViolationPath(t *testing.T) {
+	// Data goes unstable 2 ns after the edge: hold 5 fails, setup passes.
+	vs := chk(t, netlist.KSetupHold, ns(5), ns(5), "D .S10-22", "CK .P20-30")
+	if len(vs) != 1 || vs[0].Kind != HoldViolation {
+		t.Fatalf("violations = %v", vs)
+	}
+	if vs[0].Actual != ns(2) {
+		t.Errorf("hold actual = %v, want 2 ns", vs[0].Actual)
+	}
+}
+
+func TestNegativeHoldPath(t *testing.T) {
+	// Negative hold: stability required only until edgeEnd-2.  Data going
+	// unstable 1 ns after the edge passes a -2 ns hold...
+	vs := chk(t, netlist.KSetupHold, ns(5), ns(-2), "D .S10-21", "CK .P20-30")
+	for _, v := range vs {
+		if v.Kind == HoldViolation {
+			t.Errorf("negative hold should tolerate changes after the edge: %v", v)
+		}
+	}
+	// ...but data unstable *at* the edge still fails set-up.
+	vs2 := chk(t, netlist.KSetupHold, ns(5), ns(-2), "D .S22-40", "CK .P20-30")
+	found := false
+	for _, v := range vs2 {
+		if v.Kind == SetupViolation {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("late data must still fail set-up: %v", vs2)
+	}
+}
+
+func TestEnableViolationWithinEdgeWindow(t *testing.T) {
+	// A clock with ±2 ns skew has a 4 ns edge window (18–22).  Data stable
+	// long before and long after, but with a change nested inside the
+	// window: both StableBack(18) and StableFwd(22) look fine, so only the
+	// window check catches it.
+	b := netlist.NewBuilder("window")
+	b.SetPeriod(50 * tick.NS)
+	b.SetClockUnit(tick.NS)
+	b.SetDefaultWire(tick.Range{})
+	b.SetPrecisionSkew(tick.R(-2, 2))
+	ck := b.Net("CK .P20-30")
+	data := b.Net("D .S21-69") // changing only 19–21: inside the edge window
+	b.SetupHold("CHK", ns(1), ns(1), netlist.Conns(data), netlist.Conn{Net: ck})
+	res, err := Run(b.MustBuild(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) == 0 {
+		t.Fatal("change inside the edge uncertainty window not caught")
+	}
+	sawWindow := false
+	for _, v := range res.Violations {
+		if v.Kind == EnableViolation || v.Kind == SetupViolation {
+			sawWindow = true
+		}
+	}
+	if !sawWindow {
+		t.Errorf("kinds = %v", kinds(res.Violations))
+	}
+}
+
+func TestSRHFHoldFromFallingEdge(t *testing.T) {
+	// SETUP RISE HOLD FALL: the hold is measured from the falling edge.
+	// Clock high 20–30; data stable 15–31: hold of 2 after the fall fails.
+	vs := chk(t, netlist.KSetupRiseHoldFall, ns(2), ns(2), "D .S15-31", "CK .P20-30")
+	if len(vs) != 1 || vs[0].Kind != HoldViolation {
+		t.Fatalf("violations = %v", kinds(vs))
+	}
+	if vs[0].At != ns(30) {
+		t.Errorf("hold measured at %v, want the falling edge 30 ns", vs[0].At)
+	}
+	// Stable through 15–35: clean.
+	if vs := chk(t, netlist.KSetupRiseHoldFall, ns(2), ns(2), "D .S15-35", "CK .P20-30"); len(vs) != 0 {
+		t.Errorf("clean SRHF flagged: %v", vs)
+	}
+}
+
+func TestSRHFStabilityWhileClockTrue(t *testing.T) {
+	// Data wobbles mid-pulse: the clock-true stability rule fires.
+	vs := chk(t, netlist.KSetupRiseHoldFall, ns(2), ns(2), "D .S27-75", "CK .P20-30")
+	found := false
+	for _, v := range vs {
+		if v.Kind == EnableViolation && strings.Contains(v.Detail, "entire interval") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("mid-pulse change not caught: %v", kinds(vs))
+	}
+}
+
+func TestMultiPhaseClockChecksEveryEdge(t *testing.T) {
+	// A two-pulse clock (XYZ .C2-3,5-6 style): a register clocked by it
+	// opens two change windows and the checker validates both edges.
+	b := netlist.NewBuilder("twophase")
+	b.SetPeriod(80 * tick.NS)
+	b.SetClockUnit(10 * tick.NS)
+	b.SetDefaultWire(tick.Range{})
+	b.SetClockSkew(tick.Range{})
+	ck := b.Net("XYZ .C2-3,5-6") // high 20–30 and 50–60
+	data := b.Net("D .S1-5.4")   // stable 10–54: fine at edge 20, late at edge 50
+	q := b.Net("Q")
+	b.Register("REG", tick.R(1, 2), []netlist.NetID{q}, netlist.Conn{Net: ck}, netlist.Conns(data))
+	b.SetupHold("CHK", ns(2), ns(2), netlist.Conns(data), netlist.Conn{Net: ck})
+	res, err := Run(b.MustBuild(), Options{KeepWaves: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both register change windows exist.
+	id, _ := res.Design.NetByName("Q")
+	w := res.Cases[0].Waves[id]
+	if !w.At(ns(21.5)).Changing() || !w.At(ns(51.5)).Changing() {
+		t.Errorf("register should open windows at both edges: %v", w)
+	}
+	// Exactly the second edge's hold fails (data changes at 54, 4 ns
+	// after the 50 ns edge — hold 2 passes; set-up at 50 passes...).
+	// Data stable 10–54: at edge 50 set-up = 40, hold = 4: clean; make it
+	// fail by moving stability end to 51.
+	b2 := netlist.NewBuilder("twophase2")
+	b2.SetPeriod(80 * tick.NS)
+	b2.SetClockUnit(10 * tick.NS)
+	b2.SetDefaultWire(tick.Range{})
+	b2.SetClockSkew(tick.Range{})
+	ck2 := b2.Net("XYZ .C2-3,5-6")
+	data2 := b2.Net("D .S1-5.1") // stable 10–51: hold at edge 50 fails
+	b2.SetupHold("CHK", ns(2), ns(2), netlist.Conns(data2), netlist.Conn{Net: ck2})
+	res2, err := Run(b2.MustBuild(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Violations) != 1 || res2.Violations[0].Kind != HoldViolation || res2.Violations[0].At != ns(50) {
+		t.Errorf("second-edge hold not isolated: %v", res2.Violations)
+	}
+}
+
+func TestCheckerConstantClockSilent(t *testing.T) {
+	vs := chk(t, netlist.KSetupHold, ns(2), ns(2), "D .S0-10", "TIED .S0-50")
+	if len(vs) != 0 {
+		t.Errorf("edgeless clock should check nothing: %v", vs)
+	}
+}
+
+func TestForcedWaveformOption(t *testing.T) {
+	b := netlist.NewBuilder("forced")
+	b.SetPeriod(50 * tick.NS)
+	b.SetDefaultWire(tick.Range{})
+	in := b.Net("EXT")
+	out := b.Net("OUT")
+	b.Buf("B", tick.R(1, 1), []netlist.NetID{out}, netlist.Conns(in))
+	d := b.MustBuild()
+	id, _ := d.NetByName("EXT")
+	forced := values.Const(50*tick.NS, values.V0).Paint(ns(10), ns(20), values.V1)
+	res, err := Run(d, Options{KeepWaves: true, Force: map[netlist.NetID]values.Waveform{id: forced}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, _ := d.NetByName("OUT")
+	if w := res.Cases[0].Waves[oid]; w.At(ns(15)) != values.V1 || w.At(ns(5)) != values.V0 {
+		t.Errorf("forced waveform not propagated: %v", w)
+	}
+	// Forcing a driven net is rejected.
+	if _, err := Run(d, Options{Force: map[netlist.NetID]values.Waveform{oid: forced}}); err == nil {
+		t.Error("forcing a driven net should fail")
+	}
+	// A malformed forced waveform is rejected.
+	bad := values.Waveform{Period: 50 * tick.NS}
+	if _, err := Run(d, Options{Force: map[netlist.NetID]values.Waveform{id: bad}}); err == nil {
+		t.Error("malformed forced waveform should fail")
+	}
+	// A period-mismatched forced waveform is rejected.
+	if _, err := Run(d, Options{Force: map[netlist.NetID]values.Waveform{id: values.Const(10*tick.NS, values.VS)}}); err == nil {
+		t.Error("period mismatch should fail")
+	}
+}

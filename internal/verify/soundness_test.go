@@ -1,0 +1,240 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"scaldtv/internal/netlist"
+	"scaldtv/internal/tick"
+	"scaldtv/internal/values"
+)
+
+// The soundness property at the heart of the approach: the symbolic
+// seven-value analysis must *cover* every concrete behaviour the circuit
+// can exhibit.  We generate random synchronous circuits, then instantiate
+// them concretely — every delay pinned to a specific value within its
+// range, every stable-asserted input given a specific 0/1 waveform that
+// changes only within its allowed window, the clock given a specific skew
+// — and check pointwise that wherever the symbolic result claims a
+// definite level or stability, the concrete run agrees.
+
+const sPeriod = 100 * tick.NS
+
+// randCircuit builds matching symbolic and concrete designs from one seed.
+// The concrete twin has identical topology; its delays are single points
+// within the symbolic ranges and its inputs are concrete waveforms
+// consistent with the symbolic assertions.
+type twin struct {
+	sym, conc *netlist.Design
+	forceSym  map[netlist.NetID]values.Waveform // none: assertions rule
+	forceConc map[netlist.NetID]values.Waveform
+	pairs     [][2]netlist.NetID // same logical net in both designs
+}
+
+func buildTwin(rng *rand.Rand, nGates int) *twin {
+	bs := netlist.NewBuilder("sym")
+	bc := netlist.NewBuilder("conc")
+	for _, b := range []*netlist.Builder{bs, bc} {
+		b.SetPeriod(sPeriod)
+		b.SetClockUnit(tick.NS)
+		b.SetPrecisionSkew(tick.Range{}) // clock uncertainty modelled explicitly below
+	}
+	// Symbolic wire 0/2 ns; concrete wire pinned inside it.
+	bs.SetDefaultWire(tick.R(0, 2))
+	wirePoint := tick.Time(rng.Int63n(2001))
+	bc.SetDefaultWire(tick.Range{Min: wirePoint, Max: wirePoint})
+
+	tw := &twin{
+		forceConc: map[netlist.NetID]values.Waveform{},
+	}
+	pair := func(name string) (netlist.NetID, netlist.NetID) {
+		a, b := bs.Net(name), bc.Net(name)
+		tw.pairs = append(tw.pairs, [2]netlist.NetID{a, b})
+		return a, b
+	}
+
+	// The clock: symbolic carries ±1.5 ns skew; the concrete instance is
+	// the nominal waveform shifted by a specific δ within it.
+	ckS, ckC := pair("CK")
+	hi0 := tick.Time(20+rng.Int63n(20)) * tick.NS
+	hi1 := hi0 + tick.Time(10+rng.Int63n(20))*tick.NS
+	skew := tick.R(-1.5, 1.5)
+	nominal := values.Const(sPeriod, values.V0).Paint(hi0, hi1, values.V1)
+	symCk := nominal.Delay(skew)
+	delta := skew.Min + tick.Time(rng.Int63n(int64(skew.Width())+1))
+	concCk := nominal.Rotate(delta)
+	symForce := map[netlist.NetID]values.Waveform{ckS: symCk}
+	tw.forceConc[ckC] = concCk
+	tw.forceSym = symForce
+
+	// Primary inputs: symbolic .S-style waveforms (stable [a,b), changing
+	// elsewhere); concrete instances toggle only inside the changing
+	// window.
+	nIn := 3 + rng.Intn(3)
+	inputs := make([][2]netlist.NetID, nIn)
+	for i := range inputs {
+		a := tick.Time(rng.Int63n(int64(sPeriod)))
+		span := tick.Time(int64(sPeriod)/4 + rng.Int63n(int64(sPeriod)/2))
+		b := a + span
+		name := fmt.Sprintf("IN%d", i)
+		sID, cID := pair(name)
+		inputs[i] = [2]netlist.NetID{sID, cID}
+		symForce[sID] = values.Const(sPeriod, values.VC).Paint(a, b, values.VS)
+
+		v := values.V0
+		if rng.Intn(2) == 1 {
+			v = values.V1
+		}
+		conc := values.Const(sPeriod, v)
+		// Up to two toggles strictly inside the changing window (b, a+P).
+		chg := sPeriod - span
+		if chg > 2 && rng.Intn(3) > 0 {
+			t1 := b + 1 + tick.Time(rng.Int63n(int64(chg-2)))
+			if rem := int64(a + sPeriod - t1 - 1); rem > 0 {
+				t2 := t1 + 1 + tick.Time(rng.Int63n(rem))
+				conc = conc.Paint(t1, t2, values.Not(v))
+			}
+		}
+		tw.forceConc[cID] = conc
+	}
+
+	// Random combinational/sequential fabric.
+	avail := append([][2]netlist.NetID{}, inputs...)
+	for g := 0; g < nGates; g++ {
+		pick := func() [2]netlist.NetID { return avail[rng.Intn(len(avail))] }
+		oS, oC := pair(fmt.Sprintf("N%d", g))
+		dmin := tick.Time(rng.Int63n(4000))
+		dmax := dmin + tick.Time(rng.Int63n(4000))
+		dconc := dmin + tick.Time(rng.Int63n(int64(dmax-dmin)+1))
+		symD := tick.Range{Min: dmin, Max: dmax}
+		concD := tick.Range{Min: dconc, Max: dconc}
+		name := fmt.Sprintf("G%d", g)
+
+		switch rng.Intn(7) {
+		case 0, 1: // 2-input gate
+			kinds := []netlist.Kind{netlist.KAnd, netlist.KOr, netlist.KXor, netlist.KNand, netlist.KNor}
+			k := kinds[rng.Intn(len(kinds))]
+			a, b := pick(), pick()
+			inv := rng.Intn(4) == 0
+			mk := func(bld *netlist.Builder, an, bn, on netlist.NetID, d tick.Range) {
+				ca, cb := netlist.Conns(an), netlist.Conns(bn)
+				if inv {
+					ca = netlist.Invert(ca)
+				}
+				bld.Gate(k, name, d, []netlist.NetID{on}, ca, cb)
+			}
+			mk(bs, a[0], b[0], oS, symD)
+			mk(bc, a[1], b[1], oC, concD)
+		case 2: // inverter — every third one with asymmetric rise/fall (§4.2.2)
+			a := pick()
+			if rng.Intn(3) == 0 {
+				fmin := tick.Time(rng.Int63n(4000))
+				fmax := fmin + tick.Time(rng.Int63n(4000))
+				fconc := fmin + tick.Time(rng.Int63n(int64(fmax-fmin)+1))
+				bs.GateRF(netlist.KNot, name, symD, tick.Range{Min: fmin, Max: fmax}, []netlist.NetID{oS}, netlist.Conns(a[0]))
+				bc.GateRF(netlist.KNot, name, concD, tick.Range{Min: fconc, Max: fconc}, []netlist.NetID{oC}, netlist.Conns(a[1]))
+			} else {
+				bs.Gate(netlist.KNot, name, symD, []netlist.NetID{oS}, netlist.Conns(a[0]))
+				bc.Gate(netlist.KNot, name, concD, []netlist.NetID{oC}, netlist.Conns(a[1]))
+			}
+		case 3: // mux2, select from fabric
+			s, a, b := pick(), pick(), pick()
+			bs.Mux(netlist.KMux2, name, symD, tick.Range{}, []netlist.NetID{oS},
+				netlist.Conns(s[0]), netlist.Conns(a[0]), netlist.Conns(b[0]))
+			bc.Mux(netlist.KMux2, name, concD, tick.Range{}, []netlist.NetID{oC},
+				netlist.Conns(s[1]), netlist.Conns(a[1]), netlist.Conns(b[1]))
+		case 4: // register on the clock
+			d := pick()
+			bs.Register(name, symD, []netlist.NetID{oS}, netlist.Conn{Net: bs.Net("CK")}, netlist.Conns(d[0]))
+			bc.Register(name, concD, []netlist.NetID{oC}, netlist.Conn{Net: bc.Net("CK")}, netlist.Conns(d[1]))
+		case 5: // latch on the clock
+			d := pick()
+			bs.Latch(name, symD, []netlist.NetID{oS}, netlist.Conn{Net: bs.Net("CK")}, netlist.Conns(d[0]))
+			bc.Latch(name, concD, []netlist.NetID{oC}, netlist.Conn{Net: bc.Net("CK")}, netlist.Conns(d[1]))
+		default: // chg
+			a, b := pick(), pick()
+			bs.Gate(netlist.KChg, name, symD, []netlist.NetID{oS}, netlist.Conns(a[0]), netlist.Conns(b[0]))
+			bc.Gate(netlist.KChg, name, concD, []netlist.NetID{oC}, netlist.Conns(a[1]), netlist.Conns(b[1]))
+		}
+		avail = append(avail, [2]netlist.NetID{oS, oC})
+	}
+
+	tw.sym = bs.MustBuild()
+	tw.conc = bc.MustBuild()
+	return tw
+}
+
+// covers reports whether a symbolic value admits the concrete one.  A
+// concrete value that is itself uncertain (the concrete twin's rise/fall
+// fallback can widen value-unknown signals) cannot falsify the symbolic
+// claim, so only definite concrete values bite.
+func covers(sym, conc values.Value) bool {
+	if conc != values.V0 && conc != values.V1 {
+		// Uncertain or merely-stable concrete values cannot falsify: the
+		// concrete twin may have lost value information through the
+		// rise/fall envelope fallback or an unclocked register.
+		return true
+	}
+	switch sym {
+	case values.V0:
+		return conc == values.V0
+	case values.V1:
+		return conc == values.V1
+	}
+	return true // S, C, R, F, U admit any definite level
+}
+
+func TestSoundnessAgainstConcrete(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			tw := buildTwin(rng, 8+rng.Intn(10))
+
+			symRes, err := Run(tw.sym, Options{KeepWaves: true, Force: tw.forceSym})
+			if err != nil {
+				t.Fatal(err)
+			}
+			concRes, err := Run(tw.conc, Options{KeepWaves: true, Force: tw.forceConc})
+			if err != nil {
+				t.Fatal(err)
+			}
+			symW := symRes.Cases[0].Waves
+			concW := concRes.Cases[0].Waves
+
+			for _, p := range tw.pairs {
+				sw := symW[p[0]].IncorporateSkew()
+				cw := concW[p[1]].IncorporateSkew()
+				name := tw.sym.Nets[p[0]].Name
+				// Pointwise value coverage at a fine sampling.
+				for ti := tick.Time(0); ti < sPeriod; ti += 50 {
+					sv, cv := sw.At(ti), cw.At(ti)
+					if !covers(sv, cv) {
+						t.Fatalf("net %q at %v: symbolic %v does not cover concrete %v\n  sym:  %v\n  conc: %v",
+							name, ti, sv, cv, sw, cw)
+					}
+				}
+				// Stability coverage: the concrete signal must not
+				// transition strictly inside a symbolic stable run.
+				for _, tr := range cw.Transitions() {
+					// Only physical 0↔1 flips count; a STABLE run
+					// resolving into a known constant is representational.
+					if !tr.From.Const() || !tr.To.Const() || tr.From == tr.To {
+						continue
+					}
+					// Sample just before and after the concrete flip.
+					before, after := sw.At(tr.At-1), sw.At(tr.At)
+					if before == values.VS && after == values.VS {
+						t.Fatalf("net %q: concrete flip at %v inside a symbolic STABLE region\n  sym:  %v\n  conc: %v",
+							name, tr.At, sw, cw)
+					}
+					if before.Const() && after.Const() && before == after {
+						t.Fatalf("net %q: concrete flip at %v where symbolic pins %v\n  sym:  %v\n  conc: %v",
+							name, tr.At, before, sw, cw)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,372 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"scaldtv/internal/assertion"
+	"scaldtv/internal/eval"
+	"scaldtv/internal/netlist"
+	"scaldtv/internal/values"
+)
+
+// Options tunes the verification run.
+type Options struct {
+	// MaxPasses caps the number of primitive evaluations per case.  Zero
+	// means the default of 50 evaluations per primitive (at least 1000).
+	MaxPasses int
+	// KeepWaves retains the final waveform of every net in each
+	// CaseResult (needed for the timing summary listing).
+	KeepWaves bool
+	// Margins collects the outcome of every constraint evaluation —
+	// passing or failing — so slack listings and cycle-time estimates can
+	// be produced (§1.1).
+	Margins bool
+	// Force overrides the initial waveform of undriven nets, in place of
+	// their assertion or the all-stable default.  It supports hierarchical
+	// flows (driving a section with waveforms computed elsewhere) and the
+	// soundness tests that compare symbolic against concrete behaviour.
+	Force map[netlist.NetID]values.Waveform
+}
+
+// Stats aggregates the execution statistics the paper reports in
+// Table 3-1.
+type Stats struct {
+	Primitives int           // driving + checking primitive instances
+	Nets       int           // signal bits (value lists stored)
+	Events     int           // output-value changes processed, all cases
+	PrimEvals  int           // primitive evaluations performed, all cases
+	Cases      int           // case-analysis cycles simulated
+	BuildTime  time.Duration // building evaluation structures
+	VerifyTime time.Duration // relaxation to fixed point
+	CheckTime  time.Duration // constraint checking
+}
+
+// CaseResult is the outcome of one simulated case-analysis cycle (§2.7).
+type CaseResult struct {
+	Label      string
+	Events     int // output-value changes processed in this case
+	PrimEvals  int
+	Violations []Violation
+	Waves      []values.Waveform // per net, when Options.KeepWaves is set
+}
+
+// Result is a complete verification outcome.
+type Result struct {
+	Design     *netlist.Design
+	Cases      []CaseResult
+	Violations []Violation // all cases, in detection order
+	Margins    []Margin    // every constraint outcome, when Options.Margins is set
+	Undefined  []string    // cross-reference listing: undriven nets with no assertion (§2.5)
+	Stats      Stats
+}
+
+// Errors reports whether any violation was detected.
+func (r *Result) Errors() bool { return len(r.Violations) > 0 }
+
+// verifier holds the relaxation state.
+type verifier struct {
+	d       *netlist.Design
+	opts    Options
+	sigs    []eval.Signal                     // current signal per net
+	initial []values.Waveform                 // assertion/default seed per net
+	pinned  []bool                            // nets pinned to a clock assertion (§2.9)
+	altOut  map[netlist.NetID]values.Waveform // computed value of pinned driven nets
+	caseMap map[netlist.NetID]values.Value    // active case mapping (§2.7.1)
+	margins []Margin
+
+	// Wired-OR support: nets with several drivers keep each driver's
+	// latest output; the net's value is their OR.
+	wired    map[netlist.NetID][]netlist.PrimID
+	wiredOut map[[2]int32]values.Waveform
+
+	queue   []netlist.PrimID
+	inQueue []bool
+	events  int
+	evals   int
+}
+
+// Run verifies the design and returns the result.  The design must have
+// passed netlist validation (Builder.Build or Design.Check).
+func Run(d *netlist.Design, opts Options) (*Result, error) {
+	if err := d.Check(); err != nil {
+		return nil, err
+	}
+	buildStart := time.Now()
+	v := &verifier{
+		d:       d,
+		opts:    opts,
+		sigs:    make([]eval.Signal, len(d.Nets)),
+		initial: make([]values.Waveform, len(d.Nets)),
+		pinned:  make([]bool, len(d.Nets)),
+		altOut:  make(map[netlist.NetID]values.Waveform),
+		caseMap: make(map[netlist.NetID]values.Value),
+		inQueue: make([]bool, len(d.Prims)),
+	}
+	res := &Result{Design: d}
+	env := d.Env()
+
+	if d.WiredOr {
+		counts := map[netlist.NetID]int{}
+		for pi := range d.Prims {
+			for _, port := range d.Prims[pi].Out {
+				for _, o := range port.Bits {
+					counts[o]++
+				}
+			}
+		}
+		v.wired = map[netlist.NetID][]netlist.PrimID{}
+		v.wiredOut = map[[2]int32]values.Waveform{}
+		for n, c := range counts {
+			if c > 1 {
+				v.wired[n] = d.Drivers(n)
+			}
+		}
+	}
+
+	// §2.9 step 1: initialise signals.  Clock-asserted nets are pinned to
+	// their asserted waveform; stable-asserted nets seed S/C; driven nets
+	// without assertions start UNKNOWN; undriven, unasserted nets are
+	// taken to be always stable and listed for the designer's attention.
+	undefSeen := map[string]bool{}
+	for i := range d.Nets {
+		n := &d.Nets[i]
+		if w, ok := opts.Force[netlist.NetID(i)]; ok {
+			if n.Driver != netlist.NoDriver {
+				return nil, fmt.Errorf("verify: cannot force driven net %q", n.Name)
+			}
+			if err := w.Check(); err != nil {
+				return nil, fmt.Errorf("verify: forced waveform for %q: %v", n.Name, err)
+			}
+			if w.Period != d.Period {
+				return nil, fmt.Errorf("verify: forced waveform for %q has period %v, want %v", n.Name, w.Period, d.Period)
+			}
+			v.initial[i] = w
+			v.sigs[i] = eval.Signal{Wave: w}
+			continue
+		}
+		switch {
+		case n.Assert != nil:
+			w, err := n.Assert.Waveform(env)
+			if err != nil {
+				return nil, fmt.Errorf("verify: net %q: %v", n.Name, err)
+			}
+			v.initial[i] = w
+			v.pinned[i] = n.Assert.Kind == assertion.Clock || n.Assert.Kind == assertion.PrecisionClock
+		case n.Driver == netlist.NoDriver:
+			v.initial[i] = values.Const(d.Period, values.VS)
+			if !undefSeen[n.Base] {
+				undefSeen[n.Base] = true
+				res.Undefined = append(res.Undefined, n.Base)
+			}
+		default:
+			v.initial[i] = values.Const(d.Period, values.VU)
+		}
+		v.sigs[i] = eval.Signal{Wave: v.initial[i]}
+	}
+	sort.Strings(res.Undefined)
+	res.Stats.BuildTime = time.Since(buildStart)
+	res.Stats.Primitives = len(d.Prims)
+	res.Stats.Nets = len(d.Nets)
+
+	// The case list: an empty design-case list means a single unmapped
+	// cycle.
+	cases := d.Cases
+	if len(cases) == 0 {
+		cases = []netlist.Case{{Label: ""}}
+	}
+
+	for ci, c := range cases {
+		verifyStart := time.Now()
+		v.events, v.evals = 0, 0
+		if err := v.applyCase(c, ci == 0); err != nil {
+			return nil, err
+		}
+		conv := v.relax()
+		res.Stats.VerifyTime += time.Since(verifyStart)
+
+		checkStart := time.Now()
+		cr := CaseResult{Label: c.Label, Events: v.events, PrimEvals: v.evals}
+		if !conv {
+			cr.Violations = append(cr.Violations, Violation{
+				Kind:   ConvergenceViolation,
+				Case:   c.Label,
+				Detail: fmt.Sprintf("fixed point not reached within %d primitive evaluations", v.passCap()),
+			})
+		}
+		cr.Violations = append(cr.Violations, v.check(c.Label)...)
+		if opts.Margins {
+			res.Margins = append(res.Margins, v.margins...)
+			v.margins = nil
+		}
+		if opts.KeepWaves {
+			cr.Waves = make([]values.Waveform, len(v.sigs))
+			for i, s := range v.sigs {
+				cr.Waves[i] = s.Wave
+			}
+		}
+		res.Stats.CheckTime += time.Since(checkStart)
+		res.Stats.Events += v.events
+		res.Stats.PrimEvals += v.evals
+		res.Cases = append(res.Cases, cr)
+		res.Violations = append(res.Violations, cr.Violations...)
+	}
+	res.Stats.Cases = len(res.Cases)
+	return res, nil
+}
+
+// applyCase installs the case mapping (§2.7.1) and seeds the worklist: the
+// whole circuit for the first case, only the affected cone afterwards.
+func (v *verifier) applyCase(c netlist.Case, first bool) error {
+	newMap := make(map[netlist.NetID]values.Value)
+	for _, as := range c.Assignments {
+		found := false
+		for i := range v.d.Nets {
+			if netlist.BaseMatches(v.d.Nets[i].Base, as.Base) {
+				newMap[netlist.NetID(i)] = as.Value
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("verify: case %q names unknown signal %q", c.Label, as.Base)
+		}
+	}
+
+	// Nets leaving or entering the mapping must be re-seeded.
+	affected := make(map[netlist.NetID]bool)
+	for n := range v.caseMap {
+		affected[n] = true
+	}
+	for n := range newMap {
+		affected[n] = true
+	}
+	v.caseMap = newMap
+
+	if first {
+		for i := range v.d.Nets {
+			id := netlist.NetID(i)
+			v.sigs[i].Wave = v.mapped(id, v.initial[i])
+		}
+		for pi := range v.d.Prims {
+			if !v.d.Prims[pi].Kind.IsChecker() {
+				v.enqueue(netlist.PrimID(pi))
+			}
+		}
+		return nil
+	}
+	for id := range affected {
+		n := &v.d.Nets[id]
+		if n.Driver == netlist.NoDriver || v.pinned[id] {
+			// Re-seed from the initial value under the new mapping.
+			w := v.mapped(id, v.initial[id])
+			if !w.Equal(v.sigs[id].Wave) {
+				v.sigs[id].Wave = w
+				v.events++
+				v.fanout(id)
+			}
+		} else {
+			// Driven: its driver recomputes and the store applies the
+			// new mapping.
+			v.enqueue(n.Driver)
+		}
+	}
+	return nil
+}
+
+// mapped applies the active case mapping to a waveform destined for net
+// id: STABLE values become the case constant (§2.7.1).
+func (v *verifier) mapped(id netlist.NetID, w values.Waveform) values.Waveform {
+	cv, ok := v.caseMap[id]
+	if !ok {
+		return w
+	}
+	return w.MapUnary(func(x values.Value) values.Value {
+		if x == values.VS {
+			return cv
+		}
+		return x
+	})
+}
+
+func (v *verifier) enqueue(p netlist.PrimID) {
+	if v.inQueue[p] || v.d.Prims[p].Kind.IsChecker() {
+		return
+	}
+	v.inQueue[p] = true
+	v.queue = append(v.queue, p)
+}
+
+func (v *verifier) fanout(id netlist.NetID) {
+	for _, p := range v.d.Nets[id].Fanout {
+		v.enqueue(p)
+	}
+}
+
+func (v *verifier) passCap() int {
+	if v.opts.MaxPasses > 0 {
+		return v.opts.MaxPasses
+	}
+	limit := 50 * len(v.d.Prims)
+	if limit < 1000 {
+		limit = 1000
+	}
+	return limit
+}
+
+// relax runs the event-driven evaluation to a fixed point (§2.9 step 2).
+// It reports whether the fixed point was reached within the pass cap.
+func (v *verifier) relax() bool {
+	cap := v.passCap()
+	get := func(n netlist.NetID) eval.Signal { return v.sigs[n] }
+	for len(v.queue) > 0 {
+		if v.evals >= cap {
+			v.queue = v.queue[:0]
+			for i := range v.inQueue {
+				v.inQueue[i] = false
+			}
+			return false
+		}
+		pid := v.queue[0]
+		v.queue = v.queue[1:]
+		v.inQueue[pid] = false
+		p := &v.d.Prims[pid]
+		v.evals++
+		outs, err := eval.Prim(v.d, p, get)
+		if err != nil || outs == nil {
+			continue
+		}
+		for bit, sig := range outs {
+			id := p.Out[0].Bits[bit]
+			if drivers, isWired := v.wired[id]; isWired {
+				// Wired-OR: remember this driver's output and fold the
+				// drivers together (missing ones count as UNKNOWN until
+				// their first evaluation).
+				v.wiredOut[[2]int32{int32(id), int32(pid)}] = sig.Wave
+				folded := values.Const(v.d.Period, values.V0)
+				for _, dp := range drivers {
+					w, ok := v.wiredOut[[2]int32{int32(id), int32(dp)}]
+					if !ok {
+						w = values.Const(v.d.Period, values.VU)
+					}
+					folded = values.Combine(folded, w, values.Or)
+				}
+				sig = eval.Signal{Wave: folded, Dirs: sig.Dirs}
+			}
+			sig.Wave = v.mapped(id, sig.Wave)
+			if v.pinned[id] {
+				// The designer's clock assertion rules; remember the
+				// computed value for the assertion cross-check.
+				v.altOut[id] = sig.Wave
+				continue
+			}
+			if sig.Wave.Equal(v.sigs[id].Wave) && sig.Dirs == v.sigs[id].Dirs {
+				continue
+			}
+			v.sigs[id] = sig
+			v.events++
+			v.fanout(id)
+		}
+	}
+	return true
+}

@@ -1,0 +1,115 @@
+// Package verify implements the Timing Verifier proper (§2.9): it
+// initialises every signal from its assertion, relaxes the circuit to a
+// fixed point with event-driven evaluation, applies case analysis with
+// incremental re-evaluation, and checks every timing constraint — set-up
+// and hold times, minimum pulse widths, evaluation-directive stability, and
+// designer assertions.
+package verify
+
+import (
+	"fmt"
+
+	"scaldtv/internal/tick"
+	"scaldtv/internal/values"
+)
+
+// ViolationKind classifies a detected timing error.
+type ViolationKind int
+
+// The violation kinds.
+const (
+	SetupViolation        ViolationKind = iota // data changed inside the set-up interval
+	HoldViolation                              // data changed inside the hold interval
+	EnableViolation                            // data changed while the clock was true (SETUP RISE HOLD FALL)
+	MinPulseHighViolation                      // high pulse may be narrower than required
+	MinPulseLowViolation                       // low pulse may be narrower than required
+	DirectiveViolation                         // &A/&H control input changing while the clock is asserted
+	AssertionViolation                         // computed signal contradicts its designer assertion
+	UnknownClockViolation                      // a clock or enable input is undefined
+	ConvergenceViolation                       // the relaxation did not reach a fixed point
+)
+
+// String names the kind in the style of the paper's error listings.
+func (k ViolationKind) String() string {
+	switch k {
+	case SetupViolation:
+		return "SETUP TIME VIOLATED"
+	case HoldViolation:
+		return "HOLD TIME VIOLATED"
+	case EnableViolation:
+		return "INPUT CHANGED WHILE CLOCK TRUE"
+	case MinPulseHighViolation:
+		return "MINIMUM HIGH PULSE WIDTH VIOLATED"
+	case MinPulseLowViolation:
+		return "MINIMUM LOW PULSE WIDTH VIOLATED"
+	case DirectiveViolation:
+		return "CONTROL NOT STABLE WHILE CLOCK ASSERTED"
+	case AssertionViolation:
+		return "SIGNAL ASSERTION VIOLATED"
+	case UnknownClockViolation:
+		return "CLOCK VALUE UNDEFINED"
+	case ConvergenceViolation:
+		return "CIRCUIT DID NOT CONVERGE"
+	}
+	return fmt.Sprintf("ViolationKind(%d)", int(k))
+}
+
+// Violation records one detected timing error with the context the paper's
+// Fig 3-11 listing shows: the checker, the signals involved, the required
+// and observed intervals, and the waveforms seen at the checker inputs.
+type Violation struct {
+	Kind  ViolationKind
+	Case  string // case-analysis label, "" for the base case
+	Prim  string // checker or primitive instance name
+	Data  string // data/control signal name
+	Clock string // clock signal name, if any
+
+	Required tick.Time // required interval (set-up, hold, or width)
+	Actual   tick.Time // observed interval
+	At       tick.Time // clock edge or pulse position within the cycle
+
+	DataWave  values.Waveform // value seen on the data input
+	ClockWave values.Waveform // value seen on the clock input
+	Detail    string          // additional free-form context
+}
+
+// Margin returns Actual-Required: negative when violated.
+func (v Violation) Margin() tick.Time { return v.Actual - v.Required }
+
+// Margin records the outcome of one constraint evaluation — passing or
+// failing — collected when Options.Margins is set.  The sorted slack
+// table supports the cycle-time estimation workflow of §1.1.
+type Margin struct {
+	Kind  ViolationKind // the constraint family (set-up, hold, pulse width)
+	Case  string
+	Prim  string
+	Data  string
+	Clock string
+
+	Required tick.Time
+	Actual   tick.Time
+	At       tick.Time
+}
+
+// Slack returns Actual-Required: how much the constraint passes by
+// (negative when violated).
+func (m Margin) Slack() tick.Time { return m.Actual - m.Required }
+
+// String renders a one-line summary; the report package renders the full
+// three-line listing.
+func (v Violation) String() string {
+	s := fmt.Sprintf("%s: %s", v.Kind, v.Prim)
+	if v.Data != "" {
+		s += fmt.Sprintf(" data %q", v.Data)
+	}
+	if v.Clock != "" {
+		s += fmt.Sprintf(" clock %q", v.Clock)
+	}
+	if v.Required != 0 || v.Actual != 0 {
+		s += fmt.Sprintf(" required %s ns, actual %s ns", v.Required, v.Actual)
+	}
+	if v.Case != "" {
+		s += fmt.Sprintf(" [case %s]", v.Case)
+	}
+	return s
+}

@@ -1,0 +1,309 @@
+// Package scaldtv is a Go implementation of the SCALD Timing Verifier
+// (Thomas M. McWilliams, "Verification of Timing Constraints on Large
+// Digital Systems", DAC 1980 / Stanford Ph.D. thesis, May 1980).
+//
+// The verifier performs complete, value-independent timing verification of
+// synchronous sequential circuits: it simulates one clock period over a
+// seven-value algebra (0, 1, STABLE, CHANGE, RISE, FALL, UNKNOWN), carries
+// min/max delay uncertainty as out-of-band skew to preserve pulse widths,
+// and checks every set-up, hold, minimum-pulse-width, gated-clock and
+// designer-assertion constraint — with designer-specified case analysis
+// for value-dependent paths.
+//
+// Designs are described either programmatically through NewBuilder or in a
+// textual SCALD-like hardware description language compiled with Compile:
+//
+//	res, err := scaldtv.VerifySource(`
+//	design EXAMPLE
+//	period 50ns
+//	clockunit 6.25ns
+//	reg R1 delay=(1.5,4.5) ("CK .P0-4", "DATA .S6-12"<0:7>) -> (Q<0:7>)
+//	setuphold CHK setup=2.5 hold=1.5 ("DATA .S6-12"<0:7>, "CK .P0-4")
+//	`, scaldtv.Options{})
+//	if err != nil { ... }
+//	fmt.Print(scaldtv.ErrorListing(res))
+//
+// Signal names carry their timing assertions, exactly as in the paper:
+// ".P2-3" and ".C4-6 L" declare (precision) clocks in designer clock
+// units, ".S0-6" declares when a signal is stable, "-NAME" uses the
+// complement rail, and "&H" attaches evaluation directives to gated-clock
+// pins (§2.5, §2.6).
+package scaldtv
+
+import (
+	"fmt"
+
+	"scaldtv/internal/autocorr"
+	"scaldtv/internal/expand"
+	"scaldtv/internal/hdl"
+	"scaldtv/internal/lib"
+	"scaldtv/internal/lint"
+	"scaldtv/internal/netlist"
+	"scaldtv/internal/report"
+	"scaldtv/internal/tick"
+	"scaldtv/internal/values"
+	"scaldtv/internal/verify"
+)
+
+// Re-exported core types.  The aliases make every method and field of the
+// underlying implementation available to API users.
+type (
+	// Design is a flattened circuit ready for verification.
+	Design = netlist.Design
+	// Builder constructs designs programmatically.
+	Builder = netlist.Builder
+	// Conn is one input-pin connection.
+	Conn = netlist.Conn
+	// NetID identifies a signal bit within a design.
+	NetID = netlist.NetID
+	// Kind identifies a primitive type.
+	Kind = netlist.Kind
+
+	// Options tunes a verification run.
+	Options = verify.Options
+	// Result is a complete verification outcome.
+	Result = verify.Result
+	// Violation is one detected timing error.
+	Violation = verify.Violation
+	// ViolationKind classifies a violation.
+	ViolationKind = verify.ViolationKind
+
+	// Time is an instant or duration in integer picoseconds.
+	Time = tick.Time
+	// DelayRange is a min/max delay pair.
+	DelayRange = tick.Range
+
+	// Waveform is a signal's value over one clock period.
+	Waveform = values.Waveform
+	// Value is one of the seven signal values.
+	Value = values.Value
+
+	// ExpandReport carries macro-expansion statistics (Table 3-2).
+	ExpandReport = expand.Report
+)
+
+// Primitive kinds, re-exported for Builder users.
+const (
+	KBuf               = netlist.KBuf
+	KNot               = netlist.KNot
+	KAnd               = netlist.KAnd
+	KOr                = netlist.KOr
+	KNand              = netlist.KNand
+	KNor               = netlist.KNor
+	KXor               = netlist.KXor
+	KChg               = netlist.KChg
+	KMux2              = netlist.KMux2
+	KMux4              = netlist.KMux4
+	KMux8              = netlist.KMux8
+	KReg               = netlist.KReg
+	KRegRS             = netlist.KRegRS
+	KLatch             = netlist.KLatch
+	KLatchRS           = netlist.KLatchRS
+	KSetupHold         = netlist.KSetupHold
+	KSetupRiseHoldFall = netlist.KSetupRiseHoldFall
+	KMinPulse          = netlist.KMinPulse
+)
+
+// Violation kinds.
+const (
+	SetupViolation        = verify.SetupViolation
+	HoldViolation         = verify.HoldViolation
+	EnableViolation       = verify.EnableViolation
+	MinPulseHighViolation = verify.MinPulseHighViolation
+	MinPulseLowViolation  = verify.MinPulseLowViolation
+	DirectiveViolation    = verify.DirectiveViolation
+	AssertionViolation    = verify.AssertionViolation
+	UnknownClockViolation = verify.UnknownClockViolation
+	ConvergenceViolation  = verify.ConvergenceViolation
+)
+
+// The seven signal values.
+const (
+	V0 = values.V0
+	V1 = values.V1
+	VS = values.VS
+	VC = values.VC
+	VR = values.VR
+	VF = values.VF
+	VU = values.VU
+)
+
+// Library is the Chapter-3 component library (register file, multiplexer,
+// register, OR gate, ALU, CORR delay) in HDL source form; prepend it to a
+// design, or use CompileWithLibrary.
+const Library = lib.Prelude
+
+// NS converts nanoseconds to a Time.
+func NS(ns float64) Time { return tick.FromNS(ns) }
+
+// Delay builds a min/max delay range from nanosecond quantities.
+func Delay(minNS, maxNS float64) DelayRange { return tick.R(minNS, maxNS) }
+
+// NewBuilder starts a programmatic design.
+func NewBuilder(name string) *Builder { return netlist.NewBuilder(name) }
+
+// Conns wraps nets as plain connections (see also netlist.Invert and
+// Builder.Directive for complement rails and evaluation directives).
+func Conns(nets ...NetID) []Conn { return netlist.Conns(nets...) }
+
+// Invert returns complement-rail versions of the connections.
+func Invert(cs []Conn) []Conn { return netlist.Invert(cs) }
+
+// Compile parses HDL source and expands its macros into a flat design.
+func Compile(src string) (*Design, error) {
+	d, _, err := CompileWithReport(src)
+	return d, err
+}
+
+// CompileWithReport is Compile, also returning the macro-expansion
+// statistics.
+func CompileWithReport(src string) (*Design, *ExpandReport, error) {
+	f, err := hdl.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return expand.Expand(f)
+}
+
+// CompileWithLibrary compiles source with the Chapter-3 component library
+// in scope.  The header (design/period/clockunit/... declarations) must
+// come first in src; the library is injected after the first period
+// declaration is impossible to locate textually, so it is simply prepended
+// to the body — place header declarations in src before any instance.
+func CompileWithLibrary(header, body string) (*Design, error) {
+	return Compile(header + "\n" + Library + "\n" + body)
+}
+
+// Verify runs the Timing Verifier on a design.
+func Verify(d *Design, opts Options) (*Result, error) {
+	return verify.Run(d, opts)
+}
+
+// VerifySource compiles and verifies HDL source in one step.
+func VerifySource(src string, opts Options) (*Result, error) {
+	d, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return Verify(d, opts)
+}
+
+// CorrInsertion records one automatic CORR-delay placement (§4.2.3).
+type CorrInsertion = autocorr.Insertion
+
+// AutoCorr applies the automatic correlation compensation of §4.2.3: it
+// finds storage elements fed back from their own outputs under skewed
+// clocks and splices fictitious CORR delays into exactly the feedback
+// branches, suppressing the Fig 4-1 false hold errors the paper otherwise
+// asks the designer to patch by hand.  The design is modified in place.
+func AutoCorr(d *Design) ([]CorrInsertion, error) { return autocorr.Apply(d) }
+
+// MinimumPeriod finds the shortest clock period at which the design
+// verifies cleanly, by bisection between lo and hi at the given
+// resolution.  Clocks and stable assertions scale with the period through
+// the designer clock units (§2.3, §1.1: the Verifier "supports formation
+// of an accurate estimate of the cycle time of a digital system before
+// its design is completed"); component and interconnection delays stay
+// absolute.  It returns 0 with no error when even hi fails.
+func MinimumPeriod(src string, lo, hi, resolution Time) (Time, error) {
+	if lo <= 0 || hi < lo || resolution <= 0 {
+		return 0, fmt.Errorf("scaldtv: invalid sweep bounds %v..%v step %v", lo, hi, resolution)
+	}
+	f, err := hdl.Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	if f.Period <= 0 {
+		return 0, fmt.Errorf("scaldtv: the design must declare a period to sweep against")
+	}
+	basePeriod := f.Period
+	baseCU := f.ClockUnit
+	if baseCU == 0 {
+		baseCU = tick.NS
+	}
+	cleanAt := func(p Time) (bool, error) {
+		f.Period = p
+		// Clock units are a fixed fraction of the period (§2.3).
+		f.ClockUnit = Time(int64(baseCU) * int64(p) / int64(basePeriod))
+		if f.ClockUnit <= 0 {
+			return false, nil
+		}
+		d, _, err := expand.Expand(f)
+		if err != nil {
+			return false, err
+		}
+		res, err := verify.Run(d, verify.Options{})
+		if err != nil {
+			return false, err
+		}
+		return !res.Errors(), nil
+	}
+	ok, err := cleanAt(hi)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, nil
+	}
+	good := hi
+	lobound := lo
+	for good-lobound > resolution {
+		mid := lobound + (good-lobound)/2
+		ok, err := cleanAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			good = mid
+		} else {
+			lobound = mid
+		}
+	}
+	return good, nil
+}
+
+// TimingSummary renders the Fig 3-10 style listing of every signal's value
+// over the cycle for one verified case (requires Options.KeepWaves).
+func TimingSummary(res *Result, caseIdx int) string {
+	return report.TimingSummary(res, caseIdx)
+}
+
+// ErrorListing renders the Fig 3-11 style constraint-error listing.
+func ErrorListing(res *Result) string { return report.ErrorListing(res) }
+
+// CrossReference renders the listing of signals that are used but neither
+// generated nor asserted (§2.5).
+func CrossReference(res *Result) string { return report.CrossReference(res) }
+
+// Summary renders a one-paragraph run overview with execution statistics.
+func Summary(res *Result) string { return report.Summary(res) }
+
+// WaveArt renders the verified waveforms as an ASCII timing diagram
+// (requires Options.KeepWaves).
+func WaveArt(res *Result, caseIdx, width int) string {
+	return report.WaveArt(res, caseIdx, width)
+}
+
+// JSONReport renders the verification result as machine-readable JSON for
+// CI integration.
+func JSONReport(res *Result) ([]byte, error) { return report.JSON(res) }
+
+// SlackListing renders constraint margins sorted most-critical first,
+// with the §1.1 cycle-time estimate (requires Options.Margins).
+func SlackListing(res *Result, topN int) string { return report.SlackListing(res, topN) }
+
+// DOT renders a design as a Graphviz digraph for visualisation.
+func DOT(d *Design) string { return report.DOT(d) }
+
+// CaseDiff lists the signals whose waveforms differ between two verified
+// cases — the cone the case mapping affected (§2.7).  Requires
+// Options.KeepWaves.
+func CaseDiff(res *Result, a, b int) string { return report.CaseDiff(res, a, b) }
+
+// LintFinding is one structural design-rule hit.
+type LintFinding = lint.Finding
+
+// Lint runs the structural design-rule checks (combinational loops,
+// unchecked storage, gated clocks without width checks, unasserted
+// clocks, dangling outputs) that complement timing verification.
+func Lint(d *Design) []LintFinding { return lint.Check(d) }

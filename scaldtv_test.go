@@ -1,0 +1,220 @@
+package scaldtv
+
+import (
+	"strings"
+	"testing"
+)
+
+const quickSrc = `
+design "API TEST"
+period 50ns
+clockunit 6.25ns
+reg R1 delay=(1.5,4.5) ("CK .P0-4", "DATA .S6-12"<0:7>) -> (Q<0:7>)
+setuphold CHK setup=2.5 hold=1.5 ("DATA .S6-12"<0:7>, "CK .P0-4")
+`
+
+func TestVerifySourceClean(t *testing.T) {
+	res, err := VerifySource(quickSrc, Options{KeepWaves: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors() {
+		t.Errorf("clean design flagged: %v", res.Violations)
+	}
+	if s := TimingSummary(res, 0); !strings.Contains(s, "DATA<0:7>") {
+		t.Errorf("summary missing vector:\n%s", s)
+	}
+	if s := ErrorListing(res); !strings.Contains(s, "no timing errors") {
+		t.Errorf("error listing wrong:\n%s", s)
+	}
+	if s := Summary(res); !strings.Contains(s, "API TEST") {
+		t.Errorf("summary wrong:\n%s", s)
+	}
+	if s := CrossReference(res); !strings.Contains(s, "none") {
+		t.Errorf("xref wrong:\n%s", s)
+	}
+}
+
+func TestVerifySourceError(t *testing.T) {
+	src := strings.Replace(quickSrc, ".S6-12", ".S7.8-8", 2)
+	res, err := VerifySource(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Errors() {
+		t.Fatal("late data not flagged")
+	}
+	if res.Violations[0].Kind != SetupViolation {
+		t.Errorf("kind = %v", res.Violations[0].Kind)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile("nonsense"); err == nil {
+		t.Error("parse error not propagated")
+	}
+	if _, err := Compile("period 50ns\nuse NOSUCH (A=B)"); err == nil {
+		t.Error("expansion error not propagated")
+	}
+	if _, err := VerifySource("nonsense", Options{}); err == nil {
+		t.Error("VerifySource should propagate compile errors")
+	}
+}
+
+func TestCompileWithLibrary(t *testing.T) {
+	d, err := CompileWithLibrary(`
+design LIBUSE
+period 50ns
+clockunit 6.25ns
+`, `
+use "REG 10176" R1 SIZE=4 (CK="CK .P0-4", I="D .S6-12"<0:3>, Q=Q<0:3>)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Verify(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors() {
+		t.Errorf("library design flagged: %v", res.Violations)
+	}
+}
+
+func TestBuilderAPI(t *testing.T) {
+	b := NewBuilder("api-builder")
+	b.SetPeriod(NS(50))
+	ck := b.Net("CK .P20-30")
+	d := b.Vector("D .S0-3", 4)
+	q := b.Vector("Q", 4)
+	b.Register("R", Delay(1, 2), q, Conn{Net: ck}, Conns(d...))
+	b.SetupHold("CHK", NS(2), NS(1), Conns(d...), Conn{Net: ck})
+	des, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Verify(des, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data stable 0–15: changes during the 20 ns edge window? Stable 0-15,
+	// changing 15–50: the edge at 20 sits in the changing region.
+	if !res.Errors() {
+		t.Error("expected a violation from data changing at the edge")
+	}
+	if res.Violations[0].Margin() >= 0 {
+		t.Error("violation margin should be negative")
+	}
+}
+
+func TestCompileWithReport(t *testing.T) {
+	_, rep, err := CompileWithReport(quickSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Primitives != 2 {
+		t.Errorf("primitives = %d", rep.Primitives)
+	}
+}
+
+func TestInvertHelper(t *testing.T) {
+	b := NewBuilder("inv")
+	b.SetPeriod(NS(50))
+	a := b.Net("A")
+	cs := Invert(Conns(a))
+	if !cs[0].Invert {
+		t.Error("Invert helper broken")
+	}
+}
+
+func TestMinimumPeriod(t *testing.T) {
+	// The quickstart register design: the critical constraint is the
+	// 2.5 ns set-up against the skewed cycle-boundary clock.  Shrinking
+	// the period scales the stable window with it, so a minimum exists.
+	min, err := MinimumPeriod(quickSrc, NS(5), NS(50), NS(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min <= NS(5) || min >= NS(50) {
+		t.Fatalf("minimum period = %v, expected strictly inside the bracket", min)
+	}
+	// The design is clean at the minimum and dirty just below it.
+	check := func(p Time) bool {
+		scaled := strings.Replace(quickSrc, "period 50ns", "period "+p.String()+"ns", 1)
+		scaled = strings.Replace(scaled, "clockunit 6.25ns",
+			"clockunit "+Time(int64(NS(6.25))*int64(p)/int64(NS(50))).String()+"ns", 1)
+		res, err := VerifySource(scaled, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return !res.Errors()
+	}
+	if !check(min) {
+		t.Errorf("design dirty at the reported minimum %v", min)
+	}
+	if check(min - NS(1)) {
+		t.Errorf("design clean 1 ns below the reported minimum %v", min)
+	}
+}
+
+func TestMinimumPeriodEdges(t *testing.T) {
+	if _, err := MinimumPeriod(quickSrc, 0, NS(50), NS(1)); err == nil {
+		t.Error("invalid bounds accepted")
+	}
+	if _, err := MinimumPeriod("nonsense", NS(5), NS(50), NS(1)); err == nil {
+		t.Error("parse error not propagated")
+	}
+	// A design that fails even at hi returns 0.
+	bad := strings.Replace(quickSrc, ".S6-12", ".S7.8-8", 2)
+	min, err := MinimumPeriod(bad, NS(5), NS(50), NS(1))
+	if err != nil || min != 0 {
+		t.Errorf("unachievable sweep = %v, %v; want 0, nil", min, err)
+	}
+}
+
+func TestFacadeWrappers(t *testing.T) {
+	res, err := VerifySource(quickSrc, Options{KeepWaves: true, Margins: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := WaveArt(res, 0, 40); !strings.Contains(s, "WAVEFORMS") {
+		t.Errorf("WaveArt wrapper broken: %q", s[:40])
+	}
+	if s := DOT(res.Design); !strings.Contains(s, "digraph") {
+		t.Error("DOT wrapper broken")
+	}
+	if s := SlackListing(res, 5); !strings.Contains(s, "CONSTRAINT MARGINS") {
+		t.Error("SlackListing wrapper broken")
+	}
+	if s := CaseDiff(res, 0, 0); !strings.Contains(s, "none") {
+		t.Error("CaseDiff wrapper broken")
+	}
+	if findings := Lint(res.Design); findings == nil {
+		// The quickstart register feeds nothing: expect the dangling Q.
+		t.Error("Lint wrapper returned nothing for a design with dangling outputs")
+	}
+}
+
+func TestAutoCorrFacade(t *testing.T) {
+	b := NewBuilder("fb")
+	b.SetPeriod(NS(50))
+	b.SetDefaultWire(DelayRange{})
+	b.SetPrecisionSkew(DelayRange{})
+	ck, bufCk := b.Net("CK .P20-30"), b.Net("BCK")
+	q, d := b.Net("Q"), b.Net("D")
+	b.Buf("CKB", Delay(0, 5), []NetID{bufCk}, Conns(ck))
+	b.Mux(KMux2, "M", Delay(1, 2), DelayRange{}, []NetID{d},
+		Conns(b.Net("LD .S0-50")), Conns(q), Conns(b.Net("ND .S0-50")))
+	b.Register("R", Delay(1, 2), []NetID{q}, Conn{Net: bufCk}, Conns(d))
+	des, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := AutoCorr(des)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ins) != 1 || ins[0].Delay != NS(5) {
+		t.Errorf("AutoCorr wrapper = %+v", ins)
+	}
+}
