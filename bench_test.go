@@ -29,7 +29,7 @@ func BenchmarkTable31_FullPipeline(b *testing.B) {
 		b.Run(fmt.Sprintf("chips=%d", chips), func(b *testing.B) {
 			var last *experiments.ScaleResult
 			for i := 0; i < b.N; i++ {
-				r, err := experiments.RunScale(chips)
+				r, err := experiments.RunScale(chips, 1)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -152,6 +152,33 @@ func BenchmarkFig26_CaseAnalysis(b *testing.B) {
 		b.ReportMetric(float64(r.FirstEvals), "case1-evals")
 		b.ReportMetric(float64(r.SecondEvals), "case2-evals")
 	})
+}
+
+// BenchmarkParallelCases compares the sequential case schedule (1 worker,
+// incremental cone reevaluation) against the concurrent snapshot-per-case
+// engine on an 8-case generated design.  On a multi-core host the worker
+// pool amortises the full-relaxation cost across CPUs; on a single CPU the
+// sequential schedule's smaller total work wins, which is why Workers == 1
+// remains a supported configuration.
+func BenchmarkParallelCases(b *testing.B) {
+	d, _, err := gen.Generate(gen.Config{Chips: 510, Cases: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var s verify.Stats
+			for i := 0; i < b.N; i++ {
+				res, err := verify.Run(d, verify.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s = res.Stats
+			}
+			b.ReportMetric(float64(s.PrimEvals), "prim-evals")
+			b.ReportMetric(float64(s.Workers), "workers")
+		})
+	}
 }
 
 // BenchmarkClaim_ExponentialSavings compares exhaustive min/max logic

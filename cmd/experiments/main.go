@@ -18,13 +18,20 @@ import (
 
 func main() {
 	table := flag.String("table", "", "regenerate one table: 3-1, 3-2 or 3-3")
-	claim := flag.String("claim", "", "regenerate one claim: exponential, pathsearch, skew, cases")
+	claim := flag.String("claim", "", "regenerate one claim: exponential, pathsearch, skew, cases, parallel")
 	all := flag.Bool("all", false, "regenerate everything")
 	chips := flag.Int("chips", 6357, "chip count for the scale experiment")
+	workers := flag.Int("j", 1, "case-evaluation workers (0 = GOMAXPROCS; the paper's runs are single-threaded)")
 	flag.Parse()
 
 	if !*all && *table == "" && *claim == "" {
-		fmt.Fprintln(os.Stderr, "usage: experiments -all | -table 3-1|3-2|3-3 | -claim exponential|pathsearch|skew|cases")
+		fmt.Fprintln(os.Stderr, "usage: experiments -all | -table 3-1|3-2|3-3 | -claim exponential|pathsearch|skew|cases|parallel")
+		os.Exit(2)
+	}
+	switch *claim {
+	case "", "exponential", "pathsearch", "skew", "cases", "parallel":
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown claim %q (want exponential, pathsearch, skew, cases or parallel)\n", *claim)
 		os.Exit(2)
 	}
 
@@ -32,7 +39,7 @@ func main() {
 	needScale := *all || *table != ""
 	if needScale {
 		var err error
-		scale, err = experiments.RunScale(*chips)
+		scale, err = experiments.RunScale(*chips, *workers)
 		if err != nil {
 			fail(err)
 		}
@@ -122,6 +129,23 @@ func main() {
 		}
 		fmt.Printf("  case 1 (full evaluation):    %6d primitive evals, %6d events\n", r.FirstEvals, r.FirstEvents)
 		fmt.Printf("  case 2 (incremental):        %6d primitive evals, %6d events\n", r.SecondEvals, r.SecondEvents)
+		fmt.Println()
+	}
+	if *all || *claim == "parallel" {
+		j := *workers
+		if j <= 1 {
+			j = 0 // GOMAXPROCS: the interesting configuration for this claim
+		}
+		fmt.Println("==== Concurrent case evaluation: wall-clock vs the sequential schedule ====")
+		fmt.Println()
+		r, err := experiments.RunParallelSpeedup(510, 8, j)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("  %d chips, %d cases\n", r.Chips, r.Cases)
+		fmt.Printf("  sequential (1 worker, incremental cones): %10v wall, %8d prim evals\n", r.SeqWall, r.SeqEvals)
+		fmt.Printf("  concurrent (%d workers, full per case):   %10v wall, %8d prim evals\n", r.Workers, r.ParWall, r.ParEvals)
+		fmt.Printf("  wall-clock speedup: %.2fx (reports verified identical)\n", r.Speedup())
 		fmt.Println()
 	}
 }

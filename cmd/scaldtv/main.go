@@ -11,6 +11,7 @@
 //	-xref         print the cross-reference listing of undefined signals
 //	-stats        print execution and storage statistics
 //	-case n       print the summary for case n (default 0)
+//	-j n          case-evaluation workers (0 = one per CPU, 1 = sequential)
 package main
 
 import (
@@ -38,6 +39,7 @@ func main() {
 	slack := flag.Int("slack", 0, "print the N most critical constraint margins with a cycle-time estimate")
 	minPeriod := flag.Bool("minperiod", false, "bisect for the shortest clean clock period (§1.1) and exit")
 	sectionsFlag := flag.Bool("sections", false, "verify each file as an independent section and cross-check interface assertions (§2.5.2)")
+	workers := flag.Int("j", 0, "case-evaluation workers: 0 = one per CPU, 1 = sequential with incremental cone reuse")
 	flag.Parse()
 
 	if *sectionsFlag {
@@ -57,7 +59,7 @@ func main() {
 			}
 			srcs[path] = text
 		}
-		rep, err := sections.Verify(srcs, scaldtv.Options{})
+		rep, err := sections.Verify(srcs, scaldtv.Options{Workers: *workers})
 		if err != nil {
 			fail(err)
 		}
@@ -111,7 +113,7 @@ func main() {
 		fmt.Printf("minimum clean clock period: %s ns (declared: %s ns)\n", min, design.Period)
 		return
 	}
-	res, err := scaldtv.Verify(design, scaldtv.Options{KeepWaves: *summary || *art, Margins: *slack > 0})
+	res, err := scaldtv.Verify(design, scaldtv.Options{KeepWaves: *summary || *art, Margins: *slack > 0, Workers: *workers})
 	if err != nil {
 		fail(err)
 	}

@@ -38,8 +38,10 @@ type ScaleResult struct {
 }
 
 // RunScale generates, reads, expands and verifies a design of the given
-// chip count, timing each phase the way Table 3-1 does.
-func RunScale(chips int) (*ScaleResult, error) {
+// chip count, timing each phase the way Table 3-1 does.  workers sets the
+// case-evaluation worker count (0 = GOMAXPROCS); the paper's Table 3-1 run
+// is single-threaded, so pass 1 for a faithful reproduction.
+func RunScale(chips, workers int) (*ScaleResult, error) {
 	src := gen.Source(gen.Config{Chips: chips})
 
 	t0 := time.Now()
@@ -53,7 +55,7 @@ func RunScale(chips int) (*ScaleResult, error) {
 		return nil, err
 	}
 	t2 := time.Now()
-	res, err := verify.Run(design, verify.Options{KeepWaves: true})
+	res, err := verify.Run(design, verify.Options{KeepWaves: true, Workers: workers})
 	if err != nil {
 		return nil, err
 	}
@@ -94,13 +96,15 @@ type CaseIncrement struct {
 }
 
 // RunCaseIncrement verifies a generated design with two cases over the
-// stage control signal.
+// stage control signal.  Workers is pinned to 1: the claim under test is
+// the sequential schedule's incremental cone reevaluation, which the
+// concurrent snapshot-per-case schedule deliberately trades away.
 func RunCaseIncrement(chips int) (*CaseIncrement, error) {
 	d, _, err := gen.Generate(gen.Config{Chips: chips, Cases: 2})
 	if err != nil {
 		return nil, err
 	}
-	res, err := verify.Run(d, verify.Options{})
+	res, err := verify.Run(d, verify.Options{Workers: 1})
 	if err != nil {
 		return nil, err
 	}
@@ -109,6 +113,69 @@ func RunCaseIncrement(chips int) (*CaseIncrement, error) {
 		SecondEvals:  res.Cases[1].PrimEvals,
 		FirstEvents:  res.Cases[0].Events,
 		SecondEvents: res.Cases[1].Events,
+	}, nil
+}
+
+// ParallelSpeedup compares the sequential case schedule against the
+// concurrent snapshot-per-case engine on a multi-case generated design.
+// The sequential run reevaluates cones incrementally and so does less
+// total work; the concurrent run trades that for wall-clock parallelism
+// across cases (Table 3-1 shows cases dominating runtime at scale).
+type ParallelSpeedup struct {
+	Chips   int
+	Cases   int
+	Workers int
+
+	SeqWall time.Duration // Workers=1 wall-clock of the case phase
+	ParWall time.Duration // Workers=N wall-clock of the case phase
+
+	SeqEvals int // total primitive evaluations, sequential (incremental)
+	ParEvals int // total primitive evaluations, concurrent (full per case)
+}
+
+// Speedup is the sequential/concurrent wall-clock ratio (>1 means the
+// worker pool won).
+func (p *ParallelSpeedup) Speedup() float64 {
+	if p.ParWall == 0 {
+		return 0
+	}
+	return float64(p.SeqWall) / float64(p.ParWall)
+}
+
+// RunParallelSpeedup verifies one generated design with Workers=1 and
+// Workers=workers and reports both schedules' cost.  The reports are
+// verified identical before timings are trusted.
+func RunParallelSpeedup(chips, cases, workers int) (*ParallelSpeedup, error) {
+	d, _, err := gen.Generate(gen.Config{Chips: chips, Cases: cases})
+	if err != nil {
+		return nil, err
+	}
+	seq, err := verify.Run(d, verify.Options{Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	par, err := verify.Run(d, verify.Options{Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	if len(seq.Violations) != len(par.Violations) {
+		return nil, fmt.Errorf("experiments: schedules disagree: %d vs %d violations",
+			len(seq.Violations), len(par.Violations))
+	}
+	for i := range seq.Violations {
+		if seq.Violations[i].String() != par.Violations[i].String() {
+			return nil, fmt.Errorf("experiments: schedules disagree on violation %d: %v vs %v",
+				i, seq.Violations[i], par.Violations[i])
+		}
+	}
+	return &ParallelSpeedup{
+		Chips:    chips,
+		Cases:    len(seq.Cases),
+		Workers:  par.Stats.Workers,
+		SeqWall:  seq.Stats.WallTime,
+		ParWall:  par.Stats.WallTime,
+		SeqEvals: seq.Stats.PrimEvals,
+		ParEvals: par.Stats.PrimEvals,
 	}, nil
 }
 

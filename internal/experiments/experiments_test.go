@@ -9,7 +9,7 @@ import (
 func ns(f float64) tick.Time { return tick.FromNS(f) }
 
 func TestRunScaleSmall(t *testing.T) {
-	r, err := RunScale(3 * 17)
+	r, err := RunScale(3*17, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -195,6 +195,7 @@ func Summary(res *verify.Result) string {
 	fmt.Fprintf(&sb, "  build time           %v\n", s.BuildTime)
 	fmt.Fprintf(&sb, "  verify time          %v\n", s.VerifyTime)
 	fmt.Fprintf(&sb, "  check time           %v\n", s.CheckTime)
+	fmt.Fprintf(&sb, "  case wall time       %v (%d worker(s))\n", s.WallTime, s.Workers)
 	fmt.Fprintf(&sb, "  violations           %d\n", len(res.Violations))
 	fmt.Fprintf(&sb, "  undefined signals    %d\n", len(res.Undefined))
 	return sb.String()

@@ -213,7 +213,12 @@ func Table32(rep *expand.Report, chips int) string {
 	for k, n := range rep.Census {
 		rows = append(rows, row{k, n, rep.CensusBits[k]})
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].n > rows[j].n })
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].kind < rows[j].kind
+	})
 	fmt.Fprintf(&sb, "  %-26s %8s %10s %8s\n", "TYPE", "COUNT", "BITS", "AVG W")
 	for _, r := range rows {
 		fmt.Fprintf(&sb, "  %-26s %8d %10d %8.1f\n", r.kind, r.n, r.bits, float64(r.bits)/float64(r.n))

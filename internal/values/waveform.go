@@ -132,14 +132,15 @@ func (w Waveform) At(t tick.Time) Value {
 }
 
 // Paint returns a copy with value v over [start, end), both taken modulo
-// the period.  A span at least one period long paints everything (the
-// assertion "XYZ .S15-70" on a 50-unit cycle means always stable);
-// start == end paints nothing.
+// the period.  A span at least one period long — end ≥ start + period —
+// paints everything (the assertion "XYZ .S15-70" on a 50-unit cycle means
+// always stable).  Start > end wraps around the cycle boundary and paints
+// end - start + period; a span whose endpoints coincide modulo the period
+// without covering it (start == end, start == end + period, a span ending
+// exactly at the cycle boundary expressed as end == 0, ...) has zero
+// effective width and paints nothing.
 func (w Waveform) Paint(start, end tick.Time, v Value) Waveform {
-	if start == end {
-		return w
-	}
-	if end-start >= w.Period || start-end >= w.Period {
+	if end-start >= w.Period {
 		out := Const(w.Period, v)
 		out.Skew = w.Skew
 		return out
@@ -147,9 +148,7 @@ func (w Waveform) Paint(start, end tick.Time, v Value) Waveform {
 	s := tick.Mod(start, w.Period)
 	e := tick.Mod(end, w.Period)
 	if s == e {
-		out := Const(w.Period, v)
-		out.Skew = w.Skew
-		return out
+		return w
 	}
 	if s < e {
 		return w.paintLinear(s, e, v)

@@ -99,6 +99,58 @@ func TestPaintDegenerate(t *testing.T) {
 	}
 }
 
+// TestPaintBoundarySpans locks the wrap-around and period-boundary
+// normalization: spans whose endpoints coincide modulo the period paint
+// nothing unless they literally cover a full period going forward, and a
+// span ending exactly at the cycle boundary may be written with End == 0,
+// End == period, or any multiple without changing its meaning.
+func TestPaintBoundarySpans(t *testing.T) {
+	base := Const(p50, V0)
+	for _, c := range []struct {
+		name       string
+		start, end tick.Time
+		// sample points expected painted / unpainted
+		painted, clear []tick.Time
+	}{
+		{"zero-width mid-cycle", ns(5), ns(5), nil, []tick.Time{0, ns(5), ns(49)}},
+		{"zero-width at boundary", p50, p50, nil, []tick.Time{0, ns(25), ns(49)}},
+		{"zero-width boundary as end=0", p50, 0, nil, []tick.Time{0, ns(25), ns(49)}},
+		{"zero-width wrapped a period apart", ns(55), ns(5), nil, []tick.Time{0, ns(5), ns(30)}},
+		{"zero-width more than a period apart", ns(110), ns(10), nil, []tick.Time{0, ns(10), ns(30)}},
+		{"full period forward", 0, p50, []tick.Time{0, ns(25), ns(49)}, nil},
+		{"full period offset", ns(5), ns(55), []tick.Time{0, ns(25), ns(49)}, nil},
+		{"more than a period", ns(10), ns(120), []tick.Time{0, ns(25), ns(49)}, nil},
+		{"wrap through boundary", ns(40), ns(10), []tick.Time{ns(45), 0, ns(9)}, []tick.Time{ns(10), ns(39)}},
+		{"ending exactly at boundary as 0", ns(45), 0, []tick.Time{ns(45), ns(49)}, []tick.Time{0, ns(44)}},
+		{"ending exactly at boundary as period", ns(45), p50, []tick.Time{ns(45), ns(49)}, []tick.Time{0, ns(44)}},
+		{"starting at boundary as period", p50, ns(5), []tick.Time{0, ns(4)}, []tick.Time{ns(5), ns(49)}},
+		{"negative start wraps", ns(-5), ns(5), []tick.Time{ns(46), 0, ns(4)}, []tick.Time{ns(6), ns(44)}},
+	} {
+		w := base.Paint(c.start, c.end, V1)
+		if err := w.Check(); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		for _, at := range c.painted {
+			if got := w.At(at); got != V1 {
+				t.Errorf("%s: At(%v) = %v, want painted 1 (wave %v)", c.name, at, got, w)
+			}
+		}
+		for _, at := range c.clear {
+			if got := w.At(at); got != V0 {
+				t.Errorf("%s: At(%v) = %v, want untouched 0 (wave %v)", c.name, at, got, w)
+			}
+		}
+	}
+	// Equivalent writings of the same span produce semantically equal
+	// waveforms.
+	if a, b := base.Paint(ns(45), 0, V1), base.Paint(ns(45), p50, V1); !a.Equal(b) {
+		t.Errorf("end=0 and end=period disagree: %v vs %v", a, b)
+	}
+	if a, b := base.Paint(p50, p50, V1), base.Paint(p50, 0, V1); !a.Equal(b) {
+		t.Errorf("degenerate boundary spans disagree: %v vs %v", a, b)
+	}
+}
+
 func TestFromSpans(t *testing.T) {
 	w := FromSpans(p50, VC, Span{ns(0), ns(30), VS}, Span{ns(10), ns(20), V1})
 	if w.At(ns(5)) != VS || w.At(ns(15)) != V1 || w.At(ns(25)) != VS || w.At(ns(40)) != VC {

@@ -2,7 +2,9 @@ package verify
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"scaldtv/internal/assertion"
@@ -28,19 +30,51 @@ type Options struct {
 	// flows (driving a section with waveforms computed elsewhere) and the
 	// soundness tests that compare symbolic against concrete behaviour.
 	Force map[netlist.NetID]values.Waveform
+	// Workers bounds the number of case-analysis cycles evaluated
+	// concurrently.  Zero means runtime.GOMAXPROCS(0).  Workers == 1
+	// preserves the paper's sequential schedule, where each case after
+	// the first reevaluates only its affected cone incrementally (§2.7,
+	// §3.3.2).  Workers > 1 relaxes every case independently from a
+	// snapshot of the initialised state: violations, margins and kept
+	// waveforms are identical to the sequential run and deterministic
+	// across worker counts, but the per-case Events/PrimEvals counters
+	// reflect full rather than incremental relaxation.  On designs with
+	// few cases (or deep sharing between consecutive case cones) the
+	// sequential incremental schedule can do strictly less work.
+	Workers int
+}
+
+// workers resolves the effective worker count for a case list.
+func (o Options) workers(nCases int) int {
+	n := o.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > nCases {
+		n = nCases
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // Stats aggregates the execution statistics the paper reports in
-// Table 3-1.
+// Table 3-1.  Events, PrimEvals, VerifyTime and CheckTime are *work*
+// totals summed over every case; under concurrent case evaluation the
+// summed phase times can exceed WallTime, the elapsed wall-clock time of
+// the whole case-evaluation phase.
 type Stats struct {
 	Primitives int           // driving + checking primitive instances
 	Nets       int           // signal bits (value lists stored)
-	Events     int           // output-value changes processed, all cases
-	PrimEvals  int           // primitive evaluations performed, all cases
+	Events     int           // output-value changes processed, summed over all cases
+	PrimEvals  int           // primitive evaluations performed, summed over all cases
 	Cases      int           // case-analysis cycles simulated
+	Workers    int           // case-evaluation workers actually used
 	BuildTime  time.Duration // building evaluation structures
-	VerifyTime time.Duration // relaxation to fixed point
-	CheckTime  time.Duration // constraint checking
+	VerifyTime time.Duration // relaxation to fixed point, summed over all cases
+	CheckTime  time.Duration // constraint checking, summed over all cases
+	WallTime   time.Duration // wall-clock time of the case-evaluation phase
 }
 
 // CaseResult is the outcome of one simulated case-analysis cycle (§2.7).
@@ -53,12 +87,18 @@ type CaseResult struct {
 }
 
 // Result is a complete verification outcome.
+//
+// Violations and Margins are deterministically ordered regardless of the
+// worker count: primarily by case index (the designer's declared case
+// order), then by constraint site — a case's convergence failure first,
+// then the checker primitives in design order (each emitting its edges in
+// cycle order), then the assertion cross-checks in net order.
 type Result struct {
 	Design     *netlist.Design
-	Cases      []CaseResult
-	Violations []Violation // all cases, in detection order
-	Margins    []Margin    // every constraint outcome, when Options.Margins is set
-	Undefined  []string    // cross-reference listing: undriven nets with no assertion (§2.5)
+	Cases      []CaseResult // one per case, in declared case order
+	Violations []Violation  // all cases, ordered by (case index, constraint site)
+	Margins    []Margin     // every constraint outcome, when Options.Margins is set
+	Undefined  []string     // cross-reference listing: undriven nets with no assertion (§2.5)
 	Stats      Stats
 }
 
@@ -176,44 +216,132 @@ func Run(d *netlist.Design, opts Options) (*Result, error) {
 	if len(cases) == 0 {
 		cases = []netlist.Case{{Label: ""}}
 	}
+	workers := opts.workers(len(cases))
 
-	for ci, c := range cases {
-		verifyStart := time.Now()
-		v.events, v.evals = 0, 0
-		if err := v.applyCase(c, ci == 0); err != nil {
-			return nil, err
-		}
-		conv := v.relax()
-		res.Stats.VerifyTime += time.Since(verifyStart)
-
-		checkStart := time.Now()
-		cr := CaseResult{Label: c.Label, Events: v.events, PrimEvals: v.evals}
-		if !conv {
-			cr.Violations = append(cr.Violations, Violation{
-				Kind:   ConvergenceViolation,
-				Case:   c.Label,
-				Detail: fmt.Sprintf("fixed point not reached within %d primitive evaluations", v.passCap()),
-			})
-		}
-		cr.Violations = append(cr.Violations, v.check(c.Label)...)
-		if opts.Margins {
-			res.Margins = append(res.Margins, v.margins...)
-			v.margins = nil
-		}
-		if opts.KeepWaves {
-			cr.Waves = make([]values.Waveform, len(v.sigs))
-			for i, s := range v.sigs {
-				cr.Waves[i] = s.Wave
+	wallStart := time.Now()
+	outs := make([]caseOutcome, len(cases))
+	if workers == 1 {
+		// Sequential schedule: the first case relaxes the whole circuit,
+		// every later case reevaluates only its affected cone (§2.7).
+		for ci := range cases {
+			outs[ci] = v.runCase(cases[ci], ci == 0)
+			if outs[ci].err != nil {
+				break
 			}
 		}
-		res.Stats.CheckTime += time.Since(checkStart)
-		res.Stats.Events += v.events
-		res.Stats.PrimEvals += v.evals
-		res.Cases = append(res.Cases, cr)
-		res.Violations = append(res.Violations, cr.Violations...)
+	} else {
+		// Concurrent schedule: each case is an independent relaxation to
+		// fixed point from a clone of the initialised snapshot, on a
+		// bounded worker pool.  Results land in the slot of their case
+		// index, so the merge below is in declared case order no matter
+		// which worker finishes first.
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ci := range jobs {
+					outs[ci] = v.clone().runCase(cases[ci], true)
+				}
+			}()
+		}
+		for ci := range cases {
+			jobs <- ci
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	// Merge in declared case order: the ordering contract on
+	// Result.Violations and Result.Margins.
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		res.Cases = append(res.Cases, o.cr)
+		res.Violations = append(res.Violations, o.cr.Violations...)
+		res.Margins = append(res.Margins, o.margins...)
+		res.Stats.Events += o.cr.Events
+		res.Stats.PrimEvals += o.cr.PrimEvals
+		res.Stats.VerifyTime += o.verifyTime
+		res.Stats.CheckTime += o.checkTime
 	}
 	res.Stats.Cases = len(res.Cases)
+	res.Stats.Workers = workers
+	res.Stats.WallTime = time.Since(wallStart)
 	return res, nil
+}
+
+// caseOutcome carries everything one simulated case contributes to the
+// merged Result.
+type caseOutcome struct {
+	cr         CaseResult
+	margins    []Margin
+	verifyTime time.Duration
+	checkTime  time.Duration
+	err        error
+}
+
+// clone snapshots the per-case relaxation state after the shared §2.9
+// initialisation, so a worker can relax one case independently.  The
+// design, options, initial waveforms, pinning and wired-OR driver lists
+// are immutable during relaxation and shared; the mutable state — current
+// signals, case mapping, alternate clock outputs, wired-OR driver outputs
+// and the worklist — is fresh.  Waveform segment lists are never mutated
+// in place, so sharing their backing arrays across workers is safe.
+func (v *verifier) clone() *verifier {
+	w := &verifier{
+		d:       v.d,
+		opts:    v.opts,
+		sigs:    append([]eval.Signal(nil), v.sigs...),
+		initial: v.initial,
+		pinned:  v.pinned,
+		altOut:  make(map[netlist.NetID]values.Waveform),
+		caseMap: make(map[netlist.NetID]values.Value),
+		wired:   v.wired,
+		inQueue: make([]bool, len(v.d.Prims)),
+	}
+	if v.wired != nil {
+		w.wiredOut = map[[2]int32]values.Waveform{}
+	}
+	return w
+}
+
+// runCase simulates one case-analysis cycle on this verifier's state:
+// install the mapping, relax to fixed point, check every constraint.
+func (v *verifier) runCase(c netlist.Case, first bool) caseOutcome {
+	verifyStart := time.Now()
+	v.events, v.evals = 0, 0
+	if err := v.applyCase(c, first); err != nil {
+		return caseOutcome{err: err}
+	}
+	conv := v.relax()
+	out := caseOutcome{verifyTime: time.Since(verifyStart)}
+
+	checkStart := time.Now()
+	cr := CaseResult{Label: c.Label, Events: v.events, PrimEvals: v.evals}
+	if !conv {
+		cr.Violations = append(cr.Violations, Violation{
+			Kind:   ConvergenceViolation,
+			Case:   c.Label,
+			Detail: fmt.Sprintf("fixed point not reached within %d primitive evaluations", v.passCap()),
+		})
+	}
+	cr.Violations = append(cr.Violations, v.check(c.Label)...)
+	if v.opts.Margins {
+		out.margins = v.margins
+		v.margins = nil
+	}
+	if v.opts.KeepWaves {
+		cr.Waves = make([]values.Waveform, len(v.sigs))
+		for i, s := range v.sigs {
+			cr.Waves[i] = s.Wave
+		}
+	}
+	out.checkTime = time.Since(checkStart)
+	out.cr = cr
+	return out
 }
 
 // applyCase installs the case mapping (§2.7.1) and seeds the worklist: the
@@ -303,13 +431,21 @@ func (v *verifier) fanout(id netlist.NetID) {
 	}
 }
 
+// The documented MaxPasses default: 50 evaluations per primitive, with a
+// floor of 1000 so tiny designs containing a genuine oscillation still get
+// enough passes to prove non-convergence rather than flagging it spuriously.
+const (
+	defaultEvalsPerPrim = 50
+	defaultPassFloor    = 1000
+)
+
 func (v *verifier) passCap() int {
 	if v.opts.MaxPasses > 0 {
 		return v.opts.MaxPasses
 	}
-	limit := 50 * len(v.d.Prims)
-	if limit < 1000 {
-		limit = 1000
+	limit := defaultEvalsPerPrim * len(v.d.Prims)
+	if limit < defaultPassFloor {
+		limit = defaultPassFloor
 	}
 	return limit
 }
