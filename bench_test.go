@@ -43,22 +43,37 @@ func BenchmarkTable31_FullPipeline(b *testing.B) {
 }
 
 // BenchmarkTable31_VerifyOnly isolates the verification phase (the
-// paper's 6.75-minute row) on the pre-expanded 6357-chip design.
+// paper's 6.75-minute row) on pre-expanded designs, with and without the
+// memoized primitive-evaluation cache.  The CI bench job runs the
+// chips=1003 pair and compares ns/event and allocs/op across the two
+// cache settings; results are bit-identical either way.
 func BenchmarkTable31_VerifyOnly(b *testing.B) {
-	d, _, err := gen.Generate(gen.Config{Chips: 6357})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	var events int
-	for i := 0; i < b.N; i++ {
-		res, err := verify.Run(d, verify.Options{})
+	for _, chips := range []int{1003, 6357} {
+		d, _, err := gen.Generate(gen.Config{Chips: chips})
 		if err != nil {
 			b.Fatal(err)
 		}
-		events = res.Stats.Events
+		for _, cache := range []bool{true, false} {
+			name := fmt.Sprintf("chips=%d/cache=%v", chips, cache)
+			b.Run(name, func(b *testing.B) {
+				var s verify.Stats
+				for i := 0; i < b.N; i++ {
+					res, err := verify.Run(d, verify.Options{NoCache: !cache})
+					if err != nil {
+						b.Fatal(err)
+					}
+					s = res.Stats
+				}
+				b.ReportMetric(float64(s.Events), "events")
+				if s.Events > 0 {
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(s.Events), "ns/event")
+				}
+				if cache {
+					b.ReportMetric(float64(s.CacheHits), "hits")
+				}
+			})
+		}
 	}
-	b.ReportMetric(float64(events), "events")
 }
 
 // BenchmarkTable32_MacroExpansion times the macro expander (the paper's

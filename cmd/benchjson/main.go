@@ -1,0 +1,238 @@
+// Command benchjson converts `go test -bench` output into a JSON document
+// suitable for archiving as a CI artifact, and can render a markdown
+// comparison of cache=true vs cache=false benchmark pairs for the job
+// summary.
+//
+// Usage:
+//
+//	go test -bench Table31 -benchmem -count=3 | benchjson -out BENCH_PR2.json -summary
+//
+//	-out file     write the JSON document to file (default: stdout)
+//	-summary      print a markdown cache-on/off comparison table to stdout
+//
+// Input is read from the files named on the command line, or from stdin
+// when none are given.  Lines that are not benchmark results or header
+// lines (goos/goarch/pkg/cpu) are ignored, so the raw `go test` output can
+// be piped in unfiltered.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one benchmark result line.  Metrics maps unit → value and
+// always includes "ns/op"; with -benchmem it also has "B/op" and
+// "allocs/op", plus any b.ReportMetric extras (e.g. "events", "hits").
+type Sample struct {
+	Name       string             `json:"name"` // sub-benchmark path, GOMAXPROCS suffix stripped
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Doc is the archived document.
+type Doc struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Samples []Sample `json:"samples"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the JSON document to this file (default: stdout)")
+	summary := flag.Bool("summary", false, "print a markdown cache-on/off comparison to stdout")
+	flag.Parse()
+
+	var doc Doc
+	if flag.NArg() == 0 {
+		if err := parse(&doc, os.Stdin); err != nil {
+			fail(err)
+		}
+	} else {
+		for _, path := range flag.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				fail(err)
+			}
+			err = parse(&doc, f)
+			f.Close()
+			if err != nil {
+				fail(err)
+			}
+		}
+	}
+	if len(doc.Samples) == 0 {
+		fail(fmt.Errorf("no benchmark result lines found in input"))
+	}
+
+	enc, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fail(err)
+	}
+
+	if *summary {
+		fmt.Print(cacheSummary(&doc))
+	}
+}
+
+// parse appends every benchmark line in r to doc and picks up the
+// goos/goarch/pkg/cpu header lines.
+func parse(doc *Doc, r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			s, ok := parseLine(line)
+			if !ok {
+				continue
+			}
+			doc.Samples = append(doc.Samples, s)
+		}
+	}
+	return sc.Err()
+}
+
+// parseLine parses one "BenchmarkName-8  100  123 ns/op  ..." result line.
+func parseLine(line string) (Sample, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Sample{}, false
+	}
+	s := Sample{Name: fields[0], Procs: 1, Metrics: map[string]float64{}}
+	if i := strings.LastIndex(s.Name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(s.Name[i+1:]); err == nil {
+			s.Name, s.Procs = s.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Sample{}, false
+	}
+	s.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Sample{}, false
+		}
+		s.Metrics[fields[i+1]] = v
+	}
+	return s, true
+}
+
+// pairKey strips a "cache=true" / "cache=false" path element so the two
+// settings of one benchmark collapse onto the same key.
+func pairKey(name string) (key string, cached, isPair bool) {
+	parts := strings.Split(name, "/")
+	for i, p := range parts {
+		if p == "cache=true" || p == "cache=false" {
+			cached = p == "cache=true"
+			key = strings.Join(append(append([]string{}, parts[:i]...), parts[i+1:]...), "/")
+			return key, cached, true
+		}
+	}
+	return name, false, false
+}
+
+// agg holds the best (minimum ns/op) sample per benchmark name, the
+// convention benchstat-style comparisons use for noisy CI machines.
+type agg struct {
+	best Sample
+	n    int
+}
+
+// cacheSummary renders a markdown table comparing every cache=true /
+// cache=false pair, for $GITHUB_STEP_SUMMARY.
+func cacheSummary(doc *Doc) string {
+	type pair struct{ on, off *agg }
+	pairs := map[string]*pair{}
+	var order []string
+	for _, s := range doc.Samples {
+		key, cached, isPair := pairKey(s.Name)
+		if !isPair {
+			continue
+		}
+		p := pairs[key]
+		if p == nil {
+			p = &pair{}
+			pairs[key] = p
+			order = append(order, key)
+		}
+		slot := &p.off
+		if cached {
+			slot = &p.on
+		}
+		if *slot == nil {
+			*slot = &agg{best: s, n: 1}
+		} else {
+			(*slot).n++
+			if s.Metrics["ns/op"] < (*slot).best.Metrics["ns/op"] {
+				(*slot).best = s
+			}
+		}
+	}
+	sort.Strings(order)
+
+	var sb strings.Builder
+	sb.WriteString("### Evaluation-cache benchmark comparison\n\n")
+	sb.WriteString("Best of the repeated runs per setting (min ns/op).\n\n")
+	sb.WriteString("| benchmark | cache | ns/op | B/op | allocs/op | speedup |\n")
+	sb.WriteString("|---|---|---:|---:|---:|---:|\n")
+	wrote := false
+	for _, key := range order {
+		p := pairs[key]
+		if p.on == nil || p.off == nil {
+			continue
+		}
+		wrote = true
+		on, off := p.on.best.Metrics, p.off.best.Metrics
+		speedup := "n/a"
+		if on["ns/op"] > 0 {
+			speedup = fmt.Sprintf("%.2fx", off["ns/op"]/on["ns/op"])
+		}
+		fmt.Fprintf(&sb, "| %s | on | %s | %s | %s | %s |\n",
+			key, num(on["ns/op"]), num(on["B/op"]), num(on["allocs/op"]), speedup)
+		fmt.Fprintf(&sb, "| %s | off | %s | %s | %s | |\n",
+			key, num(off["ns/op"]), num(off["B/op"]), num(off["allocs/op"]))
+	}
+	if !wrote {
+		sb.WriteString("| _no cache=true/false pairs in input_ | | | | | |\n")
+	}
+	return sb.String()
+}
+
+func num(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 1, 64)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: scaldtv
+cpu: AMD EPYC 7B13
+BenchmarkTable31_VerifyOnly/chips=1003/cache=true-8         	     355	   3348146 ns/op	        8340 events	     950 hits	  401.0 ns/event	  612345 B/op	    4321 allocs/op
+BenchmarkTable31_VerifyOnly/chips=1003/cache=true-8         	     360	   3310000 ns/op	        8340 events	     950 hits	  396.9 ns/event	  612345 B/op	    4321 allocs/op
+BenchmarkTable31_VerifyOnly/chips=1003/cache=false-8        	      54	  21290000 ns/op	        8340 events	 2552.8 ns/event	 9876543 B/op	   65432 allocs/op
+BenchmarkTable31_VerifyOnly/chips=1003/cache=false-8        	      55	  21100000 ns/op	        8340 events	 2530.0 ns/event	 9876543 B/op	   65432 allocs/op
+BenchmarkValues_Combine-8   	 5000000	       240.5 ns/op
+PASS
+ok  	scaldtv	12.345s
+`
+
+func TestParse(t *testing.T) {
+	var doc Doc
+	if err := parse(&doc, strings.NewReader(sampleOutput)); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "scaldtv" {
+		t.Errorf("header = %q/%q/%q", doc.Goos, doc.Goarch, doc.Pkg)
+	}
+	if doc.CPU != "AMD EPYC 7B13" {
+		t.Errorf("cpu = %q", doc.CPU)
+	}
+	if len(doc.Samples) != 5 {
+		t.Fatalf("parsed %d samples, want 5", len(doc.Samples))
+	}
+	s := doc.Samples[0]
+	if s.Name != "BenchmarkTable31_VerifyOnly/chips=1003/cache=true" {
+		t.Errorf("name = %q", s.Name)
+	}
+	if s.Procs != 8 || s.Iterations != 355 {
+		t.Errorf("procs/iterations = %d/%d", s.Procs, s.Iterations)
+	}
+	if s.Metrics["ns/op"] != 3348146 || s.Metrics["allocs/op"] != 4321 || s.Metrics["hits"] != 950 {
+		t.Errorf("metrics = %v", s.Metrics)
+	}
+	plain := doc.Samples[4]
+	if plain.Name != "BenchmarkValues_Combine" || plain.Metrics["ns/op"] != 240.5 {
+		t.Errorf("plain sample = %+v", plain)
+	}
+}
+
+func TestParseLineRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken-8",
+		"BenchmarkBroken-8 notanumber 12 ns/op",
+		"BenchmarkBroken-8 100 twelve ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}
+
+func TestPairKey(t *testing.T) {
+	key, cached, isPair := pairKey("BenchmarkTable31_VerifyOnly/chips=1003/cache=true")
+	if !isPair || !cached || key != "BenchmarkTable31_VerifyOnly/chips=1003" {
+		t.Errorf("got (%q, %v, %v)", key, cached, isPair)
+	}
+	key, cached, isPair = pairKey("BenchmarkTable31_VerifyOnly/chips=1003/cache=false")
+	if !isPair || cached || key != "BenchmarkTable31_VerifyOnly/chips=1003" {
+		t.Errorf("got (%q, %v, %v)", key, cached, isPair)
+	}
+	if _, _, isPair := pairKey("BenchmarkValues_Combine"); isPair {
+		t.Error("non-pair benchmark reported as pair")
+	}
+}
+
+func TestCacheSummary(t *testing.T) {
+	var doc Doc
+	if err := parse(&doc, strings.NewReader(sampleOutput)); err != nil {
+		t.Fatal(err)
+	}
+	md := cacheSummary(&doc)
+	if !strings.Contains(md, "BenchmarkTable31_VerifyOnly/chips=1003") {
+		t.Errorf("summary missing pair row:\n%s", md)
+	}
+	// Best-of: 3310000 on vs 21100000 off → 6.37x.
+	if !strings.Contains(md, "6.37x") {
+		t.Errorf("summary missing speedup:\n%s", md)
+	}
+	if !strings.Contains(md, "| 3310000 |") || !strings.Contains(md, "| 21100000 |") {
+		t.Errorf("summary missing best-of ns/op values:\n%s", md)
+	}
+	if strings.Contains(md, "BenchmarkValues_Combine") {
+		t.Errorf("non-pair benchmark leaked into summary:\n%s", md)
+	}
+}
+
+func TestCacheSummaryEmpty(t *testing.T) {
+	doc := Doc{Samples: []Sample{{Name: "BenchmarkValues_Combine", Metrics: map[string]float64{"ns/op": 1}}}}
+	if md := cacheSummary(&doc); !strings.Contains(md, "no cache=true/false pairs") {
+		t.Errorf("empty summary = %q", md)
+	}
+}

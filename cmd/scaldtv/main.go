@@ -12,6 +12,8 @@
 //	-stats        print execution and storage statistics
 //	-case n       print the summary for case n (default 0)
 //	-j n          case-evaluation workers (0 = one per CPU, 1 = sequential)
+//	-cache        memoize primitive evaluations (default true; -cache=false
+//	              disables the cache, results are bit-identical either way)
 package main
 
 import (
@@ -40,6 +42,7 @@ func main() {
 	minPeriod := flag.Bool("minperiod", false, "bisect for the shortest clean clock period (§1.1) and exit")
 	sectionsFlag := flag.Bool("sections", false, "verify each file as an independent section and cross-check interface assertions (§2.5.2)")
 	workers := flag.Int("j", 0, "case-evaluation workers: 0 = one per CPU, 1 = sequential with incremental cone reuse")
+	cache := flag.Bool("cache", true, "memoize primitive evaluations over interned waveforms (-cache=false disables)")
 	flag.Parse()
 
 	if *sectionsFlag {
@@ -59,7 +62,7 @@ func main() {
 			}
 			srcs[path] = text
 		}
-		rep, err := sections.Verify(srcs, scaldtv.Options{Workers: *workers})
+		rep, err := sections.Verify(srcs, scaldtv.Options{Workers: *workers, NoCache: !*cache})
 		if err != nil {
 			fail(err)
 		}
@@ -113,7 +116,7 @@ func main() {
 		fmt.Printf("minimum clean clock period: %s ns (declared: %s ns)\n", min, design.Period)
 		return
 	}
-	res, err := scaldtv.Verify(design, scaldtv.Options{KeepWaves: *summary || *art, Margins: *slack > 0, Workers: *workers})
+	res, err := scaldtv.Verify(design, scaldtv.Options{KeepWaves: *summary || *art, Margins: *slack > 0, Workers: *workers, NoCache: !*cache})
 	if err != nil {
 		fail(err)
 	}

@@ -84,6 +84,63 @@ func TestGoldenWaveArt(t *testing.T) {
 	}
 }
 
+// TestGoldenExamples locks the full listing output (timing summary per
+// case, error listing, cross reference) of every .scald design under
+// examples/.  The CI golden job runs exactly this test after smoke-running
+// the scaldtv binary over the same designs.  report.Summary is excluded:
+// it contains wall-clock times.
+func TestGoldenExamples(t *testing.T) {
+	designs, err := filepath.Glob(filepath.Join("examples", "*", "*.scald"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(designs) == 0 {
+		t.Fatal("no .scald designs under examples/")
+	}
+	for _, path := range designs {
+		name := strings.TrimSuffix(filepath.Base(path), ".scald")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The library is appended unconditionally, matching scaldtv -lib;
+			// designs that don't use its macros are unaffected.
+			res, err := VerifySource(string(src)+"\n"+Library, Options{KeepWaves: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			for ci := range res.Cases {
+				sb.WriteString(TimingSummary(res, ci))
+				sb.WriteString("\n")
+			}
+			sb.WriteString(ErrorListing(res))
+			sb.WriteString("\n")
+			sb.WriteString(CrossReference(res))
+			got := sb.String()
+
+			golden := filepath.Join("testdata", "examples", name+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("golden file missing (run go test -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s differs from golden file %s\n--- got ---\n%s\n--- want ---\n%s",
+					path, golden, got, want)
+			}
+		})
+	}
+}
+
 func TestJSONReport(t *testing.T) {
 	res, err := VerifySource(fig25Source, Options{})
 	if err != nil {

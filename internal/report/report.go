@@ -196,6 +196,10 @@ func Summary(res *verify.Result) string {
 	fmt.Fprintf(&sb, "  verify time          %v\n", s.VerifyTime)
 	fmt.Fprintf(&sb, "  check time           %v\n", s.CheckTime)
 	fmt.Fprintf(&sb, "  case wall time       %v (%d worker(s))\n", s.WallTime, s.Workers)
+	if s.CacheHits+s.CacheMisses > 0 {
+		fmt.Fprintf(&sb, "  eval cache           %d hits / %d misses, %d waveforms interned\n",
+			s.CacheHits, s.CacheMisses, s.Interned)
+	}
 	fmt.Fprintf(&sb, "  violations           %d\n", len(res.Violations))
 	fmt.Fprintf(&sb, "  undefined signals    %d\n", len(res.Undefined))
 	return sb.String()

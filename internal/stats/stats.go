@@ -151,6 +151,13 @@ type Table31 struct {
 	Primitives int
 	Events     int
 	Cases      int
+
+	// Evaluation-cache counters (PR 2): memoized primitive evaluation
+	// with interned waveforms.  All zero when the cache is disabled.
+	CacheHits   int
+	CacheMisses int
+	Interned    int
+	Deduped     int
 }
 
 // FromVerify fills the verifier-side rows.
@@ -161,6 +168,19 @@ func (t *Table31) FromVerify(s verify.Stats) {
 	t.Primitives = s.Primitives
 	t.Events = s.Events
 	t.Cases = s.Cases
+	t.CacheHits = s.CacheHits
+	t.CacheMisses = s.CacheMisses
+	t.Interned = s.Interned
+	t.Deduped = s.Deduped
+}
+
+// CacheHitRate is the fraction of scheduled primitive evaluations served
+// from the memo cache.
+func (t Table31) CacheHitRate() float64 {
+	if t.CacheHits+t.CacheMisses == 0 {
+		return 0
+	}
+	return float64(t.CacheHits) / float64(t.CacheHits+t.CacheMisses)
 }
 
 // PerPrim is the verification cost per primitive (the paper reports
@@ -195,6 +215,15 @@ func (t Table31) String() string {
 	fmt.Fprintf(&sb, "    verifying circuit              %12v\n", t.Verify)
 	fmt.Fprintf(&sb, "    checks and summary listing     %12v\n", t.Summary)
 	fmt.Fprintf(&sb, "    total                          %12v\n", t.VBuild+t.XRef+t.Verify+t.Summary)
+	sb.WriteString("  EVALUATION CACHE\n")
+	if t.CacheHits+t.CacheMisses == 0 {
+		sb.WriteString("    off\n")
+	} else {
+		fmt.Fprintf(&sb, "    hits / misses                  %d / %d (%.1f%% hit rate)\n",
+			t.CacheHits, t.CacheMisses, 100*t.CacheHitRate())
+		fmt.Fprintf(&sb, "    interned waveforms             %d distinct, %d stores deduplicated\n",
+			t.Interned, t.Deduped)
+	}
 	fmt.Fprintf(&sb, "\n  %d primitives, %d events, %d case(s)\n", t.Primitives, t.Events, t.Cases)
 	fmt.Fprintf(&sb, "  per primitive %v, per event %v\n", t.PerPrim(), t.PerEvent())
 	return sb.String()

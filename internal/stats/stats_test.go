@@ -96,6 +96,51 @@ func TestTable31(t *testing.T) {
 	}
 }
 
+func TestTable31CacheCounters(t *testing.T) {
+	d, _, err := gen.Generate(gen.Config{Chips: 2 * gen.ChipsPerStage()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := verify.Run(d, verify.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var t31 Table31
+	t31.FromVerify(res.Stats)
+	if t31.CacheMisses == 0 || t31.Interned == 0 {
+		t.Fatalf("default run should populate cache counters: %+v", t31)
+	}
+	if t31.CacheHits != res.Stats.CacheHits || t31.Deduped != res.Stats.Deduped {
+		t.Errorf("FromVerify lost cache counters: %+v vs %+v", t31, res.Stats)
+	}
+	if r := t31.CacheHitRate(); r < 0 || r > 1 {
+		t.Errorf("hit rate = %f, out of range", r)
+	}
+	out := t31.String()
+	for _, want := range []string{"EVALUATION CACHE", "hit rate", "interned waveforms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+
+	// With the cache disabled the section renders as off and the rate is 0.
+	off, err := verify.Run(d, verify.Options{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var t31off Table31
+	t31off.FromVerify(off.Stats)
+	if t31off.CacheHits != 0 || t31off.CacheMisses != 0 || t31off.Interned != 0 {
+		t.Errorf("NoCache run reported cache activity: %+v", t31off)
+	}
+	if t31off.CacheHitRate() != 0 {
+		t.Error("NoCache hit rate should be 0")
+	}
+	if out := t31off.String(); !strings.Contains(out, "off") {
+		t.Errorf("NoCache rendering should say off:\n%s", out)
+	}
+}
+
 func TestTable32(t *testing.T) {
 	_, rep, err := gen.Generate(gen.Config{Chips: 2 * gen.ChipsPerStage()})
 	if err != nil {

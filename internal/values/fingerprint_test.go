@@ -1,0 +1,133 @@
+package values
+
+import (
+	"sync"
+	"testing"
+
+	"scaldtv/internal/tick"
+)
+
+// TestFingerprintCanonical: semantically equal waveforms built with
+// different segmentations fingerprint identically.
+func TestFingerprintCanonical(t *testing.T) {
+	p := 50 * tick.NS
+	a := Const(p, V0).Paint(10*tick.NS, 20*tick.NS, V1)
+	// The same function assembled from split spans painted separately.
+	b := Const(p, V0).
+		Paint(10*tick.NS, 15*tick.NS, V1).
+		Paint(15*tick.NS, 20*tick.NS, V1)
+	if !a.Equal(b) {
+		t.Fatal("test waveforms should be semantically equal")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("equal waveforms fingerprint differently: %x vs %x", a.Fingerprint(), b.Fingerprint())
+	}
+	// A hand-built unnormalized segment list (adjacent equal values) still
+	// matches its normalized equivalent.
+	c := Waveform{Period: p, Segs: []Segment{
+		{V: V0, W: 10 * tick.NS}, {V: V1, W: 7 * tick.NS}, {V: V1, W: 3 * tick.NS}, {V: V0, W: 30 * tick.NS},
+	}}
+	if c.Fingerprint() != a.Fingerprint() {
+		t.Error("unnormalized segmentation changes the fingerprint")
+	}
+}
+
+// TestFingerprintSensitivity: the fingerprint distinguishes period, skew
+// and value changes.
+func TestFingerprintSensitivity(t *testing.T) {
+	p := 50 * tick.NS
+	base := Const(p, V0).Paint(10*tick.NS, 20*tick.NS, V1)
+	variants := []Waveform{
+		Const(p, V0).Paint(10*tick.NS, 21*tick.NS, V1),   // wider pulse
+		Const(p, V0).Paint(11*tick.NS, 20*tick.NS, V1),   // shifted pulse
+		Const(p, V0).Paint(10*tick.NS, 20*tick.NS, VC),   // different value
+		Const(2*p, V0).Paint(10*tick.NS, 20*tick.NS, V1), // different period
+		base.WithSkew(tick.NS),                           // different skew
+	}
+	for i, v := range variants {
+		if v.Fingerprint() == base.Fingerprint() {
+			t.Errorf("variant %d fingerprints like the base waveform", i)
+		}
+	}
+}
+
+// TestInternerDedup: Equal waveforms share one canonical copy and handle;
+// distinct waveforms get distinct handles.
+func TestInternerDedup(t *testing.T) {
+	p := 50 * tick.NS
+	in := NewInterner()
+	a := Const(p, VS).Paint(5*tick.NS, 9*tick.NS, VC)
+	b := Const(p, VS).Paint(5*tick.NS, 7*tick.NS, VC).Paint(7*tick.NS, 9*tick.NS, VC)
+	ca, ida := in.Intern(a)
+	cb, idb := in.Intern(b)
+	if ida != idb {
+		t.Errorf("equal waveforms interned to different handles %d, %d", ida, idb)
+	}
+	if &ca.Segs[0] != &cb.Segs[0] {
+		t.Error("equal waveforms do not share segment storage after interning")
+	}
+	_, idc := in.Intern(a.WithSkew(tick.NS))
+	if idc == ida {
+		t.Error("distinct waveforms share a handle")
+	}
+	if unique, shared := in.Stats(); unique != 2 || shared != 1 {
+		t.Errorf("stats = (%d unique, %d shared), want (2, 1)", unique, shared)
+	}
+}
+
+// TestInternerHandleIsIdentity: handle equality must coincide with
+// semantic equality over a batch of related waveforms.
+func TestInternerHandleIsIdentity(t *testing.T) {
+	p := 50 * tick.NS
+	in := NewInterner()
+	var waves []Waveform
+	for s := tick.Time(0); s < 10; s++ {
+		waves = append(waves, Const(p, V0).Paint(s*tick.NS, (s+5)*tick.NS, V1))
+		waves = append(waves, Const(p, V0).Paint(s*tick.NS, (s+5)*tick.NS, V1)) // duplicate
+	}
+	ids := make([]uint64, len(waves))
+	for i, w := range waves {
+		_, ids[i] = in.Intern(w)
+	}
+	for i := range waves {
+		for j := range waves {
+			if got, want := ids[i] == ids[j], waves[i].Equal(waves[j]); got != want {
+				t.Fatalf("handle equality (%v) disagrees with Equal (%v) for %v vs %v",
+					got, want, waves[i], waves[j])
+			}
+		}
+	}
+}
+
+// TestInternerConcurrent hammers one table from many goroutines; run with
+// -race.  Every goroutine interning the same value must see the same
+// handle.
+func TestInternerConcurrent(t *testing.T) {
+	p := 50 * tick.NS
+	in := NewInterner()
+	const goroutines = 8
+	results := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for s := tick.Time(0); s < 20; s++ {
+				_, id := in.Intern(Const(p, V0).Paint(s*tick.NS, (s+3)*tick.NS, VC))
+				results[g] = append(results[g], id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := range results[g] {
+			if results[g][i] != results[0][i] {
+				t.Fatalf("goroutine %d saw handle %d for waveform %d, goroutine 0 saw %d",
+					g, results[g][i], i, results[0][i])
+			}
+		}
+	}
+	if unique, _ := in.Stats(); unique != 20 {
+		t.Errorf("unique = %d, want 20", unique)
+	}
+}

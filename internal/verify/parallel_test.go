@@ -212,6 +212,83 @@ func TestParallelCaseError(t *testing.T) {
 	}
 }
 
+// TestCacheBitIdentical: with evaluation memoization on (the default), the
+// verifier's results — violations, margins, kept waveforms, work counters —
+// are bit-identical to a NoCache run for every worker count.  Run with
+// -race: the concurrent schedules share one cache and interning table.
+func TestCacheBitIdentical(t *testing.T) {
+	designs := map[string]*netlist.Design{"multicase": buildMultiCase(t, 8)}
+	if d, _, err := gen.Generate(gen.Config{Chips: 102, Cases: 4, Inject: 1}); err != nil {
+		t.Fatal(err)
+	} else {
+		designs["generated"] = d
+	}
+	for name, d := range designs {
+		base, err := Run(d, Options{NoCache: true, KeepWaves: true, Margins: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(base.Violations) == 0 {
+			t.Fatalf("%s: want violations in the comparison base", name)
+		}
+		for _, w := range []int{1, 2, 8} {
+			res, err := Run(d, Options{Workers: w, KeepWaves: true, Margins: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameReports(t, fmt.Sprintf("%s cache=on workers=%d vs cache=off", name, w), base, res)
+			if w == 1 {
+				// The sequential schedule is deterministic, so even the
+				// per-case work counters must not notice the cache.
+				for i := range base.Cases {
+					if base.Cases[i].Events != res.Cases[i].Events || base.Cases[i].PrimEvals != res.Cases[i].PrimEvals {
+						t.Errorf("%s case %d: work counters differ cached vs uncached: %+v vs %+v",
+							name, i, res.Cases[i], base.Cases[i])
+					}
+				}
+			}
+			if res.Stats.CacheHits+res.Stats.CacheMisses == 0 {
+				t.Errorf("%s workers=%d: cache counters empty — memoization not exercised", name, w)
+			}
+		}
+		if base.Stats.CacheHits != 0 || base.Stats.Interned != 0 {
+			t.Errorf("%s: NoCache run reports cache activity: %+v", name, base.Stats)
+		}
+	}
+}
+
+// TestCaseForcedConeNotStale: a case-forced control net must not serve
+// stale memoized outputs downstream.  The MODE=0 and MODE=1 cases steer
+// the mux network onto different paths, so the register's data input must
+// differ between cases — and each case's waveforms must equal the
+// uncached run's exactly, for every worker count.
+func TestCaseForcedConeNotStale(t *testing.T) {
+	d := buildMultiCase(t, 2) // case 0 forces MODE=0, case 1 forces MODE=1
+	rID, ok := d.NetByName("M1")
+	if !ok {
+		t.Fatal("net M1 missing")
+	}
+	base, err := Run(d, Options{NoCache: true, KeepWaves: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Cases[0].Waves[rID].Equal(base.Cases[1].Waves[rID]) {
+		t.Fatalf("the two cases should steer M1 differently; both gave %v", base.Cases[0].Waves[rID])
+	}
+	for _, w := range []int{1, 2, 8} {
+		res, err := Run(d, Options{Workers: w, KeepWaves: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci := range res.Cases {
+			if !res.Cases[ci].Waves[rID].Equal(base.Cases[ci].Waves[rID]) {
+				t.Errorf("workers=%d case %d: cached M1 = %v, uncached = %v — stale memo served",
+					w, ci, res.Cases[ci].Waves[rID], base.Cases[ci].Waves[rID])
+			}
+		}
+	}
+}
+
 // TestMaxPassesDefaultFloor locks the documented MaxPasses default — 50
 // evaluations per primitive with a floor of 1000 — and the explicit
 // override.

@@ -42,6 +42,16 @@ type Options struct {
 	// few cases (or deep sharing between consecutive case cones) the
 	// sequential incremental schedule can do strictly less work.
 	Workers int
+	// NoCache disables evaluation memoization.  By default (zero value)
+	// the verifier interns waveforms so equal ones share storage and
+	// memoizes primitive evaluations on (kind, parameters, processed
+	// input identities), so relaxation passes and case-analysis re-runs
+	// skip Prim calls whose inputs are unchanged.  Cache keys are exact —
+	// interned-handle equality coincides with semantic waveform equality
+	// — so results are bit-identical with the cache on or off, for any
+	// Workers value; only the Stats cache counters differ.  The scaldtv
+	// driver exposes this as the -cache=false escape hatch.
+	NoCache bool
 }
 
 // workers resolves the effective worker count for a case list.
@@ -65,16 +75,26 @@ func (o Options) workers(nCases int) int {
 // summed phase times can exceed WallTime, the elapsed wall-clock time of
 // the whole case-evaluation phase.
 type Stats struct {
-	Primitives int           // driving + checking primitive instances
-	Nets       int           // signal bits (value lists stored)
-	Events     int           // output-value changes processed, summed over all cases
-	PrimEvals  int           // primitive evaluations performed, summed over all cases
-	Cases      int           // case-analysis cycles simulated
-	Workers    int           // case-evaluation workers actually used
-	BuildTime  time.Duration // building evaluation structures
-	VerifyTime time.Duration // relaxation to fixed point, summed over all cases
-	CheckTime  time.Duration // constraint checking, summed over all cases
-	WallTime   time.Duration // wall-clock time of the case-evaluation phase
+	Primitives int // driving + checking primitive instances
+	Nets       int // signal bits (value lists stored)
+	Events     int // output-value changes processed, summed over all cases
+	PrimEvals  int // primitive evaluations scheduled, summed over all cases
+	Cases      int // case-analysis cycles simulated
+	Workers    int // case-evaluation workers actually used
+
+	// Evaluation-cache counters (zero when Options.NoCache is set).  Hit
+	// and miss totals are summed over all cases and workers; because the
+	// cache is shared, which worker takes a given miss depends on
+	// scheduling, so these counters — unlike every verification result —
+	// may vary between runs of a concurrent verification.
+	CacheHits   int           // scheduled evaluations served from the memo cache
+	CacheMisses int           // evaluations computed and stored
+	Interned    int           // distinct waveforms in the interning table
+	Deduped     int           // waveform stores that reused an interned copy
+	BuildTime   time.Duration // building evaluation structures
+	VerifyTime  time.Duration // relaxation to fixed point, summed over all cases
+	CheckTime   time.Duration // constraint checking, summed over all cases
+	WallTime    time.Duration // wall-clock time of the case-evaluation phase
 }
 
 // CaseResult is the outcome of one simulated case-analysis cycle (§2.7).
@@ -121,6 +141,19 @@ type verifier struct {
 	wired    map[netlist.NetID][]netlist.PrimID
 	wiredOut map[[2]int32]values.Waveform
 
+	// Evaluation memoization (nil when Options.NoCache is set).  The
+	// interner and cache are shared by every case worker: each case
+	// starts from whatever the shared post-initialisation relaxation has
+	// already computed.  A case-forced net changes the interned handles
+	// of every waveform downstream of it, so the forced cone can never be
+	// served stale entries — the key, not an invalidation walk, carries
+	// the dependency.  sigID holds the interned handle of each net's
+	// current waveform; keyBuf is per-worker scratch for key building.
+	intern *values.Interner
+	cache  *eval.Cache
+	sigID  []uint64
+	keyBuf []byte
+
 	queue   []netlist.PrimID
 	inQueue []bool
 	events  int
@@ -143,6 +176,11 @@ func Run(d *netlist.Design, opts Options) (*Result, error) {
 		altOut:  make(map[netlist.NetID]values.Waveform),
 		caseMap: make(map[netlist.NetID]values.Value),
 		inQueue: make([]bool, len(d.Prims)),
+	}
+	if !opts.NoCache {
+		v.intern = values.NewInterner()
+		v.cache = eval.NewCache()
+		v.sigID = make([]uint64, len(d.Nets))
 	}
 	res := &Result{Design: d}
 	env := d.Env()
@@ -183,7 +221,7 @@ func Run(d *netlist.Design, opts Options) (*Result, error) {
 				return nil, fmt.Errorf("verify: forced waveform for %q has period %v, want %v", n.Name, w.Period, d.Period)
 			}
 			v.initial[i] = w
-			v.sigs[i] = eval.Signal{Wave: w}
+			v.setSig(netlist.NetID(i), eval.Signal{Wave: w})
 			continue
 		}
 		switch {
@@ -203,7 +241,7 @@ func Run(d *netlist.Design, opts Options) (*Result, error) {
 		default:
 			v.initial[i] = values.Const(d.Period, values.VU)
 		}
-		v.sigs[i] = eval.Signal{Wave: v.initial[i]}
+		v.setSig(netlist.NetID(i), eval.Signal{Wave: v.initial[i]})
 	}
 	sort.Strings(res.Undefined)
 	res.Stats.BuildTime = time.Since(buildStart)
@@ -270,6 +308,10 @@ func Run(d *netlist.Design, opts Options) (*Result, error) {
 	res.Stats.Cases = len(res.Cases)
 	res.Stats.Workers = workers
 	res.Stats.WallTime = time.Since(wallStart)
+	if v.cache != nil {
+		res.Stats.CacheHits, res.Stats.CacheMisses, _ = v.cache.Stats()
+		res.Stats.Interned, res.Stats.Deduped = v.intern.Stats()
+	}
 	return res, nil
 }
 
@@ -289,7 +331,10 @@ type caseOutcome struct {
 // are immutable during relaxation and shared; the mutable state — current
 // signals, case mapping, alternate clock outputs, wired-OR driver outputs
 // and the worklist — is fresh.  Waveform segment lists are never mutated
-// in place, so sharing their backing arrays across workers is safe.
+// in place, so sharing their backing arrays across workers is safe.  The
+// evaluation cache and interning table are deliberately shared, not
+// snapshotted: their entries are keyed on exact inputs, so a worker can
+// only ever be served results that its own evaluation would reproduce.
 func (v *verifier) clone() *verifier {
 	w := &verifier{
 		d:       v.d,
@@ -300,12 +345,48 @@ func (v *verifier) clone() *verifier {
 		altOut:  make(map[netlist.NetID]values.Waveform),
 		caseMap: make(map[netlist.NetID]values.Value),
 		wired:   v.wired,
+		intern:  v.intern,
+		cache:   v.cache,
 		inQueue: make([]bool, len(v.d.Prims)),
+	}
+	if v.sigID != nil {
+		w.sigID = append([]uint64(nil), v.sigID...)
 	}
 	if v.wired != nil {
 		w.wiredOut = map[[2]int32]values.Waveform{}
 	}
 	return w
+}
+
+// setSig installs a net's signal unconditionally, interning its waveform
+// when the cache is enabled so equal waveforms share storage and carry
+// comparable handles.
+func (v *verifier) setSig(id netlist.NetID, sig eval.Signal) {
+	if v.intern != nil {
+		sig.Wave, v.sigID[id] = v.intern.Intern(sig.Wave)
+	}
+	v.sigs[id] = sig
+}
+
+// storeSig installs a net's signal if it differs from the current one,
+// reporting whether it changed.  With interning enabled the comparison is
+// a handle compare — no waveform walk, no allocation.
+func (v *verifier) storeSig(id netlist.NetID, sig eval.Signal) bool {
+	if v.intern != nil {
+		var wid uint64
+		sig.Wave, wid = v.intern.Intern(sig.Wave)
+		if wid == v.sigID[id] && sig.Dirs == v.sigs[id].Dirs {
+			return false
+		}
+		v.sigID[id] = wid
+		v.sigs[id] = sig
+		return true
+	}
+	if sig.Wave.Equal(v.sigs[id].Wave) && sig.Dirs == v.sigs[id].Dirs {
+		return false
+	}
+	v.sigs[id] = sig
+	return true
 }
 
 // runCase simulates one case-analysis cycle on this verifier's state:
@@ -374,7 +455,7 @@ func (v *verifier) applyCase(c netlist.Case, first bool) error {
 	if first {
 		for i := range v.d.Nets {
 			id := netlist.NetID(i)
-			v.sigs[i].Wave = v.mapped(id, v.initial[i])
+			v.setSig(id, eval.Signal{Wave: v.mapped(id, v.initial[i]), Dirs: v.sigs[i].Dirs})
 		}
 		for pi := range v.d.Prims {
 			if !v.d.Prims[pi].Kind.IsChecker() {
@@ -388,8 +469,7 @@ func (v *verifier) applyCase(c netlist.Case, first bool) error {
 		if n.Driver == netlist.NoDriver || v.pinned[id] {
 			// Re-seed from the initial value under the new mapping.
 			w := v.mapped(id, v.initial[id])
-			if !w.Equal(v.sigs[id].Wave) {
-				v.sigs[id].Wave = w
+			if v.storeSig(id, eval.Signal{Wave: w, Dirs: v.sigs[id].Dirs}) {
 				v.events++
 				v.fanout(id)
 			}
@@ -416,6 +496,10 @@ func (v *verifier) mapped(id netlist.NetID, w values.Waveform) values.Waveform {
 		return x
 	})
 }
+
+// waveID reports the interned handle of a net's current waveform, for
+// cache-key building.  Valid only when the cache is enabled.
+func (v *verifier) waveID(n netlist.NetID) uint64 { return v.sigID[n] }
 
 func (v *verifier) enqueue(p netlist.PrimID) {
 	if v.inQueue[p] || v.d.Prims[p].Kind.IsChecker() {
@@ -468,7 +552,27 @@ func (v *verifier) relax() bool {
 		v.inQueue[pid] = false
 		p := &v.d.Prims[pid]
 		v.evals++
-		outs, err := eval.Prim(v.d, p, get)
+		var outs []eval.Signal
+		var err error
+		if v.cache != nil {
+			// Memoized evaluation: the key covers everything Prim reads,
+			// with input waveforms as interned handles, so a hit returns
+			// exactly what evaluation would produce.  Outputs are interned
+			// before storing so every consumer shares one copy.
+			v.keyBuf = eval.AppendKey(v.keyBuf[:0], v.d, p, get, v.waveID)
+			var ok bool
+			if outs, ok = v.cache.Get(v.keyBuf); !ok {
+				outs, err = eval.Prim(v.d, p, get)
+				if err == nil && outs != nil {
+					for i := range outs {
+						outs[i].Wave, _ = v.intern.Intern(outs[i].Wave)
+					}
+					v.cache.Put(v.keyBuf, outs)
+				}
+			}
+		} else {
+			outs, err = eval.Prim(v.d, p, get)
+		}
 		if err != nil || outs == nil {
 			continue
 		}
@@ -496,10 +600,9 @@ func (v *verifier) relax() bool {
 				v.altOut[id] = sig.Wave
 				continue
 			}
-			if sig.Wave.Equal(v.sigs[id].Wave) && sig.Dirs == v.sigs[id].Dirs {
+			if !v.storeSig(id, sig) {
 				continue
 			}
-			v.sigs[id] = sig
 			v.events++
 			v.fanout(id)
 		}
