@@ -14,6 +14,7 @@ import (
 	"scaldtv/internal/gen"
 	"scaldtv/internal/hdl"
 	"scaldtv/internal/logicsim"
+	"scaldtv/internal/netlist"
 	"scaldtv/internal/pathsearch"
 	"scaldtv/internal/stats"
 	"scaldtv/internal/tick"
@@ -74,6 +75,80 @@ func BenchmarkTable31_VerifyOnly(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkIncrementalReverify compares from-scratch verification of the
+// 1003-chip design against dirty-cone reverification after a
+// single-instance delay edit.  Each iteration applies a real edit —
+// alternating the chosen instance's Delay.Max by ±1 ps — so no pass can
+// be served from an unchanged fixed point.  The edited instance is the
+// local-fanout one with the largest forward cone: the generated design's
+// cone sizes are bimodal (a shared control spine reaches ~60% of the
+// instances; everything else fans out to one or two neighbours), and a
+// spine edit rightly degenerates towards a full pass, so the benchmark
+// edits the worst case among ordinary instances instead.  The CI bench
+// job runs this pair and records the speedup in BENCH_PR3.json.
+func BenchmarkIncrementalReverify(b *testing.B) {
+	const chips = 1003
+	d, _, err := gen.Generate(gen.Config{Chips: chips})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pi := localConePrim(d)
+	edit := func(i int) netlist.Changes {
+		d.Prims[pi].Delay.Max += tick.Time(1 - 2*(i%2))
+		return netlist.Changes{Prims: []netlist.PrimID{pi}}
+	}
+	b.Run(fmt.Sprintf("chips=%d/mode=full", chips), func(b *testing.B) {
+		var s verify.Stats
+		for i := 0; i < b.N; i++ {
+			edit(i)
+			res, err := verify.Run(d, verify.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s = res.Stats
+		}
+		b.ReportMetric(float64(s.PrimEvals), "prim-evals")
+	})
+	b.Run(fmt.Sprintf("chips=%d/mode=incremental", chips), func(b *testing.B) {
+		V := verify.NewVerifier(d, verify.Options{})
+		if _, err := V.Verify(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		var s verify.Stats
+		for i := 0; i < b.N; i++ {
+			res, err := V.Reverify(edit(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			s = res.Stats
+		}
+		b.ReportMetric(float64(s.PrimEvals), "prim-evals")
+		b.ReportMetric(float64(s.DirtyPrims), "dirty-prims")
+		b.ReportMetric(float64(s.ReusedWaves), "reused-waves")
+	})
+}
+
+// localConePrim picks the non-checker instance with the largest forward
+// cone among those whose cone stays local (under a tenth of the
+// instances), so the reverify benchmark edits the worst ordinary
+// instance rather than the shared control spine.
+func localConePrim(d *Design) netlist.PrimID {
+	best, bestCone := netlist.PrimID(-1), -1
+	limit := len(d.Prims) / 10
+	for i := range d.Prims {
+		if d.Prims[i].Kind.IsChecker() {
+			continue
+		}
+		id := netlist.PrimID(i)
+		c := d.ForwardCone(netlist.Changes{Prims: []netlist.PrimID{id}})
+		if c.PrimCount <= limit && c.PrimCount > bestCone {
+			best, bestCone = id, c.PrimCount
+		}
+	}
+	return best
 }
 
 // BenchmarkTable32_MacroExpansion times the macro expander (the paper's

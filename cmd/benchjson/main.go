@@ -144,18 +144,27 @@ func parseLine(line string) (Sample, bool) {
 	return s, true
 }
 
-// pairKey strips a "cache=true" / "cache=false" path element so the two
-// settings of one benchmark collapse onto the same key.
-func pairKey(name string) (key string, cached, isPair bool) {
+// pairings lists the recognised on/off path elements.  The "on" setting
+// is the optimised one; speedups are reported as off-time / on-time.
+var pairings = []struct{ on, off, onLabel, offLabel string }{
+	{"cache=true", "cache=false", "cache on", "cache off"},
+	{"mode=incremental", "mode=full", "incremental", "full"},
+}
+
+// pairKey strips a recognised on/off path element (cache=true/false,
+// mode=incremental/full) so the two settings of one benchmark collapse
+// onto the same key, and returns the display labels for the pair.
+func pairKey(name string) (key string, on bool, labels [2]string, isPair bool) {
 	parts := strings.Split(name, "/")
 	for i, p := range parts {
-		if p == "cache=true" || p == "cache=false" {
-			cached = p == "cache=true"
-			key = strings.Join(append(append([]string{}, parts[:i]...), parts[i+1:]...), "/")
-			return key, cached, true
+		for _, pr := range pairings {
+			if p == pr.on || p == pr.off {
+				key = strings.Join(append(append([]string{}, parts[:i]...), parts[i+1:]...), "/")
+				return key, p == pr.on, [2]string{pr.onLabel, pr.offLabel}, true
+			}
 		}
 	}
-	return name, false, false
+	return name, false, labels, false
 }
 
 // agg holds the best (minimum ns/op) sample per benchmark name, the
@@ -165,25 +174,28 @@ type agg struct {
 	n    int
 }
 
-// cacheSummary renders a markdown table comparing every cache=true /
-// cache=false pair, for $GITHUB_STEP_SUMMARY.
+// cacheSummary renders a markdown table comparing every recognised
+// on/off pair (cache on/off, incremental/full), for $GITHUB_STEP_SUMMARY.
 func cacheSummary(doc *Doc) string {
-	type pair struct{ on, off *agg }
+	type pair struct {
+		on, off *agg
+		labels  [2]string
+	}
 	pairs := map[string]*pair{}
 	var order []string
 	for _, s := range doc.Samples {
-		key, cached, isPair := pairKey(s.Name)
+		key, on, labels, isPair := pairKey(s.Name)
 		if !isPair {
 			continue
 		}
 		p := pairs[key]
 		if p == nil {
-			p = &pair{}
+			p = &pair{labels: labels}
 			pairs[key] = p
 			order = append(order, key)
 		}
 		slot := &p.off
-		if cached {
+		if on {
 			slot = &p.on
 		}
 		if *slot == nil {
@@ -198,9 +210,9 @@ func cacheSummary(doc *Doc) string {
 	sort.Strings(order)
 
 	var sb strings.Builder
-	sb.WriteString("### Evaluation-cache benchmark comparison\n\n")
+	sb.WriteString("### Benchmark pair comparison\n\n")
 	sb.WriteString("Best of the repeated runs per setting (min ns/op).\n\n")
-	sb.WriteString("| benchmark | cache | ns/op | B/op | allocs/op | speedup |\n")
+	sb.WriteString("| benchmark | setting | ns/op | B/op | allocs/op | speedup |\n")
 	sb.WriteString("|---|---|---:|---:|---:|---:|\n")
 	wrote := false
 	for _, key := range order {
@@ -214,13 +226,13 @@ func cacheSummary(doc *Doc) string {
 		if on["ns/op"] > 0 {
 			speedup = fmt.Sprintf("%.2fx", off["ns/op"]/on["ns/op"])
 		}
-		fmt.Fprintf(&sb, "| %s | on | %s | %s | %s | %s |\n",
-			key, num(on["ns/op"]), num(on["B/op"]), num(on["allocs/op"]), speedup)
-		fmt.Fprintf(&sb, "| %s | off | %s | %s | %s | |\n",
-			key, num(off["ns/op"]), num(off["B/op"]), num(off["allocs/op"]))
+		fmt.Fprintf(&sb, "| %s | %s | %s | %s | %s | %s |\n",
+			key, p.labels[0], num(on["ns/op"]), num(on["B/op"]), num(on["allocs/op"]), speedup)
+		fmt.Fprintf(&sb, "| %s | %s | %s | %s | %s | |\n",
+			key, p.labels[1], num(off["ns/op"]), num(off["B/op"]), num(off["allocs/op"]))
 	}
 	if !wrote {
-		sb.WriteString("| _no cache=true/false pairs in input_ | | | | | |\n")
+		sb.WriteString("| _no paired settings in input_ | | | | | |\n")
 	}
 	return sb.String()
 }

@@ -61,15 +61,29 @@ func TestParseLineRejectsMalformed(t *testing.T) {
 }
 
 func TestPairKey(t *testing.T) {
-	key, cached, isPair := pairKey("BenchmarkTable31_VerifyOnly/chips=1003/cache=true")
-	if !isPair || !cached || key != "BenchmarkTable31_VerifyOnly/chips=1003" {
-		t.Errorf("got (%q, %v, %v)", key, cached, isPair)
+	key, on, labels, isPair := pairKey("BenchmarkTable31_VerifyOnly/chips=1003/cache=true")
+	if !isPair || !on || key != "BenchmarkTable31_VerifyOnly/chips=1003" {
+		t.Errorf("got (%q, %v, %v)", key, on, isPair)
 	}
-	key, cached, isPair = pairKey("BenchmarkTable31_VerifyOnly/chips=1003/cache=false")
-	if !isPair || cached || key != "BenchmarkTable31_VerifyOnly/chips=1003" {
-		t.Errorf("got (%q, %v, %v)", key, cached, isPair)
+	if labels != [2]string{"cache on", "cache off"} {
+		t.Errorf("labels = %v", labels)
 	}
-	if _, _, isPair := pairKey("BenchmarkValues_Combine"); isPair {
+	key, on, _, isPair = pairKey("BenchmarkTable31_VerifyOnly/chips=1003/cache=false")
+	if !isPair || on || key != "BenchmarkTable31_VerifyOnly/chips=1003" {
+		t.Errorf("got (%q, %v, %v)", key, on, isPair)
+	}
+	key, on, labels, isPair = pairKey("BenchmarkIncrementalReverify/chips=1003/mode=incremental")
+	if !isPair || !on || key != "BenchmarkIncrementalReverify/chips=1003" {
+		t.Errorf("got (%q, %v, %v)", key, on, isPair)
+	}
+	if labels != [2]string{"incremental", "full"} {
+		t.Errorf("labels = %v", labels)
+	}
+	key, on, _, isPair = pairKey("BenchmarkIncrementalReverify/chips=1003/mode=full")
+	if !isPair || on || key != "BenchmarkIncrementalReverify/chips=1003" {
+		t.Errorf("got (%q, %v, %v)", key, on, isPair)
+	}
+	if _, _, _, isPair := pairKey("BenchmarkValues_Combine"); isPair {
 		t.Error("non-pair benchmark reported as pair")
 	}
 }
@@ -97,7 +111,28 @@ func TestCacheSummary(t *testing.T) {
 
 func TestCacheSummaryEmpty(t *testing.T) {
 	doc := Doc{Samples: []Sample{{Name: "BenchmarkValues_Combine", Metrics: map[string]float64{"ns/op": 1}}}}
-	if md := cacheSummary(&doc); !strings.Contains(md, "no cache=true/false pairs") {
+	if md := cacheSummary(&doc); !strings.Contains(md, "no paired settings") {
 		t.Errorf("empty summary = %q", md)
+	}
+}
+
+func TestModeSummary(t *testing.T) {
+	const out = `BenchmarkIncrementalReverify/chips=1003/mode=full-8          20   12000000 ns/op   5369844 B/op   57397 allocs/op
+BenchmarkIncrementalReverify/chips=1003/mode=incremental-8  200     166000 ns/op     13806 B/op      14 allocs/op
+`
+	var doc Doc
+	if err := parse(&doc, strings.NewReader(out)); err != nil {
+		t.Fatal(err)
+	}
+	md := cacheSummary(&doc)
+	if !strings.Contains(md, "BenchmarkIncrementalReverify/chips=1003") {
+		t.Errorf("summary missing mode pair:\n%s", md)
+	}
+	if !strings.Contains(md, "| incremental |") || !strings.Contains(md, "| full |") {
+		t.Errorf("summary missing mode labels:\n%s", md)
+	}
+	// 12000000 / 166000 = 72.29x.
+	if !strings.Contains(md, "72.29x") {
+		t.Errorf("summary missing speedup:\n%s", md)
 	}
 }

@@ -14,12 +14,15 @@
 //	-j n          case-evaluation workers (0 = one per CPU, 1 = sequential)
 //	-cache        memoize primitive evaluations (default true; -cache=false
 //	              disables the cache, results are bit-identical either way)
+//	-watch        stay running and re-verify on every save; parameter-only
+//	              edits reverify just the dirty cone incrementally
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"scaldtv"
 	"scaldtv/internal/sections"
@@ -43,6 +46,7 @@ func main() {
 	sectionsFlag := flag.Bool("sections", false, "verify each file as an independent section and cross-check interface assertions (§2.5.2)")
 	workers := flag.Int("j", 0, "case-evaluation workers: 0 = one per CPU, 1 = sequential with incremental cone reuse")
 	cache := flag.Bool("cache", true, "memoize primitive evaluations over interned waveforms (-cache=false disables)")
+	watchFlag := flag.Bool("watch", false, "re-verify on every save, reusing converged waveforms for parameter-only edits")
 	flag.Parse()
 
 	if *sectionsFlag {
@@ -76,6 +80,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: scaldtv [flags] design.scald")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	if *watchFlag {
+		opts := scaldtv.Options{Workers: *workers, NoCache: !*cache}
+		if err := watch(flag.Arg(0), *lib, opts, os.Stdout, 200*time.Millisecond, 0); err != nil {
+			fail(err)
+		}
+		return
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {

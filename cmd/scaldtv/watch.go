@@ -1,0 +1,95 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"scaldtv"
+)
+
+// watch re-verifies the design at path each time the file changes,
+// retaining converged waveforms between runs so parameter-only edits
+// (delays, checker intervals, wire overrides, assertion windows)
+// reverify just the dirty cone.  Structural edits fall back to a full
+// run transparently.
+//
+// Changes are detected by polling the file's modification time and size
+// every poll interval.  maxUpdates > 0 bounds the number of successful
+// verification passes before returning (used by tests); 0 watches until
+// the process is killed.
+func watch(path string, lib bool, opts scaldtv.Options, out io.Writer, poll time.Duration, maxUpdates int) error {
+	var (
+		V        *scaldtv.Verifier
+		lastMod  time.Time
+		lastSize int64
+		passes   int
+	)
+	for first := true; ; first = false {
+		if !first {
+			time.Sleep(poll)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			if first {
+				return err
+			}
+			// The file may be mid-save (editors replace atomically by
+			// rename); report once and keep polling.
+			fmt.Fprintf(out, "watch: %s: %v\n", path, err)
+			continue
+		}
+		if !first && fi.ModTime().Equal(lastMod) && fi.Size() == lastSize {
+			continue
+		}
+		lastMod, lastSize = fi.ModTime(), fi.Size()
+
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(out, "watch: %s: %v\n", path, err)
+			continue
+		}
+		text := string(src)
+		if lib {
+			text += "\n" + scaldtv.Library
+		}
+		design, err := scaldtv.Compile(text)
+		if err != nil {
+			// A broken intermediate state is normal while editing; keep
+			// the retained verifier so the next good save still
+			// reverifies incrementally against the last clean design.
+			fmt.Fprintf(out, "watch: %s: %v\n", path, err)
+			continue
+		}
+
+		start := time.Now()
+		var (
+			res         *scaldtv.Result
+			incremental bool
+		)
+		if V == nil {
+			V = scaldtv.NewVerifier(design, opts)
+			res, err = V.Verify()
+		} else {
+			res, incremental, err = V.Update(design)
+		}
+		if err != nil {
+			fmt.Fprintf(out, "watch: %s: %v\n", path, err)
+			V = nil
+			continue
+		}
+		elapsed := time.Since(start).Round(time.Microsecond)
+		if incremental {
+			fmt.Fprintf(out, "watch: %s: %d violation(s) in %v (incremental: %d dirty instance(s), %d reused waveform(s))\n",
+				path, len(res.Violations), elapsed, res.Stats.DirtyPrims, res.Stats.ReusedWaves)
+		} else {
+			fmt.Fprintf(out, "watch: %s: %d violation(s) in %v (full)\n",
+				path, len(res.Violations), elapsed)
+		}
+		passes++
+		if maxUpdates > 0 && passes >= maxUpdates {
+			return nil
+		}
+	}
+}

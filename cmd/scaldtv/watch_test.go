@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"scaldtv"
+)
+
+// lineWriter forwards each Write to a channel so the test can wait for
+// watch output deterministically instead of sleeping.
+type lineWriter struct{ ch chan string }
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.ch <- string(p)
+	return len(p), nil
+}
+
+const watchV1 = `design WATCHED
+period 50ns
+clockunit 1ns
+defaultwire 0ns 0ns
+buf "B1" delay=(1,2) ("IN .S5-45") -> (MID)
+reg "R1" delay=(1,3) ("CK .P40-45", MID) -> (Q)
+setuphold "CHK" setup=2.5 hold=1.5 (MID, "CK .P40-45")
+`
+
+// TestWatchIncremental drives watch through three saves: the initial
+// full verification, a delay edit (parameter-only, must reverify
+// incrementally) and an added instance (structural, must fall back to a
+// full run).
+func TestWatchIncremental(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.scald")
+	write := func(text string, mod time.Time) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(path, mod, mod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := time.Now()
+	write(watchV1, base)
+
+	out := &lineWriter{ch: make(chan string, 16)}
+	done := make(chan error, 1)
+	go func() {
+		done <- watch(path, false, scaldtv.Options{Workers: 1}, out, 2*time.Millisecond, 3)
+	}()
+	next := func(what string) string {
+		t.Helper()
+		select {
+		case line := <-out.ch:
+			return line
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out waiting for %s", what)
+			return ""
+		}
+	}
+
+	if line := next("initial pass"); !strings.Contains(line, "(full)") {
+		t.Fatalf("initial pass not a full run: %q", line)
+	}
+
+	// Parameter-only edit: B1 slows down.
+	write(strings.Replace(watchV1, `"B1" delay=(1,2)`, `"B1" delay=(1,4)`, 1), base.Add(time.Second))
+	if line := next("incremental pass"); !strings.Contains(line, "incremental") {
+		t.Fatalf("delay edit did not reverify incrementally: %q", line)
+	}
+
+	// Structural edit: a new instance appears.
+	write(strings.Replace(watchV1, `"B1" delay=(1,2)`, `"B1" delay=(1,4)`, 1)+
+		"buf \"B2\" delay=(1,2) (Q) -> (Q2)\n", base.Add(2*time.Second))
+	if line := next("structural pass"); !strings.Contains(line, "(full)") {
+		t.Fatalf("structural edit did not fall back to a full run: %q", line)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWatchCompileError checks that a broken save is reported without
+// ending the watch, and that the next good save still reverifies.
+func TestWatchCompileError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.scald")
+	base := time.Now()
+	if err := os.WriteFile(path, []byte(watchV1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, base, base); err != nil {
+		t.Fatal(err)
+	}
+
+	out := &lineWriter{ch: make(chan string, 16)}
+	done := make(chan error, 1)
+	go func() {
+		done <- watch(path, false, scaldtv.Options{Workers: 1}, out, 2*time.Millisecond, 2)
+	}()
+	next := func() string {
+		select {
+		case line := <-out.ch:
+			return line
+		case <-time.After(10 * time.Second):
+			t.Fatal("timed out waiting for watch output")
+			return ""
+		}
+	}
+	if line := next(); !strings.Contains(line, "(full)") {
+		t.Fatalf("initial pass not a full run: %q", line)
+	}
+
+	if err := os.WriteFile(path, []byte("design BROKEN\nnot valid hdl\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, base.Add(time.Second), base.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if line := next(); !strings.Contains(line, "watch:") || strings.Contains(line, "violation(s)") {
+		t.Fatalf("broken save not reported as an error: %q", line)
+	}
+
+	fixed := strings.Replace(watchV1, "setup=2.5", "setup=3.5", 1)
+	if err := os.WriteFile(path, []byte(fixed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(path, base.Add(2*time.Second), base.Add(2*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if line := next(); !strings.Contains(line, "incremental") {
+		t.Fatalf("save after a broken one did not reverify incrementally: %q", line)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWatchMissingFile: a path that never existed is an immediate error.
+func TestWatchMissingFile(t *testing.T) {
+	err := watch(filepath.Join(t.TempDir(), "absent.scald"), false, scaldtv.Options{}, os.Stderr, time.Millisecond, 1)
+	if err == nil {
+		t.Fatal("watch of a missing file did not fail")
+	}
+}

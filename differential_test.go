@@ -1,0 +1,459 @@
+package scaldtv
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"scaldtv/internal/logicsim"
+	"scaldtv/internal/netlist"
+	"scaldtv/internal/tick"
+	"scaldtv/internal/values"
+)
+
+// The differential property: on every example design, the Timing
+// Verifier's symbolic seven-value waveforms must conservatively cover
+// any trace a concrete gate-level logic simulation of the same netlist
+// can produce.  Each symbolic delay range is pinned to a single point
+// inside it (minimum, midpoint, maximum), every asserted input is
+// replaced with one concrete 0/1 waveform consistent with its
+// assertion, and the §1.4.1.1-style simulator is run to periodic steady
+// state; wherever the symbolic result claims a definite logic level the
+// simulated trace must agree.
+
+// pinRange picks a single concrete delay inside a symbolic range.
+func pinRange(r tick.Range, mode int) tick.Time {
+	switch mode {
+	case 0:
+		return r.Min
+	case 2:
+		return r.Max
+	}
+	return r.Min + r.Width()/2
+}
+
+// simBridge lowers a netlist design onto the logic simulator's gate
+// model.  Primitives the simulator cannot express (RS storage, wide
+// library macros, pins carrying evaluation directives) are left out:
+// their outputs stay at X, which cannot falsify the symbolic claim, so
+// the check remains sound and merely loses strength there.
+type simBridge struct {
+	d      *netlist.Design
+	c      *logicsim.Circuit
+	mode   int
+	netOf  []int // design net -> node carrying the driver's raw output
+	wireOf []int // node after the pinned interconnection delay, -1 = not yet built
+	inputs map[netlist.NetID]bool
+	skip   int // primitives left unmodelled
+}
+
+func newSimBridge(d *netlist.Design, inputs map[netlist.NetID]bool, mode int) *simBridge {
+	br := &simBridge{
+		d:      d,
+		c:      &logicsim.Circuit{},
+		mode:   mode,
+		inputs: inputs,
+	}
+	br.netOf = br.c.AddNets(len(d.Nets))
+	br.wireOf = make([]int, len(d.Nets))
+	for i := range br.wireOf {
+		br.wireOf[i] = -1
+	}
+	for pi := range d.Prims {
+		br.addPrim(&d.Prims[pi])
+	}
+	return br
+}
+
+// wireNode returns the node a consumer of the net observes: the raw
+// node delayed by the pinned interconnection delay.
+func (br *simBridge) wireNode(id netlist.NetID) int {
+	if br.wireOf[id] >= 0 {
+		return br.wireOf[id]
+	}
+	wire := br.d.DefaultWire
+	if w := br.d.Nets[id].Wire; w != nil {
+		wire = *w
+	}
+	node := br.netOf[id]
+	if pin := pinRange(wire, br.mode); pin > 0 {
+		node = br.buf(node, pin)
+	}
+	br.wireOf[id] = node
+	return node
+}
+
+func (br *simBridge) buf(in int, delay tick.Time) int {
+	out := br.c.AddNet()
+	br.c.AddGate(logicsim.Gate{Kind: logicsim.GBuf, Delay: tick.Range{Min: delay, Max: delay}, In: []int{in}, Out: out})
+	return out
+}
+
+func (br *simBridge) not(in int) int {
+	out := br.c.AddNet()
+	br.c.AddGate(logicsim.Gate{Kind: logicsim.GNot, In: []int{in}, Out: out})
+	return out
+}
+
+// inConn resolves an input connection: wire-delayed, complemented when
+// the connection uses the "-" rail.
+func (br *simBridge) inConn(c netlist.Conn) int {
+	node := br.wireNode(c.Net)
+	if c.Invert {
+		node = br.not(node)
+	}
+	return node
+}
+
+// bitConn picks the port bit feeding output bit `bit`, broadcasting
+// scalar ports across the vector.
+func bitConn(port netlist.Port, bit int) netlist.Conn {
+	if len(port.Bits) == 1 {
+		return port.Bits[0]
+	}
+	return port.Bits[bit]
+}
+
+// outNode returns the node a primitive drives for the given design net.
+// Nets whose value the case analysis pins, and wired-OR nets with
+// several drivers, keep their driver detached (the symbolic value rules
+// there); the gate still runs, into a scrap node.
+func (br *simBridge) outNode(id netlist.NetID) int {
+	if br.inputs[id] || len(br.d.Drivers(id)) > 1 {
+		return br.c.AddNet()
+	}
+	return br.netOf[id]
+}
+
+func (br *simBridge) addPrim(p *netlist.Prim) {
+	if p.Kind.IsChecker() {
+		return
+	}
+	for _, port := range p.In {
+		for _, c := range port.Bits {
+			if !c.Directives.Empty() {
+				br.skip++ // §2.6 directives change the symbolic semantics
+				return
+			}
+		}
+	}
+	if len(p.Out) != 1 {
+		br.skip++
+		return
+	}
+	delay := p.Delay
+	if p.RF != nil {
+		// A single concrete delay must satisfy both directions.
+		lo, hi := max(p.RF.Rise.Min, p.RF.Fall.Min), min(p.RF.Rise.Max, p.RF.Fall.Max)
+		if lo > hi {
+			br.skip++
+			return
+		}
+		delay = tick.Range{Min: lo, Max: hi}
+	}
+	pin := pinRange(delay, br.mode)
+	pinned := tick.Range{Min: pin, Max: pin}
+
+	switch {
+	case p.Kind.IsGate():
+		gk, ok := map[netlist.Kind]logicsim.Kind{
+			netlist.KBuf: logicsim.GBuf, netlist.KNot: logicsim.GNot,
+			netlist.KAnd: logicsim.GAnd, netlist.KOr: logicsim.GOr,
+			netlist.KNand: logicsim.GNand, netlist.KNor: logicsim.GNor,
+			// XOR is one concrete realisation of the CHANGE function.
+			netlist.KXor: logicsim.GXor, netlist.KChg: logicsim.GXor,
+		}[p.Kind]
+		if !ok {
+			br.skip++
+			return
+		}
+		for bit := 0; bit < p.Width; bit++ {
+			ins := make([]int, len(p.In))
+			for i, port := range p.In {
+				ins[i] = br.inConn(bitConn(port, bit))
+			}
+			br.c.AddGate(logicsim.Gate{Kind: gk, Name: p.Name, Delay: pinned, In: ins, Out: br.outNode(p.Out[0].Bits[bit])})
+		}
+	case p.Kind.NumSelects() > 0:
+		br.addMux(p, pinned)
+	case p.Kind == netlist.KReg:
+		ck := br.inConn(p.In[0].Bits[0])
+		for bit := 0; bit < p.Width; bit++ {
+			br.c.AddGate(logicsim.Gate{Kind: logicsim.GDff, Name: p.Name, Delay: pinned,
+				In: []int{ck, br.inConn(bitConn(p.In[1], bit))}, Out: br.outNode(p.Out[0].Bits[bit])})
+		}
+	case p.Kind == netlist.KLatch:
+		en := br.inConn(p.In[0].Bits[0])
+		for bit := 0; bit < p.Width; bit++ {
+			br.c.AddGate(logicsim.Gate{Kind: logicsim.GLatch, Name: p.Name, Delay: pinned,
+				In: []int{en, br.inConn(bitConn(p.In[1], bit))}, Out: br.outNode(p.Out[0].Bits[bit])})
+		}
+	default: // KRegRS, KLatchRS: no simulator model
+		br.skip++
+	}
+}
+
+// addMux decomposes an n-way multiplexer into its AND-OR sum of
+// products: out = OR_i( AND(select literals for i, data_i) ), with the
+// pinned select-path delay feeding the literals and the pinned data
+// delay on the final OR — matching the symbolic Fig 3-6 delay model.
+func (br *simBridge) addMux(p *netlist.Prim, pinned tick.Range) {
+	ns, nd := p.Kind.NumSelects(), p.Kind.NumMuxData()
+	selPin := pinRange(p.SelectDelay, br.mode)
+	sel := make([]int, ns)
+	nsel := make([]int, ns)
+	for j := 0; j < ns; j++ {
+		node := br.inConn(p.In[j].Bits[0])
+		if selPin > 0 {
+			node = br.buf(node, selPin)
+		}
+		sel[j] = node
+		nsel[j] = br.not(node)
+	}
+	for bit := 0; bit < p.Width; bit++ {
+		terms := make([]int, nd)
+		for i := 0; i < nd; i++ {
+			ins := make([]int, 0, ns+1)
+			for j := 0; j < ns; j++ {
+				if i>>j&1 == 1 {
+					ins = append(ins, sel[j])
+				} else {
+					ins = append(ins, nsel[j])
+				}
+			}
+			ins = append(ins, br.inConn(bitConn(p.In[ns+i], bit)))
+			term := br.c.AddNet()
+			br.c.AddGate(logicsim.Gate{Kind: logicsim.GAnd, In: ins, Out: term})
+			terms[i] = term
+		}
+		br.c.AddGate(logicsim.Gate{Kind: logicsim.GOr, Name: p.Name, Delay: pinned,
+			In: terms, Out: br.outNode(p.Out[0].Bits[bit])})
+	}
+}
+
+// driveEvent is one scheduled input transition within a cycle.
+type driveEvent struct {
+	at tick.Time
+	v  logicsim.LValue
+}
+
+// concretize refines a symbolic waveform into one concrete trace: 1
+// throughout RISE bands and 1-regions, 0 throughout FALL bands and
+// 0-regions, holding the previous level through STABLE and CHANGE
+// regions (a signal that does not move satisfies both), X where the
+// value is symbolically unknowable.  A waveform with no determined
+// region at all becomes constant 0 — also a valid refinement of STABLE.
+func concretize(w values.Waveform) []driveEvent {
+	inc := w.IncorporateSkew()
+	var evs []driveEvent
+	var pos tick.Time
+	last := logicsim.LValue(0xff)
+	sawVU := false
+	for _, s := range inc.Segs {
+		var v logicsim.LValue
+		switch s.V {
+		case values.V0, values.VF:
+			v = logicsim.L0
+		case values.V1, values.VR:
+			v = logicsim.L1
+		case values.VU:
+			v = logicsim.LX
+			sawVU = true
+		default: // VS, VC: hold
+			pos += s.W
+			continue
+		}
+		if v != last {
+			evs = append(evs, driveEvent{at: pos, v: v})
+			last = v
+		}
+		pos += s.W
+	}
+	if len(evs) == 0 {
+		if sawVU {
+			return nil // leave the net at X
+		}
+		return []driveEvent{{v: logicsim.L0}}
+	}
+	return evs
+}
+
+// covers7 reports whether a symbolic value admits a concrete simulation
+// value.  Only definite concrete levels can falsify.
+func covers7(sym values.Value, conc logicsim.LValue) bool {
+	if conc != logicsim.L0 && conc != logicsim.L1 {
+		return true
+	}
+	switch sym {
+	case values.V0:
+		return conc == logicsim.L0
+	case values.V1:
+		return conc == logicsim.L1
+	}
+	return true
+}
+
+// runDifferential simulates one case of a design with delays pinned by
+// mode and checks pointwise coverage over the final, steady-state
+// cycle.  It returns the number of definite concrete samples, a
+// measure of how much the check actually bit.
+func runDifferential(t *testing.T, d *netlist.Design, res *Result, ci, mode int) int {
+	t.Helper()
+	period := d.Period
+	waves := res.Cases[ci].Waves
+
+	// Nets the case analysis pins keep their symbolic constant; their
+	// drivers are detached in the bridge.
+	pinnedNets := map[netlist.NetID]bool{}
+	if ci < len(d.Cases) {
+		for _, as := range d.Cases[ci].Assignments {
+			for i := range d.Nets {
+				if netlist.BaseMatches(d.Nets[i].Base, as.Base) {
+					pinnedNets[netlist.NetID(i)] = true
+				}
+			}
+		}
+	}
+	br := newSimBridge(d, pinnedNets, mode)
+
+	// Concrete input schedules: every undriven or case-pinned net is
+	// driven with a refinement of its own symbolic waveform.
+	type netDrive struct {
+		node int
+		evs  []driveEvent
+	}
+	var drives []netDrive
+	for i := range d.Nets {
+		id := netlist.NetID(i)
+		if d.Nets[i].Driver != netlist.NoDriver && !pinnedNets[id] {
+			continue
+		}
+		if evs := concretize(waves[i]); evs != nil {
+			drives = append(drives, netDrive{node: br.netOf[i], evs: evs})
+		}
+	}
+
+	sim := logicsim.New(br.c)
+	sim.Limit = 5_000_000
+	const warm = 8
+	for cyc := tick.Time(0); cyc <= warm+1; cyc++ {
+		for _, nd := range drives {
+			for _, e := range nd.evs {
+				sim.Set(nd.node, e.v, cyc*period+e.at)
+			}
+		}
+	}
+
+	incs := make([]values.Waveform, len(d.Nets))
+	for i := range d.Nets {
+		incs[i] = waves[i].IncorporateSkew()
+	}
+	step := period / 256
+	if step == 0 {
+		step = 1
+	}
+	solid := 0
+	base := tick.Time(warm) * period
+	for off := tick.Time(0); off < period; off += step {
+		sim.Run(base + off)
+		if sim.Limit > 0 && sim.Events >= sim.Limit {
+			t.Fatalf("mode %d: simulation exceeded %d events (zero-delay oscillation?)", mode, sim.Limit)
+		}
+		for i := range d.Nets {
+			cv := sim.Value(br.netOf[i])
+			if cv == logicsim.L0 || cv == logicsim.L1 {
+				solid++
+			}
+			if sv := incs[i].At(off); !covers7(sv, cv) {
+				t.Errorf("mode %d net %q at %v: symbolic %v does not cover simulated %v\n  sym: %v",
+					mode, d.Nets[i].Name, off, sv, cv, incs[i])
+				return solid
+			}
+		}
+	}
+	return solid
+}
+
+// TestDifferentialAgainstLogicsim cross-checks the verifier against the
+// gate-level logic simulator on every example design, for every case
+// and three delay-pinning modes.
+func TestDifferentialAgainstLogicsim(t *testing.T) {
+	designs, err := filepath.Glob(filepath.Join("examples", "*", "*.scald"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(designs) == 0 {
+		t.Fatal("no .scald designs under examples/")
+	}
+	for _, path := range designs {
+		name := strings.TrimSuffix(filepath.Base(path), ".scald")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, err := Compile(string(src) + "\n" + Library)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Verify(d, Options{KeepWaves: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			solid := 0
+			for ci := range res.Cases {
+				for mode := 0; mode < 3; mode++ {
+					solid += runDifferential(t, d, res, ci, mode)
+				}
+			}
+			if solid == 0 {
+				t.Error("no definite concrete samples: the differential check was vacuous")
+			}
+			t.Logf("%d definite concrete samples across %d case(s) x 3 pinnings", solid, len(res.Cases))
+		})
+	}
+}
+
+// TestDifferentialRandom extends the cross-check beyond the examples:
+// small random synchronous fabrics (the soundness-test generator family
+// lives in internal/verify; here a deterministic mesh suffices) built
+// from gates, a register and a latch, to exercise the GLatch bridge.
+func TestDifferentialRandom(t *testing.T) {
+	for seed := 0; seed < 8; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			b := NewBuilder(fmt.Sprintf("rand%d", seed))
+			b.SetPeriod(NS(100))
+			b.SetDefaultWire(Delay(0, float64(seed%3)))
+			b.SetPrecisionSkew(Delay(-0.5, 0.5))
+			in1 := b.Net("IN1 .S5-60")
+			in2 := b.Net("IN2 .S10-80")
+			ck := b.Net("CK .P70-80")
+			g1 := b.Net("G1")
+			g2 := b.Net("G2")
+			q := b.Net("Q")
+			lq := b.Net("LQ")
+			kinds := []Kind{KAnd, KOr, KNand, KNor, KXor}
+			b.Gate(kinds[seed%len(kinds)], "GATE1", Delay(1, float64(2+seed%4)), []NetID{g1}, Conns(in1), Conns(in2))
+			b.Gate(kinds[(seed+2)%len(kinds)], "GATE2", Delay(0.5, 3), []NetID{g2}, Conns(g1), Conns(in1))
+			b.Register("REG", Delay(1, 2.5), []NetID{q}, Conn{Net: ck}, Conns(g2))
+			b.Latch("LATCH", Delay(1, 2), []NetID{lq}, Conn{Net: ck}, Conns(g1))
+			d, err := b.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Verify(d, Options{KeepWaves: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			solid := 0
+			for mode := 0; mode < 3; mode++ {
+				solid += runDifferential(t, d, res, 0, mode)
+			}
+			if solid == 0 {
+				t.Error("no definite concrete samples")
+			}
+		})
+	}
+}

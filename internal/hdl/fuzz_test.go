@@ -1,0 +1,39 @@
+package hdl
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary source to the HDL parser.  The parser must
+// never panic: malformed input yields an error.  Input that parses must
+// survive a Format/reparse round trip — the formatter's output is
+// itself valid HDL describing the same file.
+func FuzzParse(f *testing.F) {
+	// Every example design is a seed, as is the component library.
+	if paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "*", "*.scald")); err == nil {
+		for _, p := range paths {
+			if src, err := os.ReadFile(p); err == nil {
+				f.Add(string(src))
+			}
+		}
+	}
+	f.Add("design D\nperiod 50ns\nclockunit 1ns\nbuf B delay=(1,2) (A) -> (Q)\n")
+	f.Add("design D\nperiod 10ns\nreg R delay=(1,2) (\"CK .P0-4\", \"D .S1-8\"<0:7>) -> (Q<0:7>)\n")
+	f.Add("design D\nperiod 10ns\nsetuphold C setup=2.5 hold=1.5 (D, CK)\ncase S = 1\n")
+	f.Add("design D\nperiod 10ns\nwiredor\nskew precision -1ns 1ns\nmacro M (a) -> (q)\n  not N delay=(0,1) (a) -> (q)\nend\n")
+	f.Add("; comment only\n")
+	f.Add("design \"Q\\\"UOTE\"\nperiod 1ns\nand G delay=(0,0) (-A &H, B) -> (C)\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			return
+		}
+		out := Format(file)
+		if _, err := Parse(out); err != nil {
+			t.Fatalf("formatted output does not reparse: %v\ninput:\n%s\nformatted:\n%s", err, src, out)
+		}
+	})
+}

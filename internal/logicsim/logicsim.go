@@ -76,7 +76,8 @@ const (
 	GNand
 	GNor
 	GXor
-	GDff // edge-triggered flip-flop: In[0] = clock, In[1] = data
+	GDff   // edge-triggered flip-flop: In[0] = clock, In[1] = data
+	GLatch // transparent latch: In[0] = enable, In[1] = data
 )
 
 // Gate is one simulated element.
@@ -166,6 +167,10 @@ type Simulator struct {
 	// Verifier's event count.
 	Events     int
 	Violations []Violation
+
+	// Limit, when positive, stops Run after that many events — a
+	// safeguard against zero-delay oscillation in pathological circuits.
+	Limit int
 }
 
 type holdWatch struct {
@@ -222,6 +227,9 @@ func (s *Simulator) schedule(at tick.Time, net int, v LValue) {
 func (s *Simulator) Run(until tick.Time) tick.Time {
 	last := s.now
 	for len(s.queue) > 0 && s.queue[0].at <= until {
+		if s.Limit > 0 && s.Events >= s.Limit {
+			break
+		}
 		e := heap.Pop(&s.queue).(event)
 		s.now = e.at
 		if s.vals[e.net] == e.val {
@@ -251,6 +259,10 @@ func (s *Simulator) evalGate(gi int) {
 	g := &s.c.Gates[gi]
 	if g.Kind == GDff {
 		s.evalDff(gi)
+		return
+	}
+	if g.Kind == GLatch {
+		s.evalLatch(gi)
 		return
 	}
 	can0, can1 := s.combPossible(g)
@@ -372,6 +384,39 @@ func (s *Simulator) evalDff(gi int) {
 		}
 		s.schedule(s.now+g.Delay.Max, g.Out, target)
 	}
+}
+
+// evalLatch models a level-sensitive latch: transparent while the enable
+// is 1, holding while 0, unknown while the enable itself is uncertain.
+func (s *Simulator) evalLatch(gi int) {
+	g := &s.c.Gates[gi]
+	en := s.vals[g.In[0]]
+	var target LValue
+	switch en {
+	case L0:
+		return // holding: the output keeps its captured value
+	case L1:
+		target = s.vals[g.In[1]]
+		if !target.Solid() {
+			target = LX
+		}
+	default:
+		target = LX
+	}
+	cur := s.vals[g.Out]
+	if cur == target {
+		return
+	}
+	if g.Delay.Width() > 0 {
+		amb := LX
+		if cur == L0 && target == L1 {
+			amb = LU
+		} else if cur == L1 && target == L0 {
+			amb = LD
+		}
+		s.schedule(s.now+g.Delay.Min, g.Out, amb)
+	}
+	s.schedule(s.now+g.Delay.Max, g.Out, target)
 }
 
 func (s *Simulator) checkHolds(net int) {

@@ -1,0 +1,260 @@
+package netlist
+
+import (
+	"fmt"
+
+	"scaldtv/internal/tick"
+)
+
+// Incremental re-verification support: a Changes set names the nets and
+// primitive instances whose parameters were edited since the last verified
+// state, Diff computes one by comparing two structurally identical
+// designs, and ForwardCone computes the transitive fanout closure — the
+// upper bound on what a re-verification pass may have to revisit.  This
+// generalises the case-analysis engine's "only the affected cone" rule
+// (§2.7, §3.3.2) from forced control signals to arbitrary parameter
+// edits.
+
+// Changes names the dirty sites of an edited design: primitives whose
+// parameters (delays, checker intervals, kind, name) changed, and nets
+// whose environment (assertion ranges, per-signal wire delay) changed.
+type Changes struct {
+	Prims []PrimID
+	Nets  []NetID
+}
+
+// Empty reports whether no site is dirty.
+func (c Changes) Empty() bool { return len(c.Prims) == 0 && len(c.Nets) == 0 }
+
+// Cone is the structural forward closure of a Changes set: every net and
+// primitive a change could reach by following driver → output → fanout
+// edges.  Checker primitives appear in the cone (they read dirtied nets)
+// but propagate nothing, having no outputs.
+type Cone struct {
+	Prims     []bool // per PrimID
+	Nets      []bool // per NetID
+	PrimCount int
+	NetCount  int
+}
+
+// ForwardCone computes the forward closure of ch over the design's fanout
+// index.  Fanout lists must be current (Builder.Build and RebuildFanout
+// maintain them).
+func (d *Design) ForwardCone(ch Changes) Cone {
+	c := Cone{
+		Prims: make([]bool, len(d.Prims)),
+		Nets:  make([]bool, len(d.Nets)),
+	}
+	var work []PrimID
+	markPrim := func(p PrimID) {
+		if p >= 0 && int(p) < len(c.Prims) && !c.Prims[p] {
+			c.Prims[p] = true
+			c.PrimCount++
+			work = append(work, p)
+		}
+	}
+	markNet := func(n NetID) {
+		if n < 0 || int(n) >= len(c.Nets) || c.Nets[n] {
+			return
+		}
+		c.Nets[n] = true
+		c.NetCount++
+		for _, p := range d.Nets[n].Fanout {
+			markPrim(p)
+		}
+	}
+	for _, p := range ch.Prims {
+		markPrim(p)
+	}
+	for _, n := range ch.Nets {
+		markNet(n)
+	}
+	for len(work) > 0 {
+		p := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, port := range d.Prims[p].Out {
+			for _, n := range port.Bits {
+				markNet(n)
+			}
+		}
+	}
+	return c
+}
+
+// CheckSites validates just the dirty sites of a parameter-level edit:
+// the named primitives' shapes (delay ranges, checker intervals) and the
+// named nets' per-signal delays and assertion consistency.  A design that
+// passed Check before the edit and passes CheckSites after it is as valid
+// as a full re-Check would prove, because parameter edits cannot
+// invalidate structure — this is what lets Reverify skip the
+// O(primitives) structural pass on every watch-loop iteration.
+func (d *Design) CheckSites(ch Changes) error {
+	for _, pi := range ch.Prims {
+		if pi < 0 || int(pi) >= len(d.Prims) {
+			return fmt.Errorf("netlist: change names primitive %d out of range", pi)
+		}
+		p := &d.Prims[pi]
+		if err := p.checkShape(); err != nil {
+			return fmt.Errorf("netlist: primitive %q: %v", p.Name, err)
+		}
+	}
+	for _, id := range ch.Nets {
+		if id < 0 || int(id) >= len(d.Nets) {
+			return fmt.Errorf("netlist: change names net %d out of range", id)
+		}
+		n := &d.Nets[id]
+		if n.Wire != nil && !n.Wire.Valid() {
+			return fmt.Errorf("netlist: signal %q has invalid wire delay %v", n.Name, *n.Wire)
+		}
+	}
+	// Assertion consistency (§2.5.1) is the one per-net property with
+	// non-local reach: every bit of a logical signal must agree.  Scan
+	// once, comparing only against the dirtied bases.
+	if len(ch.Nets) > 0 {
+		asserts := make(map[string]string, len(ch.Nets))
+		for _, id := range ch.Nets {
+			asserts[d.Nets[id].Base] = d.Nets[id].Assert.String()
+		}
+		for i := range d.Nets {
+			n := &d.Nets[i]
+			if want, ok := asserts[n.Base]; ok && n.Assert.String() != want {
+				return fmt.Errorf("netlist: signal %q carries conflicting assertions %q and %q", n.Base, want, n.Assert.String())
+			}
+		}
+	}
+	return nil
+}
+
+// Diff compares two designs and, when they are structurally identical —
+// same nets, same primitive connectivity, same cases and design-wide
+// environment — returns the parameter-level Changes between them with
+// ok true.  Any structural difference (added or renamed nets, rewired or
+// re-shaped primitives, changed cases, a changed period or default delay,
+// an assertion appearing, disappearing or changing kind) returns ok false:
+// the edit is beyond what incremental re-verification handles and the
+// caller must verify from scratch.
+func Diff(old, new *Design) (Changes, bool) {
+	var ch Changes
+	if old == nil || new == nil {
+		return ch, false
+	}
+	if old.Period != new.Period || old.ClockUnit != new.ClockUnit ||
+		old.DefaultWire != new.DefaultWire ||
+		old.PrecisionSkew != new.PrecisionSkew || old.ClockSkew != new.ClockSkew ||
+		old.WiredOr != new.WiredOr {
+		return ch, false
+	}
+	if len(old.Nets) != len(new.Nets) || len(old.Prims) != len(new.Prims) {
+		return ch, false
+	}
+	if !casesEqual(old.Cases, new.Cases) {
+		return ch, false
+	}
+	for i := range old.Nets {
+		on, nn := &old.Nets[i], &new.Nets[i]
+		if on.Name != nn.Name || on.Base != nn.Base {
+			return ch, false
+		}
+		dirty := false
+		switch {
+		case (on.Assert == nil) != (nn.Assert == nil):
+			return ch, false // appearing/disappearing assertions change seeding and the cross-reference
+		case on.Assert != nil:
+			if on.Assert.Kind != nn.Assert.Kind {
+				return ch, false // kind changes re-pin the net (§2.9)
+			}
+			if on.Assert.String() != nn.Assert.String() {
+				dirty = true
+			}
+		}
+		if !rangePtrEqual(on.Wire, nn.Wire) {
+			dirty = true
+		}
+		if dirty {
+			ch.Nets = append(ch.Nets, NetID(i))
+		}
+	}
+	for i := range old.Prims {
+		op, np := &old.Prims[i], &new.Prims[i]
+		if !connectivityEqual(op, np) {
+			return ch, false
+		}
+		if op.Kind != np.Kind || op.Name != np.Name ||
+			op.Delay != np.Delay || op.SelectDelay != np.SelectDelay ||
+			!rfEqual(op.RF, np.RF) ||
+			op.Setup != np.Setup || op.Hold != np.Hold ||
+			op.MinHigh != np.MinHigh || op.MinLow != np.MinLow {
+			ch.Prims = append(ch.Prims, PrimID(i))
+		}
+	}
+	return ch, true
+}
+
+// connectivityEqual reports whether two primitives have identical port
+// structure and connections.  Kind is compared only through the port
+// shape: an instance swap between same-shape kinds (AND ↔ OR) is a
+// parameter change, not a structural one.
+func connectivityEqual(a, b *Prim) bool {
+	if a.Width != b.Width || len(a.In) != len(b.In) || len(a.Out) != len(b.Out) {
+		return false
+	}
+	if a.Kind.IsChecker() != b.Kind.IsChecker() || a.Kind.IsStorage() != b.Kind.IsStorage() ||
+		a.Kind.IsGate() != b.Kind.IsGate() || a.Kind.NumSelects() != b.Kind.NumSelects() {
+		return false
+	}
+	for pi := range a.In {
+		ap, bp := &a.In[pi], &b.In[pi]
+		if len(ap.Bits) != len(bp.Bits) {
+			return false
+		}
+		for bi := range ap.Bits {
+			ac, bc := ap.Bits[bi], bp.Bits[bi]
+			if ac.Net != bc.Net || ac.Invert != bc.Invert || ac.Directives != bc.Directives {
+				return false
+			}
+		}
+	}
+	for pi := range a.Out {
+		ap, bp := &a.Out[pi], &b.Out[pi]
+		if len(ap.Bits) != len(bp.Bits) {
+			return false
+		}
+		for bi := range ap.Bits {
+			if ap.Bits[bi] != bp.Bits[bi] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func casesEqual(a, b []Case) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Label != b[i].Label || len(a[i].Assignments) != len(b[i].Assignments) {
+			return false
+		}
+		for j := range a[i].Assignments {
+			if a[i].Assignments[j] != b[i].Assignments[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func rangePtrEqual(a, b *tick.Range) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || *a == *b
+}
+
+func rfEqual(a, b *RFDelay) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || *a == *b
+}

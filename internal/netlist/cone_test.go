@@ -1,0 +1,206 @@
+package netlist
+
+import (
+	"testing"
+
+	"scaldtv/internal/tick"
+)
+
+// buildChain constructs IN -> G0 -> N0 -> G1 -> N1 -> G2 -> N2 with a
+// side branch SIDE -> GS -> NS off N0's fanout, plus a checker on N2.
+func buildChain(t *testing.T) *Design {
+	t.Helper()
+	b := NewBuilder("chain")
+	b.SetPeriod(100 * tick.NS)
+	b.SetDefaultWire(tick.Range{})
+	b.SetPrecisionSkew(tick.Range{})
+	in := b.Net("IN .S5-95")
+	ck := b.Net("CK .P90-95")
+	n0 := b.Net("N0")
+	n1 := b.Net("N1")
+	n2 := b.Net("N2")
+	ns := b.Net("NS")
+	b.Buf("G0", tick.R(1, 2), []NetID{n0}, Conns(in))
+	b.Buf("G1", tick.R(1, 2), []NetID{n1}, Conns(n0))
+	b.Buf("G2", tick.R(1, 2), []NetID{n2}, Conns(n1))
+	b.Buf("GS", tick.R(1, 2), []NetID{ns}, Conns(n0))
+	b.SetupHold("CHK", 5*tick.NS, tick.NS, Conns(n2), Conn{Net: ck})
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestForwardCone(t *testing.T) {
+	d := buildChain(t)
+	g1, _ := d.NetByName("N0")
+	cone := d.ForwardCone(Changes{Nets: []NetID{g1}})
+	// From N0: consumers G1 and GS, then N1, NS, G2, N2, CHK.
+	wantNets := map[string]bool{"N0": true, "N1": true, "N2": true, "NS": true}
+	for i := range d.Nets {
+		if cone.Nets[i] != wantNets[d.Nets[i].Name] {
+			t.Errorf("net %s in cone = %v, want %v", d.Nets[i].Name, cone.Nets[i], wantNets[d.Nets[i].Name])
+		}
+	}
+	wantPrims := map[string]bool{"G1": true, "G2": true, "GS": true, "CHK": true}
+	for i := range d.Prims {
+		if cone.Prims[i] != wantPrims[d.Prims[i].Name] {
+			t.Errorf("prim %s in cone = %v, want %v", d.Prims[i].Name, cone.Prims[i], wantPrims[d.Prims[i].Name])
+		}
+	}
+	if cone.NetCount != 4 || cone.PrimCount != 4 {
+		t.Errorf("cone counts = %d nets, %d prims; want 4, 4", cone.NetCount, cone.PrimCount)
+	}
+
+	// Seeding from a primitive includes it and its forward closure only.
+	g2ID := PrimID(-1)
+	for pi := range d.Prims {
+		if d.Prims[pi].Name == "G2" {
+			g2ID = PrimID(pi)
+		}
+	}
+	cone = d.ForwardCone(Changes{Prims: []PrimID{g2ID}})
+	if cone.PrimCount != 2 || cone.NetCount != 1 { // G2, CHK; N2
+		t.Errorf("G2 cone = %d prims, %d nets; want 2, 1", cone.PrimCount, cone.NetCount)
+	}
+	if !cone.Prims[g2ID] {
+		t.Error("seed primitive not in its own cone")
+	}
+
+	if c := d.ForwardCone(Changes{}); c.PrimCount != 0 || c.NetCount != 0 {
+		t.Error("empty changes produced a non-empty cone")
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a, b := buildChain(t), buildChain(t)
+	ch, ok := Diff(a, b)
+	if !ok || !ch.Empty() {
+		t.Fatalf("identical designs: ok=%v changes=%+v", ok, ch)
+	}
+}
+
+func TestDiffParameterEdits(t *testing.T) {
+	a, b := buildChain(t), buildChain(t)
+	// Delay edit on G1, checker interval on CHK, instance swap of G2's
+	// kind, and a wire-delay override on N1.
+	b.Prims[1].Delay.Max += tick.NS
+	b.Prims[4].Setup += tick.NS
+	b.Prims[2].Kind = KNot
+	n1, _ := b.NetByName("N1")
+	w := tick.R(0, 1)
+	b.Nets[n1].Wire = &w
+	ch, ok := Diff(a, b)
+	if !ok {
+		t.Fatal("parameter-only edits reported as structural")
+	}
+	if len(ch.Prims) != 3 || len(ch.Nets) != 1 {
+		t.Fatalf("changes = %+v, want 3 prims and 1 net", ch)
+	}
+	if ch.Nets[0] != n1 {
+		t.Errorf("dirty net = %d, want %d", ch.Nets[0], n1)
+	}
+}
+
+func TestDiffStructural(t *testing.T) {
+	base := buildChain(t)
+
+	edits := []struct {
+		name string
+		edit func(d *Design)
+	}{
+		{"period", func(d *Design) { d.Period += tick.NS }},
+		{"default wire", func(d *Design) { d.DefaultWire.Max += tick.NS }},
+		{"net rename", func(d *Design) { d.Nets[2].Name = "X0"; d.Nets[2].Base = "X0" }},
+		{"rewire", func(d *Design) { d.Prims[2].In[0].Bits[0].Net = 0 }},
+		{"invert", func(d *Design) { d.Prims[1].In[0].Bits[0].Invert = true }},
+		{"kind shape change", func(d *Design) { d.Prims[0].Kind = KSetupHold }},
+		{"case list", func(d *Design) { d.Cases = append(d.Cases, Case{Label: "C"}) }},
+		{"assertion appears", func(d *Design) {
+			n, _ := d.NetByName("N1")
+			d.Nets[n].Assert = d.Nets[0].Assert
+		}},
+		{"assertion kind", func(d *Design) { d.Nets[1].Assert = d.Nets[0].Assert }},
+	}
+	for _, e := range edits {
+		d := buildChain(t)
+		e.edit(d)
+		if _, ok := Diff(base, d); ok {
+			t.Errorf("%s: structural edit not rejected", e.name)
+		}
+	}
+
+	if _, ok := Diff(nil, base); ok {
+		t.Error("nil design accepted")
+	}
+}
+
+func TestDiffAssertionTweak(t *testing.T) {
+	a, b := buildChain(t), buildChain(t)
+	// Same-kind range change on the stable input assertion: incremental.
+	in, _ := b.NetByName("IN .S5-95")
+	cp := *b.Nets[in].Assert
+	cp.Ranges = append(cp.Ranges[:0:0], cp.Ranges...)
+	cp.Ranges[0].End -= 5
+	b.Nets[in].Assert = &cp
+	ch, ok := Diff(a, b)
+	if !ok {
+		t.Fatal("assertion range tweak reported as structural")
+	}
+	if len(ch.Nets) != 1 || ch.Nets[0] != in || len(ch.Prims) != 0 {
+		t.Fatalf("changes = %+v, want net %d only", ch, in)
+	}
+}
+
+func TestCheckSites(t *testing.T) {
+	d := buildChain(t)
+	primID := func(name string) PrimID {
+		for i := range d.Prims {
+			if d.Prims[i].Name == name {
+				return PrimID(i)
+			}
+		}
+		t.Fatalf("no primitive %q", name)
+		return -1
+	}
+
+	// A valid parameter edit passes.
+	g1 := primID("G1")
+	d.Prims[g1].Delay.Max += tick.NS
+	if err := d.CheckSites(Changes{Prims: []PrimID{g1}}); err != nil {
+		t.Errorf("valid delay edit rejected: %v", err)
+	}
+
+	// An inverted delay range on the dirty primitive is caught.
+	d.Prims[g1].Delay = tick.Range{Min: 5 * tick.NS, Max: tick.NS}
+	if err := d.CheckSites(Changes{Prims: []PrimID{g1}}); err == nil {
+		t.Error("inverted delay range not caught")
+	}
+	d.Prims[g1].Delay = tick.R(1, 2)
+
+	// The same broken range on a primitive the change set does not name
+	// goes unchecked — CheckSites is scoped by contract.
+	g2 := primID("G2")
+	d.Prims[g2].Delay = tick.Range{Min: 5 * tick.NS, Max: tick.NS}
+	if err := d.CheckSites(Changes{Prims: []PrimID{g1}}); err != nil {
+		t.Errorf("CheckSites checked an unnamed site: %v", err)
+	}
+	d.Prims[g2].Delay = tick.R(1, 2)
+
+	// Out-of-range site names are rejected.
+	if err := d.CheckSites(Changes{Prims: []PrimID{PrimID(len(d.Prims))}}); err == nil {
+		t.Error("out-of-range primitive not caught")
+	}
+	if err := d.CheckSites(Changes{Nets: []NetID{-1}}); err == nil {
+		t.Error("out-of-range net not caught")
+	}
+
+	// An invalid per-signal wire delay on a dirty net is caught.
+	n0, _ := d.NetByName("N0")
+	d.Nets[n0].Wire = &tick.Range{Min: 2 * tick.NS, Max: tick.NS}
+	if err := d.CheckSites(Changes{Nets: []NetID{n0}}); err == nil {
+		t.Error("invalid wire delay not caught")
+	}
+	d.Nets[n0].Wire = nil
+}

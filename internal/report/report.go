@@ -200,6 +200,11 @@ func Summary(res *verify.Result) string {
 		fmt.Fprintf(&sb, "  eval cache           %d hits / %d misses, %d waveforms interned\n",
 			s.CacheHits, s.CacheMisses, s.Interned)
 	}
+	if s.Incremental {
+		fmt.Fprintf(&sb, "  incremental          %d dirty instances, %d dirty signals, %d reused waveforms\n",
+			s.DirtyPrims, s.DirtyNets, s.ReusedWaves)
+		fmt.Fprintf(&sb, "  reverify wall time   %v\n", s.ReverifyTime)
+	}
 	fmt.Fprintf(&sb, "  violations           %d\n", len(res.Violations))
 	fmt.Fprintf(&sb, "  undefined signals    %d\n", len(res.Undefined))
 	return sb.String()

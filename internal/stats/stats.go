@@ -158,6 +158,14 @@ type Table31 struct {
 	CacheMisses int
 	Interned    int
 	Deduped     int
+
+	// Incremental-reverification counters (PR 3): populated when the
+	// result came from Verifier.Reverify rather than a full run.
+	Incremental  bool
+	DirtyPrims   int
+	DirtyNets    int
+	ReusedWaves  int
+	ReverifyTime time.Duration
 }
 
 // FromVerify fills the verifier-side rows.
@@ -172,6 +180,11 @@ func (t *Table31) FromVerify(s verify.Stats) {
 	t.CacheMisses = s.CacheMisses
 	t.Interned = s.Interned
 	t.Deduped = s.Deduped
+	t.Incremental = s.Incremental
+	t.DirtyPrims = s.DirtyPrims
+	t.DirtyNets = s.DirtyNets
+	t.ReusedWaves = s.ReusedWaves
+	t.ReverifyTime = s.ReverifyTime
 }
 
 // CacheHitRate is the fraction of scheduled primitive evaluations served
@@ -223,6 +236,13 @@ func (t Table31) String() string {
 			t.CacheHits, t.CacheMisses, 100*t.CacheHitRate())
 		fmt.Fprintf(&sb, "    interned waveforms             %d distinct, %d stores deduplicated\n",
 			t.Interned, t.Deduped)
+	}
+	if t.Incremental {
+		sb.WriteString("  INCREMENTAL REVERIFY\n")
+		fmt.Fprintf(&sb, "    dirty instances                %d\n", t.DirtyPrims)
+		fmt.Fprintf(&sb, "    dirty signals                  %d\n", t.DirtyNets)
+		fmt.Fprintf(&sb, "    reused waveforms               %d\n", t.ReusedWaves)
+		fmt.Fprintf(&sb, "    reverify wall time             %12v\n", t.ReverifyTime)
 	}
 	fmt.Fprintf(&sb, "\n  %d primitives, %d events, %d case(s)\n", t.Primitives, t.Events, t.Cases)
 	fmt.Fprintf(&sb, "  per primitive %v, per event %v\n", t.PerPrim(), t.PerEvent())

@@ -1,0 +1,105 @@
+package tick
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestParseEdgeCases drives Parse through the boundaries the grammar
+// tests leave out: negative durations with every unit, values near the
+// int64-picosecond limit in both directions, and non-finite input.
+func TestParseEdgeCases(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Time
+		ok   bool
+	}{
+		// Negative durations with explicit units.
+		{"-10ps", -10, true},
+		{"-2.5ns", -2500, true},
+		{"-1us", -1000000, true},
+		{"-1.5ms", -1500000000, true},
+		{"-0", 0, true},
+		{"-0.0004", 0, true}, // rounds to zero, sign preserved away
+
+		// Near the int64 picosecond limit (≈9.22e18 ps ≈ 9.22e6 s).
+		// 2^63 = 9223372036854775808; the largest float64 below it is
+		// 9223372036854774784.
+		{"9223372036854774784ps", 9223372036854774784, true},
+		{"-9223372036854774784ps", -9223372036854774784, true},
+		{"9223372036854775808ps", 0, false},  // exactly 2^63
+		{"-9223372036854775808ps", 0, false}, // exactly -2^63
+		{"1e19ps", 0, false},
+		{"-1e19ps", 0, false},
+		{"1e16", 0, false}, // bare ns: 1e19 ps, overflows
+		{"9.3e9ms", 0, false},
+		{"1e300", 0, false},
+		{"-1e300ns", 0, false},
+		{"inf", 0, false},
+		{"-inf", 0, false},
+		{"+Inf ns", 0, false},
+		{"nan", 0, false},
+		{"NaN ps", 0, false},
+
+		// Largest values that survive each unit multiplier.
+		{"9.2e18ps", 9200000000000000000, true},
+		{"9.2e15", 9200000000000000000, true}, // bare = ns
+		{"9.2e12us", 9200000000000000000, true},
+		{"9.2e9ms", 9200000000000000000, true},
+
+		// Whitespace and case tolerance at the boundaries.
+		{"  -2.5 NS ", -2500, true},
+		{"10 PS", 10, true},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if c.ok && (err != nil || got != c.want) {
+			t.Errorf("Parse(%q) = %d, %v; want %d, nil", c.in, got, err, c.want)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("Parse(%q) = %d, want error", c.in, got)
+		}
+	}
+}
+
+// TestParseUnitRoundTrip re-parses every Time's String rendering with an
+// explicit "ns" suffix appended — the rendering is in nanoseconds — and
+// with each coarser unit after rescaling, checking exact round trips.
+func TestParseUnitRoundTrip(t *testing.T) {
+	times := []Time{0, 1, -1, 999, -999, 1000, 2500, -2500, 6250,
+		47500, 1000000, -1000000, 123456789, -123456789}
+	for _, tm := range times {
+		for _, suffix := range []string{"", "ns", " ns", "NS"} {
+			in := tm.String() + suffix
+			got, err := Parse(in)
+			if err != nil || got != tm {
+				t.Errorf("Parse(%q) = %d, %v; want %d", in, got, err, tm)
+			}
+		}
+	}
+	// ps round trip: integer picosecond rendering is always exact.
+	for _, tm := range times {
+		in := fmt.Sprintf("%dps", int64(tm))
+		got, err := Parse(in)
+		if err != nil || got != tm {
+			t.Errorf("Parse(%q) = %d, %v; want %d", in, got, err, tm)
+		}
+	}
+}
+
+// TestStringParseAgreement checks that String never renders something
+// Parse rejects, across sign, magnitude and fractional-digit classes.
+func TestStringParseAgreement(t *testing.T) {
+	for _, tm := range []Time{0, 1, 10, 100, 1000, 1001, 1010, 1100,
+		-1, -10, -100, -999, 999999999999, -999999999999} {
+		s := tm.String()
+		if strings.ContainsAny(s, "eE") {
+			t.Errorf("Time(%d).String() = %q uses scientific notation", tm, s)
+		}
+		got, err := Parse(s)
+		if err != nil || got != tm {
+			t.Errorf("Parse(String(%d)) = %d, %v", tm, got, err)
+		}
+	}
+}

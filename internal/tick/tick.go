@@ -11,6 +11,7 @@ package tick
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -95,6 +96,14 @@ func Parse(s string) (Time, error) {
 		return 0, fmt.Errorf("tick: bad time literal %q: %v", s, err)
 	}
 	scaled := f * float64(mult)
+	// Float-to-integer conversion is implementation-defined when the value
+	// does not fit in int64, so reject out-of-range literals explicitly.
+	// float64(1<<63) is exactly 2^63; any representable float below it
+	// converts safely even after the rounding half-step.
+	const lim = float64(1 << 63)
+	if math.IsNaN(scaled) || scaled >= lim || scaled <= -lim {
+		return 0, fmt.Errorf("tick: time literal %q out of range", s)
+	}
 	if scaled >= 0 {
 		return Time(scaled + 0.5), nil
 	}

@@ -1,0 +1,106 @@
+package values
+
+import (
+	"testing"
+
+	"scaldtv/internal/tick"
+)
+
+// FuzzWaveformOps interprets the fuzz input as a bounded program over
+// waveform operations — paint, rotate, delay (symmetric, asymmetric,
+// skew-carrying), unary map, combine, skew incorporation — and asserts
+// the structural invariants after every step: segments positive-width
+// and valid-valued, widths summing exactly to the period, skew
+// non-negative.  Operand times are clamped to a safe envelope around
+// one period; the operations themselves must hold the invariants for
+// any such program.
+func FuzzWaveformOps(f *testing.F) {
+	f.Add([]byte{0, 10, 200, 1, 1, 50, 2, 5, 9, 6})
+	f.Add([]byte{0, 0, 255, 6, 3, 1, 2, 3, 4, 4, 5, 0})
+	f.Add([]byte{7, 30, 0, 128, 60, 2, 255, 255, 6, 6, 6})
+	f.Add([]byte{1, 255, 1, 1, 1, 0, 0, 0, 5, 5, 5, 5})
+
+	allValues := []Value{V0, V1, VS, VC, VR, VF, VU}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const period = 1000 * tick.Time(1)
+		w := Const(period, VS)
+		other := Const(period, VC).Paint(100, 600, V1)
+		pos := 0
+		next := func() int {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return int(b)
+		}
+		// Times land in [-period, 2*period); delays stay within a
+		// quarter period so repeated application cannot overflow.
+		timeArg := func() tick.Time {
+			return tick.Time(next()*3-255) * tick.Time(period) / 255
+		}
+		delayArg := func() tick.Range {
+			a := tick.Time(next()) * (period / 4) / 255
+			b := tick.Time(next()) * (period / 4) / 255
+			if a > b {
+				a, b = b, a
+			}
+			return tick.Range{Min: a, Max: b}
+		}
+		assert := func(step int, op string) {
+			if err := w.Check(); err != nil {
+				t.Fatalf("step %d (%s): invariant broken: %v\n%v", step, op, err, w)
+			}
+		}
+
+		for step := 0; step < 64 && pos < len(data); step++ {
+			switch op := next() % 8; op {
+			case 0:
+				v := allValues[next()%len(allValues)]
+				w = w.Paint(timeArg(), timeArg(), v)
+				assert(step, "paint")
+			case 1:
+				w = w.Rotate(timeArg())
+				assert(step, "rotate")
+			case 2:
+				w = w.Delay(delayArg())
+				assert(step, "delay")
+			case 3:
+				w = w.DelayRF(delayArg(), delayArg())
+				assert(step, "delayrf")
+			case 4:
+				w = w.MapUnary(Not)
+				assert(step, "not")
+			case 5:
+				w = Combine(w, other, And)
+				assert(step, "combine")
+			case 6:
+				w = w.IncorporateSkew()
+				assert(step, "incorporate")
+				if w.Skew != 0 {
+					t.Fatalf("step %d: IncorporateSkew left skew %v", step, w.Skew)
+				}
+			case 7:
+				other = w
+				w = w.WithSkew(tick.Time(next()) * (period / 4) / 255)
+				assert(step, "withskew")
+			}
+		}
+
+		// Terminal invariants: At is total and valid over (and beyond)
+		// the period; Equal is reflexive; normalization is idempotent
+		// through a no-op paint.
+		for ti := tick.Time(0); ti < 3*period; ti += period / 7 {
+			if v := w.At(ti); !v.Valid() {
+				t.Fatalf("At(%v) returned invalid value %d", ti, uint8(v))
+			}
+		}
+		if !w.Equal(w) {
+			t.Fatal("Equal not reflexive")
+		}
+		if again := w.Paint(0, 0, VU); !again.Equal(w) {
+			t.Fatalf("empty paint changed the waveform:\n  before %v\n  after  %v", w, again)
+		}
+	})
+}

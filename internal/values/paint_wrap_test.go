@@ -1,0 +1,89 @@
+package values
+
+import (
+	"testing"
+
+	"scaldtv/internal/tick"
+)
+
+// TestPaintWrapMultiSegment paints wrapping spans over waveforms that
+// already carry several segments, checking that splits, merges and the
+// cycle-boundary join all normalize correctly.
+func TestPaintWrapMultiSegment(t *testing.T) {
+	// Base: 0..10 V0, 10..20 V1, 20..35 VS, 35..50 VC (times in ns).
+	base := FromSpans(p50, VC,
+		Span{Start: 0, End: ns(10), V: V0},
+		Span{Start: ns(10), End: ns(20), V: V1},
+		Span{Start: ns(20), End: ns(35), V: VS},
+	)
+	cases := []struct {
+		name       string
+		start, end tick.Time
+		v          Value
+		samples    map[tick.Time]Value
+		maxSegs    int
+	}{
+		{
+			name: "wrap across three segments", start: ns(30), end: ns(15), v: VR,
+			samples: map[tick.Time]Value{
+				ns(29): VS, ns(30): VR, ns(45): VR, 0: VR, ns(14): VR, ns(15): V1, ns(19): V1,
+			},
+			maxSegs: 4,
+		},
+		{
+			name: "wrap rejoining equal head and tail", start: ns(35), end: ns(10), v: V0,
+			// The painted head [0,10) and the original V0 [0,10) agree, and
+			// the painted tail joins it across the boundary.
+			samples: map[tick.Time]Value{
+				ns(36): V0, ns(49): V0, 0: V0, ns(9): V0, ns(10): V1, ns(34): VS,
+			},
+			maxSegs: 4,
+		},
+		{
+			name: "wrap covering everything but a sliver", start: ns(20), end: ns(19), v: VU,
+			samples: map[tick.Time]Value{
+				ns(20): VU, 0: VU, ns(18): VU, ns(19): V1,
+			},
+			maxSegs: 3,
+		},
+		{
+			name: "negative wrapped span", start: ns(-15), end: ns(5), v: VF,
+			// -15 ≡ 35: paints [35,50) and [0,5).
+			samples: map[tick.Time]Value{
+				ns(35): VF, ns(49): VF, 0: VF, ns(4): VF, ns(5): V0, ns(34): VS,
+			},
+			maxSegs: 5,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := base.Paint(c.start, c.end, c.v)
+			if err := w.Check(); err != nil {
+				t.Fatal(err)
+			}
+			for at, want := range c.samples {
+				if got := w.At(at); got != want {
+					t.Errorf("At(%v) = %v, want %v\n  %v", at, got, want, w)
+				}
+			}
+			if len(w.Segs) > c.maxSegs {
+				t.Errorf("normalization left %d segments (want <= %d): %v", len(w.Segs), c.maxSegs, w)
+			}
+		})
+	}
+}
+
+// TestPaintWrapPreservesSkew locks that painting — wrapped or not —
+// never disturbs the out-of-band skew carried by the waveform.
+func TestPaintWrapPreservesSkew(t *testing.T) {
+	w := Const(p50, V0).WithSkew(ns(3))
+	for _, span := range [][2]tick.Time{{ns(10), ns(20)}, {ns(40), ns(10)}, {0, p50}, {ns(5), ns(5)}} {
+		got := w.Paint(span[0], span[1], V1)
+		if got.Skew != ns(3) {
+			t.Errorf("Paint(%v, %v) changed skew to %v", span[0], span[1], got.Skew)
+		}
+		if err := got.Check(); err != nil {
+			t.Errorf("Paint(%v, %v): %v", span[0], span[1], err)
+		}
+	}
+}

@@ -13,26 +13,78 @@ import (
 // check runs every constraint checker against the relaxed waveforms
 // (§2.9 step 3): the set-up/hold and minimum-pulse-width primitives, the
 // &A/&H directive stability rules, and the designer assertions on
-// generated signals.
+// generated signals.  When a Verifier retains this case (v.sites is
+// non-nil) each site's outcome is memoized for incremental rechecks.
 func (v *verifier) check(caseLabel string) []Violation {
 	var out []Violation
 	for pi := range v.d.Prims {
+		mark := len(v.margins)
+		viol := v.checkSite(netlist.PrimID(pi), caseLabel)
+		if v.sites != nil {
+			v.sites[pi] = siteChecks{viols: viol, margins: append([]Margin(nil), v.margins[mark:]...)}
+		}
+		out = append(out, viol...)
+	}
+	out = append(out, v.checkAssertions(caseLabel)...)
+	return out
+}
+
+// checkSite evaluates the constraint rules anchored at one primitive: the
+// checker primitives themselves, directive stability on multi-input
+// gates, and the clock-defined rule on storage elements.
+func (v *verifier) checkSite(pi netlist.PrimID, caseLabel string) []Violation {
+	p := &v.d.Prims[pi]
+	switch p.Kind {
+	case netlist.KSetupHold:
+		return v.checkSetupHold(p, caseLabel, false)
+	case netlist.KSetupRiseHoldFall:
+		return v.checkSetupHold(p, caseLabel, true)
+	case netlist.KMinPulse:
+		return v.checkMinPulse(p, caseLabel)
+	default:
+		var out []Violation
+		if p.Kind.IsGate() && len(p.In) > 1 {
+			out = append(out, v.checkDirectives(p, caseLabel)...)
+		}
+		if p.Kind.IsStorage() {
+			out = append(out, v.checkClockDefined(p, caseLabel)...)
+		}
+		return out
+	}
+}
+
+// recheck reproduces check's output after an incremental relaxation: a
+// site is re-evaluated only when its parameters were edited or one of
+// the nets it reads moved during the pass (including wire-delay edits,
+// which change what ConnWave reads without changing the stored
+// waveform); every clean site replays its memoized violations and
+// margins, preserving check's (prim order, then assertions) contract.
+// The assertion cross-checks read design-global state and are cheap, so
+// they are always recomputed.
+func (v *verifier) recheck(caseLabel string, dirtyPrim []bool) []Violation {
+	var out []Violation
+	for pi := range v.d.Prims {
 		p := &v.d.Prims[pi]
-		switch p.Kind {
-		case netlist.KSetupHold:
-			out = append(out, v.checkSetupHold(p, caseLabel, false)...)
-		case netlist.KSetupRiseHoldFall:
-			out = append(out, v.checkSetupHold(p, caseLabel, true)...)
-		case netlist.KMinPulse:
-			out = append(out, v.checkMinPulse(p, caseLabel)...)
-		default:
-			if p.Kind.IsGate() && len(p.In) > 1 {
-				out = append(out, v.checkDirectives(p, caseLabel)...)
-			}
-			if p.Kind.IsStorage() {
-				out = append(out, v.checkClockDefined(p, caseLabel)...)
+		dirty := dirtyPrim[pi]
+		if !dirty {
+		scan:
+			for _, port := range p.In {
+				for _, c := range port.Bits {
+					if v.changed[c.Net] {
+						dirty = true
+						break scan
+					}
+				}
 			}
 		}
+		if dirty {
+			mark := len(v.margins)
+			viol := v.checkSite(netlist.PrimID(pi), caseLabel)
+			v.sites[pi] = siteChecks{viols: viol, margins: append([]Margin(nil), v.margins[mark:]...)}
+		} else {
+			v.margins = append(v.margins, v.sites[pi].margins...)
+		}
+		out = append(out, v.sites[pi].viols...)
 	}
 	out = append(out, v.checkAssertions(caseLabel)...)
 	return out

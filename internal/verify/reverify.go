@@ -1,0 +1,379 @@
+package verify
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"scaldtv/internal/eval"
+	"scaldtv/internal/netlist"
+	"scaldtv/internal/values"
+)
+
+// Verifier is a stateful verification session built for edit → re-verify
+// workloads: after a full Verify it retains every case's converged
+// waveforms (plus the per-site constraint outcomes and the shared
+// waveform interner and evaluation memo), so a Reverify after a
+// parameter edit resumes each case's event-driven relaxation from the
+// previous fixed point instead of from the §2.9 initial values.
+//
+// Only the edited sites are seeded onto the worklist: re-evaluation
+// propagates forward through the fanout index exactly as far as computed
+// waveforms actually change, then stops — on register-bounded designs a
+// single-instance edit converges after a handful of evaluations, because
+// the storage elements downstream absorb small timing shifts.  Because
+// the relaxation is a confluent fixed-point iteration (the property the
+// sequential case schedule of §2.7 already depends on), the resumed pass
+// lands on the same fixed point as a from-scratch run: violations,
+// margins, kept waveforms and the cross-reference are bit-identical,
+// for any Workers setting, with the cache on or off.
+//
+// A Verifier is not safe for concurrent use; case-level parallelism
+// happens inside Verify and Reverify per Options.Workers.
+type Verifier struct {
+	d    *netlist.Design
+	opts Options
+
+	// The interner and evaluation memo outlive individual runs, so a
+	// re-verification — and even a repeated full Verify — is served from
+	// warm tables.  Nil when Options.NoCache is set.
+	intern *values.Interner
+	cache  *eval.Cache
+
+	cases   []netlist.Case
+	perCase []*verifier // converged state per case, in declared order
+	res     *Result     // last merged result
+}
+
+// NewVerifier prepares a verification session for the design.  Nothing is
+// evaluated until Verify is called.
+func NewVerifier(d *netlist.Design, opts Options) *Verifier {
+	V := &Verifier{d: d, opts: opts}
+	if !opts.NoCache {
+		V.intern = values.NewInterner()
+		V.cache = eval.NewCache()
+	}
+	return V
+}
+
+// Design returns the design the session currently verifies.
+func (V *Verifier) Design() *netlist.Design { return V.d }
+
+// Result returns the most recent verification result, or nil before the
+// first Verify.
+func (V *Verifier) Result() *Result { return V.res }
+
+// Verify runs a full verification and retains the converged state for
+// later Reverify calls.
+func (V *Verifier) Verify() (*Result, error) { return V.run(true) }
+
+// run is the full-verification engine behind both the package-level Run
+// (retain=false) and Verifier.Verify (retain=true).
+func (V *Verifier) run(retain bool) (*Result, error) {
+	d := V.d
+	if err := d.Check(); err != nil {
+		return nil, err
+	}
+	V.perCase, V.res = nil, nil
+	buildStart := time.Now()
+	v, res, err := initVerifier(d, V.opts, V.intern, V.cache)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.BuildTime = time.Since(buildStart)
+
+	// The case list: an empty design-case list means a single unmapped
+	// cycle.
+	cases := d.Cases
+	if len(cases) == 0 {
+		cases = []netlist.Case{{Label: ""}}
+	}
+	workers := V.opts.workers(len(cases))
+
+	perCase := make([]*verifier, len(cases))
+	wallStart := time.Now()
+	outs := make([]caseOutcome, len(cases))
+	if workers == 1 {
+		// Sequential schedule: the first case relaxes the whole circuit,
+		// every later case reevaluates only its affected cone (§2.7).
+		// With retention on, each case's converged state is snapshotted
+		// before the shared verifier moves on.
+		for ci := range cases {
+			if retain {
+				v.sites = make([]siteChecks, len(d.Prims))
+			}
+			outs[ci] = v.runCase(cases[ci], ci == 0)
+			if outs[ci].err != nil {
+				break
+			}
+			if retain {
+				snap := v.snapshot()
+				snap.sites, v.sites = v.sites, nil
+				perCase[ci] = snap
+			}
+		}
+	} else {
+		// Concurrent schedule: each case is an independent relaxation to
+		// fixed point from a clone of the initialised snapshot, on a
+		// bounded worker pool.  Results land in the slot of their case
+		// index, so the merge below is in declared case order no matter
+		// which worker finishes first.  The clone that ran a case holds
+		// its converged state and is retained directly.
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ci := range jobs {
+					cv := v.clone()
+					if retain {
+						cv.sites = make([]siteChecks, len(d.Prims))
+					}
+					outs[ci] = cv.runCase(cases[ci], true)
+					if retain {
+						perCase[ci] = cv
+					}
+				}
+			}()
+		}
+		for ci := range cases {
+			jobs <- ci
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	// Merge in declared case order: the ordering contract on
+	// Result.Violations and Result.Margins.
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		res.Cases = append(res.Cases, o.cr)
+		res.Violations = append(res.Violations, o.cr.Violations...)
+		res.Margins = append(res.Margins, o.margins...)
+		res.Stats.Events += o.cr.Events
+		res.Stats.PrimEvals += o.cr.PrimEvals
+		res.Stats.VerifyTime += o.verifyTime
+		res.Stats.CheckTime += o.checkTime
+	}
+	res.Stats.Cases = len(res.Cases)
+	res.Stats.Workers = workers
+	res.Stats.WallTime = time.Since(wallStart)
+	if v.cache != nil {
+		res.Stats.CacheHits, res.Stats.CacheMisses, _ = v.cache.Stats()
+		res.Stats.Interned, res.Stats.Deduped = v.intern.Stats()
+	}
+	if retain {
+		V.cases, V.perCase, V.res = cases, perCase, res
+	}
+	return res, nil
+}
+
+// Reverify re-verifies the design after the parameter edits named in ch
+// have been applied to it (in place, or via Update).  It resumes every
+// case from its retained fixed point, re-seeding the dirtied nets,
+// enqueueing the dirtied instances plus the consumers of dirtied nets,
+// and relaxing until the waveforms stop moving; constraint sites whose
+// inputs never moved replay their memoized outcome.  The result is
+// bit-identical to a from-scratch Verify of the edited design.
+//
+// Edits beyond Reverify's reach — structural rewires, assertion kind
+// changes, anything netlist.Diff refuses — must go through Update or a
+// fresh Verify.  Without retained state (or after a run that failed to
+// converge, whose retained waveforms are not a fixed point) Reverify
+// transparently falls back to a full Verify.
+func (V *Verifier) Reverify(ch netlist.Changes) (*Result, error) {
+	if V.perCase == nil || V.res == nil {
+		return V.Verify()
+	}
+	for _, viol := range V.res.Violations {
+		if viol.Kind == ConvergenceViolation {
+			return V.Verify()
+		}
+	}
+	d := V.d
+	// The structure was validated by the full run that produced the
+	// retained state, and parameter edits cannot invalidate it, so only
+	// the dirty sites need checking — a full d.Check() here would cost
+	// more than the reverification itself on local edits.
+	if err := d.CheckSites(ch); err != nil {
+		return nil, err
+	}
+
+	buildStart := time.Now()
+	// Recompute the seed waveforms of dirtied nets — validating first,
+	// committing after, so a bad edit cannot leave the retained state
+	// half-updated.  The initial table is shared by every retained case
+	// verifier, so one commit serves them all.
+	tmpl := V.perCase[0]
+	type seedUpdate struct {
+		id netlist.NetID
+		w  values.Waveform
+	}
+	var seeds []seedUpdate
+	for _, id := range ch.Nets {
+		w, pinned, _, err := tmpl.seedWave(id)
+		if err != nil {
+			return nil, err
+		}
+		if pinned != tmpl.pinned[id] {
+			// Re-pinning is a structural change netlist.Diff never
+			// produces; a direct caller gets the full-run fallback.
+			return V.Verify()
+		}
+		seeds = append(seeds, seedUpdate{id, w})
+	}
+	for _, s := range seeds {
+		tmpl.initial[s.id] = s.w
+	}
+	dirtyPrim := make([]bool, len(d.Prims))
+	for _, pi := range ch.Prims {
+		dirtyPrim[pi] = true
+	}
+	cone := d.ForwardCone(ch)
+
+	res := &Result{Design: d, Undefined: V.res.Undefined}
+	res.Stats.Primitives = len(d.Prims)
+	res.Stats.Nets = len(d.Nets)
+	res.Stats.BuildTime = time.Since(buildStart)
+	res.Stats.Incremental = true
+	res.Stats.DirtyPrims = cone.PrimCount
+	res.Stats.DirtyNets = cone.NetCount
+
+	workers := V.opts.workers(len(V.cases))
+	wallStart := time.Now()
+	outs := make([]caseOutcome, len(V.cases))
+	if workers == 1 {
+		for ci := range V.cases {
+			outs[ci] = V.perCase[ci].reverifyCase(V.cases[ci], ch, dirtyPrim)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ci := range jobs {
+					outs[ci] = V.perCase[ci].reverifyCase(V.cases[ci], ch, dirtyPrim)
+				}
+			}()
+		}
+		for ci := range V.cases {
+			jobs <- ci
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	for _, o := range outs {
+		res.Cases = append(res.Cases, o.cr)
+		res.Violations = append(res.Violations, o.cr.Violations...)
+		res.Margins = append(res.Margins, o.margins...)
+		res.Stats.Events += o.cr.Events
+		res.Stats.PrimEvals += o.cr.PrimEvals
+		res.Stats.VerifyTime += o.verifyTime
+		res.Stats.CheckTime += o.checkTime
+		res.Stats.ReusedWaves += o.reused
+	}
+	res.Stats.Cases = len(res.Cases)
+	res.Stats.Workers = workers
+	res.Stats.WallTime = time.Since(wallStart)
+	res.Stats.ReverifyTime = time.Since(buildStart)
+	if V.cache != nil {
+		res.Stats.CacheHits, res.Stats.CacheMisses, _ = V.cache.Stats()
+		res.Stats.Interned, res.Stats.Deduped = V.intern.Stats()
+	}
+	V.res = res
+	return res, nil
+}
+
+// Update adopts an edited design: when it differs from the current one
+// only in parameters (netlist.Diff agrees) the delta is re-verified
+// incrementally and incremental reports true; otherwise the session
+// rebuilds and runs a full verification.  The new design must have its
+// fanout index built (Builder.Build, Compile and RebuildFanout all do).
+func (V *Verifier) Update(nd *netlist.Design) (res *Result, incremental bool, err error) {
+	if nd == nil {
+		return nil, false, fmt.Errorf("verify: Update with nil design")
+	}
+	ch, ok := netlist.Diff(V.d, nd)
+	if !ok || V.perCase == nil {
+		V.d = nd
+		V.perCase, V.res = nil, nil
+		res, err = V.Verify()
+		return res, false, err
+	}
+	V.d = nd
+	for _, rc := range V.perCase {
+		rc.d = nd
+	}
+	res, err = V.Reverify(ch)
+	return res, err == nil, err
+}
+
+// reverifyCase resumes one case's relaxation from its retained fixed
+// point: re-seed the dirtied nets under the case mapping, enqueue the
+// dirtied instances and the consumers of dirtied nets, relax until the
+// waveforms stop moving, then recheck with the per-site memo.
+func (v *verifier) reverifyCase(c netlist.Case, ch netlist.Changes, dirtyPrim []bool) caseOutcome {
+	verifyStart := time.Now()
+	v.events, v.evals = 0, 0
+	if v.changed == nil {
+		v.changed = make([]bool, len(v.d.Nets))
+	} else {
+		for i := range v.changed {
+			v.changed[i] = false
+		}
+	}
+	for _, id := range ch.Nets {
+		n := &v.d.Nets[id]
+		// A dirtied net's consumers see it through a possibly-edited wire
+		// delay, so they re-evaluate — and its constraint readers re-check
+		// — even when the stored waveform is unchanged.
+		v.changed[id] = true
+		if n.Driver == netlist.NoDriver || v.pinned[id] {
+			w := v.mapped(id, v.initial[id])
+			if v.storeSig(id, eval.Signal{Wave: w, Dirs: v.sigs[id].Dirs}) {
+				v.events++
+			}
+		}
+		v.fanout(id)
+	}
+	for _, pi := range ch.Prims {
+		v.enqueue(pi) // enqueue ignores checker primitives itself
+	}
+	conv := v.relax()
+	out := caseOutcome{verifyTime: time.Since(verifyStart)}
+
+	checkStart := time.Now()
+	cr := CaseResult{Label: c.Label, Events: v.events, PrimEvals: v.evals}
+	if !conv {
+		cr.Violations = append(cr.Violations, Violation{
+			Kind:   ConvergenceViolation,
+			Case:   c.Label,
+			Detail: fmt.Sprintf("fixed point not reached within %d primitive evaluations", v.passCap()),
+		})
+	}
+	cr.Violations = append(cr.Violations, v.recheck(c.Label, dirtyPrim)...)
+	if v.opts.Margins {
+		out.margins = v.margins
+		v.margins = nil
+	}
+	if v.opts.KeepWaves {
+		cr.Waves = make([]values.Waveform, len(v.sigs))
+		for i, s := range v.sigs {
+			cr.Waves[i] = s.Wave
+		}
+	}
+	for _, moved := range v.changed {
+		if !moved {
+			out.reused++
+		}
+	}
+	out.checkTime = time.Since(checkStart)
+	out.cr = cr
+	return out
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"scaldtv/internal/assertion"
@@ -95,6 +94,18 @@ type Stats struct {
 	VerifyTime  time.Duration // relaxation to fixed point, summed over all cases
 	CheckTime   time.Duration // constraint checking, summed over all cases
 	WallTime    time.Duration // wall-clock time of the case-evaluation phase
+
+	// Incremental re-verification counters, set only by Verifier.Reverify
+	// and Verifier.Update.  DirtyPrims/DirtyNets measure the structural
+	// forward cone of the edit (the upper bound on revisited work);
+	// ReusedWaves counts converged waveforms carried over unchanged,
+	// summed over all cases.  ReverifyTime is the wall-clock time of the
+	// whole incremental pass, seeding included.
+	Incremental  bool
+	DirtyPrims   int
+	DirtyNets    int
+	ReusedWaves  int
+	ReverifyTime time.Duration
 }
 
 // CaseResult is the outcome of one simulated case-analysis cycle (§2.7).
@@ -158,15 +169,70 @@ type verifier struct {
 	inQueue []bool
 	events  int
 	evals   int
+
+	// Incremental re-verification state, used only by Verifier-retained
+	// case verifiers: changed marks nets whose stored waveform (or Dirs)
+	// moved during the current pass, so constraint sites reading only
+	// clean nets can reuse their memoized outcome; sites holds that
+	// per-primitive memo.
+	changed []bool
+	sites   []siteChecks
+}
+
+// siteChecks is the memoized outcome of one constraint site — a checker
+// primitive, a gate's directive rules, or a storage element's
+// clock-defined rule — within one case.
+type siteChecks struct {
+	viols   []Violation
+	margins []Margin
 }
 
 // Run verifies the design and returns the result.  The design must have
 // passed netlist validation (Builder.Build or Design.Check).
 func Run(d *netlist.Design, opts Options) (*Result, error) {
-	if err := d.Check(); err != nil {
-		return nil, err
+	return (&Verifier{d: d, opts: opts}).run(false)
+}
+
+// seedWave computes the §2.9 step-1 initial waveform of one net: a Force
+// override, else the assertion waveform (pinned when it is a clock
+// assertion), else the always-stable default for undriven unasserted nets
+// (undef: listed in the cross-reference for the designer's attention),
+// else UNKNOWN for driven nets.
+func (v *verifier) seedWave(id netlist.NetID) (w values.Waveform, pinned, undef bool, err error) {
+	n := &v.d.Nets[id]
+	if fw, ok := v.opts.Force[id]; ok {
+		if n.Driver != netlist.NoDriver {
+			return w, false, false, fmt.Errorf("verify: cannot force driven net %q", n.Name)
+		}
+		if err := fw.Check(); err != nil {
+			return w, false, false, fmt.Errorf("verify: forced waveform for %q: %v", n.Name, err)
+		}
+		if fw.Period != v.d.Period {
+			return w, false, false, fmt.Errorf("verify: forced waveform for %q has period %v, want %v", n.Name, fw.Period, v.d.Period)
+		}
+		return fw, false, false, nil
 	}
-	buildStart := time.Now()
+	switch {
+	case n.Assert != nil:
+		aw, aerr := n.Assert.Waveform(v.d.Env())
+		if aerr != nil {
+			return w, false, false, fmt.Errorf("verify: net %q: %v", n.Name, aerr)
+		}
+		pinned = n.Assert.Kind == assertion.Clock || n.Assert.Kind == assertion.PrecisionClock
+		return aw, pinned, false, nil
+	case n.Driver == netlist.NoDriver:
+		return values.Const(v.d.Period, values.VS), false, true, nil
+	default:
+		return values.Const(v.d.Period, values.VU), false, false, nil
+	}
+}
+
+// initVerifier builds the shared post-initialisation relaxation state
+// (§2.9 step 1) every case starts from.  A non-nil interner/cache pair is
+// adopted — the Verifier keeps them across runs so re-verification is
+// served from warm memo tables; otherwise fresh ones are created unless
+// NoCache asks for none.
+func initVerifier(d *netlist.Design, opts Options, intern *values.Interner, cache *eval.Cache) (*verifier, *Result, error) {
 	v := &verifier{
 		d:       d,
 		opts:    opts,
@@ -178,12 +244,15 @@ func Run(d *netlist.Design, opts Options) (*Result, error) {
 		inQueue: make([]bool, len(d.Prims)),
 	}
 	if !opts.NoCache {
-		v.intern = values.NewInterner()
-		v.cache = eval.NewCache()
+		if intern == nil {
+			intern = values.NewInterner()
+			cache = eval.NewCache()
+		}
+		v.intern = intern
+		v.cache = cache
 		v.sigID = make([]uint64, len(d.Nets))
 	}
 	res := &Result{Design: d}
-	env := d.Env()
 
 	if d.WiredOr {
 		counts := map[netlist.NetID]int{}
@@ -209,110 +278,22 @@ func Run(d *netlist.Design, opts Options) (*Result, error) {
 	// taken to be always stable and listed for the designer's attention.
 	undefSeen := map[string]bool{}
 	for i := range d.Nets {
-		n := &d.Nets[i]
-		if w, ok := opts.Force[netlist.NetID(i)]; ok {
-			if n.Driver != netlist.NoDriver {
-				return nil, fmt.Errorf("verify: cannot force driven net %q", n.Name)
-			}
-			if err := w.Check(); err != nil {
-				return nil, fmt.Errorf("verify: forced waveform for %q: %v", n.Name, err)
-			}
-			if w.Period != d.Period {
-				return nil, fmt.Errorf("verify: forced waveform for %q has period %v, want %v", n.Name, w.Period, d.Period)
-			}
-			v.initial[i] = w
-			v.setSig(netlist.NetID(i), eval.Signal{Wave: w})
-			continue
+		w, pinned, undef, err := v.seedWave(netlist.NetID(i))
+		if err != nil {
+			return nil, nil, err
 		}
-		switch {
-		case n.Assert != nil:
-			w, err := n.Assert.Waveform(env)
-			if err != nil {
-				return nil, fmt.Errorf("verify: net %q: %v", n.Name, err)
-			}
-			v.initial[i] = w
-			v.pinned[i] = n.Assert.Kind == assertion.Clock || n.Assert.Kind == assertion.PrecisionClock
-		case n.Driver == netlist.NoDriver:
-			v.initial[i] = values.Const(d.Period, values.VS)
-			if !undefSeen[n.Base] {
-				undefSeen[n.Base] = true
-				res.Undefined = append(res.Undefined, n.Base)
-			}
-		default:
-			v.initial[i] = values.Const(d.Period, values.VU)
+		v.initial[i] = w
+		v.pinned[i] = pinned
+		if undef && !undefSeen[d.Nets[i].Base] {
+			undefSeen[d.Nets[i].Base] = true
+			res.Undefined = append(res.Undefined, d.Nets[i].Base)
 		}
-		v.setSig(netlist.NetID(i), eval.Signal{Wave: v.initial[i]})
+		v.setSig(netlist.NetID(i), eval.Signal{Wave: w})
 	}
 	sort.Strings(res.Undefined)
-	res.Stats.BuildTime = time.Since(buildStart)
 	res.Stats.Primitives = len(d.Prims)
 	res.Stats.Nets = len(d.Nets)
-
-	// The case list: an empty design-case list means a single unmapped
-	// cycle.
-	cases := d.Cases
-	if len(cases) == 0 {
-		cases = []netlist.Case{{Label: ""}}
-	}
-	workers := opts.workers(len(cases))
-
-	wallStart := time.Now()
-	outs := make([]caseOutcome, len(cases))
-	if workers == 1 {
-		// Sequential schedule: the first case relaxes the whole circuit,
-		// every later case reevaluates only its affected cone (§2.7).
-		for ci := range cases {
-			outs[ci] = v.runCase(cases[ci], ci == 0)
-			if outs[ci].err != nil {
-				break
-			}
-		}
-	} else {
-		// Concurrent schedule: each case is an independent relaxation to
-		// fixed point from a clone of the initialised snapshot, on a
-		// bounded worker pool.  Results land in the slot of their case
-		// index, so the merge below is in declared case order no matter
-		// which worker finishes first.
-		jobs := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for ci := range jobs {
-					outs[ci] = v.clone().runCase(cases[ci], true)
-				}
-			}()
-		}
-		for ci := range cases {
-			jobs <- ci
-		}
-		close(jobs)
-		wg.Wait()
-	}
-
-	// Merge in declared case order: the ordering contract on
-	// Result.Violations and Result.Margins.
-	for _, o := range outs {
-		if o.err != nil {
-			return nil, o.err
-		}
-		res.Cases = append(res.Cases, o.cr)
-		res.Violations = append(res.Violations, o.cr.Violations...)
-		res.Margins = append(res.Margins, o.margins...)
-		res.Stats.Events += o.cr.Events
-		res.Stats.PrimEvals += o.cr.PrimEvals
-		res.Stats.VerifyTime += o.verifyTime
-		res.Stats.CheckTime += o.checkTime
-	}
-	res.Stats.Cases = len(res.Cases)
-	res.Stats.Workers = workers
-	res.Stats.WallTime = time.Since(wallStart)
-	if v.cache != nil {
-		res.Stats.CacheHits, res.Stats.CacheMisses, _ = v.cache.Stats()
-		res.Stats.Interned, res.Stats.Deduped = v.intern.Stats()
-	}
-	return res, nil
+	return v, res, nil
 }
 
 // caseOutcome carries everything one simulated case contributes to the
@@ -322,6 +303,7 @@ type caseOutcome struct {
 	margins    []Margin
 	verifyTime time.Duration
 	checkTime  time.Duration
+	reused     int // converged waveforms carried over unchanged (incremental only)
 	err        error
 }
 
@@ -358,6 +340,24 @@ func (v *verifier) clone() *verifier {
 	return w
 }
 
+// snapshot deep-copies the converged per-case state — current signals,
+// case mapping, alternate clock outputs and wired-OR driver outputs — so
+// a Verifier can retain it for incremental re-verification while the
+// sequential schedule's shared verifier moves on to the next case.
+func (v *verifier) snapshot() *verifier {
+	w := v.clone()
+	for k, val := range v.caseMap {
+		w.caseMap[k] = val
+	}
+	for k, val := range v.altOut {
+		w.altOut[k] = val
+	}
+	for k, val := range v.wiredOut {
+		w.wiredOut[k] = val
+	}
+	return w
+}
+
 // setSig installs a net's signal unconditionally, interning its waveform
 // when the cache is enabled so equal waveforms share storage and carry
 // comparable handles.
@@ -370,7 +370,10 @@ func (v *verifier) setSig(id netlist.NetID, sig eval.Signal) {
 
 // storeSig installs a net's signal if it differs from the current one,
 // reporting whether it changed.  With interning enabled the comparison is
-// a handle compare — no waveform walk, no allocation.
+// a handle compare — no waveform walk, no allocation.  During incremental
+// re-verification every store that changes a net is recorded, so
+// constraint sites reading only unchanged nets can reuse their memoized
+// outcome.
 func (v *verifier) storeSig(id netlist.NetID, sig eval.Signal) bool {
 	if v.intern != nil {
 		var wid uint64
@@ -379,13 +382,13 @@ func (v *verifier) storeSig(id netlist.NetID, sig eval.Signal) bool {
 			return false
 		}
 		v.sigID[id] = wid
-		v.sigs[id] = sig
-		return true
-	}
-	if sig.Wave.Equal(v.sigs[id].Wave) && sig.Dirs == v.sigs[id].Dirs {
+	} else if sig.Wave.Equal(v.sigs[id].Wave) && sig.Dirs == v.sigs[id].Dirs {
 		return false
 	}
 	v.sigs[id] = sig
+	if v.changed != nil {
+		v.changed[id] = true
+	}
 	return true
 }
 

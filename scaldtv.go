@@ -80,6 +80,12 @@ type (
 
 	// ExpandReport carries macro-expansion statistics (Table 3-2).
 	ExpandReport = expand.Report
+
+	// Verifier retains converged state between runs for incremental
+	// re-verification (Verify once, then Reverify or Update per edit).
+	Verifier = verify.Verifier
+	// Changes names the primitives and nets whose parameters were edited.
+	Changes = netlist.Changes
 )
 
 // Primitive kinds, re-exported for Builder users.
@@ -178,6 +184,19 @@ func CompileWithLibrary(header, body string) (*Design, error) {
 func Verify(d *Design, opts Options) (*Result, error) {
 	return verify.Run(d, opts)
 }
+
+// NewVerifier creates a stateful verifier whose Reverify and Update
+// methods re-verify only the dirty cone after parameter edits, resuming
+// the retained fixed point (see DESIGN.md, "Incremental reverification").
+func NewVerifier(d *Design, opts Options) *Verifier {
+	return verify.NewVerifier(d, opts)
+}
+
+// Diff compares two designs and, when they differ only in parameters
+// (delays, checker intervals, wire overrides, assertion windows,
+// same-shape kind swaps), returns the change set for Verifier.Reverify.
+// ok is false when the change is structural and needs a full run.
+func Diff(old, new *Design) (Changes, bool) { return netlist.Diff(old, new) }
 
 // VerifySource compiles and verifies HDL source in one step.
 func VerifySource(src string, opts Options) (*Result, error) {
