@@ -49,7 +49,7 @@ func BenchmarkTable31_FullPipeline(b *testing.B) {
 // chips=1003 pair and compares ns/event and allocs/op across the two
 // cache settings; results are bit-identical either way.
 func BenchmarkTable31_VerifyOnly(b *testing.B) {
-	for _, chips := range []int{1003, 6357} {
+	for _, chips := range []int{1003, 6357, 10009} {
 		d, _, err := gen.Generate(gen.Config{Chips: chips})
 		if err != nil {
 			b.Fatal(err)
@@ -89,46 +89,78 @@ func BenchmarkTable31_VerifyOnly(b *testing.B) {
 // edits the worst case among ordinary instances instead.  The CI bench
 // job runs this pair and records the speedup in BENCH_PR3.json.
 func BenchmarkIncrementalReverify(b *testing.B) {
+	for _, chips := range []int{1003, 10009} {
+		d, _, err := gen.Generate(gen.Config{Chips: chips})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pi := localConePrim(d)
+		edit := func(i int) netlist.Changes {
+			d.Prims[pi].Delay.Max += tick.Time(1 - 2*(i%2))
+			return netlist.Changes{Prims: []netlist.PrimID{pi}}
+		}
+		b.Run(fmt.Sprintf("chips=%d/mode=full", chips), func(b *testing.B) {
+			var s verify.Stats
+			for i := 0; i < b.N; i++ {
+				edit(i)
+				res, err := verify.Run(d, verify.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s = res.Stats
+			}
+			b.ReportMetric(float64(s.PrimEvals), "prim-evals")
+		})
+		b.Run(fmt.Sprintf("chips=%d/mode=incremental", chips), func(b *testing.B) {
+			V := verify.NewVerifier(d, verify.Options{})
+			if _, err := V.Verify(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var s verify.Stats
+			for i := 0; i < b.N; i++ {
+				res, err := V.Reverify(edit(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				s = res.Stats
+			}
+			b.ReportMetric(float64(s.PrimEvals), "prim-evals")
+			b.ReportMetric(float64(s.DirtyPrims), "dirty-prims")
+			b.ReportMetric(float64(s.ReusedWaves), "reused-waves")
+		})
+	}
+}
+
+// BenchmarkIntraWavefront compares the serial worklist (intra=1) against
+// the levelized wavefront scheduler (intra=8) on the 1003-chip design.
+// Reports are bit-identical; only schedule and wall-clock differ.  The CI
+// bench job runs this pair and records the speedup; on a single-CPU host
+// the wavefront's coordination overhead makes intra=1 the faster setting,
+// which is why it remains the default.
+func BenchmarkIntraWavefront(b *testing.B) {
 	const chips = 1003
 	d, _, err := gen.Generate(gen.Config{Chips: chips})
 	if err != nil {
 		b.Fatal(err)
 	}
-	pi := localConePrim(d)
-	edit := func(i int) netlist.Changes {
-		d.Prims[pi].Delay.Max += tick.Time(1 - 2*(i%2))
-		return netlist.Changes{Prims: []netlist.PrimID{pi}}
+	for _, intra := range []int{1, 8} {
+		b.Run(fmt.Sprintf("chips=%d/intra=%d", chips, intra), func(b *testing.B) {
+			var s verify.Stats
+			for i := 0; i < b.N; i++ {
+				res, err := verify.Run(d, verify.Options{IntraWorkers: intra})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s = res.Stats
+			}
+			b.ReportMetric(float64(s.Events), "events")
+			if intra > 1 {
+				b.ReportMetric(float64(s.Sweeps), "sweeps")
+				b.ReportMetric(float64(s.Levels), "levels")
+			}
+		})
 	}
-	b.Run(fmt.Sprintf("chips=%d/mode=full", chips), func(b *testing.B) {
-		var s verify.Stats
-		for i := 0; i < b.N; i++ {
-			edit(i)
-			res, err := verify.Run(d, verify.Options{})
-			if err != nil {
-				b.Fatal(err)
-			}
-			s = res.Stats
-		}
-		b.ReportMetric(float64(s.PrimEvals), "prim-evals")
-	})
-	b.Run(fmt.Sprintf("chips=%d/mode=incremental", chips), func(b *testing.B) {
-		V := verify.NewVerifier(d, verify.Options{})
-		if _, err := V.Verify(); err != nil {
-			b.Fatal(err)
-		}
-		b.ResetTimer()
-		var s verify.Stats
-		for i := 0; i < b.N; i++ {
-			res, err := V.Reverify(edit(i))
-			if err != nil {
-				b.Fatal(err)
-			}
-			s = res.Stats
-		}
-		b.ReportMetric(float64(s.PrimEvals), "prim-evals")
-		b.ReportMetric(float64(s.DirtyPrims), "dirty-prims")
-		b.ReportMetric(float64(s.ReusedWaves), "reused-waves")
-	})
 }
 
 // localConePrim picks the non-checker instance with the largest forward

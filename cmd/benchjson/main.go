@@ -9,6 +9,10 @@
 //
 //	-out file     write the JSON document to file (default: stdout)
 //	-summary      print a markdown cache-on/off comparison table to stdout
+//	-prev file    compare against a previous run's JSON document: print a
+//	              markdown diff of best ns/op per matched benchmark name and
+//	              exit nonzero when any matched name regressed by more than
+//	              25%
 //
 // Input is read from the files named on the command line, or from stdin
 // when none are given.  Lines that are not benchmark results or header
@@ -50,6 +54,7 @@ type Doc struct {
 func main() {
 	out := flag.String("out", "", "write the JSON document to this file (default: stdout)")
 	summary := flag.Bool("summary", false, "print a markdown cache-on/off comparison to stdout")
+	prev := flag.String("prev", "", "previous run's JSON document to diff against (fails on >25% ns/op regression)")
 	flag.Parse()
 
 	var doc Doc
@@ -88,6 +93,95 @@ func main() {
 	if *summary {
 		fmt.Print(cacheSummary(&doc))
 	}
+	if *prev != "" {
+		data, err := os.ReadFile(*prev)
+		if err != nil {
+			fail(err)
+		}
+		var prevDoc Doc
+		if err := json.Unmarshal(data, &prevDoc); err != nil {
+			fail(fmt.Errorf("%s: %v", *prev, err))
+		}
+		md, regressed := regressionDiff(&prevDoc, &doc, regressionLimit)
+		fmt.Print(md)
+		if regressed {
+			fail(fmt.Errorf("benchmark regression over %.0f%% against %s", (regressionLimit-1)*100, *prev))
+		}
+	}
+}
+
+// regressionLimit is the ns/op growth factor beyond which the -prev
+// comparison fails the run: 1.25 means a matched benchmark may be at most
+// 25% slower than the previous archived run.
+const regressionLimit = 1.25
+
+// bestByName reduces a document to the minimum-ns/op sample per benchmark
+// name, the same aggregation the pair summary uses for noisy CI machines.
+func bestByName(doc *Doc) map[string]Sample {
+	best := map[string]Sample{}
+	for _, s := range doc.Samples {
+		if b, ok := best[s.Name]; !ok || s.Metrics["ns/op"] < b.Metrics["ns/op"] {
+			best[s.Name] = s
+		}
+	}
+	return best
+}
+
+// regressionDiff renders a markdown table of best ns/op for every
+// benchmark name present in both documents, and reports whether any
+// matched name's time grew past limit × the previous best.  Names present
+// in only one document are listed but never fail the run — renamed or new
+// benchmarks have no baseline to regress against.
+func regressionDiff(prev, cur *Doc, limit float64) (string, bool) {
+	pb, cb := bestByName(prev), bestByName(cur)
+	var names []string
+	for name := range cb {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var sb strings.Builder
+	sb.WriteString("### Benchmark regression check\n\n")
+	fmt.Fprintf(&sb, "Best ns/op per name vs the previous archived run; fails over %.2fx.\n\n", limit)
+	sb.WriteString("| benchmark | prev ns/op | now ns/op | ratio | verdict |\n")
+	sb.WriteString("|---|---:|---:|---:|---|\n")
+	regressed := false
+	matched := 0
+	for _, name := range names {
+		c := cb[name]
+		p, ok := pb[name]
+		if !ok {
+			fmt.Fprintf(&sb, "| %s | — | %s | | new |\n", name, num(c.Metrics["ns/op"]))
+			continue
+		}
+		matched++
+		prevNS, nowNS := p.Metrics["ns/op"], c.Metrics["ns/op"]
+		ratio := 0.0
+		if prevNS > 0 {
+			ratio = nowNS / prevNS
+		}
+		verdict := "ok"
+		if ratio > limit {
+			verdict = "REGRESSED"
+			regressed = true
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %s | %.2fx | %s |\n",
+			name, num(prevNS), num(nowNS), ratio, verdict)
+	}
+	var removed []string
+	for name := range pb {
+		if _, ok := cb[name]; !ok {
+			removed = append(removed, name)
+		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(&sb, "| %s | %s | — | | removed |\n", name, num(pb[name].Metrics["ns/op"]))
+	}
+	if matched == 0 {
+		sb.WriteString("| _no matched benchmark names_ | | | | |\n")
+	}
+	return sb.String(), regressed
 }
 
 // parse appends every benchmark line in r to doc and picks up the
@@ -149,6 +243,7 @@ func parseLine(line string) (Sample, bool) {
 var pairings = []struct{ on, off, onLabel, offLabel string }{
 	{"cache=true", "cache=false", "cache on", "cache off"},
 	{"mode=incremental", "mode=full", "incremental", "full"},
+	{"intra=8", "intra=1", "intra wavefront", "serial"},
 }
 
 // pairKey strips a recognised on/off path element (cache=true/false,

@@ -116,6 +116,66 @@ func TestCacheSummaryEmpty(t *testing.T) {
 	}
 }
 
+func TestIntraSummary(t *testing.T) {
+	const out = `BenchmarkIntraWavefront/chips=1003/intra=1-8   100   10000000 ns/op
+BenchmarkIntraWavefront/chips=1003/intra=8-8   200    4000000 ns/op
+`
+	var doc Doc
+	if err := parse(&doc, strings.NewReader(out)); err != nil {
+		t.Fatal(err)
+	}
+	md := cacheSummary(&doc)
+	if !strings.Contains(md, "BenchmarkIntraWavefront/chips=1003") {
+		t.Errorf("summary missing intra pair:\n%s", md)
+	}
+	if !strings.Contains(md, "| intra wavefront |") || !strings.Contains(md, "| serial |") {
+		t.Errorf("summary missing intra labels:\n%s", md)
+	}
+	// 10000000 / 4000000 = 2.50x.
+	if !strings.Contains(md, "2.50x") {
+		t.Errorf("summary missing speedup:\n%s", md)
+	}
+}
+
+func TestRegressionDiff(t *testing.T) {
+	prev := &Doc{Samples: []Sample{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 1000}},
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 900}}, // best
+		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 500}},
+		{Name: "BenchmarkGone", Metrics: map[string]float64{"ns/op": 10}},
+	}}
+	cur := &Doc{Samples: []Sample{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 1100}}, // 1.22x of 900: ok
+		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 700}},  // 1.40x: regressed
+		{Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 42}},
+	}}
+	md, regressed := regressionDiff(prev, cur, 1.25)
+	if !regressed {
+		t.Fatalf("1.40x growth not flagged:\n%s", md)
+	}
+	if !strings.Contains(md, "| BenchmarkA | 900 | 1100 | 1.22x | ok |") {
+		t.Errorf("missing ok row (against best-of prev):\n%s", md)
+	}
+	if !strings.Contains(md, "| BenchmarkB | 500 | 700 | 1.40x | REGRESSED |") {
+		t.Errorf("missing regression row:\n%s", md)
+	}
+	if !strings.Contains(md, "| BenchmarkNew | — | 42 | | new |") {
+		t.Errorf("missing new row:\n%s", md)
+	}
+	if !strings.Contains(md, "| BenchmarkGone | 10 | — | | removed |") {
+		t.Errorf("missing removed row:\n%s", md)
+	}
+
+	// Within the limit on every matched name → clean verdict.
+	cur2 := &Doc{Samples: []Sample{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 950}},
+		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 400}},
+	}}
+	if md, regressed := regressionDiff(prev, cur2, 1.25); regressed {
+		t.Errorf("clean run flagged:\n%s", md)
+	}
+}
+
 func TestModeSummary(t *testing.T) {
 	const out = `BenchmarkIncrementalReverify/chips=1003/mode=full-8          20   12000000 ns/op   5369844 B/op   57397 allocs/op
 BenchmarkIncrementalReverify/chips=1003/mode=incremental-8  200     166000 ns/op     13806 B/op      14 allocs/op

@@ -19,10 +19,18 @@ func main() {
 	inject := flag.Int("inject", 0, "number of deliberately failing paths to inject")
 	cases := flag.Int("cases", 0, "number of case-analysis cycles to append")
 	varCycle := flag.Bool("varcycle", false, "add the variable-length-cycle tail that needs case analysis (§3.3.2)")
+	width := flag.Int("width", 0, "datapath width in bits (0 = 32; rounded up to whole bytes)")
+	depth := flag.Int("depth", 0, "decode OR-chain depth in levels (0 = 2)")
+	feedback := flag.Float64("feedback", 0, "fraction of stages given a cross-coupled OR pair (combinational feedback)")
 	flag.Parse()
 	if flag.NArg() != 0 {
-		fmt.Fprintln(os.Stderr, "usage: scaldgen [-chips n] [-inject n] [-cases n]")
+		fmt.Fprintln(os.Stderr, "usage: scaldgen [-chips n] [-inject n] [-cases n] [-width bits] [-depth levels] [-feedback frac]")
 		os.Exit(2)
 	}
-	fmt.Print(gen.Source(gen.Config{Chips: *chips, Inject: *inject, Cases: *cases, VariableCycle: *varCycle}))
+	if *feedback < 0 || *feedback > 1 {
+		fmt.Fprintln(os.Stderr, "scaldgen: -feedback must be in [0,1]")
+		os.Exit(2)
+	}
+	fmt.Print(gen.Source(gen.Config{Chips: *chips, Inject: *inject, Cases: *cases, VariableCycle: *varCycle,
+		Width: *width, Depth: *depth, Feedback: *feedback}))
 }

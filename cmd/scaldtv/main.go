@@ -12,16 +12,22 @@
 //	-stats        print execution and storage statistics
 //	-case n       print the summary for case n (default 0)
 //	-j n          case-evaluation workers (0 = one per CPU, 1 = sequential)
+//	-intra n      intra-case evaluation workers (1 = the serial worklist;
+//	              >1 = levelized wavefront scheduling, bit-identical reports)
 //	-cache        memoize primitive evaluations (default true; -cache=false
 //	              disables the cache, results are bit-identical either way)
 //	-watch        stay running and re-verify on every save; parameter-only
 //	              edits reverify just the dirty cone incrementally
+//	-cpuprofile f write a CPU profile of the verification to f
+//	-memprofile f write an allocation profile (after verification) to f
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"scaldtv"
@@ -29,7 +35,13 @@ import (
 	"scaldtv/internal/stats"
 )
 
+// main only converts run's exit code into os.Exit, so the profiling defers
+// inside run always flush before the process dies.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	lib := flag.Bool("lib", false, "make the component library available")
 	summary := flag.Bool("summary", false, "print the timing summary listing")
 	xref := flag.Bool("xref", false, "print the cross-reference listing")
@@ -45,20 +57,53 @@ func main() {
 	minPeriod := flag.Bool("minperiod", false, "bisect for the shortest clean clock period (§1.1) and exit")
 	sectionsFlag := flag.Bool("sections", false, "verify each file as an independent section and cross-check interface assertions (§2.5.2)")
 	workers := flag.Int("j", 0, "case-evaluation workers: 0 = one per CPU, 1 = sequential with incremental cone reuse")
+	intra := flag.Int("intra", 1, "intra-case evaluation workers: >1 enables levelized wavefront scheduling (reports are bit-identical)")
 	cache := flag.Bool("cache", true, "memoize primitive evaluations over interned waveforms (-cache=false disables)")
 	watchFlag := flag.Bool("watch", false, "re-verify on every save, reusing converged waveforms for parameter-only edits")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile taken after verification to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scaldtv:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise the retained-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "scaldtv:", err)
+			}
+		}()
+	}
+	baseOpts := scaldtv.Options{Workers: *workers, IntraWorkers: *intra, NoCache: !*cache}
 
 	if *sectionsFlag {
 		if flag.NArg() < 2 {
 			fmt.Fprintln(os.Stderr, "usage: scaldtv -sections a.scald b.scald ...")
-			os.Exit(2)
+			return 2
 		}
 		srcs := map[string]string{}
 		for _, path := range flag.Args() {
 			data, err := os.ReadFile(path)
 			if err != nil {
-				fail(err)
+				return fail(err)
 			}
 			text := string(data)
 			if *lib {
@@ -66,31 +111,30 @@ func main() {
 			}
 			srcs[path] = text
 		}
-		rep, err := sections.Verify(srcs, scaldtv.Options{Workers: *workers, NoCache: !*cache})
+		rep, err := sections.Verify(srcs, baseOpts)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		fmt.Print(rep.String())
 		if !rep.Clean() {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: scaldtv [flags] design.scald")
 		flag.PrintDefaults()
-		os.Exit(2)
+		return 2
 	}
 	if *watchFlag {
-		opts := scaldtv.Options{Workers: *workers, NoCache: !*cache}
-		if err := watch(flag.Arg(0), *lib, opts, os.Stdout, 200*time.Millisecond, 0); err != nil {
-			fail(err)
+		if err := watch(flag.Arg(0), *lib, baseOpts, os.Stdout, 200*time.Millisecond, 0); err != nil {
+			return fail(err)
 		}
-		return
+		return 0
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	text := string(src)
 	if *lib {
@@ -98,12 +142,12 @@ func main() {
 	}
 	design, rep, err := scaldtv.CompileWithReport(text)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if *autoCorr {
 		ins, err := scaldtv.AutoCorr(design)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		for _, in := range ins {
 			fmt.Printf("autocorr: inserted %s ns fictitious delay into feedback of %s (via %s)\n",
@@ -112,37 +156,40 @@ func main() {
 	}
 	if *dotFlag {
 		fmt.Print(scaldtv.DOT(design))
-		return
+		return 0
 	}
 	if *minPeriod {
 		hi := design.Period * 4
 		min, err := scaldtv.MinimumPeriod(text, scaldtv.NS(0.5), hi, scaldtv.NS(0.25))
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if min == 0 {
 			fmt.Printf("no clean period found up to %s ns\n", hi)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("minimum clean clock period: %s ns (declared: %s ns)\n", min, design.Period)
-		return
+		return 0
 	}
-	res, err := scaldtv.Verify(design, scaldtv.Options{KeepWaves: *summary || *art, Margins: *slack > 0, Workers: *workers, NoCache: !*cache})
+	opts := baseOpts
+	opts.KeepWaves = *summary || *art
+	opts.Margins = *slack > 0
+	res, err := scaldtv.Verify(design, opts)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	if *jsonFlag {
 		out, err := scaldtv.JSONReport(res)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		os.Stdout.Write(out)
 		fmt.Println()
 		if res.Errors() {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *lintFlag {
@@ -186,11 +233,12 @@ func main() {
 		fmt.Print(stats.Measure(design, nil).String())
 	}
 	if res.Errors() {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func fail(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "scaldtv:", err)
-	os.Exit(2)
+	return 2
 }

@@ -30,30 +30,60 @@ import (
 // this).
 type WaveID func(netlist.NetID) uint64
 
+// cacheShards is the number of independent lock stripes.  Must be a power
+// of two.  Keys are routed to a stripe by an FNV-1a hash of the key bytes,
+// so concurrent workers looking up different primitives rarely share a
+// lock.
+const cacheShards = 32
+
 // Cache memoizes Prim evaluations.  It is safe for concurrent use: the
-// parallel case engine shares one cache across all case workers, so every
-// worker starts from whatever the shared post-initialisation relaxation
-// already computed.  Stored output slices are treated as immutable by all
-// callers.
+// parallel case engine shares one cache across all case workers — and the
+// intra-case wavefront shares it across level workers — so every worker
+// starts from whatever the shared post-initialisation relaxation already
+// computed.  The table is striped into cacheShards independently locked
+// shards.  Stored output slices are treated as immutable by all callers.
 type Cache struct {
-	mu     sync.RWMutex
-	m      map[string][]Signal
+	shards [cacheShards]cacheShard
 	hits   atomic.Int64
 	misses atomic.Int64
 }
 
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[string][]Signal
+}
+
 // NewCache returns an empty evaluation cache.
 func NewCache() *Cache {
-	return &Cache{m: make(map[string][]Signal)}
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string][]Signal)
+	}
+	return c
+}
+
+// shard routes a key to its stripe by FNV-1a over the key bytes.
+func (c *Cache) shard(key []byte) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return &c.shards[h&(cacheShards-1)]
 }
 
 // Get looks up the outputs for a key built with AppendKey.  The key is
 // accepted as a byte slice so the caller can reuse one scratch buffer
 // across lookups without allocating.
 func (c *Cache) Get(key []byte) ([]Signal, bool) {
-	c.mu.RLock()
-	outs, ok := c.m[string(key)]
-	c.mu.RUnlock()
+	sh := c.shard(key)
+	sh.mu.RLock()
+	outs, ok := sh.m[string(key)]
+	sh.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
 	} else {
@@ -65,16 +95,20 @@ func (c *Cache) Get(key []byte) ([]Signal, bool) {
 // Put stores the outputs of one evaluation.  The slice must not be
 // modified afterwards.
 func (c *Cache) Put(key []byte, outs []Signal) {
-	c.mu.Lock()
-	c.m[string(key)] = outs
-	c.mu.Unlock()
+	sh := c.shard(key)
+	sh.mu.Lock()
+	sh.m[string(key)] = outs
+	sh.mu.Unlock()
 }
 
 // Stats reports hits, misses and resident entries.
 func (c *Cache) Stats() (hits, misses, entries int) {
-	c.mu.RLock()
-	entries = len(c.m)
-	c.mu.RUnlock()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		entries += len(sh.m)
+		sh.mu.RUnlock()
+	}
 	return int(c.hits.Load()), int(c.misses.Load()), entries
 }
 

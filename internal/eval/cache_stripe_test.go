@@ -1,0 +1,71 @@
+package eval
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+
+	"scaldtv/internal/tick"
+	"scaldtv/internal/values"
+)
+
+// The striped cache's contract under concurrency: a Get that hits returns
+// exactly the slice some Put stored for that key, whichever shard the key
+// hashes to and however many goroutines race on it.  Run with -race.
+func TestCacheConcurrentStripes(t *testing.T) {
+	const (
+		goroutines = 16
+		keys       = 256
+		rounds     = 50
+	)
+	c := NewCache()
+	mk := func(i int) []byte {
+		var b [12]byte
+		binary.LittleEndian.PutUint64(b[:8], uint64(i)*0x9e3779b97f4a7c15)
+		binary.LittleEndian.PutUint32(b[8:], uint32(i))
+		return b[:]
+	}
+	want := make([][]Signal, keys)
+	for i := range want {
+		w := values.Const(100*tick.NS, values.V0)
+		w = w.Paint(tick.Time(i+1)*tick.NS, tick.Time(i+40)*tick.NS, values.V1)
+		want[i] = []Signal{{Wave: w}}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 0, 16)
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < keys; i++ {
+					// Each goroutine reuses one scratch buffer, like the
+					// verifier's per-worker key buffer.
+					buf = append(buf[:0], mk(i)...)
+					outs, ok := c.Get(buf)
+					if !ok {
+						c.Put(buf, want[i])
+						continue
+					}
+					if len(outs) != 1 || !outs[0].Wave.Equal(want[i][0].Wave) {
+						t.Errorf("g%d key %d: cache returned a foreign value", g, i)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	hits, misses, entries := c.Stats()
+	if entries != keys {
+		t.Errorf("entries = %d, want %d", entries, keys)
+	}
+	if hits+misses != goroutines*rounds*keys {
+		t.Errorf("hits+misses = %d, want %d", hits+misses, goroutines*rounds*keys)
+	}
+	if misses < keys {
+		t.Errorf("misses = %d, want at least %d (every key misses once)", misses, keys)
+	}
+}

@@ -39,7 +39,7 @@ type procIn struct {
 // processConn fetches, complements and wire-delays one input connection.
 // A directive written on the pin starts a fresh evaluation string; otherwise
 // the string carried by the incoming signal continues.
-func processConn(d *netlist.Design, c netlist.Conn, get Getter) procIn {
+func processConn(d *netlist.Design, c netlist.Conn, get Getter, a *values.Arena) procIn {
 	sig := get(c.Net)
 	dirs := sig.Dirs
 	if !c.Directives.Empty() {
@@ -48,10 +48,10 @@ func processConn(d *netlist.Design, c netlist.Conn, get Getter) procIn {
 	head, rest := dirs.Head()
 	w := sig.Wave
 	if c.Invert {
-		w = w.MapUnary(values.Not)
+		w = w.MapUnaryA(values.Not, a)
 	}
 	if wd := d.WireDelay(c.Net, head); !wd.IsZero() {
-		w = w.Delay(wd)
+		w = w.DelayA(wd, a)
 	}
 	return procIn{wave: w, dir: head, rest: rest}
 }
@@ -61,7 +61,7 @@ func processConn(d *netlist.Design, c netlist.Conn, get Getter) procIn {
 // would see it.  The checkers use it so that constraint checking and
 // primitive evaluation observe identical signals.
 func ConnWave(d *netlist.Design, c netlist.Conn, get Getter) values.Waveform {
-	return processConn(d, c, get).wave
+	return processConn(d, c, get, nil).wave
 }
 
 // ConnDirective returns the evaluation directive governing an input pin:
@@ -79,17 +79,25 @@ func ConnDirective(c netlist.Conn, get Getter) assertion.Directive {
 // Prim evaluates a driving primitive, returning one output signal per bit
 // of its (single) output port.  Checker primitives return nil.
 func Prim(d *netlist.Design, p *netlist.Prim, get Getter) ([]Signal, error) {
+	return PrimA(d, p, get, nil)
+}
+
+// PrimA is Prim with the evaluation's scratch waveforms allocated from a
+// (nil a → heap).  The returned signals may reference arena memory: a
+// caller that retains them beyond the arena owner's lifetime must intern
+// or copy them first (the verifier interns every stored output).
+func PrimA(d *netlist.Design, p *netlist.Prim, get Getter, a *values.Arena) ([]Signal, error) {
 	switch {
 	case p.Kind.IsChecker():
 		return nil, nil
 	case p.Kind.IsGate():
-		return evalGate(d, p, get)
+		return evalGate(d, p, get, a)
 	case p.Kind.NumSelects() > 0:
-		return evalMux(d, p, get)
+		return evalMux(d, p, get, a)
 	case p.Kind == netlist.KReg || p.Kind == netlist.KRegRS:
-		return evalRegister(d, p, get)
+		return evalRegister(d, p, get, a)
 	case p.Kind == netlist.KLatch || p.Kind == netlist.KLatchRS:
-		return evalLatch(d, p, get)
+		return evalLatch(d, p, get, a)
 	}
 	return nil, fmt.Errorf("eval: primitive %q has unknown kind %v", p.Name, p.Kind)
 }
@@ -165,7 +173,7 @@ func gateFold(k netlist.Kind) (func(values.Value, values.Value) values.Value, bo
 	return nil, false
 }
 
-func evalGate(d *netlist.Design, p *netlist.Prim, get Getter) ([]Signal, error) {
+func evalGate(d *netlist.Design, p *netlist.Prim, get Getter, a *values.Arena) ([]Signal, error) {
 	out := make([]Signal, p.Width)
 	allPorts := make([]int, len(p.In))
 	for i := range allPorts {
@@ -178,7 +186,7 @@ func evalGate(d *netlist.Design, p *netlist.Prim, get Getter) ([]Signal, error) 
 		}
 		ins := make([]procIn, len(p.In))
 		for i, port := range p.In {
-			ins[i] = processConn(d, port.Bits[bit], get)
+			ins[i] = processConn(d, port.Bits[bit], get, a)
 		}
 
 		// Directive effects: any Z/H zeroes the gate delay; any A/H marks
@@ -203,7 +211,7 @@ func evalGate(d *netlist.Design, p *netlist.Prim, get Getter) ([]Signal, error) 
 		case netlist.KBuf, netlist.KNot:
 			w = ins[0].wave
 			if p.Kind == netlist.KNot {
-				w = w.MapUnary(values.Not)
+				w = w.MapUnaryA(values.Not, a)
 			}
 			rest = ins[0].rest
 		case netlist.KChg:
@@ -214,9 +222,9 @@ func evalGate(d *netlist.Design, p *netlist.Prim, get Getter) ([]Signal, error) 
 			for i, in := range ins {
 				waves[i] = in.wave.Activity()
 			}
-			w = values.CombineAll(func(vs []values.Value) values.Value {
+			w = values.CombineAllA(func(vs []values.Value) values.Value {
 				return values.Chg(vs...)
-			}, waves...)
+			}, waves, a)
 			rest = firstRest(ins, false)
 		default:
 			fold, inv := gateFold(p.Kind)
@@ -226,14 +234,14 @@ func evalGate(d *netlist.Design, p *netlist.Prim, get Getter) ([]Signal, error) 
 			waves := make([]values.Waveform, 0, len(ins))
 			for _, in := range ins {
 				if anyClock && !in.dir.ChecksStability() {
-					waves = append(waves, values.Const(d.Period, identity(p.Kind)))
+					waves = append(waves, values.ConstA(d.Period, identity(p.Kind), a))
 					continue
 				}
 				waves = append(waves, in.wave)
 			}
-			w = values.CombineN(fold, waves...)
+			w = values.CombineNA(fold, waves, a)
 			if inv {
-				w = w.MapUnary(values.Not)
+				w = w.MapUnaryA(values.Not, a)
 			}
 			rest = firstRest(ins, anyClock)
 		}
@@ -242,9 +250,9 @@ func evalGate(d *netlist.Design, p *netlist.Prim, get Getter) ([]Signal, error) 
 		case p.RF != nil && !zeroed:
 			// Direction-dependent delays (§4.2.2): exact for value-known
 			// outputs, the conservative envelope otherwise.
-			w = w.DelayRF(p.RF.Rise, p.RF.Fall)
+			w = w.DelayRFA(p.RF.Rise, p.RF.Fall, a)
 		case !delay.IsZero():
-			w = w.Delay(delay)
+			w = w.DelayA(delay, a)
 		}
 		out[bit] = Signal{Wave: w, Dirs: rest}
 	}
@@ -270,17 +278,17 @@ func firstRest(ins []procIn, preferClock bool) assertion.Directives {
 	return ""
 }
 
-func evalMux(d *netlist.Design, p *netlist.Prim, get Getter) ([]Signal, error) {
+func evalMux(d *netlist.Design, p *netlist.Prim, get Getter, a *values.Arena) ([]Signal, error) {
 	ns, nd := p.Kind.NumSelects(), p.Kind.NumMuxData()
 	// Select inputs are shared across bits: process once, adding the extra
 	// select-path delay (Fig 3-6).
 	sels := make([]values.Waveform, ns)
 	allConst := true
 	for i := 0; i < ns; i++ {
-		in := processConn(d, p.In[i].Bits[0], get)
+		in := processConn(d, p.In[i].Bits[0], get, a)
 		w := in.wave
 		if !p.SelectDelay.IsZero() {
-			w = w.Delay(p.SelectDelay)
+			w = w.DelayA(p.SelectDelay, a)
 		}
 		sels[i] = w
 		if v, ok := w.ConstantValue(); !ok || !v.Const() {
@@ -300,7 +308,7 @@ func evalMux(d *netlist.Design, p *netlist.Prim, get Getter) ([]Signal, error) {
 		}
 		data := make([]values.Waveform, nd)
 		for i := 0; i < nd; i++ {
-			data[i] = processConn(d, p.In[ns+i].Bits[bit], get).wave
+			data[i] = processConn(d, p.In[ns+i].Bits[bit], get, a).wave
 		}
 
 		var w values.Waveform
@@ -322,9 +330,9 @@ func evalMux(d *netlist.Design, p *netlist.Prim, get Getter) ([]Signal, error) {
 			// the worst case across consistent candidates; where it is
 			// changing the output may change.
 			all := append(append([]values.Waveform{}, sels...), data...)
-			w = values.CombineAll(func(vs []values.Value) values.Value {
+			w = values.CombineAllA(func(vs []values.Value) values.Value {
 				return muxValue(vs[:ns], vs[ns:])
-			}, all...)
+			}, all, a)
 			// A crisp select flip switches the output instantaneously
 			// between data inputs: mark it unless every candidate pair is
 			// the same constant (wider select uncertainty already shows
@@ -343,13 +351,13 @@ func evalMux(d *netlist.Design, p *netlist.Prim, get Getter) ([]Signal, error) {
 						}
 					}
 					if !(same && v0.Const()) {
-						w = w.Paint(tr.At, tr.At+1, values.VC)
+						w = w.PaintA(tr.At, tr.At+1, values.VC, a)
 					}
 				}
 			}
 		}
 		if !p.Delay.IsZero() {
-			w = w.Delay(p.Delay)
+			w = w.DelayA(p.Delay, a)
 		}
 		out[bit] = Signal{Wave: w}
 	}
@@ -424,16 +432,16 @@ func muxValue(sels, data []values.Value) values.Value {
 // changes only within the window [edge.Start+Min, edge.End+Max) after each
 // rising clock edge; elsewhere it holds STABLE, or the data input's value
 // when that value is a logic constant at the clocking instant.
-func evalRegister(d *netlist.Design, p *netlist.Prim, get Getter) ([]Signal, error) {
-	ck := processConn(d, p.In[0].Bits[0], get)
+func evalRegister(d *netlist.Design, p *netlist.Prim, get Getter, a *values.Arena) ([]Signal, error) {
+	ck := processConn(d, p.In[0].Bits[0], get, a)
 	edges := ck.wave.RisingEdges()
 
 	var overlay values.Waveform
 	hasRS := p.Kind == netlist.KRegRS
 	if hasRS {
-		set := processConn(d, p.In[2].Bits[0], get)
-		reset := processConn(d, p.In[3].Bits[0], get)
-		overlay = values.Combine(set.wave, reset.wave, setResetOverlay).Delay(p.Delay)
+		set := processConn(d, p.In[2].Bits[0], get, a)
+		reset := processConn(d, p.In[3].Bits[0], get, a)
+		overlay = values.CombineA(set.wave, reset.wave, setResetOverlay, a).DelayA(p.Delay, a)
 	}
 
 	out := make([]Signal, p.Width)
@@ -442,10 +450,10 @@ func evalRegister(d *netlist.Design, p *netlist.Prim, get Getter) ([]Signal, err
 			out[bit] = out[bit-1]
 			continue
 		}
-		data := processConn(d, p.In[1].Bits[bit], get)
-		w := clockedOutput(d.Period, edges, data.wave, p.Delay, ck.wave)
+		data := processConn(d, p.In[1].Bits[bit], get, a)
+		w := clockedOutput(d.Period, edges, data.wave, p.Delay, ck.wave, a)
 		if hasRS {
-			w = values.Combine(w, overlay, applyOverlay)
+			w = values.CombineA(w, overlay, applyOverlay, a)
 		}
 		out[bit] = Signal{Wave: w}
 	}
@@ -454,16 +462,16 @@ func evalRegister(d *netlist.Design, p *netlist.Prim, get Getter) ([]Signal, err
 
 // clockedOutput builds a register-style output: STABLE (or a captured
 // constant) between clocking windows, CHANGE within them.
-func clockedOutput(period tick.Time, edges []values.Edge, data values.Waveform, delay tick.Range, ck values.Waveform) values.Waveform {
+func clockedOutput(period tick.Time, edges []values.Edge, data values.Waveform, delay tick.Range, ck values.Waveform, a *values.Arena) values.Waveform {
 	if v, ok := ck.ConstantValue(); ok && v == values.VU {
-		return values.Const(period, values.VU)
+		return values.ConstA(period, values.VU, a)
 	}
 	if len(edges) == 0 {
 		// Never clocked: the output holds its (unknowable) state.
-		return values.Const(period, values.VS)
+		return values.ConstA(period, values.VS, a)
 	}
-	dataInc := data.IncorporateSkew()
-	out := values.Const(period, values.VS)
+	dataInc := data.IncorporateSkewA(a)
+	out := values.ConstA(period, values.VS, a)
 	// Captured value after each window: the data value at the clocking
 	// instant when it is a logic constant throughout the edge window.
 	for i, e := range edges {
@@ -484,11 +492,11 @@ func clockedOutput(period tick.Time, edges []values.Edge, data values.Waveform, 
 			nextStart = edges[0].Start + delay.Min + period
 		}
 		if nextStart > winEnd {
-			out = out.Paint(winEnd, nextStart, capV)
+			out = out.PaintA(winEnd, nextStart, capV, a)
 		}
 	}
 	for _, e := range edges {
-		out = out.Paint(e.Start+delay.Min, e.End+delay.Max, values.VC)
+		out = out.PaintA(e.Start+delay.Min, e.End+delay.Max, values.VC, a)
 	}
 	return out
 }
@@ -523,16 +531,16 @@ func applyOverlay(normal, overlay values.Value) values.Value {
 // evalLatch implements the two latch models of Fig 2-2: transparent while
 // the enable is high, holding while low, with a change window as the latch
 // opens.
-func evalLatch(d *netlist.Design, p *netlist.Prim, get Getter) ([]Signal, error) {
-	en := processConn(d, p.In[0].Bits[0], get)
-	enD := en.wave.Delay(p.Delay)
+func evalLatch(d *netlist.Design, p *netlist.Prim, get Getter, a *values.Arena) ([]Signal, error) {
+	en := processConn(d, p.In[0].Bits[0], get, a)
+	enD := en.wave.DelayA(p.Delay, a)
 
 	var overlay values.Waveform
 	hasRS := p.Kind == netlist.KLatchRS
 	if hasRS {
-		set := processConn(d, p.In[2].Bits[0], get)
-		reset := processConn(d, p.In[3].Bits[0], get)
-		overlay = values.Combine(set.wave, reset.wave, setResetOverlay).Delay(p.Delay)
+		set := processConn(d, p.In[2].Bits[0], get, a)
+		reset := processConn(d, p.In[3].Bits[0], get, a)
+		overlay = values.CombineA(set.wave, reset.wave, setResetOverlay, a).DelayA(p.Delay, a)
 	}
 
 	out := make([]Signal, p.Width)
@@ -541,24 +549,24 @@ func evalLatch(d *netlist.Design, p *netlist.Prim, get Getter) ([]Signal, error)
 			out[bit] = out[bit-1]
 			continue
 		}
-		data := processConn(d, p.In[1].Bits[bit], get)
+		data := processConn(d, p.In[1].Bits[bit], get, a)
 		var w values.Waveform
 		if c, ok := data.wave.ConstantValue(); ok && c.Const() {
 			// Constant data: in periodic steady state the held value
 			// equals the flowing value, so the output is that constant
 			// wherever the enable is defined.
-			w = enD.MapUnary(func(e values.Value) values.Value {
+			w = enD.MapUnaryA(func(e values.Value) values.Value {
 				if e == values.VU {
 					return values.VU
 				}
 				return c
-			})
+			}, a)
 		} else {
-			datD := data.wave.Delay(p.Delay)
-			w = values.Combine(enD, datD, latchValue)
+			datD := data.wave.DelayA(p.Delay, a)
+			w = values.CombineA(enD, datD, latchValue, a)
 		}
 		if hasRS {
-			w = values.Combine(w, overlay, applyOverlay)
+			w = values.CombineA(w, overlay, applyOverlay, a)
 		}
 		out[bit] = Signal{Wave: w}
 	}

@@ -37,6 +37,40 @@ type Config struct {
 	// analysis is essential" (§3.3.2).  With it set, the design fails
 	// without the MODE cases and passes with them.
 	VariableCycle bool
+	// Width is the datapath width in bits; zero means the Mark IIA's 32.
+	// It is rounded up to whole bytes (the byte-multiplexer granularity),
+	// with a floor of 8.  Wider datapaths grow the vectored primitives,
+	// narrower ones shrink them — the knob for width-scaling studies.
+	Width int
+	// Depth is the number of chained decode OR-gate levels per stage;
+	// zero means the Mark IIA's 2 (the A and B levels).  Deeper chains
+	// lengthen the combinational critical path and add topological
+	// levels, the knob for wavefront level-scaling studies.
+	Depth int
+	// Feedback is the fraction of stages (0..1) given a cross-coupled
+	// OR pair — a genuine combinational cycle that relaxes to a fixed
+	// point — so scheduling over feedback SCCs can be exercised at scale.
+	Feedback float64
+}
+
+// width resolves the effective datapath width: whole bytes, at least 8.
+func (c Config) width() int {
+	w := c.Width
+	if w <= 0 {
+		return 32
+	}
+	if w < 8 {
+		w = 8
+	}
+	return (w + 7) &^ 7
+}
+
+// depth resolves the effective decode-chain depth (at least 1).
+func (c Config) depth() int {
+	if c.Depth <= 0 {
+		return 2
+	}
+	return c.Depth
 }
 
 // chipsPerStage is the MSI chip census of one pipeline stage: 8 OR gates,
@@ -76,6 +110,24 @@ skew clock -5ns 5ns
 ; ALU output latches.
 `)
 
+	w := cfg.width()
+	depth := cfg.depth()
+	nFB := int(cfg.Feedback*float64(stages) + 0.5)
+	if nFB > stages {
+		nFB = stages
+	}
+	// levelNet names the decode chain's level-l output bus of stage s:
+	// the historical A and B buses, then X2, X3, ... for deeper chains.
+	levelNet := func(s, l int) string {
+		switch l {
+		case 0:
+			return fmt.Sprintf("S%d A", s)
+		case 1:
+			return fmt.Sprintf("S%d B", s)
+		default:
+			return fmt.Sprintf("S%d X%d", s, l)
+		}
+	}
 	for s := 0; s < stages; s++ {
 		prev := (s + stages - 1) % stages
 		q := func(stage int) string { return fmt.Sprintf("STG%d Q", stage) }
@@ -83,38 +135,59 @@ skew clock -5ns 5ns
 		fmt.Fprintf(&sb, "\n; ---- pipeline stage %d ----\n", s)
 		// First-level OR gates over input bit pairs.
 		for i := 0; i < 4; i++ {
-			fmt.Fprintf(&sb, "use \"2 OR 10101\" \"S%d ORA%d\" (A=\"%s\"<%d>, B=\"%s\"<%d>, O=\"S%d A\"<%d>)\n",
-				s, i, in, 2*i, in, 2*i+1, s, i)
+			fmt.Fprintf(&sb, "use \"2 OR 10101\" \"S%d ORA%d\" (A=\"%s\"<%d>, B=\"%s\"<%d>, O=\"%s\"<%d>)\n",
+				s, i, in, (2*i)%w, in, (2*i+1)%w, levelNet(s, 0), i)
 		}
-		// Second-level OR gates.
-		for i := 0; i < 4; i++ {
-			fmt.Fprintf(&sb, "use \"2 OR 10101\" \"S%d ORB%d\" (A=\"S%d A\"<%d>, B=\"%s\"<%d>, O=\"S%d B\"<%d>)\n",
-				s, i, s, i, in, 8+i, s, i)
+		// Deeper decode levels: each chains the previous level's bit with
+		// a fresh input bit (the historical second level, then the Depth
+		// knob's extension — off-path decode logic that stretches the
+		// combinational critical path).
+		for l := 1; l < depth; l++ {
+			name := "ORB"
+			if l > 1 {
+				name = fmt.Sprintf("ORX%d N", l)
+			}
+			for i := 0; i < 4; i++ {
+				fmt.Fprintf(&sb, "use \"2 OR 10101\" \"S%d %s%d\" (A=\"%s\"<%d>, B=\"%s\"<%d>, O=\"%s\"<%d>)\n",
+					s, name, i, levelNet(s, l-1), i, in, (8+i+l-1)%w, levelNet(s, l), i)
+			}
 		}
 		// Byte multiplexers assembling the ALU's B operand.
-		for i := 0; i < 4; i++ {
-			d1 := ((i + 2) % 4) * 8
+		nb := w / 8
+		for i := 0; i < nb; i++ {
+			d1 := ((i + 2) % nb) * 8
 			fmt.Fprintf(&sb, "use \"2 MUX 10173\" \"S%d MX%d\" SIZE=8 (S=\"CTRL .S0-8\", D0=\"%s\"<%d:%d>, D1=\"%s\"<%d:%d>, O=\"S%d MX\"<%d:%d>)\n",
 				s, i, in, 8*i, 8*i+7, in, d1, d1+7, s, 8*i, 8*i+7)
 		}
 		// The ALU with its output latch.  The carry comes from the first
-		// OR level; the second level models off-path decode logic.
-		fmt.Fprintf(&sb, "use \"ALU 10181\" \"S%d ALU\" SIZE=32 (A=\"%s\"<0:31>, B=\"S%d MX\"<0:31>, C1=\"S%d A\"<0>, S=\"FN .S0-8\"<0:3>, E=\"ENCK .P4-5\", F=\"S%d F\"<0:31>)\n",
-			s, in, s, s, s)
+		// OR level; the deeper levels model off-path decode logic.
+		fmt.Fprintf(&sb, "use \"ALU 10181\" \"S%d ALU\" SIZE=%d (A=\"%s\"<0:%d>, B=\"S%d MX\"<0:%d>, C1=\"S%d A\"<0>, S=\"FN .S0-8\"<0:3>, E=\"ENCK .P4-5\", F=\"S%d F\"<0:%d>)\n",
+			s, w, in, w-1, s, w-1, s, s, w-1)
 		// Register-file write path: gated write enable plus the 10145A.
 		fmt.Fprintf(&sb, "and \"S%d WE GATE\" delay=(1.0,2.9) (-\"WCK .P3-4 L\" &H, -\"WRITE .S0-6 L\") -> (\"S%d WE\")\n", s, s)
-		fmt.Fprintf(&sb, "use \"16W RAM 10145A\" \"S%d RAM\" SIZE=8 (I=\"%s\"<0:7>, A=\"%s\"<16:19>, WE=\"S%d WE\", CS=\"CTRL .S0-8\", DO=\"S%d DO\")\n",
-			s, in, in, s, s)
+		aLo := 16
+		if aLo+3 > w-1 {
+			aLo = 0
+		}
+		fmt.Fprintf(&sb, "use \"16W RAM 10145A\" \"S%d RAM\" SIZE=8 (I=\"%s\"<0:7>, A=\"%s\"<%d:%d>, WE=\"S%d WE\", CS=\"CTRL .S0-8\", DO=\"S%d DO\")\n",
+			s, in, in, aLo, aLo+3, s, s)
 		// Result selection and the pipeline register.
-		fmt.Fprintf(&sb, "use \"2 MUX 10173\" \"S%d RES MX\" SIZE=32 (S=\"CTRL2 .S0-8\", D0=\"S%d F\"<0:31>, D1=\"S%d DO\", O=\"S%d R\"<0:31>)\n",
-			s, s, s, s)
-		fmt.Fprintf(&sb, "use \"REG 10176\" \"S%d REG\" SIZE=32 (CK=\"MCK .P0-4\", I=\"S%d R\"<0:31>, Q=\"%s\"<0:31>)\n",
-			s, s, q(s))
+		fmt.Fprintf(&sb, "use \"2 MUX 10173\" \"S%d RES MX\" SIZE=%d (S=\"CTRL2 .S0-8\", D0=\"S%d F\"<0:%d>, D1=\"S%d DO\", O=\"S%d R\"<0:%d>)\n",
+			s, w, s, w-1, s, s, w-1)
+		fmt.Fprintf(&sb, "use \"REG 10176\" \"S%d REG\" SIZE=%d (CK=\"MCK .P0-4\", I=\"S%d R\"<0:%d>, Q=\"%s\"<0:%d>)\n",
+			s, w, s, w-1, q(s), w-1)
+		if s < nFB {
+			// A cross-coupled OR pair: a genuine combinational cycle that
+			// relaxes to a fixed point (OR is monotone in the value
+			// lattice), so feedback SCC scheduling is exercised at scale.
+			fmt.Fprintf(&sb, "use \"2 OR 10101\" \"S%d FB1\" (A=\"S%d A\"<1>, B=\"S%d FBN2\", O=\"S%d FBN1\")\n", s, s, s, s)
+			fmt.Fprintf(&sb, "use \"2 OR 10101\" \"S%d FB2\" (A=\"S%d A\"<2>, B=\"S%d FBN1\", O=\"S%d FBN2\")\n", s, s, s, s)
+		}
 	}
 
 	// A not-yet-designed input, for the cross-reference listing of §2.5:
 	// undriven and unasserted, taken always stable.
-	sb.WriteString("\nuse \"2 OR 10101\" \"SPARE GATE\" (A=\"SPARE IN\", B=\"STG0 Q\"<5>, O=\"SPARE OUT\")\n")
+	fmt.Fprintf(&sb, "\nuse \"2 OR 10101\" \"SPARE GATE\" (A=\"SPARE IN\", B=\"STG0 Q\"<%d>, O=\"SPARE OUT\")\n", 5%w)
 
 	// Injected failures: a long OR chain whose output misses the set-up
 	// of a checked register.

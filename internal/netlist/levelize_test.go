@@ -1,0 +1,242 @@
+package netlist
+
+import (
+	"fmt"
+	"testing"
+
+	"scaldtv/internal/tick"
+)
+
+// buildChain makes IN -> B0 -> B1 -> ... -> B(n-1), one buffer per net.
+func buildBufChain(t *testing.T, n int) *Design {
+	t.Helper()
+	b := NewBuilder("chain")
+	b.SetPeriod(50 * tick.NS)
+	prev := b.Net("IN .S0-50")
+	for i := 0; i < n; i++ {
+		o := b.Net(fmt.Sprintf("N%d", i))
+		b.Buf(fmt.Sprintf("B%d", i), tick.R(1, 2), []NetID{o}, Conns(prev))
+		prev = o
+	}
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestLevelizeChain(t *testing.T) {
+	d := buildBufChain(t, 5)
+	l := d.Levelization()
+	if len(l.Comps) != 5 {
+		t.Fatalf("chain of 5 buffers: %d components, want 5", len(l.Comps))
+	}
+	if l.MaxLevel != 4 {
+		t.Fatalf("MaxLevel = %d, want 4", l.MaxLevel)
+	}
+	if l.Feedback != 0 || len(l.Seq) != 0 {
+		t.Fatalf("pure chain: feedback=%d seq=%v, want none", l.Feedback, l.Seq)
+	}
+	for pi := 0; pi < 5; pi++ {
+		c := l.Comps[l.Comp[pi]]
+		if len(c.Members) != 1 || c.Members[0] != PrimID(pi) {
+			t.Fatalf("primitive %d not a singleton component: %+v", pi, c)
+		}
+		if int(c.Level) != pi {
+			t.Errorf("B%d at level %d, want %d", pi, c.Level, pi)
+		}
+	}
+	// Every level holds exactly one component.
+	for lv, comps := range l.Levels {
+		if len(comps) != 1 {
+			t.Errorf("level %d holds %d components, want 1", lv, len(comps))
+		}
+	}
+}
+
+func TestLevelizeCombinationalLoop(t *testing.T) {
+	b := NewBuilder("loop")
+	b.SetPeriod(50 * tick.NS)
+	in := b.Net("IN .S0-50")
+	a := b.Net("A")
+	x := b.Net("X")
+	b.Gate(KOr, "G1", tick.R(1, 2), []NetID{a}, Conns(in), Conns(x))
+	b.Gate(KOr, "G2", tick.R(1, 2), []NetID{x}, Conns(a))
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := d.Levelization()
+	if l.Comp[0] != l.Comp[1] {
+		t.Fatalf("loop gates in different components %d and %d", l.Comp[0], l.Comp[1])
+	}
+	c := l.Comps[l.Comp[0]]
+	if !c.Feedback || c.Seq {
+		t.Fatalf("loop component: feedback=%v seq=%v, want feedback, not seq", c.Feedback, c.Seq)
+	}
+	if l.Feedback != 1 {
+		t.Errorf("Feedback = %d, want 1", l.Feedback)
+	}
+}
+
+func TestLevelizeSelfLoop(t *testing.T) {
+	b := NewBuilder("selfloop")
+	b.SetPeriod(50 * tick.NS)
+	in := b.Net("IN .S0-50")
+	x := b.Net("X")
+	b.Gate(KOr, "G", tick.R(1, 2), []NetID{x}, Conns(in), Conns(x))
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := d.Levelization()
+	if c := l.Comps[l.Comp[0]]; !c.Feedback {
+		t.Fatalf("self-loop gate not marked feedback: %+v", c)
+	}
+}
+
+// TestLevelizeRegisterRingCut: a ring of register-separated stages must NOT
+// collapse into one giant component — the sequential edges out of the
+// registers are cut, leaving each stage's combinational logic levelized.
+func TestLevelizeRegisterRingCut(t *testing.T) {
+	const stages = 4
+	b := NewBuilder("ring")
+	b.SetPeriod(50 * tick.NS)
+	ck := b.Net("MCK .P0-4")
+	q := make([]NetID, stages)
+	for s := 0; s < stages; s++ {
+		q[s] = b.Net(fmt.Sprintf("Q%d", s))
+	}
+	for s := 0; s < stages; s++ {
+		in := q[(s+stages-1)%stages]
+		n1 := b.Net(fmt.Sprintf("S%d N1", s))
+		n2 := b.Net(fmt.Sprintf("S%d N2", s))
+		b.Gate(KOr, fmt.Sprintf("S%d G1", s), tick.R(1, 2), []NetID{n1}, Conns(in))
+		b.Gate(KOr, fmt.Sprintf("S%d G2", s), tick.R(1, 2), []NetID{n2}, Conns(n1))
+		b.Register(fmt.Sprintf("S%d REG", s), tick.R(1, 2), []NetID{q[s]}, Conn{Net: ck}, Conns(n2))
+	}
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := d.Levelization()
+	for ci, c := range l.Comps {
+		if len(c.Members) != 1 {
+			t.Fatalf("component %d has %d members — the ring was not cut: %+v", ci, len(c.Members), c)
+		}
+	}
+	if len(l.Seq) != stages {
+		t.Fatalf("%d sequential components, want %d", len(l.Seq), stages)
+	}
+	// Each stage's G1 feeds its G2, one level apart.
+	for s := 0; s < stages; s++ {
+		g1 := l.Comps[l.Comp[3*s]]
+		g2 := l.Comps[l.Comp[3*s+1]]
+		if g2.Level != g1.Level+1 {
+			t.Errorf("stage %d: G1 level %d, G2 level %d, want consecutive", s, g1.Level, g2.Level)
+		}
+		if reg := l.Comps[l.Comp[3*s+2]]; !reg.Seq || reg.Level != -1 {
+			t.Errorf("stage %d register: seq=%v level=%d, want sequential", s, reg.Seq, reg.Level)
+		}
+	}
+}
+
+// TestLevelizeClockPinnedCut: edges through a clock-asserted driven net are
+// dropped — the verifier never propagates stores through a pinned net.
+func TestLevelizeClockPinnedCut(t *testing.T) {
+	b := NewBuilder("pinned")
+	b.SetPeriod(50 * tick.NS)
+	raw := b.Net("RAW .P0-4")
+	gck := b.Net("GCK .P1-5") // driven, clock-pinned
+	o := b.Net("O")
+	b.Buf("CKBUF", tick.R(1, 1), []NetID{gck}, Conns(raw))
+	b.Gate(KOr, "SINK", tick.R(1, 2), []NetID{o}, Conns(gck))
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := d.Levelization()
+	sink := l.Comps[l.Comp[1]]
+	if sink.Level != 0 {
+		t.Errorf("sink behind a pinned net at level %d, want 0 (edge cut)", sink.Level)
+	}
+}
+
+func TestLevelizeWiredOrGroup(t *testing.T) {
+	b := NewBuilder("wired")
+	b.SetPeriod(50 * tick.NS)
+	b.SetWiredOr(true)
+	a := b.Net("A .S0-50")
+	c := b.Net("C .S0-50")
+	o := b.Net("O")
+	b.Buf("D1", tick.R(1, 2), []NetID{o}, Conns(a))
+	b.Buf("D2", tick.R(1, 2), []NetID{o}, Conns(c))
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := d.Levelization()
+	if l.Comp[0] != l.Comp[1] {
+		t.Fatalf("wired-OR co-drivers in different components %d and %d", l.Comp[0], l.Comp[1])
+	}
+	if c := l.Comps[l.Comp[0]]; !c.Feedback {
+		t.Errorf("wired-OR group should iterate with a scoped worklist: %+v", c)
+	}
+}
+
+func TestLevelizeCheckersExcluded(t *testing.T) {
+	b := NewBuilder("chk")
+	b.SetPeriod(50 * tick.NS)
+	in := b.Net("IN .S0-50")
+	ck := b.Net("CK .P0-4")
+	o := b.Net("O")
+	b.Buf("B", tick.R(1, 2), []NetID{o}, Conns(in))
+	b.SetupHold("CHK", tick.NS, tick.NS, Conns(o), Conn{Net: ck})
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := d.Levelization()
+	if l.Comp[1] != -1 {
+		t.Errorf("checker assigned component %d, want -1", l.Comp[1])
+	}
+	if l.Comp[0] == -1 {
+		t.Errorf("driving buffer got no component")
+	}
+}
+
+func TestLevelizationCachedAndInvalidated(t *testing.T) {
+	d := buildBufChain(t, 3)
+	l1 := d.Levelization()
+	if l2 := d.Levelization(); l1 != l2 {
+		t.Fatalf("Levelization not cached: %p vs %p", l1, l2)
+	}
+	d.RebuildFanout()
+	if l3 := d.Levelization(); l1 == l3 {
+		t.Fatalf("RebuildFanout did not invalidate the levelization cache")
+	}
+}
+
+// TestLevelizeDeterministic: two computations over the same design yield
+// identical structures (component numbering included).
+func TestLevelizeDeterministic(t *testing.T) {
+	d := buildBufChain(t, 7)
+	l1 := d.Levelization()
+	d.RebuildFanout()
+	l2 := d.Levelization()
+	if len(l1.Comps) != len(l2.Comps) || l1.MaxLevel != l2.MaxLevel {
+		t.Fatalf("shape differs: %d/%d comps, maxlevel %d/%d",
+			len(l1.Comps), len(l2.Comps), l1.MaxLevel, l2.MaxLevel)
+	}
+	for i := range l1.Comp {
+		if l1.Comp[i] != l2.Comp[i] {
+			t.Fatalf("component assignment differs at primitive %d: %d vs %d", i, l1.Comp[i], l2.Comp[i])
+		}
+	}
+	for ci := range l1.Comps {
+		a, b := l1.Comps[ci], l2.Comps[ci]
+		if a.Level != b.Level || a.Seq != b.Seq || a.Feedback != b.Feedback || len(a.Members) != len(b.Members) {
+			t.Fatalf("component %d differs: %+v vs %+v", ci, a, b)
+		}
+	}
+}

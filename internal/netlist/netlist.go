@@ -7,6 +7,7 @@ package netlist
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"scaldtv/internal/assertion"
 	"scaldtv/internal/tick"
@@ -203,6 +204,11 @@ type Design struct {
 	Cases []Case
 
 	byName map[string]NetID
+
+	// level caches the SCC condensation + levelization of the primitive
+	// graph (Levelization).  It is derived from the fanout index;
+	// RebuildFanout invalidates it.
+	level atomic.Pointer[Levelization]
 }
 
 // Env returns the assertion-rendering environment of the design.
@@ -298,6 +304,7 @@ func (d *Design) Drivers(n NetID) []PrimID {
 // RebuildFanout recomputes every net's fanout list (the CALL LIST ARRAY of
 // Table 3-3) from the primitive connections.
 func (d *Design) RebuildFanout() {
+	d.level.Store(nil)
 	for i := range d.Nets {
 		d.Nets[i].Fanout = d.Nets[i].Fanout[:0]
 		d.Nets[i].Driver = NoDriver

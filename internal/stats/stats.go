@@ -166,6 +166,15 @@ type Table31 struct {
 	DirtyNets    int
 	ReusedWaves  int
 	ReverifyTime time.Duration
+
+	// Wavefront-scheduler counters (PR 4): populated when intra-case
+	// parallel relaxation ran (IntraWorkers > 1).  All zero for the
+	// serial worklist.
+	IntraWorkers int
+	Levels       int
+	SCCs         int
+	FeedbackSCCs int
+	Sweeps       int
 }
 
 // FromVerify fills the verifier-side rows.
@@ -185,6 +194,11 @@ func (t *Table31) FromVerify(s verify.Stats) {
 	t.DirtyNets = s.DirtyNets
 	t.ReusedWaves = s.ReusedWaves
 	t.ReverifyTime = s.ReverifyTime
+	t.IntraWorkers = s.IntraWorkers
+	t.Levels = s.Levels
+	t.SCCs = s.SCCs
+	t.FeedbackSCCs = s.FeedbackSCCs
+	t.Sweeps = s.Sweeps
 }
 
 // CacheHitRate is the fraction of scheduled primitive evaluations served
@@ -236,6 +250,13 @@ func (t Table31) String() string {
 			t.CacheHits, t.CacheMisses, 100*t.CacheHitRate())
 		fmt.Fprintf(&sb, "    interned waveforms             %d distinct, %d stores deduplicated\n",
 			t.Interned, t.Deduped)
+	}
+	if t.IntraWorkers > 0 {
+		sb.WriteString("  WAVEFRONT SCHEDULER\n")
+		fmt.Fprintf(&sb, "    intra-case workers             %d\n", t.IntraWorkers)
+		fmt.Fprintf(&sb, "    topological levels             %d\n", t.Levels)
+		fmt.Fprintf(&sb, "    components                     %d (%d feedback)\n", t.SCCs, t.FeedbackSCCs)
+		fmt.Fprintf(&sb, "    relaxation sweeps              %d\n", t.Sweeps)
 	}
 	if t.Incremental {
 		sb.WriteString("  INCREMENTAL REVERIFY\n")

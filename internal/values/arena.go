@@ -1,0 +1,67 @@
+package values
+
+import "scaldtv/internal/tick"
+
+// Arena is a bump allocator for the scratch slices the waveform algebra
+// builds while evaluating a primitive: segment lists and boundary lists.
+// One evaluation of a wide primitive performs dozens of small slice
+// allocations (delay chains, paint splits, combine boundaries); carving
+// them out of a shared chunk turns those into a handful of chunk
+// allocations.
+//
+// The arena is deliberately never reset: handed-out slices stay valid
+// forever, and a chunk becomes ordinary garbage once nothing references
+// it.  Long-lived consumers (the interner, the evaluation cache) copy what
+// they keep, so chunks die with the relaxation that filled them.  A nil
+// *Arena is valid and falls back to plain heap allocation.
+//
+// An Arena is NOT safe for concurrent use; the verifier keeps one per
+// worker.
+type Arena struct {
+	segs  []Segment
+	times []tick.Time
+}
+
+const (
+	arenaChunkSegs  = 8192 // 16 B each → 128 KiB chunks
+	arenaChunkTimes = 4096
+)
+
+// newSegs returns an empty segment slice with the given capacity, carved
+// from the arena when the request is small enough to batch.
+func (a *Arena) newSegs(capacity int) []Segment {
+	if a == nil {
+		return make([]Segment, 0, capacity)
+	}
+	if capacity > len(a.segs) {
+		if capacity > arenaChunkSegs/8 {
+			// Oversized request: don't burn most of a chunk on it.
+			return make([]Segment, 0, capacity)
+		}
+		a.segs = make([]Segment, arenaChunkSegs)
+	}
+	out := a.segs[:0:capacity]
+	a.segs = a.segs[capacity:]
+	return out
+}
+
+// makeSegs returns a zeroed segment slice of length n from the arena.
+func (a *Arena) makeSegs(n int) []Segment {
+	return a.newSegs(n)[:n]
+}
+
+// newTimes returns an empty boundary slice with the given capacity.
+func (a *Arena) newTimes(capacity int) []tick.Time {
+	if a == nil {
+		return make([]tick.Time, 0, capacity)
+	}
+	if capacity > len(a.times) {
+		if capacity > arenaChunkTimes/8 {
+			return make([]tick.Time, 0, capacity)
+		}
+		a.times = make([]tick.Time, arenaChunkTimes)
+	}
+	out := a.times[:0:capacity]
+	a.times = a.times[capacity:]
+	return out
+}

@@ -74,6 +74,11 @@ func canonEqual(a, b Waveform) bool {
 	return true
 }
 
+// internShards is the number of independent lock stripes.  Must be a
+// power of two.  Waveforms are routed to a stripe by fingerprint, so
+// concurrent interning of distinct waveforms rarely contends on a lock.
+const internShards = 32
+
 // Interner deduplicates waveforms (hash-consing): semantically Equal
 // waveforms intern to one shared canonical copy — so their segment storage
 // is shared — and to one unique handle.  Distinct waveforms always receive
@@ -81,12 +86,19 @@ func canonEqual(a, b Waveform) bool {
 // handles stand in for full waveform comparisons: id(a) == id(b) ⇔
 // a.Equal(b).
 //
-// An Interner is safe for concurrent use.
+// An Interner is safe for concurrent use.  The table is striped into
+// internShards independently locked shards keyed by fingerprint; handle
+// ids come from one shared atomic counter, so ids are unique across the
+// whole table but their numeric order depends on interning order.
 type Interner struct {
+	shards [internShards]internShard
+	next   atomic.Uint64
+	hits   atomic.Int64
+}
+
+type internShard struct {
 	mu      sync.RWMutex
 	buckets map[uint64][]internEntry
-	next    uint64
-	hits    atomic.Int64
 }
 
 type internEntry struct {
@@ -96,7 +108,11 @@ type internEntry struct {
 
 // NewInterner returns an empty interning table.
 func NewInterner() *Interner {
-	return &Interner{buckets: make(map[uint64][]internEntry)}
+	in := &Interner{}
+	for i := range in.shards {
+		in.shards[i].buckets = make(map[uint64][]internEntry)
+	}
+	return in
 }
 
 // Intern returns the canonical copy of w and its unique handle.  The first
@@ -107,28 +123,34 @@ func (in *Interner) Intern(w Waveform) (Waveform, uint64) {
 		w = w.normalize()
 	}
 	fp := w.Fingerprint()
-	in.mu.RLock()
-	for _, e := range in.buckets[fp] {
+	sh := &in.shards[fp&(internShards-1)]
+	sh.mu.RLock()
+	for _, e := range sh.buckets[fp] {
 		if canonEqual(e.w, w) {
-			in.mu.RUnlock()
+			sh.mu.RUnlock()
 			in.hits.Add(1)
 			return e.w, e.id
 		}
 	}
-	in.mu.RUnlock()
-	in.mu.Lock()
-	defer in.mu.Unlock()
+	sh.mu.RUnlock()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	// Re-check under the write lock: another goroutine may have inserted
 	// the same waveform between the two lock acquisitions.
-	for _, e := range in.buckets[fp] {
+	for _, e := range sh.buckets[fp] {
 		if canonEqual(e.w, w) {
 			in.hits.Add(1)
 			return e.w, e.id
 		}
 	}
-	in.next++
-	e := internEntry{w: w, id: in.next}
-	in.buckets[fp] = append(in.buckets[fp], e)
+	// The canonical copy owns its segment storage: the incoming slice may
+	// live in a caller's scratch arena, and the table must not pin (or
+	// alias) that memory.
+	if len(w.Segs) > 0 {
+		w.Segs = append([]Segment(nil), w.Segs...)
+	}
+	e := internEntry{w: w, id: in.next.Add(1)}
+	sh.buckets[fp] = append(sh.buckets[fp], e)
 	return e.w, e.id
 }
 
@@ -136,7 +158,5 @@ func (in *Interner) Intern(w Waveform) (Waveform, uint64) {
 // waveforms stored, shared the number of Intern calls that were served an
 // existing copy (the storage actually deduplicated).
 func (in *Interner) Stats() (unique, shared int) {
-	in.mu.RLock()
-	defer in.mu.RUnlock()
-	return int(in.next), int(in.hits.Load())
+	return int(in.next.Load()), int(in.hits.Load())
 }

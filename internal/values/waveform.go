@@ -34,10 +34,15 @@ type Waveform struct {
 
 // Const returns a waveform holding v for the entire period.
 func Const(period tick.Time, v Value) Waveform {
+	return ConstA(period, v, nil)
+}
+
+// ConstA is Const allocating the segment list from a (nil a → heap).
+func ConstA(period tick.Time, v Value, a *Arena) Waveform {
 	if period <= 0 {
 		panic("values: non-positive period")
 	}
-	return Waveform{Period: period, Segs: []Segment{{V: v, W: period}}}
+	return Waveform{Period: period, Segs: append(a.newSegs(1), Segment{V: v, W: period})}
 }
 
 // Span paints value V over [Start, End) when building a waveform.  A span
@@ -91,7 +96,30 @@ func (w Waveform) Check() error {
 // segments may legitimately hold the same value (a run crossing the cycle
 // boundary).
 func (w Waveform) normalize() Waveform {
-	out := make([]Segment, 0, len(w.Segs))
+	return w.normalizeA(nil)
+}
+
+func (w Waveform) normalizeA(a *Arena) Waveform {
+	out := a.newSegs(len(w.Segs))
+	for _, s := range w.Segs {
+		if s.W == 0 {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].V == s.V {
+			out[n-1].W += s.W
+			continue
+		}
+		out = append(out, s)
+	}
+	w.Segs = out
+	return w
+}
+
+// normalizeOwned is normalize for a waveform that exclusively owns its
+// freshly built segment slice: compaction happens in place, allocating
+// nothing.  Must not be called on a slice that may be shared.
+func (w Waveform) normalizeOwned() Waveform {
+	out := w.Segs[:0]
 	for _, s := range w.Segs {
 		if s.W == 0 {
 			continue
@@ -140,8 +168,13 @@ func (w Waveform) At(t tick.Time) Value {
 // exactly at the cycle boundary expressed as end == 0, ...) has zero
 // effective width and paints nothing.
 func (w Waveform) Paint(start, end tick.Time, v Value) Waveform {
+	return w.PaintA(start, end, v, nil)
+}
+
+// PaintA is Paint allocating scratch from a (nil a → heap).
+func (w Waveform) PaintA(start, end tick.Time, v Value, a *Arena) Waveform {
 	if end-start >= w.Period {
-		out := Const(w.Period, v)
+		out := ConstA(w.Period, v, a)
 		out.Skew = w.Skew
 		return out
 	}
@@ -151,14 +184,15 @@ func (w Waveform) Paint(start, end tick.Time, v Value) Waveform {
 		return w
 	}
 	if s < e {
-		return w.paintLinear(s, e, v)
+		return w.paintLinear(s, e, v, a)
 	}
 	// Wrapping span: paint the tail and the head separately.
-	return w.paintLinear(s, w.Period, v).paintLinear(0, e, v)
+	return w.paintLinear(s, w.Period, v, a).paintLinear(0, e, v, a)
 }
 
-func (w Waveform) paintLinear(s, e tick.Time, v Value) Waveform {
+func (w Waveform) paintLinear(s, e tick.Time, v Value, a *Arena) Waveform {
 	out := Waveform{Period: w.Period, Skew: w.Skew}
+	out.Segs = a.newSegs(len(w.Segs) + 2)
 	var pos tick.Time
 	for _, seg := range w.Segs {
 		segStart, segEnd := pos, pos+seg.W
@@ -173,23 +207,29 @@ func (w Waveform) paintLinear(s, e tick.Time, v Value) Waveform {
 			out.Segs = append(out.Segs, Segment{V: seg.V, W: hi - lo})
 		}
 	}
-	return out.normalize()
+	return out.normalizeOwned()
 }
 
 // Rotate shifts the waveform later in time by d: out(t) = in(t-d).
 // d may be negative or exceed the period.
 func (w Waveform) Rotate(d tick.Time) Waveform {
+	return w.RotateA(d, nil)
+}
+
+// RotateA is Rotate allocating scratch from a (nil a → heap).
+func (w Waveform) RotateA(d tick.Time, a *Arena) Waveform {
 	d = tick.Mod(d, w.Period)
 	if d == 0 {
 		out := w
-		out.Segs = append([]Segment(nil), w.Segs...)
-		return out.normalize()
+		out.Segs = append(a.newSegs(len(w.Segs)), w.Segs...)
+		return out.normalizeOwned()
 	}
 	// The original point at time P-d becomes the new time 0.
 	cut := w.Period - d
 	out := Waveform{Period: w.Period, Skew: w.Skew}
+	out.Segs = a.newSegs(len(w.Segs) + 1)
 	var pos tick.Time
-	var tail []Segment
+	tail := a.newSegs(len(w.Segs))
 	for _, seg := range w.Segs {
 		segStart, segEnd := pos, pos+seg.W
 		pos = segEnd
@@ -204,17 +244,22 @@ func (w Waveform) Rotate(d tick.Time) Waveform {
 		}
 	}
 	out.Segs = append(out.Segs, tail...)
-	return out.normalize()
+	return out.normalizeOwned()
 }
 
 // Delay applies a min/max propagation delay (Fig 2-8): the waveform is
 // shifted by the minimum delay, and the delay uncertainty accumulates into
 // the out-of-band skew.
 func (w Waveform) Delay(r tick.Range) Waveform {
+	return w.DelayA(r, nil)
+}
+
+// DelayA is Delay allocating scratch from a (nil a → heap).
+func (w Waveform) DelayA(r tick.Range, a *Arena) Waveform {
 	if !r.Valid() {
 		panic(fmt.Sprintf("values: invalid delay range %v", r))
 	}
-	out := w.Rotate(r.Min)
+	out := w.RotateA(r.Min, a)
 	out.Skew += r.Width()
 	return out
 }
@@ -232,26 +277,31 @@ func (w Waveform) Delay(r tick.Range) Waveform {
 // For value-unknown waveforms the paper's conservative rule applies: the
 // envelope of the two delays (their combined min/max).
 func (w Waveform) DelayRF(rise, fall tick.Range) Waveform {
+	return w.DelayRFA(rise, fall, nil)
+}
+
+// DelayRFA is DelayRF allocating scratch from a (nil a → heap).
+func (w Waveform) DelayRFA(rise, fall tick.Range, a *Arena) Waveform {
 	if !rise.Valid() || !fall.Valid() {
 		panic(fmt.Sprintf("values: invalid rise/fall delay %v %v", rise, fall))
 	}
 	if rise == fall {
-		return w.Delay(rise)
+		return w.DelayA(rise, a)
 	}
 	env := tick.Range{Min: min(rise.Min, fall.Min), Max: max(rise.Max, fall.Max)}
 	for _, s := range w.Segs {
 		if s.V != V0 && s.V != V1 {
-			return w.Delay(env)
+			return w.DelayA(env, a)
 		}
 	}
 	if v, ok := w.ConstantValue(); ok {
-		return Const(w.Period, v).WithSkew(w.Skew)
+		return ConstA(w.Period, v, a).WithSkew(w.Skew)
 	}
 	// The carried skew shifts both edge kinds alike; fold it into the
 	// per-edge uncertainty.
 	rise = tick.Range{Min: rise.Min, Max: rise.Max + w.Skew}
 	fall = tick.Range{Min: fall.Min, Max: fall.Max + w.Skew}
-	out := Const(w.Period, V0)
+	out := ConstA(w.Period, V0, a)
 	for _, r := range w.Runs() {
 		if r.V != V1 {
 			continue
@@ -261,12 +311,12 @@ func (w Waveform) DelayRF(rise, fall tick.Range) Waveform {
 		if riseEnd >= fallStart {
 			// The delayed edges may cross: the pulse may be arbitrarily
 			// narrow or absent.
-			out = out.Paint(s+rise.Min, e+fall.Max, VC)
+			out = out.PaintA(s+rise.Min, e+fall.Max, VC, a)
 			continue
 		}
-		out = out.Paint(s+rise.Min, riseEnd, VR)
-		out = out.Paint(riseEnd, fallStart, V1)
-		out = out.Paint(fallStart, e+fall.Max, VF)
+		out = out.PaintA(s+rise.Min, riseEnd, VR, a)
+		out = out.PaintA(riseEnd, fallStart, V1, a)
+		out = out.PaintA(fallStart, e+fall.Max, VF, a)
 	}
 	return out
 }
@@ -283,22 +333,33 @@ func (w Waveform) WithSkew(s tick.Time) Waveform {
 // MapUnary applies f pointwise.  Skew is preserved: a pointwise function of
 // a single signal commutes with the uniform time shift skew represents.
 func (w Waveform) MapUnary(f func(Value) Value) Waveform {
-	out := Waveform{Period: w.Period, Skew: w.Skew, Segs: make([]Segment, len(w.Segs))}
+	return w.MapUnaryA(f, nil)
+}
+
+// MapUnaryA is MapUnary allocating scratch from a (nil a → heap).
+func (w Waveform) MapUnaryA(f func(Value) Value, a *Arena) Waveform {
+	out := Waveform{Period: w.Period, Skew: w.Skew, Segs: a.makeSegs(len(w.Segs))}
 	for i, s := range w.Segs {
 		out.Segs[i] = Segment{V: f(s.V), W: s.W}
 	}
-	return out.normalize()
+	return out.normalizeOwned()
 }
 
 // IncorporateSkew folds the out-of-band skew into the segments (Fig 2-9):
 // every transition a→b widens into a band of Mix(a, b) of the skew's
 // duration, because the transition may occur anywhere within it.
 func (w Waveform) IncorporateSkew() Waveform {
+	return w.IncorporateSkewA(nil)
+}
+
+// IncorporateSkewA is IncorporateSkew allocating scratch from a (nil a →
+// heap).
+func (w Waveform) IncorporateSkewA(a *Arena) Waveform {
 	if w.Skew == 0 {
-		return w.normalize()
+		return w.normalizeA(a)
 	}
 	if v, ok := w.ConstantValue(); ok {
-		return Const(w.Period, v)
+		return ConstA(w.Period, v, a)
 	}
 	runs := w.Runs()
 	if w.Skew >= w.Period {
@@ -310,7 +371,7 @@ func (w Waveform) IncorporateSkew() Waveform {
 				acc = Mix(acc, r.V)
 			}
 		}
-		return Const(w.Period, acc)
+		return ConstA(w.Period, acc, a)
 	}
 	// Work in linear (unrolled) time over [0, 2P): each run appears twice.
 	type linRun struct {
@@ -326,18 +387,16 @@ func (w Waveform) IncorporateSkew() Waveform {
 	sort.Slice(lin, func(i, j int) bool { return lin[i].start < lin[j].start })
 
 	// Elementary boundaries: run starts and run starts shifted by skew.
-	bset := map[tick.Time]bool{0: true}
+	bounds := a.newTimes(2*len(runs) + 1)
+	bounds = append(bounds, 0)
 	for _, r := range runs {
-		bset[tick.Mod(r.Start, w.Period)] = true
-		bset[tick.Mod(r.Start+w.Skew, w.Period)] = true
+		bounds = append(bounds, tick.Mod(r.Start, w.Period))
+		bounds = append(bounds, tick.Mod(r.Start+w.Skew, w.Period))
 	}
-	bounds := make([]tick.Time, 0, len(bset))
-	for b := range bset {
-		bounds = append(bounds, b)
-	}
-	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	bounds = sortDedup(bounds)
 
 	out := Waveform{Period: w.Period}
+	out.Segs = a.newSegs(len(bounds))
 	for i, b := range bounds {
 		next := w.Period
 		if i+1 < len(bounds) {
@@ -367,7 +426,20 @@ func (w Waveform) IncorporateSkew() Waveform {
 		}
 		out.Segs = append(out.Segs, Segment{V: acc, W: next - b})
 	}
-	return out.normalize()
+	return out.normalizeOwned()
+}
+
+// sortDedup sorts the boundary list ascending and removes duplicates in
+// place.
+func sortDedup(ts []tick.Time) []tick.Time {
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	out := ts[:0]
+	for i, t := range ts {
+		if i == 0 || t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // Combine merges two waveforms pointwise with f.  If either operand is
@@ -376,19 +448,25 @@ func (w Waveform) IncorporateSkew() Waveform {
 // Otherwise both skews are incorporated first, as the paper requires when
 // two changing signals meet (§2.8).
 func Combine(a, b Waveform, f func(Value, Value) Value) Waveform {
+	return CombineA(a, b, f, nil)
+}
+
+// CombineA is Combine allocating scratch from ar (nil ar → heap).
+func CombineA(a, b Waveform, f func(Value, Value) Value, ar *Arena) Waveform {
 	if a.Period != b.Period {
 		panic(fmt.Sprintf("values: combining waveforms with different periods %v and %v", a.Period, b.Period))
 	}
 	if v, ok := a.ConstantValue(); ok {
-		return b.MapUnary(func(x Value) Value { return f(v, x) })
+		return b.MapUnaryA(func(x Value) Value { return f(v, x) }, ar)
 	}
 	if v, ok := b.ConstantValue(); ok {
-		return a.MapUnary(func(x Value) Value { return f(x, v) })
+		return a.MapUnaryA(func(x Value) Value { return f(x, v) }, ar)
 	}
-	ai := a.IncorporateSkew()
-	bi := b.IncorporateSkew()
-	bounds := mergedBoundaries(ai, bi)
+	ai := a.IncorporateSkewA(ar)
+	bi := b.IncorporateSkewA(ar)
+	bounds := mergedBoundariesA(ai, bi, ar)
 	out := Waveform{Period: a.Period}
+	out.Segs = ar.newSegs(len(bounds))
 	for i, t := range bounds {
 		next := a.Period
 		if i+1 < len(bounds) {
@@ -399,17 +477,22 @@ func Combine(a, b Waveform, f func(Value, Value) Value) Waveform {
 		}
 		out.Segs = append(out.Segs, Segment{V: f(ai.At(t), bi.At(t)), W: next - t})
 	}
-	return out.normalize()
+	return out.normalizeOwned()
 }
 
 // CombineN folds waveforms left to right with f.
 func CombineN(f func(Value, Value) Value, ws ...Waveform) Waveform {
+	return CombineNA(f, ws, nil)
+}
+
+// CombineNA is CombineN allocating scratch from ar (nil ar → heap).
+func CombineNA(f func(Value, Value) Value, ws []Waveform, ar *Arena) Waveform {
 	if len(ws) == 0 {
 		panic("values: CombineN of nothing")
 	}
 	out := ws[0]
 	for _, w := range ws[1:] {
-		out = Combine(out, w, f)
+		out = CombineA(out, w, f, ar)
 	}
 	return out
 }
@@ -420,6 +503,11 @@ func CombineN(f func(Value, Value) Value, ws ...Waveform) Waveform {
 // non-constant its skew is preserved; otherwise every skew is incorporated
 // first.
 func CombineAll(f func([]Value) Value, ws ...Waveform) Waveform {
+	return CombineAllA(f, ws, nil)
+}
+
+// CombineAllA is CombineAll allocating scratch from ar (nil ar → heap).
+func CombineAllA(f func([]Value) Value, ws []Waveform, ar *Arena) Waveform {
 	if len(ws) == 0 {
 		panic("values: CombineAll of nothing")
 	}
@@ -442,30 +530,31 @@ func CombineAll(f func([]Value) Value, ws ...Waveform) Waveform {
 	switch nVarying {
 	case 0:
 		copy(vs, consts)
-		return Const(period, f(vs))
+		return ConstA(period, f(vs), ar)
 	case 1:
-		return ws[varying].MapUnary(func(x Value) Value {
+		return ws[varying].MapUnaryA(func(x Value) Value {
 			copy(vs, consts)
 			vs[varying] = x
 			return f(vs)
-		})
+		}, ar)
 	}
 	inc := make([]Waveform, len(ws))
-	bset := map[tick.Time]bool{0: true}
+	nb := 1
 	for i, w := range ws {
-		inc[i] = w.IncorporateSkew()
+		inc[i] = w.IncorporateSkewA(ar)
+		nb += len(inc[i].Segs)
+	}
+	bounds := append(ar.newTimes(nb), 0)
+	for i := range inc {
 		var pos tick.Time
 		for _, s := range inc[i].Segs {
-			bset[pos] = true
+			bounds = append(bounds, pos)
 			pos += s.W
 		}
 	}
-	bounds := make([]tick.Time, 0, len(bset))
-	for t := range bset {
-		bounds = append(bounds, t)
-	}
-	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	bounds = sortDedup(bounds)
 	out := Waveform{Period: period}
+	out.Segs = ar.newSegs(len(bounds))
 	for i, t := range bounds {
 		next := period
 		if i+1 < len(bounds) {
@@ -479,26 +568,37 @@ func CombineAll(f func([]Value) Value, ws ...Waveform) Waveform {
 		}
 		out.Segs = append(out.Segs, Segment{V: f(vs), W: next - t})
 	}
-	return out.normalize()
+	return out.normalizeOwned()
 }
 
-func mergedBoundaries(a, b Waveform) []tick.Time {
-	bset := map[tick.Time]bool{0: true}
-	var pos tick.Time
-	for _, s := range a.Segs {
-		bset[pos] = true
-		pos += s.W
+// mergedBoundariesA merges the segment boundaries of two waveforms into
+// one sorted, deduplicated list.  Both boundary sequences are already
+// ascending (cumulative sums of positive widths), so this is a two-pointer
+// merge with no map and no sort.
+func mergedBoundariesA(a, b Waveform, ar *Arena) []tick.Time {
+	out := ar.newTimes(len(a.Segs) + len(b.Segs))
+	var pa, pb tick.Time
+	ia, ib := 0, 0
+	for ia < len(a.Segs) || ib < len(b.Segs) {
+		var t tick.Time
+		switch {
+		case ib >= len(b.Segs) || (ia < len(a.Segs) && pa <= pb):
+			t = pa
+			if pa == pb && ib < len(b.Segs) {
+				pb += b.Segs[ib].W
+				ib++
+			}
+			pa += a.Segs[ia].W
+			ia++
+		default:
+			t = pb
+			pb += b.Segs[ib].W
+			ib++
+		}
+		if n := len(out); n == 0 || out[n-1] != t {
+			out = append(out, t)
+		}
 	}
-	pos = 0
-	for _, s := range b.Segs {
-		bset[pos] = true
-		pos += s.W
-	}
-	out := make([]tick.Time, 0, len(bset))
-	for t := range bset {
-		out = append(out, t)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -508,7 +608,7 @@ func (w Waveform) Equal(o Waveform) bool {
 	if w.Period != o.Period || w.Skew != o.Skew {
 		return false
 	}
-	for _, t := range mergedBoundaries(w, o) {
+	for _, t := range mergedBoundariesA(w, o, nil) {
 		if w.At(t) != o.At(t) {
 			return false
 		}

@@ -394,10 +394,10 @@ func (v *verifier) checkAssertions(caseLabel string) []Violation {
 				}
 			}
 		case assertion.Clock, assertion.PrecisionClock:
-			computed, ok := v.altOut[id]
-			if !ok {
+			if !v.altOutSet[id] {
 				continue
 			}
+			computed := v.altOutW[id]
 			if !computed.IncorporateSkew().Equal(v.initial[id].IncorporateSkew()) {
 				reported[key] = true
 				out = append(out, Violation{

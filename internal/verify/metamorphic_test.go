@@ -156,6 +156,7 @@ func TestMetamorphicReverify(t *testing.T) {
 		{"plain", gen.Config{Chips: 34, Cases: 2, Inject: 1}, Options{KeepWaves: true, Margins: true}},
 		{"varcycle", gen.Config{Chips: 51, VariableCycle: true, Cases: 2}, Options{KeepWaves: true, Margins: true}},
 		{"nocache", gen.Config{Chips: 34, Cases: 2}, Options{KeepWaves: true, Margins: true, NoCache: true}},
+		{"intra", gen.Config{Chips: 34, Cases: 2, Inject: 1}, Options{KeepWaves: true, Margins: true, IntraWorkers: 4}},
 	}
 	const steps = 5
 	for _, workers := range []int{1, 2, 8} {

@@ -157,9 +157,11 @@ func (V *Verifier) run(retain bool) (*Result, error) {
 		res.Stats.PrimEvals += o.cr.PrimEvals
 		res.Stats.VerifyTime += o.verifyTime
 		res.Stats.CheckTime += o.checkTime
+		res.Stats.Sweeps += o.sweeps
 	}
 	res.Stats.Cases = len(res.Cases)
 	res.Stats.Workers = workers
+	V.opts.fillWavefrontStats(d, &res.Stats)
 	res.Stats.WallTime = time.Since(wallStart)
 	if v.cache != nil {
 		res.Stats.CacheHits, res.Stats.CacheMisses, _ = v.cache.Stats()
@@ -277,9 +279,11 @@ func (V *Verifier) Reverify(ch netlist.Changes) (*Result, error) {
 		res.Stats.VerifyTime += o.verifyTime
 		res.Stats.CheckTime += o.checkTime
 		res.Stats.ReusedWaves += o.reused
+		res.Stats.Sweeps += o.sweeps
 	}
 	res.Stats.Cases = len(res.Cases)
 	res.Stats.Workers = workers
+	V.opts.fillWavefrontStats(d, &res.Stats)
 	res.Stats.WallTime = time.Since(wallStart)
 	res.Stats.ReverifyTime = time.Since(buildStart)
 	if V.cache != nil {
@@ -320,7 +324,7 @@ func (V *Verifier) Update(nd *netlist.Design) (res *Result, incremental bool, er
 // waveforms stop moving, then recheck with the per-site memo.
 func (v *verifier) reverifyCase(c netlist.Case, ch netlist.Changes, dirtyPrim []bool) caseOutcome {
 	verifyStart := time.Now()
-	v.events, v.evals = 0, 0
+	v.events, v.evals, v.sweeps = 0, 0, 0
 	if v.changed == nil {
 		v.changed = make([]bool, len(v.d.Nets))
 	} else {
@@ -346,7 +350,7 @@ func (v *verifier) reverifyCase(c netlist.Case, ch netlist.Changes, dirtyPrim []
 		v.enqueue(pi) // enqueue ignores checker primitives itself
 	}
 	conv := v.relax()
-	out := caseOutcome{verifyTime: time.Since(verifyStart)}
+	out := caseOutcome{verifyTime: time.Since(verifyStart), sweeps: v.sweeps}
 
 	checkStart := time.Now()
 	cr := CaseResult{Label: c.Label, Events: v.events, PrimEvals: v.evals}

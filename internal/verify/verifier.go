@@ -41,6 +41,22 @@ type Options struct {
 	// few cases (or deep sharing between consecutive case cones) the
 	// sequential incremental schedule can do strictly less work.
 	Workers int
+	// IntraWorkers bounds the number of workers evaluating primitives
+	// concurrently *within* one case.  0 or 1 preserves the paper's
+	// serial event-driven worklist (§2.9).  Greater values switch the
+	// relaxation to levelized wavefront scheduling: the primitive graph
+	// is condensed into strongly connected components with sequential
+	// edges cut (netlist.Levelization), acyclic levels evaluate their
+	// ready components in parallel, feedback components converge with a
+	// scoped serial worklist, and components containing storage run in a
+	// serial phase at the end of each sweep.  Because the relaxation is a
+	// confluent fixed-point iteration from an identical seed, the
+	// converged waveforms — and hence violations, margins, kept waves and
+	// the cross-reference — are bit-identical to the serial engine for
+	// every IntraWorkers value; only wall-clock time and the cache
+	// hit/miss split vary.  Composes with Workers: each case worker runs
+	// its own intra-case pool.
+	IntraWorkers int
 	// NoCache disables evaluation memoization.  By default (zero value)
 	// the verifier interns waveforms so equal ones share storage and
 	// memoizes primitive evaluations on (kind, parameters, processed
@@ -51,6 +67,28 @@ type Options struct {
 	// Workers value; only the Stats cache counters differ.  The scaldtv
 	// driver exposes this as the -cache=false escape hatch.
 	NoCache bool
+}
+
+// intraWorkers resolves the effective intra-case worker count: 1 selects
+// the serial worklist engine, anything greater the wavefront scheduler.
+func (o Options) intraWorkers() int {
+	if o.IntraWorkers < 1 {
+		return 1
+	}
+	return o.IntraWorkers
+}
+
+// fillWavefrontStats records the levelization shape in the stats when the
+// wavefront engine is selected.
+func (o Options) fillWavefrontStats(d *netlist.Design, s *Stats) {
+	if o.intraWorkers() <= 1 {
+		return
+	}
+	lev := d.Levelization()
+	s.IntraWorkers = o.intraWorkers()
+	s.Levels = len(lev.Levels)
+	s.SCCs = len(lev.Comps)
+	s.FeedbackSCCs = lev.Feedback
 }
 
 // workers resolves the effective worker count for a case list.
@@ -80,6 +118,18 @@ type Stats struct {
 	PrimEvals  int // primitive evaluations scheduled, summed over all cases
 	Cases      int // case-analysis cycles simulated
 	Workers    int // case-evaluation workers actually used
+
+	// Wavefront-scheduling counters, set only when Options.IntraWorkers
+	// selects the levelized engine (IntraWorkers > 1).  Levels, SCCs and
+	// FeedbackSCCs describe the design's cached levelization; Sweeps
+	// counts level sweeps to fixed point, summed over all cases, and is
+	// deterministic for a given design and edit — it does not depend on
+	// the worker count.
+	IntraWorkers int // intra-case evaluation workers
+	Levels       int // topological levels of the condensed acyclic graph
+	SCCs         int // strongly connected components (checkers excluded)
+	FeedbackSCCs int // components needing local fixed-point iteration
+	Sweeps       int // wavefront sweeps to fixed point, all cases
 
 	// Evaluation-cache counters (zero when Options.NoCache is set).  Hit
 	// and miss totals are summed over all cases and workers; because the
@@ -140,17 +190,26 @@ func (r *Result) Errors() bool { return len(r.Violations) > 0 }
 type verifier struct {
 	d       *netlist.Design
 	opts    Options
-	sigs    []eval.Signal                     // current signal per net
-	initial []values.Waveform                 // assertion/default seed per net
-	pinned  []bool                            // nets pinned to a clock assertion (§2.9)
-	altOut  map[netlist.NetID]values.Waveform // computed value of pinned driven nets
-	caseMap map[netlist.NetID]values.Value    // active case mapping (§2.7.1)
+	sigs    []eval.Signal                  // current signal per net
+	initial []values.Waveform              // assertion/default seed per net
+	pinned  []bool                         // nets pinned to a clock assertion (§2.9)
+	caseMap map[netlist.NetID]values.Value // active case mapping (§2.7.1)
 	margins []Margin
 
+	// Computed value of pinned driven nets, for the assertion
+	// cross-check.  Indexed by net so concurrent wavefront workers commit
+	// to disjoint slots.
+	altOutW   []values.Waveform
+	altOutSet []bool
+
 	// Wired-OR support: nets with several drivers keep each driver's
-	// latest output; the net's value is their OR.
-	wired    map[netlist.NetID][]netlist.PrimID
-	wiredOut map[[2]int32]values.Waveform
+	// latest output; the net's value is their OR.  wiredSlot maps each
+	// (net, driver) pair to its slot in the per-verifier output tables;
+	// it is built once and shared immutably across case workers.
+	wired       map[netlist.NetID][]netlist.PrimID
+	wiredSlot   map[[2]int32]int
+	wiredOutW   []values.Waveform
+	wiredOutSet []bool
 
 	// Evaluation memoization (nil when Options.NoCache is set).  The
 	// interner and cache are shared by every case worker: each case
@@ -159,16 +218,29 @@ type verifier struct {
 	// of every waveform downstream of it, so the forced cone can never be
 	// served stale entries — the key, not an invalidation walk, carries
 	// the dependency.  sigID holds the interned handle of each net's
-	// current waveform; keyBuf is per-worker scratch for key building.
+	// current waveform.
 	intern *values.Interner
 	cache  *eval.Cache
 	sigID  []uint64
-	keyBuf []byte
 
+	// scratch is the serial engine's evaluation scratch (key buffer,
+	// segment arena, getter closures), created lazily; netBuf collects
+	// the nets changed by one evaluation.  wfScratch holds the wavefront
+	// engine's per-worker scratches (worker 0's doubles as the serial
+	// phase's), created lazily and reused across sweeps and cases.
+	scratch   *evalScratch
+	netBuf    []netlist.NetID
+	wfScratch []*evalScratch
+
+	// The serial worklist is a queue with an explicit head index — a pop
+	// advances qhead instead of re-slicing, so the backing array is
+	// compacted and reused rather than pinned and regrown.
 	queue   []netlist.PrimID
+	qhead   int
 	inQueue []bool
 	events  int
 	evals   int
+	sweeps  int // wavefront sweeps in the current case (intra engine only)
 
 	// Incremental re-verification state, used only by Verifier-retained
 	// case verifiers: changed marks nets whose stored waveform (or Dirs)
@@ -234,14 +306,15 @@ func (v *verifier) seedWave(id netlist.NetID) (w values.Waveform, pinned, undef 
 // NoCache asks for none.
 func initVerifier(d *netlist.Design, opts Options, intern *values.Interner, cache *eval.Cache) (*verifier, *Result, error) {
 	v := &verifier{
-		d:       d,
-		opts:    opts,
-		sigs:    make([]eval.Signal, len(d.Nets)),
-		initial: make([]values.Waveform, len(d.Nets)),
-		pinned:  make([]bool, len(d.Nets)),
-		altOut:  make(map[netlist.NetID]values.Waveform),
-		caseMap: make(map[netlist.NetID]values.Value),
-		inQueue: make([]bool, len(d.Prims)),
+		d:         d,
+		opts:      opts,
+		sigs:      make([]eval.Signal, len(d.Nets)),
+		initial:   make([]values.Waveform, len(d.Nets)),
+		pinned:    make([]bool, len(d.Nets)),
+		altOutW:   make([]values.Waveform, len(d.Nets)),
+		altOutSet: make([]bool, len(d.Nets)),
+		caseMap:   make(map[netlist.NetID]values.Value),
+		inQueue:   make([]bool, len(d.Prims)),
 	}
 	if !opts.NoCache {
 		if intern == nil {
@@ -264,12 +337,20 @@ func initVerifier(d *netlist.Design, opts Options, intern *values.Interner, cach
 			}
 		}
 		v.wired = map[netlist.NetID][]netlist.PrimID{}
-		v.wiredOut = map[[2]int32]values.Waveform{}
-		for n, c := range counts {
-			if c > 1 {
-				v.wired[n] = d.Drivers(n)
+		v.wiredSlot = map[[2]int32]int{}
+		for i := range d.Nets {
+			n := netlist.NetID(i)
+			if counts[n] <= 1 {
+				continue
+			}
+			drivers := d.Drivers(n)
+			v.wired[n] = drivers
+			for _, dp := range drivers {
+				v.wiredSlot[[2]int32{int32(n), int32(dp)}] = len(v.wiredSlot)
 			}
 		}
+		v.wiredOutW = make([]values.Waveform, len(v.wiredSlot))
+		v.wiredOutSet = make([]bool, len(v.wiredSlot))
 	}
 
 	// §2.9 step 1: initialise signals.  Clock-asserted nets are pinned to
@@ -304,6 +385,7 @@ type caseOutcome struct {
 	verifyTime time.Duration
 	checkTime  time.Duration
 	reused     int // converged waveforms carried over unchanged (incremental only)
+	sweeps     int // wavefront sweeps to fixed point (intra engine only)
 	err        error
 }
 
@@ -319,23 +401,26 @@ type caseOutcome struct {
 // only ever be served results that its own evaluation would reproduce.
 func (v *verifier) clone() *verifier {
 	w := &verifier{
-		d:       v.d,
-		opts:    v.opts,
-		sigs:    append([]eval.Signal(nil), v.sigs...),
-		initial: v.initial,
-		pinned:  v.pinned,
-		altOut:  make(map[netlist.NetID]values.Waveform),
-		caseMap: make(map[netlist.NetID]values.Value),
-		wired:   v.wired,
-		intern:  v.intern,
-		cache:   v.cache,
-		inQueue: make([]bool, len(v.d.Prims)),
+		d:         v.d,
+		opts:      v.opts,
+		sigs:      append([]eval.Signal(nil), v.sigs...),
+		initial:   v.initial,
+		pinned:    v.pinned,
+		altOutW:   make([]values.Waveform, len(v.d.Nets)),
+		altOutSet: make([]bool, len(v.d.Nets)),
+		caseMap:   make(map[netlist.NetID]values.Value),
+		wired:     v.wired,
+		wiredSlot: v.wiredSlot,
+		intern:    v.intern,
+		cache:     v.cache,
+		inQueue:   make([]bool, len(v.d.Prims)),
 	}
 	if v.sigID != nil {
 		w.sigID = append([]uint64(nil), v.sigID...)
 	}
 	if v.wired != nil {
-		w.wiredOut = map[[2]int32]values.Waveform{}
+		w.wiredOutW = make([]values.Waveform, len(v.wiredSlot))
+		w.wiredOutSet = make([]bool, len(v.wiredSlot))
 	}
 	return w
 }
@@ -349,12 +434,10 @@ func (v *verifier) snapshot() *verifier {
 	for k, val := range v.caseMap {
 		w.caseMap[k] = val
 	}
-	for k, val := range v.altOut {
-		w.altOut[k] = val
-	}
-	for k, val := range v.wiredOut {
-		w.wiredOut[k] = val
-	}
+	copy(w.altOutW, v.altOutW)
+	copy(w.altOutSet, v.altOutSet)
+	copy(w.wiredOutW, v.wiredOutW)
+	copy(w.wiredOutSet, v.wiredOutSet)
 	return w
 }
 
@@ -396,12 +479,12 @@ func (v *verifier) storeSig(id netlist.NetID, sig eval.Signal) bool {
 // install the mapping, relax to fixed point, check every constraint.
 func (v *verifier) runCase(c netlist.Case, first bool) caseOutcome {
 	verifyStart := time.Now()
-	v.events, v.evals = 0, 0
+	v.events, v.evals, v.sweeps = 0, 0, 0
 	if err := v.applyCase(c, first); err != nil {
 		return caseOutcome{err: err}
 	}
 	conv := v.relax()
-	out := caseOutcome{verifyTime: time.Since(verifyStart)}
+	out := caseOutcome{verifyTime: time.Since(verifyStart), sweeps: v.sweeps}
 
 	checkStart := time.Now()
 	cr := CaseResult{Label: c.Label, Events: v.events, PrimEvals: v.evals}
@@ -512,6 +595,38 @@ func (v *verifier) enqueue(p netlist.PrimID) {
 	v.queue = append(v.queue, p)
 }
 
+// popQueue removes and returns the head of the worklist.  The consumed
+// prefix is compacted away once it dominates the slice, so the backing
+// array stays bounded by the number of outstanding entries instead of
+// growing with the total number of pops (the [1:] re-slice it replaces
+// pinned the array head forever).
+func (v *verifier) popQueue() netlist.PrimID {
+	p := v.queue[v.qhead]
+	v.qhead++
+	switch {
+	case v.qhead == len(v.queue):
+		v.queue = v.queue[:0]
+		v.qhead = 0
+	case v.qhead >= 64 && v.qhead > len(v.queue)/2:
+		n := copy(v.queue, v.queue[v.qhead:])
+		v.queue = v.queue[:n]
+		v.qhead = 0
+	}
+	return p
+}
+
+// queueLen reports the number of outstanding worklist entries.
+func (v *verifier) queueLen() int { return len(v.queue) - v.qhead }
+
+// clearQueue empties the worklist and its membership flags.
+func (v *verifier) clearQueue() {
+	v.queue = v.queue[:0]
+	v.qhead = 0
+	for i := range v.inQueue {
+		v.inQueue[i] = false
+	}
+}
+
 func (v *verifier) fanout(id netlist.NetID) {
 	for _, p := range v.d.Nets[id].Fanout {
 		v.enqueue(p)
@@ -537,75 +652,121 @@ func (v *verifier) passCap() int {
 	return limit
 }
 
-// relax runs the event-driven evaluation to a fixed point (§2.9 step 2).
-// It reports whether the fixed point was reached within the pass cap.
-func (v *verifier) relax() bool {
-	cap := v.passCap()
-	get := func(n netlist.NetID) eval.Signal { return v.sigs[n] }
-	for len(v.queue) > 0 {
-		if v.evals >= cap {
-			v.queue = v.queue[:0]
-			for i := range v.inQueue {
-				v.inQueue[i] = false
-			}
-			return false
-		}
-		pid := v.queue[0]
-		v.queue = v.queue[1:]
-		v.inQueue[pid] = false
-		p := &v.d.Prims[pid]
-		v.evals++
-		var outs []eval.Signal
-		var err error
-		if v.cache != nil {
-			// Memoized evaluation: the key covers everything Prim reads,
-			// with input waveforms as interned handles, so a hit returns
-			// exactly what evaluation would produce.  Outputs are interned
-			// before storing so every consumer shares one copy.
-			v.keyBuf = eval.AppendKey(v.keyBuf[:0], v.d, p, get, v.waveID)
-			var ok bool
-			if outs, ok = v.cache.Get(v.keyBuf); !ok {
-				outs, err = eval.Prim(v.d, p, get)
-				if err == nil && outs != nil {
-					for i := range outs {
-						outs[i].Wave, _ = v.intern.Intern(outs[i].Wave)
-					}
-					v.cache.Put(v.keyBuf, outs)
+// evalScratch is one evaluation worker's private scratch: the cache-key
+// buffer, the waveform segment arena, and the getter closures built once
+// instead of per evaluation.  The serial engine keeps one; the wavefront
+// engine keeps one per worker.
+type evalScratch struct {
+	keyBuf []byte
+	arena  *values.Arena
+	get    eval.Getter
+	wid    eval.WaveID
+}
+
+func (v *verifier) newScratch() *evalScratch {
+	sc := &evalScratch{arena: &values.Arena{}}
+	sc.get = func(n netlist.NetID) eval.Signal { return v.sigs[n] }
+	if v.sigID != nil {
+		sc.wid = func(n netlist.NetID) uint64 { return v.sigID[n] }
+	}
+	return sc
+}
+
+// evalPrim evaluates one primitive and commits its outputs, appending
+// every net whose stored signal changed to dst.  Pinned nets go to the
+// altOut side table and are never appended; the caller owns event
+// counting and consumer scheduling.
+//
+// Under the wavefront engine this runs concurrently on several workers.
+// That is safe because every shared write lands at an index owned by this
+// primitive alone — a net has one driver (wired-OR co-drivers share a
+// component and hence a worker), so sigs/sigID/changed/altOut commits of
+// concurrently evaluated primitives never collide — and the interner and
+// cache are internally synchronized.
+func (v *verifier) evalPrim(pid netlist.PrimID, sc *evalScratch, dst []netlist.NetID) []netlist.NetID {
+	p := &v.d.Prims[pid]
+	var outs []eval.Signal
+	var err error
+	if v.cache != nil {
+		// Memoized evaluation: the key covers everything Prim reads,
+		// with input waveforms as interned handles, so a hit returns
+		// exactly what evaluation would produce.  Outputs are interned
+		// before storing so every consumer shares one copy (and no cache
+		// entry references a worker's arena).
+		sc.keyBuf = eval.AppendKey(sc.keyBuf[:0], v.d, p, sc.get, sc.wid)
+		var ok bool
+		if outs, ok = v.cache.Get(sc.keyBuf); !ok {
+			outs, err = eval.PrimA(v.d, p, sc.get, sc.arena)
+			if err == nil && outs != nil {
+				for i := range outs {
+					outs[i].Wave, _ = v.intern.Intern(outs[i].Wave)
 				}
+				v.cache.Put(sc.keyBuf, outs)
 			}
-		} else {
-			outs, err = eval.Prim(v.d, p, get)
 		}
-		if err != nil || outs == nil {
+	} else {
+		outs, err = eval.PrimA(v.d, p, sc.get, sc.arena)
+	}
+	if err != nil || outs == nil {
+		return dst
+	}
+	for bit, sig := range outs {
+		id := p.Out[0].Bits[bit]
+		if drivers, isWired := v.wired[id]; isWired {
+			// Wired-OR: remember this driver's output and fold the
+			// drivers together (missing ones count as UNKNOWN until
+			// their first evaluation).
+			slot := v.wiredSlot[[2]int32{int32(id), int32(pid)}]
+			v.wiredOutW[slot] = sig.Wave
+			v.wiredOutSet[slot] = true
+			folded := values.ConstA(v.d.Period, values.V0, sc.arena)
+			for _, dp := range drivers {
+				ds := v.wiredSlot[[2]int32{int32(id), int32(dp)}]
+				w := values.ConstA(v.d.Period, values.VU, sc.arena)
+				if v.wiredOutSet[ds] {
+					w = v.wiredOutW[ds]
+				}
+				folded = values.CombineA(folded, w, values.Or, sc.arena)
+			}
+			sig = eval.Signal{Wave: folded, Dirs: sig.Dirs}
+		}
+		sig.Wave = v.mapped(id, sig.Wave)
+		if v.pinned[id] {
+			// The designer's clock assertion rules; remember the
+			// computed value for the assertion cross-check.
+			v.altOutW[id] = sig.Wave
+			v.altOutSet[id] = true
 			continue
 		}
-		for bit, sig := range outs {
-			id := p.Out[0].Bits[bit]
-			if drivers, isWired := v.wired[id]; isWired {
-				// Wired-OR: remember this driver's output and fold the
-				// drivers together (missing ones count as UNKNOWN until
-				// their first evaluation).
-				v.wiredOut[[2]int32{int32(id), int32(pid)}] = sig.Wave
-				folded := values.Const(v.d.Period, values.V0)
-				for _, dp := range drivers {
-					w, ok := v.wiredOut[[2]int32{int32(id), int32(dp)}]
-					if !ok {
-						w = values.Const(v.d.Period, values.VU)
-					}
-					folded = values.Combine(folded, w, values.Or)
-				}
-				sig = eval.Signal{Wave: folded, Dirs: sig.Dirs}
-			}
-			sig.Wave = v.mapped(id, sig.Wave)
-			if v.pinned[id] {
-				// The designer's clock assertion rules; remember the
-				// computed value for the assertion cross-check.
-				v.altOut[id] = sig.Wave
-				continue
-			}
-			if !v.storeSig(id, sig) {
-				continue
-			}
+		if v.storeSig(id, sig) {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}
+
+// relax runs the event-driven evaluation to a fixed point (§2.9 step 2).
+// It reports whether the fixed point was reached within the pass cap.
+// With IntraWorkers > 1 the worklist is handed to the levelized wavefront
+// scheduler, which converges on the same fixed point.
+func (v *verifier) relax() bool {
+	if v.opts.intraWorkers() > 1 {
+		return v.wavefrontRelax()
+	}
+	cap := v.passCap()
+	if v.scratch == nil {
+		v.scratch = v.newScratch()
+	}
+	for v.queueLen() > 0 {
+		if v.evals >= cap {
+			v.clearQueue()
+			return false
+		}
+		pid := v.popQueue()
+		v.inQueue[pid] = false
+		v.evals++
+		v.netBuf = v.evalPrim(pid, v.scratch, v.netBuf[:0])
+		for _, id := range v.netBuf {
 			v.events++
 			v.fanout(id)
 		}

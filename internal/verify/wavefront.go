@@ -1,0 +1,287 @@
+// Levelized wavefront relaxation: the IntraWorkers > 1 engine.
+//
+// The serial engine (§2.9) drains one FIFO worklist.  This engine relaxes
+// the same seed over the design's cached levelization
+// (netlist.Levelization): the primitive graph condensed into strongly
+// connected components with sequential edges cut, combinational components
+// assigned topological levels.  A sweep walks the levels in ascending
+// order, evaluating each level's pending components concurrently on a
+// small worker pool, then runs the sequential components (those containing
+// storage) in a single serial phase.  Stores made in the serial phase
+// schedule their cross-component consumers for the NEXT sweep; sweeps
+// repeat until nothing is pending.
+//
+// Why this is race-free:
+//
+//   - Components on one level share no dependency edge, and a dependency
+//     between combinational components always points to a strictly higher
+//     level, so two concurrently running components never touch the same
+//     net: every shared write (sigs, sigID, changed, altOut, wiredOut)
+//     lands at an index owned by exactly one component.
+//   - Workers never write scheduling state for other components.  All
+//     cross-component marking happens at the level barrier, on the calling
+//     goroutine, from the per-task changed-net lists; the WaitGroup
+//     provides the happens-before edge for everything the workers wrote.
+//   - The interner and evaluation cache are internally striped and
+//     synchronized.
+//
+// Why this is deterministic: the relaxation is a confluent fixed-point
+// iteration, so the converged waveforms are schedule-independent, and
+// every decision that affects *reported* output — the pending sets, the
+// sweep count, the evaluation budgets, the convergence verdict — is made
+// either inside one component (serial) or at a barrier from
+// order-independent sums.  Reports are bit-identical to the serial engine
+// for every worker count; only wall-clock time and the cache hit/miss
+// split vary.
+package verify
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"scaldtv/internal/netlist"
+)
+
+// compResult is what one component evaluation reports back to the barrier:
+// work counters, the nets whose stored signal changed (with repeats, for
+// feedback components that move a net more than once), and whether the
+// component still has pending members and must run again next sweep.
+type compResult struct {
+	evals   int
+	events  int
+	again   bool // a feedback component used up this sweep's budget
+	changed []netlist.NetID
+}
+
+// runComp evaluates one component's pending members using the given
+// scratch.  Non-feedback components hold a single primitive with no
+// self-loop: one evaluation suffices, because any input change from this
+// very evaluation would be a cycle.  Feedback components iterate a scoped
+// worklist — fanout is followed only to members of the same component —
+// toward a local fixed point, but only within a small per-sweep budget:
+// a loop whose inputs are still settling (its driving storage runs in the
+// serial phase, between sweeps) must not burn the whole evaluation budget
+// chasing a moving target, the way the serial FIFO naturally interleaves
+// loop iteration with the rest of the circuit.  Members still pending when
+// the budget runs out stay marked and the component reports again=true, so
+// the barrier reschedules it for the next sweep; only the caller's global
+// pass cap declares non-convergence.
+func (v *verifier) runComp(ci int32, sc *evalScratch, pending []bool, lev *netlist.Levelization) compResult {
+	c := &lev.Comps[ci]
+	var r compResult
+	if !c.Feedback {
+		for _, m := range c.Members {
+			if !pending[m] {
+				continue
+			}
+			pending[m] = false
+			r.evals++
+			n0 := len(r.changed)
+			r.changed = v.evalPrim(m, sc, r.changed)
+			r.events += len(r.changed) - n0
+		}
+		return r
+	}
+
+	budget := defaultEvalsPerPrim * len(c.Members)
+	queue := make([]netlist.PrimID, 0, len(c.Members))
+	inQ := make(map[netlist.PrimID]bool, len(c.Members))
+	for _, m := range c.Members {
+		if pending[m] {
+			pending[m] = false
+			queue = append(queue, m)
+			inQ[m] = true
+		}
+	}
+	var buf []netlist.NetID
+	for qi := 0; qi < len(queue); qi++ {
+		if r.evals >= budget {
+			// Out of budget this sweep: hand the unprocessed tail back to
+			// the pending set and ask for another sweep.
+			for _, m := range queue[qi:] {
+				if inQ[m] {
+					pending[m] = true
+				}
+			}
+			r.again = true
+			return r
+		}
+		m := queue[qi]
+		inQ[m] = false
+		r.evals++
+		buf = v.evalPrim(m, sc, buf[:0])
+		for _, id := range buf {
+			r.events++
+			r.changed = append(r.changed, id)
+			for _, q := range v.d.Nets[id].Fanout {
+				if lev.Comp[q] != ci || inQ[q] {
+					continue
+				}
+				inQ[q] = true
+				queue = append(queue, q)
+			}
+		}
+	}
+	return r
+}
+
+// wavefrontRelax converges the seeded worklist by levelized sweeps.  It
+// reports whether the fixed point was reached within the pass cap.
+func (v *verifier) wavefrontRelax() bool {
+	lev := v.d.Levelization()
+	nWorkers := v.opts.intraWorkers()
+	if v.wfScratch == nil {
+		v.wfScratch = make([]*evalScratch, nWorkers)
+		for i := range v.wfScratch {
+			v.wfScratch[i] = v.newScratch()
+		}
+	}
+	capN := v.passCap()
+
+	// Drain the seeded FIFO into wavefront marks: pending per primitive,
+	// plus a dirty flag per component routing it to the parallel levels or
+	// the serial phase.
+	pending := make([]bool, len(v.d.Prims))
+	compPending := make([]bool, len(lev.Comps))
+	seqPending := make([]bool, len(lev.Comps))
+	seqNext := make([]bool, len(lev.Comps))
+	for v.queueLen() > 0 {
+		p := v.popQueue()
+		v.inQueue[p] = false
+		ci := lev.Comp[p]
+		if ci < 0 {
+			continue
+		}
+		pending[p] = true
+		if lev.Comps[ci].Seq {
+			seqPending[ci] = true
+		} else {
+			compPending[ci] = true
+		}
+	}
+
+	// mark schedules every cross-component consumer of a changed net.  Seq
+	// consumers go to seqDst — this sweep's serial phase from the parallel
+	// phase, the next sweep from the serial phase.  Comb consumers go to
+	// compPending: from the parallel phase they sit at a strictly higher
+	// level and run later this sweep; from the serial phase the mark
+	// survives into the next sweep's parallel phase.
+	mark := func(changed []netlist.NetID, src int32, seqDst []bool) {
+		for _, id := range changed {
+			for _, q := range v.d.Nets[id].Fanout {
+				cq := lev.Comp[q]
+				if cq < 0 || cq == src {
+					continue
+				}
+				pending[q] = true
+				if lev.Comps[cq].Seq {
+					seqDst[cq] = true
+				} else {
+					compPending[cq] = true
+				}
+			}
+		}
+	}
+	dirty := func() bool {
+		for _, b := range compPending {
+			if b {
+				return true
+			}
+		}
+		for _, b := range seqPending {
+			if b {
+				return true
+			}
+		}
+		return false
+	}
+
+	var tasks []int32
+	var results []compResult
+	for dirty() {
+		v.sweeps++
+
+		// Parallel phase: levels in ascending order, each level's pending
+		// components fanned out over the worker pool.
+		for _, level := range lev.Levels {
+			tasks = tasks[:0]
+			for _, ci := range level {
+				if compPending[ci] {
+					compPending[ci] = false
+					tasks = append(tasks, ci)
+				}
+			}
+			if len(tasks) == 0 {
+				continue
+			}
+			if cap(results) < len(tasks) {
+				results = make([]compResult, len(tasks))
+			}
+			results = results[:len(tasks)]
+			if len(tasks) == 1 {
+				results[0] = v.runComp(tasks[0], v.wfScratch[0], pending, lev)
+			} else {
+				nw := nWorkers
+				if nw > len(tasks) {
+					nw = len(tasks)
+				}
+				var next atomic.Int64
+				var wg sync.WaitGroup
+				for w := 0; w < nw; w++ {
+					wg.Add(1)
+					go func(sc *evalScratch) {
+						defer wg.Done()
+						for {
+							i := next.Add(1) - 1
+							if i >= int64(len(tasks)) {
+								return
+							}
+							results[i] = v.runComp(tasks[i], sc, pending, lev)
+						}
+					}(v.wfScratch[w])
+				}
+				wg.Wait()
+			}
+
+			// Barrier: fold counters (order-independent sums) and check the
+			// global cap, then do all cross-component marking serially.
+			// Budget-exhausted feedback components rerun next sweep.
+			for i := range results {
+				v.evals += results[i].evals
+				v.events += results[i].events
+			}
+			if v.evals >= capN {
+				return false
+			}
+			for i, ci := range tasks {
+				if results[i].again {
+					compPending[ci] = true
+				}
+				mark(results[i].changed, ci, seqPending)
+			}
+		}
+
+		// Serial phase: sequential components in ascending order, on the
+		// calling goroutine.  Their stores defer cross-component consumers
+		// to the next sweep, so a concurrently evaluating reader can never
+		// exist — there are none running here.
+		for _, ci := range lev.Seq {
+			if !seqPending[ci] {
+				continue
+			}
+			seqPending[ci] = false
+			r := v.runComp(ci, v.wfScratch[0], pending, lev)
+			v.evals += r.evals
+			v.events += r.events
+			if v.evals >= capN {
+				return false
+			}
+			if r.again {
+				seqNext[ci] = true
+			}
+			mark(r.changed, ci, seqNext)
+		}
+		seqPending, seqNext = seqNext, seqPending
+	}
+	return true
+}

@@ -1,0 +1,240 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"scaldtv/internal/gen"
+	"scaldtv/internal/netlist"
+	"scaldtv/internal/tick"
+)
+
+// The intra-case contract under test: for every IntraWorkers value the
+// verifier's reports — violations, margins, kept waveforms, the
+// cross-reference — are bit-identical to the serial engine's, and between
+// any two wavefront worker counts even the work counters (Events,
+// PrimEvals, Sweeps) agree exactly.  Cache hit/miss counters are exempt:
+// which worker takes a given miss is scheduling-dependent (see Stats).
+// Run with -race to exercise the level worker pool.
+
+func TestIntraDeterminism(t *testing.T) {
+	d := buildMultiCase(t, 8)
+	opts := func(iw int) Options {
+		return Options{Workers: 1, IntraWorkers: iw, KeepWaves: true, Margins: true}
+	}
+	base, err := Run(d, opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Violations) == 0 {
+		t.Fatal("the multi-case design should produce violations to compare")
+	}
+	for _, iw := range []int{2, 8} {
+		res, err := Run(d, opts(iw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameReports(t, fmt.Sprintf("intra=1 vs %d", iw), base, res)
+		if res.Stats.IntraWorkers != iw {
+			t.Errorf("intra=%d: Stats.IntraWorkers = %d", iw, res.Stats.IntraWorkers)
+		}
+	}
+	// Between wavefront runs the schedule decisions are made at barriers
+	// from order-independent sums, so the work counters agree exactly.
+	r2, err := Run(d, opts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Run(d, opts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameReports(t, "intra=2 vs 8", r2, r8)
+	for i := range r2.Cases {
+		if r2.Cases[i].Events != r8.Cases[i].Events || r2.Cases[i].PrimEvals != r8.Cases[i].PrimEvals {
+			t.Errorf("case %d work counters differ between intra worker counts: %+v vs %+v",
+				i, r2.Cases[i], r8.Cases[i])
+		}
+	}
+	if r2.Stats.Sweeps != r8.Stats.Sweeps || r2.Stats.Sweeps == 0 {
+		t.Errorf("sweep counts: intra=2 %d vs intra=8 %d (want equal, nonzero)",
+			r2.Stats.Sweeps, r8.Stats.Sweeps)
+	}
+}
+
+// TestIntraDeterminismGenerated repeats the check on a generated Mark
+// IIA-style design — pipeline rings, registers, latches, muxes and
+// checkers at scale — with and without the evaluation cache, and composed
+// with case-level workers.
+func TestIntraDeterminismGenerated(t *testing.T) {
+	d, _, err := gen.Generate(gen.Config{Chips: 102, Cases: 4, Inject: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(d, Options{Workers: 1, KeepWaves: true, Margins: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Violations) == 0 {
+		t.Fatal("the injected slow path should produce violations")
+	}
+	variants := []Options{
+		{Workers: 1, IntraWorkers: 2, KeepWaves: true, Margins: true},
+		{Workers: 1, IntraWorkers: 8, KeepWaves: true, Margins: true},
+		{Workers: 1, IntraWorkers: 4, KeepWaves: true, Margins: true, NoCache: true},
+		{Workers: 2, IntraWorkers: 4, KeepWaves: true, Margins: true},
+	}
+	for _, o := range variants {
+		res, err := Run(d, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameReports(t, fmt.Sprintf("gen workers=%d intra=%d nocache=%v",
+			o.Workers, o.IntraWorkers, o.NoCache), base, res)
+	}
+}
+
+// TestIntraExamples checks bit-identity on every example-style topology
+// the generator can produce: plain, variable-cycle, and wired-OR bus
+// designs, with multiple declared cases.
+func TestIntraExamples(t *testing.T) {
+	cfgs := map[string]gen.Config{
+		"plain":    {Chips: 51, Cases: 2, Inject: 1},
+		"varcycle": {Chips: 51, VariableCycle: true, Cases: 2},
+	}
+	for name, cfg := range cfgs {
+		d, _, err := gen.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := Run(d, Options{Workers: 1, KeepWaves: true, Margins: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, iw := range []int{2, 8} {
+			res, err := Run(d, Options{Workers: 1, IntraWorkers: iw, KeepWaves: true, Margins: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameReports(t, fmt.Sprintf("%s intra=%d", name, iw), base, res)
+		}
+	}
+}
+
+// TestIntraReverify: the wavefront engine resumes a retained fixed point
+// exactly like the serial engine — Reverify after random parameter edits
+// stays bit-identical to a from-scratch serial run of the edited design.
+func TestIntraReverify(t *testing.T) {
+	d, _, err := gen.Generate(gen.Config{Chips: 34, Cases: 2, Inject: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Workers: 1, IntraWorkers: 4, KeepWaves: true, Margins: true}
+	V := NewVerifier(d, opts)
+	if _, err := V.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for step := 0; step < 5; step++ {
+		ch, desc := randomEdit(t, d, rng)
+		inc, err := V.Reverify(ch)
+		if err != nil {
+			t.Fatalf("step %d (%s): %v", step, desc, err)
+		}
+		if !inc.Stats.Incremental {
+			t.Fatalf("step %d (%s): fell back to a full run", step, desc)
+		}
+		scratch, err := Run(d, Options{Workers: 1, KeepWaves: true, Margins: true})
+		if err != nil {
+			t.Fatalf("step %d (%s): scratch: %v", step, desc, err)
+		}
+		sameReports(t, fmt.Sprintf("step %d (%s)", step, desc), scratch, inc)
+	}
+}
+
+// TestIntraWavefrontStats: the levelization counters are reported exactly
+// when the wavefront engine runs, and stay zero under the serial engine.
+func TestIntraWavefrontStats(t *testing.T) {
+	d, _, err := gen.Generate(gen.Config{Chips: 51, Cases: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Run(d, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Stats.IntraWorkers != 0 || serial.Stats.Levels != 0 || serial.Stats.SCCs != 0 || serial.Stats.Sweeps != 0 {
+		t.Errorf("serial run reports wavefront stats: %+v", serial.Stats)
+	}
+	res, err := Run(d, Options{Workers: 1, IntraWorkers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lev := d.Levelization()
+	st := res.Stats
+	if st.IntraWorkers != 8 || st.Levels != len(lev.Levels) || st.SCCs != len(lev.Comps) ||
+		st.FeedbackSCCs != lev.Feedback || st.Sweeps == 0 {
+		t.Errorf("wavefront stats = %+v, levelization has %d levels / %d comps / %d feedback",
+			st, len(lev.Levels), len(lev.Comps), lev.Feedback)
+	}
+}
+
+// TestIntraConvergenceCap: pass-cap exhaustion is reported under the
+// wavefront engine too (the cap is checked at barriers).
+func TestIntraConvergenceCap(t *testing.T) {
+	d := buildFig25(t)
+	res, err := Run(d, Options{MaxPasses: 2, IntraWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Kind == ConvergenceViolation {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("pass cap exhaustion should be reported under the wavefront engine")
+	}
+}
+
+// TestQueueBoundedCapacity: the serial worklist's backing array stays
+// bounded by the outstanding entries, not the total number of pops — the
+// [1:] re-slice it replaced pinned the array head and regrew forever.
+func TestQueueBoundedCapacity(t *testing.T) {
+	b := netlist.NewBuilder("queue-bound")
+	b.SetPeriod(50 * tick.NS)
+	b.SetDefaultWire(tick.Range{})
+	in := b.Net("IN .S0-50")
+	prev := in
+	const nPrims = 8
+	for i := 0; i < nPrims; i++ {
+		o := b.Net(fmt.Sprintf("N%d", i))
+		b.Buf(fmt.Sprintf("B%d", i), tick.R(1, 2), []netlist.NetID{o}, netlist.Conns(prev))
+		prev = o
+	}
+	d := b.MustBuild()
+	v, _, err := initVerifier(d, Options{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A long pop-heavy workload: keep a couple of entries outstanding
+	// while popping many thousands of times.
+	for round := 0; round < 100000; round++ {
+		v.enqueue(netlist.PrimID(round % nPrims))
+		v.enqueue(netlist.PrimID((round + 1) % nPrims))
+		p := v.popQueue()
+		v.inQueue[p] = false
+	}
+	if got := cap(v.queue); got > 1024 {
+		t.Errorf("queue backing array grew to %d entries; want bounded by outstanding work", got)
+	}
+	for v.queueLen() > 0 {
+		p := v.popQueue()
+		v.inQueue[p] = false
+	}
+	if v.queueLen() != 0 || v.qhead != 0 || len(v.queue) != 0 {
+		t.Errorf("drained queue not reset: len=%d qhead=%d", len(v.queue), v.qhead)
+	}
+}
