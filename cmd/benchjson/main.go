@@ -13,6 +13,10 @@
 //	              markdown diff of best ns/op per matched benchmark name and
 //	              exit nonzero when any matched name regressed by more than
 //	              25%
+//	-ignore re    exclude benchmark names matching the regexp from the
+//	              -prev comparison (they stay in the archived JSON); use it
+//	              to add benchmark families without a baseline, e.g.
+//	              -ignore '^BenchmarkServer'
 //
 // Input is read from the files named on the command line, or from stdin
 // when none are given.  Lines that are not benchmark results or header
@@ -27,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -55,7 +60,17 @@ func main() {
 	out := flag.String("out", "", "write the JSON document to this file (default: stdout)")
 	summary := flag.Bool("summary", false, "print a markdown cache-on/off comparison to stdout")
 	prev := flag.String("prev", "", "previous run's JSON document to diff against (fails on >25% ns/op regression)")
+	ignore := flag.String("ignore", "", "regexp of benchmark names to exclude from the -prev comparison")
 	flag.Parse()
+
+	var ignoreRE *regexp.Regexp
+	if *ignore != "" {
+		re, err := regexp.Compile(*ignore)
+		if err != nil {
+			fail(fmt.Errorf("-ignore: %v", err))
+		}
+		ignoreRE = re
+	}
 
 	var doc Doc
 	if flag.NArg() == 0 {
@@ -102,7 +117,7 @@ func main() {
 		if err := json.Unmarshal(data, &prevDoc); err != nil {
 			fail(fmt.Errorf("%s: %v", *prev, err))
 		}
-		md, regressed := regressionDiff(&prevDoc, &doc, regressionLimit)
+		md, regressed := regressionDiff(&prevDoc, &doc, regressionLimit, ignoreRE)
 		fmt.Print(md)
 		if regressed {
 			fail(fmt.Errorf("benchmark regression over %.0f%% against %s", (regressionLimit-1)*100, *prev))
@@ -131,9 +146,24 @@ func bestByName(doc *Doc) map[string]Sample {
 // benchmark name present in both documents, and reports whether any
 // matched name's time grew past limit × the previous best.  Names present
 // in only one document are listed but never fail the run — renamed or new
-// benchmarks have no baseline to regress against.
-func regressionDiff(prev, cur *Doc, limit float64) (string, bool) {
+// benchmarks have no baseline to regress against.  Names matching ignore
+// are left out of the comparison entirely (only their count is noted).
+func regressionDiff(prev, cur *Doc, limit float64, ignore *regexp.Regexp) (string, bool) {
 	pb, cb := bestByName(prev), bestByName(cur)
+	ignored := 0
+	if ignore != nil {
+		for name := range cb {
+			if ignore.MatchString(name) {
+				delete(cb, name)
+				ignored++
+			}
+		}
+		for name := range pb {
+			if ignore.MatchString(name) {
+				delete(pb, name)
+			}
+		}
+	}
 	var names []string
 	for name := range cb {
 		names = append(names, name)
@@ -180,6 +210,9 @@ func regressionDiff(prev, cur *Doc, limit float64) (string, bool) {
 	}
 	if matched == 0 {
 		sb.WriteString("| _no matched benchmark names_ | | | | |\n")
+	}
+	if ignored > 0 {
+		fmt.Fprintf(&sb, "\n%d benchmark name(s) excluded by -ignore %s\n", ignored, ignore)
 	}
 	return sb.String(), regressed
 }

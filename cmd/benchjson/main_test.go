@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -149,7 +150,7 @@ func TestRegressionDiff(t *testing.T) {
 		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 700}},  // 1.40x: regressed
 		{Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 42}},
 	}}
-	md, regressed := regressionDiff(prev, cur, 1.25)
+	md, regressed := regressionDiff(prev, cur, 1.25, nil)
 	if !regressed {
 		t.Fatalf("1.40x growth not flagged:\n%s", md)
 	}
@@ -171,8 +172,37 @@ func TestRegressionDiff(t *testing.T) {
 		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 950}},
 		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 400}},
 	}}
-	if md, regressed := regressionDiff(prev, cur2, 1.25); regressed {
+	if md, regressed := regressionDiff(prev, cur2, 1.25, nil); regressed {
 		t.Errorf("clean run flagged:\n%s", md)
+	}
+}
+
+// TestRegressionDiffIgnore: names matching -ignore never fail the run and
+// are dropped from the table — the escape hatch for landing a benchmark
+// family (e.g. the server suite) before its baseline is archived.
+func TestRegressionDiffIgnore(t *testing.T) {
+	prev := &Doc{Samples: []Sample{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 1000}},
+		{Name: "BenchmarkServerStatelessVerify", Metrics: map[string]float64{"ns/op": 100}},
+	}}
+	cur := &Doc{Samples: []Sample{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 1100}},
+		{Name: "BenchmarkServerStatelessVerify", Metrics: map[string]float64{"ns/op": 900}}, // 9x, but ignored
+	}}
+	re := regexp.MustCompile(`^BenchmarkServer`)
+	md, regressed := regressionDiff(prev, cur, 1.25, re)
+	if regressed {
+		t.Fatalf("ignored name flagged as regression:\n%s", md)
+	}
+	if strings.Contains(md, "BenchmarkServerStatelessVerify") {
+		t.Errorf("ignored name still in table:\n%s", md)
+	}
+	if !strings.Contains(md, "excluded by -ignore") {
+		t.Errorf("missing ignore note:\n%s", md)
+	}
+	// The same 9x growth without -ignore must fail.
+	if _, regressed := regressionDiff(prev, cur, 1.25, nil); !regressed {
+		t.Error("9x growth not flagged without -ignore")
 	}
 }
 

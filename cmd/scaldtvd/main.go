@@ -1,0 +1,90 @@
+// Command scaldtvd serves the SCALD Timing Verifier over HTTP: stateless
+// POST /v1/verify requests answer with the same JSON report bytes as
+// `scaldtv -json`, and stateful /v1/sessions retain a converged Verifier
+// so that design edits are re-verified incrementally from the dirty
+// cone.  See the package comment of internal/server for the endpoint
+// and admission-control details.
+//
+// On SIGTERM or SIGINT the daemon drains: new requests are refused with
+// 503 while in-flight verifications run to completion (bounded by
+// -drain), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"scaldtv"
+	"scaldtv/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7333", "listen address")
+	workers := flag.Int("j", 1, "default case-evaluation workers per verification: 0 = one per CPU")
+	intra := flag.Int("intra", 1, "default intra-case evaluation workers: >1 enables wavefront scheduling")
+	cache := flag.Bool("cache", true, "memoize primitive evaluations over interned waveforms")
+	pool := flag.Int("pool", 0, "concurrent verifications (0 = sized against per-run parallelism)")
+	queue := flag.Int("queue", 16, "admitted requests that may wait for a verification slot before 429")
+	sessions := flag.Int("sessions", 64, "retained incremental sessions (LRU beyond this)")
+	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle longer than this")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request verification deadline")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown grace for in-flight verifications")
+	flag.Parse()
+
+	if err := run(*addr, server.Config{
+		Options:     scaldtv.Options{Workers: *workers, IntraWorkers: *intra, NoCache: !*cache},
+		Pool:        *pool,
+		Queue:       *queue,
+		MaxSessions: *sessions,
+		SessionTTL:  *sessionTTL,
+		Timeout:     *timeout,
+	}, *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "scaldtvd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg server.Config, drain time.Duration) error {
+	s := server.New(cfg)
+	httpSrv := &http.Server{Handler: s.Handler()}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// The readiness line CI and scripts poll for (in addition to /healthz).
+	log.Printf("scaldtvd: listening on http://%s", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("scaldtvd: %v: draining (grace %v)", sig, drain)
+		// Refuse new work first, then let in-flight verifications finish.
+		s.SetDraining(true)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		log.Printf("scaldtvd: drained, exiting")
+		return nil
+	}
+}

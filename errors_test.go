@@ -1,0 +1,106 @@
+package scaldtv
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestStructuredParseError: a malformed source yields a ParseError with a
+// usable position, matching the ErrParse sentinel through errors.Is.
+func TestStructuredParseError(t *testing.T) {
+	_, err := Compile("design X\nperiod 50ns\nand (A<1:) -> (Y)\n")
+	if err == nil {
+		t.Fatal("Compile succeeded on malformed source")
+	}
+	if !errors.Is(err, ErrParse) {
+		t.Errorf("parse failure does not match ErrParse: %v", err)
+	}
+	var se *Error
+	if !errors.As(err, &se) {
+		t.Fatalf("parse failure is not a structured *Error: %v", err)
+	}
+	if se.Kind != ParseError {
+		t.Errorf("Kind = %v, want %v", se.Kind, ParseError)
+	}
+	if se.Pos.Line != 3 {
+		t.Errorf("Pos.Line = %d, want 3 (error is on line 3)", se.Pos.Line)
+	}
+}
+
+// TestStructuredElaborateError: structurally invalid designs classify as
+// ElaborateError — from the expander and from netlist validation alike.
+func TestStructuredElaborateError(t *testing.T) {
+	src := "design X\nand (A) -> (Y)\n" // no period declared
+	_, err := Compile(src)
+	if err == nil {
+		t.Fatalf("Compile(%q) succeeded", src)
+	}
+	if !errors.Is(err, ErrElaborate) {
+		t.Errorf("period-less design error does not match ErrElaborate: %v", err)
+	}
+}
+
+// TestStructuredAssertionError: a forced waveform on a driven net is an
+// assertion-stage failure at the Verify boundary.
+func TestStructuredAssertionError(t *testing.T) {
+	d, err := Compile(`
+design FORCED
+period 50ns
+buf B delay=(1,2) (A) -> (Q)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q NetID
+	found := false
+	for i := range d.Nets {
+		if d.Nets[i].Base == "Q" {
+			q, found = NetID(i), true
+		}
+	}
+	if !found {
+		t.Fatal("net Q not found")
+	}
+	_, err = Verify(d, Options{Force: map[NetID]Waveform{q: {}}})
+	if err == nil {
+		t.Fatal("Verify accepted a forced driven net")
+	}
+	if !errors.Is(err, ErrAssertion) {
+		t.Errorf("forced-driven-net error does not match ErrAssertion: %v", err)
+	}
+}
+
+// TestStructuredLimitError: invalid MinimumPeriod bounds classify as
+// LimitError.
+func TestStructuredLimitError(t *testing.T) {
+	_, err := MinimumPeriod("design X\nperiod 50ns\n", 0, 0, 0)
+	if err == nil {
+		t.Fatal("MinimumPeriod accepted zero bounds")
+	}
+	if !errors.Is(err, ErrLimit) {
+		t.Errorf("invalid bounds error does not match ErrLimit: %v", err)
+	}
+}
+
+// TestVerifyContextCanceled: a pre-canceled context aborts the verify
+// with a CanceledError that still matches context.Canceled.
+func TestVerifyContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := VerifySourceContext(ctx, `
+design CANCELME
+period 50ns
+clockunit 6.25ns
+reg R delay=(1.5,4.5) ("CK .P0-4", "D .S6-12") -> (Q)
+`, Options{})
+	if err == nil {
+		t.Fatal("VerifySourceContext ignored a canceled context")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("cancellation does not match ErrCanceled: %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancellation does not wrap context.Canceled: %v", err)
+	}
+}

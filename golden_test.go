@@ -152,7 +152,9 @@ func TestJSONReport(t *testing.T) {
 	}
 	s := string(out)
 	for _, want := range []string{
+		`"schema": 1`,
 		`"design": "FIG 2-5"`,
+		`"case_labels"`,
 		`"pass": false`,
 		`"kind": "SETUP TIME VIOLATED"`,
 		`"margin_ns": -1`,

@@ -13,6 +13,7 @@ import (
 	"scaldtv/internal/assertion"
 	"scaldtv/internal/hdl"
 	"scaldtv/internal/netlist"
+	"scaldtv/internal/serr"
 	"scaldtv/internal/values"
 )
 
@@ -93,7 +94,16 @@ type frame struct {
 }
 
 // Expand flattens the parsed file into a verified netlist design.
+// Errors are structured *serr.Error values of kind serr.Elaborate.
 func Expand(f *hdl.File) (*netlist.Design, *Report, error) {
+	d, rep, err := expandFile(f)
+	if err != nil {
+		return nil, nil, serr.Wrap(serr.Elaborate, err)
+	}
+	return d, rep, nil
+}
+
+func expandFile(f *hdl.File) (*netlist.Design, *Report, error) {
 	name := f.Design
 	if name == "" {
 		name = "unnamed"

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"scaldtv/internal/serr"
 	"scaldtv/internal/tick"
 )
 
@@ -28,13 +29,18 @@ type Parser struct {
 	tok Token
 }
 
-// Parse parses a complete source file.
+// Parse parses a complete source file.  Errors are structured
+// *serr.Error values of kind serr.Parse carrying the source position.
 func Parse(src string) (*File, error) {
 	p := &Parser{lex: NewLexer(src)}
 	if err := p.next(); err != nil {
-		return nil, err
+		return nil, serr.Wrap(serr.Parse, err)
 	}
-	return p.parseFile()
+	f, err := p.parseFile()
+	if err != nil {
+		return nil, serr.Wrap(serr.Parse, err)
+	}
+	return f, nil
 }
 
 func (p *Parser) next() error {
@@ -47,7 +53,8 @@ func (p *Parser) next() error {
 }
 
 func (p *Parser) errf(format string, args ...any) error {
-	return fmt.Errorf("hdl:%d:%d: %s", p.tok.Line, p.tok.Col, fmt.Sprintf(format, args...))
+	return serr.New(serr.Parse, serr.Pos{Line: p.tok.Line, Col: p.tok.Col},
+		"hdl:%d:%d: %s", p.tok.Line, p.tok.Col, fmt.Sprintf(format, args...))
 }
 
 func (p *Parser) isPunct(s string) bool { return p.tok.Kind == TPunct && p.tok.Text == s }

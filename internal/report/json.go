@@ -22,32 +22,54 @@ type jsonViolation struct {
 	Detail     string  `json:"detail,omitempty"`
 }
 
+// SchemaVersion identifies the JSON report layout.  Bump it on any
+// incompatible change to the emitted fields; consumers should check it
+// before interpreting the rest of the document.
+//
+// Version 1 added the schema and case_labels fields and removed the
+// events counter: per-case event totals depend on the case schedule
+// (sequential runs relax later cases incrementally, concurrent runs relax
+// each from scratch), so including them broke the byte-determinism of the
+// report across Options.Workers settings.  Everything emitted now is
+// bit-identical for every Workers/IntraWorkers/NoCache combination —
+// the contract the scaldtvd service relies on.
+const SchemaVersion = 1
+
 // jsonReport is the machine-readable verification outcome, for CI
-// integration.
+// integration.  The design name and per-case labels identify what was
+// verified; the labels are in declared case order, matching the case
+// grouping of the violations list.
 type jsonReport struct {
+	Schema     int             `json:"schema"`
 	Design     string          `json:"design"`
 	PeriodNS   float64         `json:"period_ns"`
 	Primitives int             `json:"primitives"`
 	Nets       int             `json:"nets"`
 	Cases      int             `json:"cases"`
-	Events     int             `json:"events"`
+	CaseLabels []string        `json:"case_labels"`
 	Violations []jsonViolation `json:"violations"`
 	Undefined  []string        `json:"undefined_signals,omitempty"`
 	Pass       bool            `json:"pass"`
 }
 
-// JSON renders the verification result as machine-readable JSON.
+// JSON renders the verification result as machine-readable JSON.  The
+// output is byte-deterministic for a given design and verification
+// outcome, regardless of worker counts or cache settings.
 func JSON(res *verify.Result) ([]byte, error) {
 	out := jsonReport{
+		Schema:     SchemaVersion,
 		Design:     res.Design.Name,
 		PeriodNS:   res.Design.Period.NS(),
 		Primitives: res.Stats.Primitives,
 		Nets:       res.Stats.Nets,
 		Cases:      res.Stats.Cases,
-		Events:     res.Stats.Events,
+		CaseLabels: []string{},
 		Undefined:  res.Undefined,
 		Pass:       !res.Errors(),
 		Violations: []jsonViolation{},
+	}
+	for _, c := range res.Cases {
+		out.CaseLabels = append(out.CaseLabels, c.Label)
 	}
 	for _, v := range res.Violations {
 		jv := jsonViolation{

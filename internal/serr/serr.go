@@ -1,0 +1,128 @@
+// Package serr defines the structured error type shared by the compile
+// and verify boundaries.  Every error leaving hdl.Parse, expand.Expand or
+// the verify entry points is (or wraps) an *Error carrying a Kind, so
+// callers — the scaldtvd HTTP front-end in particular — can map failures
+// onto protocol-level outcomes without parsing message text.
+//
+// The root scaldtv package re-exports Error, Kind and the sentinel values
+// as its public error surface.
+package serr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind classifies an error by the pipeline stage that produced it.
+type Kind int
+
+const (
+	// KindUnknown marks an unclassified error (the zero value).
+	KindUnknown Kind = iota
+	// Parse: the HDL source failed lexing or parsing.
+	Parse
+	// Elaborate: macro expansion or netlist construction/validation
+	// rejected a structurally invalid design.
+	Elaborate
+	// Assertion: a signal's timing assertion (or a forced waveform)
+	// could not be turned into a consistent seed waveform.
+	Assertion
+	// Limit: a configured bound was exceeded — invalid sweep bounds,
+	// request-size or capacity limits.
+	Limit
+	// Canceled: the run was abandoned because its context was canceled
+	// or its deadline expired.  The error wraps the context's cause, so
+	// errors.Is(err, context.Canceled) and
+	// errors.Is(err, context.DeadlineExceeded) keep working.
+	Canceled
+)
+
+// String names the kind; it doubles as the wire identifier the scaldtvd
+// error responses use.
+func (k Kind) String() string {
+	switch k {
+	case Parse:
+		return "parse"
+	case Elaborate:
+		return "elaborate"
+	case Assertion:
+		return "assertion"
+	case Limit:
+		return "limit"
+	case Canceled:
+		return "canceled"
+	default:
+		return "unknown"
+	}
+}
+
+// Pos is a 1-based source position.  The zero value means "no position".
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// Error is a classified failure from the compile/verify pipeline.  Msg
+// holds the complete human-readable message (positions included, in the
+// historical "hdl:LINE:COL: ..." style), so Error() output is unchanged
+// from the pre-structured era and string-based matching keeps working.
+type Error struct {
+	Kind Kind
+	Pos  Pos // source position when known, zero otherwise
+	Msg  string
+	Err  error // wrapped cause, may be nil
+}
+
+// Error returns the formatted message.
+func (e *Error) Error() string { return e.Msg }
+
+// Unwrap exposes the wrapped cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is matches sentinel errors by kind: a target *Error with an empty Msg
+// (such as the scaldtv.ErrParse … scaldtv.ErrCanceled sentinels) matches
+// any error of the same kind.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	return ok && t.Msg == "" && t.Err == nil && t.Kind == e.Kind
+}
+
+// Sentinel returns the comparison value for errors.Is checks against a
+// kind: errors.Is(err, Sentinel(Parse)) reports whether err is (or wraps)
+// a parse error.
+func Sentinel(k Kind) *Error { return &Error{Kind: k} }
+
+// New formats a structured error at a known position.
+func New(k Kind, pos Pos, format string, args ...any) *Error {
+	return &Error{Kind: k, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Newf formats a structured error with no position.
+func Newf(k Kind, format string, args ...any) *Error {
+	return &Error{Kind: k, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Wrap classifies err under kind k, preserving its message and keeping it
+// reachable through errors.Is/As.  A nil err stays nil and an err that
+// already is (or wraps) an *Error is returned unchanged, so boundary
+// functions can wrap unconditionally without double-classifying.
+func Wrap(k Kind, err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *Error
+	if errors.As(err, &se) {
+		return err
+	}
+	return &Error{Kind: k, Msg: err.Error(), Err: err}
+}
+
+// KindOf reports the kind of err, or KindUnknown when err is not (and
+// does not wrap) an *Error.
+func KindOf(err error) Kind {
+	var se *Error
+	if errors.As(err, &se) {
+		return se.Kind
+	}
+	return KindUnknown
+}

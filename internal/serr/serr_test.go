@@ -1,0 +1,86 @@
+package serr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		KindUnknown: "unknown",
+		Parse:       "parse",
+		Elaborate:   "elaborate",
+		Assertion:   "assertion",
+		Limit:       "limit",
+		Canceled:    "canceled",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestSentinelMatching(t *testing.T) {
+	err := New(Parse, Pos{Line: 3, Col: 7}, "hdl:3:7: expected a name")
+	if !errors.Is(err, Sentinel(Parse)) {
+		t.Error("parse error does not match the parse sentinel")
+	}
+	if errors.Is(err, Sentinel(Elaborate)) {
+		t.Error("parse error matches the elaborate sentinel")
+	}
+	// Wrapped one level deep, the sentinel still matches.
+	wrapped := fmt.Errorf("outer: %w", err)
+	if !errors.Is(wrapped, Sentinel(Parse)) {
+		t.Error("wrapped parse error does not match the parse sentinel")
+	}
+	var se *Error
+	if !errors.As(wrapped, &se) || se.Pos.Line != 3 || se.Pos.Col != 7 {
+		t.Errorf("errors.As lost the position: %+v", se)
+	}
+}
+
+func TestWrapPreservesExisting(t *testing.T) {
+	inner := New(Assertion, Pos{}, "verify: net X: bad window")
+	if got := Wrap(Elaborate, inner); got != error(inner) {
+		t.Errorf("Wrap reclassified an already-structured error: %v", got)
+	}
+	outer := fmt.Errorf("context: %w", inner)
+	if got := Wrap(Elaborate, outer); got != outer {
+		t.Errorf("Wrap reclassified a wrapping of a structured error: %v", got)
+	}
+	if Wrap(Parse, nil) != nil {
+		t.Error("Wrap(nil) != nil")
+	}
+	plain := errors.New("boom")
+	got := Wrap(Limit, plain)
+	if KindOf(got) != Limit || got.Error() != "boom" {
+		t.Errorf("Wrap(plain) = kind %v, msg %q", KindOf(got), got.Error())
+	}
+	if !errors.Is(got, plain) {
+		t.Error("wrapped error lost its cause")
+	}
+}
+
+func TestCanceledWrapsContextCause(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Wrap(Canceled, ctx.Err())
+	if !errors.Is(err, context.Canceled) {
+		t.Error("canceled error does not match context.Canceled")
+	}
+	if !errors.Is(err, Sentinel(Canceled)) {
+		t.Error("canceled error does not match the canceled sentinel")
+	}
+}
+
+func TestKindOfUnknown(t *testing.T) {
+	if KindOf(errors.New("plain")) != KindUnknown {
+		t.Error("plain error classified")
+	}
+	if KindOf(nil) != KindUnknown {
+		t.Error("nil error classified")
+	}
+}

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scaldtv"
+	"scaldtv/internal/stats"
+)
+
+// wallRing bounds how many recent verification wall times feed the
+// latency quantiles.
+const wallRing = 512
+
+// metrics holds the service counters exported in Prometheus text format.
+// Counters are monotonic totals; the cache and dirty-cone figures are
+// gauges describing the most recent run, because the engine's own
+// counters are cumulative per Verifier and would double-count if summed
+// across session re-runs.
+type metrics struct {
+	verifies     atomic.Int64 // completed verification runs
+	incrementals atomic.Int64 // …of which answered from the dirty cone
+	failures     atomic.Int64 // runs that returned an error
+	rejected     atomic.Int64 // admissions refused with 429
+
+	lastHitRate    atomic.Uint64 // float64 bits: cache hits / lookups, last run
+	lastDirtyRatio atomic.Uint64 // float64 bits: dirty prims / prims, last incremental run
+
+	mu     sync.Mutex
+	walls  [wallRing]float64 // seconds, ring buffer of recent runs
+	next   int
+	filled bool
+}
+
+// observe records one completed verification run.
+func (m *metrics) observe(res *scaldtv.Result, wall time.Duration) {
+	m.verifies.Add(1)
+	if res.Stats.CacheHits+res.Stats.CacheMisses > 0 {
+		m.lastHitRate.Store(math.Float64bits(stats.HitRate(res.Stats.CacheHits, res.Stats.CacheMisses)))
+	}
+	if res.Stats.Incremental {
+		m.incrementals.Add(1)
+		if res.Stats.Primitives > 0 {
+			m.lastDirtyRatio.Store(math.Float64bits(
+				float64(res.Stats.DirtyPrims) / float64(res.Stats.Primitives)))
+		}
+	}
+	m.mu.Lock()
+	m.walls[m.next] = wall.Seconds()
+	m.next++
+	if m.next == wallRing {
+		m.next, m.filled = 0, true
+	}
+	m.mu.Unlock()
+}
+
+// quantiles returns the p50 and p99 of the recent wall times (nearest
+// rank over the ring buffer), or ok=false before the first run.
+func (m *metrics) quantiles() (p50, p99 float64, ok bool) {
+	m.mu.Lock()
+	n := m.next
+	if m.filled {
+		n = wallRing
+	}
+	sorted := make([]float64, n)
+	copy(sorted, m.walls[:n])
+	m.mu.Unlock()
+	if n == 0 {
+		return 0, 0, false
+	}
+	sort.Float64s(sorted)
+	rank := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(n))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	return rank(0.50), rank(0.99), true
+}
+
+// render writes the Prometheus text-format exposition.
+func (m *metrics) render(w io.Writer, queueDepth, sessions int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gaugeI := func(name, help string, v int) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	gaugeF := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("scaldtvd_verifies_total", "Completed verification runs.", m.verifies.Load())
+	counter("scaldtvd_incremental_total", "Runs answered incrementally from the dirty cone.", m.incrementals.Load())
+	counter("scaldtvd_verify_failures_total", "Verification runs that returned an error.", m.failures.Load())
+	counter("scaldtvd_rejected_total", "Requests refused with 429 by admission control.", m.rejected.Load())
+	gaugeI("scaldtvd_queue_depth", "Requests holding or waiting for a verification slot.", queueDepth)
+	gaugeI("scaldtvd_sessions", "Live sessions in the LRU table.", sessions)
+	gaugeF("scaldtvd_cache_hit_rate", "Evaluation-memo hit rate of the most recent run.",
+		math.Float64frombits(m.lastHitRate.Load()))
+	gaugeF("scaldtvd_dirty_prim_ratio", "Dirty-cone share of the most recent incremental run.",
+		math.Float64frombits(m.lastDirtyRatio.Load()))
+	if p50, p99, ok := m.quantiles(); ok {
+		fmt.Fprintf(w, "# HELP scaldtvd_verify_wall_seconds Verification wall time quantiles over recent runs.\n")
+		fmt.Fprintf(w, "# TYPE scaldtvd_verify_wall_seconds summary\n")
+		fmt.Fprintf(w, "scaldtvd_verify_wall_seconds{quantile=\"0.5\"} %g\n", p50)
+		fmt.Fprintf(w, "scaldtvd_verify_wall_seconds{quantile=\"0.99\"} %g\n", p99)
+	}
+}

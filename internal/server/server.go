@@ -1,0 +1,402 @@
+// Package server implements scaldtvd, the verification service: an
+// HTTP/JSON front-end over the scaldtv engine that holds compiled designs
+// in memory and answers edit/re-verify requests, the paper's §2.6 modular
+// re-verification loop turned into a long-running daemon.
+//
+// Endpoints:
+//
+//	POST   /v1/verify                  stateless: HDL source in, JSON report out
+//	POST   /v1/sessions                compile + verify, retain a Verifier
+//	PUT    /v1/sessions/{id}/design    diff against the retained design and
+//	                                   re-verify the dirty cone only
+//	GET    /v1/sessions/{id}/report    render the retained result
+//	                                   (?format=json|errors|summary|xref)
+//	DELETE /v1/sessions/{id}           evict a session
+//	GET    /healthz                    liveness (503 while draining)
+//	GET    /metrics                    Prometheus text-format counters
+//
+// The stateless verify response is byte-identical to `scaldtv -json` for
+// the same source and options — the engine's report determinism contract
+// carried over the wire.
+//
+// Admission control: verification work runs on a bounded pool of Pool
+// slots with a bounded queue of Queue further requests; beyond that the
+// server answers 429 with Retry-After instead of blocking unboundedly.
+// Every request carries a deadline, and client disconnects cancel the
+// verify cooperatively (kind canceled → 408).  During a drain (SIGTERM)
+// new work is refused with 503 while in-flight verifies complete.
+//
+// Error mapping: structured scaldtv error kinds map onto HTTP statuses —
+// parse → 400, elaborate/assertion → 422, canceled → 408, limit → 503.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"scaldtv"
+	"scaldtv/internal/serr"
+)
+
+// Config tunes the service.  The zero value gets sensible defaults from
+// New.
+type Config struct {
+	// Options is the base verification configuration (Workers,
+	// IntraWorkers, NoCache); stateless requests may override the worker
+	// and cache settings per request, sessions fix them at creation.
+	Options scaldtv.Options
+	// Pool bounds the number of concurrently running verifications.  The
+	// default sizes the pool against the per-run parallelism, so that
+	// Pool × max(1, Workers×IntraWorkers) ≈ GOMAXPROCS: a server already
+	// fanning each run out over every core admits one run at a time.
+	Pool int
+	// Queue bounds how many admitted requests may wait for a pool slot;
+	// beyond Pool+Queue in flight the server answers 429.  Default 16.
+	Queue int
+	// MaxSessions bounds the session table; the least recently used
+	// session is evicted beyond it.  Default 64.
+	MaxSessions int
+	// SessionTTL evicts sessions idle longer than this.  Default 30m.
+	SessionTTL time.Duration
+	// Timeout is the per-request verification deadline.  Default 60s.
+	Timeout time.Duration
+	// MaxBody bounds the request body size in bytes.  Default 8 MiB.
+	MaxBody int64
+
+	// now substitutes the clock (session TTL tests).
+	now func() time.Time
+	// onVerifyStart, when set, runs inside the admitted pool slot just
+	// before verification begins (admission and cancellation tests).
+	onVerifyStart func(ctx context.Context)
+}
+
+// Server is the verification service.  Create one with New, mount
+// Handler on an http.Server, and call SetDraining(true) before Shutdown.
+type Server struct {
+	cfg      Config
+	pool     int
+	queue    int
+	slots    chan struct{}
+	inflight atomic.Int64
+	draining atomic.Bool
+	sessions *sessionTable
+	met      metrics
+	mux      *http.ServeMux
+}
+
+// New builds a Server from cfg, applying defaults for zero fields.
+func New(cfg Config) *Server {
+	perRun := cfg.Options.Workers
+	if perRun <= 0 {
+		perRun = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Options.IntraWorkers > 1 {
+		perRun *= cfg.Options.IntraWorkers
+	}
+	if cfg.Pool <= 0 {
+		cfg.Pool = runtime.GOMAXPROCS(0) / perRun
+		if cfg.Pool < 1 {
+			cfg.Pool = 1
+		}
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 16
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 64
+	}
+	if cfg.SessionTTL <= 0 {
+		cfg.SessionTTL = 30 * time.Minute
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 8 << 20
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	s := &Server{
+		cfg:      cfg,
+		pool:     cfg.Pool,
+		queue:    cfg.Queue,
+		slots:    make(chan struct{}, cfg.Pool),
+		sessions: newSessionTable(cfg.MaxSessions, cfg.SessionTTL, cfg.now),
+		mux:      http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("PUT /v1/sessions/{id}/design", s.handleSessionUpdate)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/report", s.handleSessionReport)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// SetDraining flips drain mode: while draining every new request is
+// refused with 503 (and /healthz reports draining), but verifications
+// already admitted run to completion.  Call it before http.Server
+// Shutdown so load balancers stop routing while in-flight work finishes.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// QueueDepth reports how many admitted requests currently hold or wait
+// for a verification slot.
+func (s *Server) QueueDepth() int { return int(s.inflight.Load()) }
+
+// Admission sentinels, mapped to 429 / 503 by writeErr.
+var (
+	errOverloaded = errors.New("server: verification queue is full")
+	errDraining   = errors.New("server: draining, not accepting new work")
+)
+
+// admit reserves a verification slot, waiting in the bounded queue when
+// the pool is busy.  It never blocks unboundedly: beyond Pool+Queue
+// requests in flight it fails fast with errOverloaded, and a canceled
+// request stops waiting.  The returned release func must be called once.
+func (s *Server) admit(ctx context.Context) (func(), error) {
+	if s.draining.Load() {
+		return nil, errDraining
+	}
+	if n := s.inflight.Add(1); n > int64(s.pool+s.queue) {
+		s.inflight.Add(-1)
+		s.met.rejected.Add(1)
+		return nil, errOverloaded
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return func() {
+			<-s.slots
+			s.inflight.Add(-1)
+		}, nil
+	case <-ctx.Done():
+		s.inflight.Add(-1)
+		return nil, serr.Wrap(serr.Canceled, ctx.Err())
+	}
+}
+
+// reqCtx attaches the per-request verification deadline to the request's
+// own context (which the net/http server cancels on client disconnect).
+func (s *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.cfg.Timeout)
+}
+
+// verifyRequest is the JSON request body; the same fields are accepted as
+// query parameters (lib, j, intra, cache) over a raw-source body, so
+// `curl --data-binary @design.scald '…/v1/verify?lib=1'` works without
+// JSON quoting.  The parameters mirror the scaldtv flags of the same
+// names.
+type verifyRequest struct {
+	Source  string `json:"source"`
+	Lib     bool   `json:"lib"`
+	Workers *int   `json:"workers"`
+	Intra   *int   `json:"intra"`
+	Cache   *bool  `json:"cache"`
+}
+
+// readRequest decodes a verification request: the HDL source (library
+// appended when lib is set) and the effective options.
+func (s *Server) readRequest(r *http.Request) (src string, opts scaldtv.Options, err error) {
+	opts = s.cfg.Options
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, s.cfg.MaxBody))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return "", opts, serr.Newf(serr.Limit, "server: request body over %d bytes", s.cfg.MaxBody)
+		}
+		return "", opts, serr.Wrap(serr.Canceled, err)
+	}
+	req := verifyRequest{}
+	if strings.Contains(r.Header.Get("Content-Type"), "json") {
+		if err := json.Unmarshal(body, &req); err != nil {
+			return "", opts, serr.Newf(serr.Parse, "server: request body: %v", err)
+		}
+	} else {
+		req.Source = string(body)
+	}
+	q := r.URL.Query()
+	boolParam := func(name string, cur bool) (bool, error) {
+		v := q.Get(name)
+		if v == "" {
+			return cur, nil
+		}
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return cur, serr.Newf(serr.Parse, "server: query parameter %s=%q: %v", name, v, err)
+		}
+		return b, nil
+	}
+	intParam := func(name string, cur *int) error {
+		v := q.Get(name)
+		if v == "" {
+			return nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return serr.Newf(serr.Parse, "server: query parameter %s=%q must be a non-negative integer", name, v)
+		}
+		*cur = n
+		return nil
+	}
+	if req.Workers != nil {
+		opts.Workers = *req.Workers
+	}
+	if req.Intra != nil {
+		opts.IntraWorkers = *req.Intra
+	}
+	if req.Cache != nil {
+		opts.NoCache = !*req.Cache
+	}
+	if err := intParam("j", &opts.Workers); err != nil {
+		return "", opts, err
+	}
+	if err := intParam("intra", &opts.IntraWorkers); err != nil {
+		return "", opts, err
+	}
+	cache, err := boolParam("cache", !opts.NoCache)
+	if err != nil {
+		return "", opts, err
+	}
+	opts.NoCache = !cache
+	lib, err := boolParam("lib", req.Lib)
+	if err != nil {
+		return "", opts, err
+	}
+	if req.Source == "" {
+		return "", opts, serr.Newf(serr.Parse, "server: empty design source")
+	}
+	src = req.Source
+	if lib {
+		src += "\n" + scaldtv.Library
+	}
+	return src, opts, nil
+}
+
+// handleVerify is the stateless POST /v1/verify endpoint.  The response
+// body is byte-identical to `scaldtv -json` for the same input: the JSON
+// report followed by one newline.
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	src, opts, err := s.readRequest(r)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	release, err := s.admit(ctx)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	defer release()
+	if s.cfg.onVerifyStart != nil {
+		s.cfg.onVerifyStart(ctx)
+	}
+	start := time.Now()
+	res, err := scaldtv.VerifySourceContext(ctx, src, opts)
+	if err != nil {
+		s.met.failures.Add(1)
+		s.writeErr(w, err)
+		return
+	}
+	s.met.observe(res, time.Since(start))
+	out, err := scaldtv.JSONReport(res)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+	io.WriteString(w, "\n")
+}
+
+// errBody is the JSON error response.
+type errBody struct {
+	Error struct {
+		Kind    string `json:"kind"`
+		Message string `json:"message"`
+		Line    int    `json:"line,omitempty"`
+		Col     int    `json:"col,omitempty"`
+	} `json:"error"`
+}
+
+// statusFor maps an error onto its HTTP status: admission sentinels
+// first, then the structured kind.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, errOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errNoSession):
+		return http.StatusNotFound
+	}
+	switch serr.KindOf(err) {
+	case serr.Parse:
+		return http.StatusBadRequest
+	case serr.Elaborate, serr.Assertion:
+		return http.StatusUnprocessableEntity
+	case serr.Canceled:
+		return http.StatusRequestTimeout
+	case serr.Limit:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeErr renders err as a JSON error response with the mapped status.
+// Overload and drain responses carry Retry-After so well-behaved clients
+// back off instead of hammering the queue.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	code := statusFor(err)
+	if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	var body errBody
+	body.Error.Kind = serr.KindOf(err).String()
+	body.Error.Message = err.Error()
+	var se *serr.Error
+	if errors.As(err, &se) {
+		body.Error.Line = se.Pos.Line
+		body.Error.Col = se.Pos.Col
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc, _ := json.MarshalIndent(&body, "", "  ")
+	w.Write(enc)
+	io.WriteString(w, "\n")
+}
+
+// handleHealthz reports liveness; a draining server answers 503 so load
+// balancers stop routing to it during shutdown.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	status, code := "ok", http.StatusOK
+	if s.draining.Load() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"status\":%q,\"sessions\":%d,\"queue_depth\":%d}\n",
+		status, s.sessions.len(), s.QueueDepth())
+}
+
+// handleMetrics renders the Prometheus text-format counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.render(w, s.QueueDepth(), s.sessions.len())
+}

@@ -1,0 +1,326 @@
+package server
+
+import (
+	"container/list"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"scaldtv"
+	"scaldtv/internal/report"
+)
+
+// A session retains a Verifier between requests, so a design edit is
+// answered from the dirty cone of the previous fixed point instead of a
+// from-scratch run (the §2.6 designer loop over HTTP).  The per-session
+// mutex serializes verification work on the retained state; concurrent
+// edits to one session queue behind each other while different sessions
+// proceed in parallel (up to the admission pool).
+type session struct {
+	id   string
+	mu   sync.Mutex
+	V    *scaldtv.Verifier
+	opts scaldtv.Options
+
+	// Guarded by the owning table's mutex, not mu.
+	elem     *list.Element
+	lastUsed time.Time
+}
+
+// Session lookup sentinel, mapped to 404 by statusFor.
+var errNoSession = errors.New("server: no such session")
+
+// sessionTable is an LRU-bounded, TTL-evicting map of live sessions.
+// Eviction is lazy: expired entries are swept on every lookup, insert and
+// length query, so an idle server holds stale Verifiers no longer than
+// the next incoming request.
+type sessionTable struct {
+	mu   sync.Mutex
+	max  int
+	ttl  time.Duration
+	now  func() time.Time
+	byID map[string]*session
+	lru  *list.List // front = most recently used; values are *session
+}
+
+func newSessionTable(max int, ttl time.Duration, now func() time.Time) *sessionTable {
+	return &sessionTable{
+		max:  max,
+		ttl:  ttl,
+		now:  now,
+		byID: make(map[string]*session),
+		lru:  list.New(),
+	}
+}
+
+// evictExpired removes sessions idle past the TTL.  Callers hold t.mu.
+func (t *sessionTable) evictExpired() {
+	deadline := t.now().Add(-t.ttl)
+	for e := t.lru.Back(); e != nil; {
+		s := e.Value.(*session)
+		if s.lastUsed.After(deadline) {
+			break // LRU order: everything nearer the front is fresher
+		}
+		prev := e.Prev()
+		t.lru.Remove(e)
+		delete(t.byID, s.id)
+		e = prev
+	}
+}
+
+// get looks a session up and marks it used.
+func (t *sessionTable) get(id string) *session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.evictExpired()
+	s := t.byID[id]
+	if s == nil {
+		return nil
+	}
+	s.lastUsed = t.now()
+	t.lru.MoveToFront(s.elem)
+	return s
+}
+
+// put inserts a new session, evicting the least recently used one beyond
+// the capacity bound.
+func (t *sessionTable) put(s *session) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.evictExpired()
+	for t.lru.Len() >= t.max {
+		e := t.lru.Back()
+		victim := e.Value.(*session)
+		t.lru.Remove(e)
+		delete(t.byID, victim.id)
+	}
+	s.lastUsed = t.now()
+	s.elem = t.lru.PushFront(s)
+	t.byID[s.id] = s
+}
+
+// remove deletes a session; it reports whether the id was live.
+func (t *sessionTable) remove(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.byID[id]
+	if s == nil {
+		return false
+	}
+	t.lru.Remove(s.elem)
+	delete(t.byID, id)
+	return true
+}
+
+func (t *sessionTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.evictExpired()
+	return t.lru.Len()
+}
+
+func newSessionID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// sessionEnvelope is the JSON response of the session endpoints: run
+// provenance (whether the answer came from the dirty cone, and how big
+// the cone was) wrapped around the ordinary verification report.  The
+// embedded report is byte-identical to the stateless /v1/verify response
+// for the same design state.
+type sessionEnvelope struct {
+	Schema      int             `json:"schema"`
+	Session     string          `json:"session"`
+	Incremental bool            `json:"incremental"`
+	DirtyPrims  int             `json:"dirty_prims"`
+	DirtyNets   int             `json:"dirty_nets"`
+	ReusedWaves int             `json:"reused_waves"`
+	Primitives  int             `json:"primitives"`
+	Pass        bool            `json:"pass"`
+	Violations  int             `json:"violations"`
+	Report      json.RawMessage `json:"report"`
+}
+
+// writeEnvelope renders the session response for a completed run.
+func (s *Server) writeEnvelope(w http.ResponseWriter, code int, id string, res *scaldtv.Result) {
+	rep, err := scaldtv.JSONReport(res)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	env := sessionEnvelope{
+		Schema:      report.SchemaVersion,
+		Session:     id,
+		Incremental: res.Stats.Incremental,
+		DirtyPrims:  res.Stats.DirtyPrims,
+		DirtyNets:   res.Stats.DirtyNets,
+		ReusedWaves: res.Stats.ReusedWaves,
+		Primitives:  res.Stats.Primitives,
+		Pass:        !res.Errors(),
+		Violations:  len(res.Violations),
+		Report:      rep,
+	}
+	out, err := json.MarshalIndent(&env, "", "  ")
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(out)
+	io.WriteString(w, "\n")
+}
+
+// handleSessionCreate (POST /v1/sessions) compiles the design, runs a
+// full verification, and retains the converged Verifier under a fresh
+// session id.  Worker and cache options are fixed for the session's
+// lifetime here; later PUTs only carry source.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	src, opts, err := s.readRequest(r)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	release, err := s.admit(ctx)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	defer release()
+	if s.cfg.onVerifyStart != nil {
+		s.cfg.onVerifyStart(ctx)
+	}
+	d, err := scaldtv.Compile(src)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	sess := &session{id: newSessionID(), V: scaldtv.NewVerifier(d, opts), opts: opts}
+	start := time.Now()
+	res, err := sess.V.VerifyContext(ctx)
+	if err != nil {
+		s.met.failures.Add(1)
+		s.writeErr(w, err)
+		return
+	}
+	s.met.observe(res, time.Since(start))
+	s.sessions.put(sess)
+	w.Header().Set("Location", "/v1/sessions/"+sess.id)
+	s.writeEnvelope(w, http.StatusCreated, sess.id, res)
+}
+
+// handleSessionUpdate (PUT /v1/sessions/{id}/design) adopts an edited
+// design: when it differs from the retained one only in parameters, the
+// verifier re-verifies just the forward cone of the edits and the
+// response reports incremental=true with the cone size; a structural
+// edit transparently falls back to a full run.  A canceled update drops
+// the retained state inside the verifier (abort-don't-corrupt), so the
+// session survives and the next PUT simply runs from scratch.
+func (s *Server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
+	sess := s.sessions.get(r.PathValue("id"))
+	if sess == nil {
+		s.writeErr(w, errNoSession)
+		return
+	}
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	src, _, err := s.readRequest(r) // session options stay fixed; only source counts
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	// Serialize edits to this session before taking a pool slot, so a
+	// burst of edits to one session occupies at most one slot.
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	release, err := s.admit(ctx)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	defer release()
+	if s.cfg.onVerifyStart != nil {
+		s.cfg.onVerifyStart(ctx)
+	}
+	nd, err := scaldtv.Compile(src)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	start := time.Now()
+	res, _, err := sess.V.UpdateContext(ctx, nd)
+	if err != nil {
+		s.met.failures.Add(1)
+		s.writeErr(w, err)
+		return
+	}
+	s.met.observe(res, time.Since(start))
+	s.writeEnvelope(w, http.StatusOK, sess.id, res)
+}
+
+// handleSessionReport (GET /v1/sessions/{id}/report) renders the
+// retained result without re-verifying anything.  ?format= selects the
+// rendering: json (default; byte-identical to /v1/verify), errors (the
+// Fig 3-11 constraint-error listing), summary (run statistics), xref
+// (the unasserted-signals cross reference).
+func (s *Server) handleSessionReport(w http.ResponseWriter, r *http.Request) {
+	sess := s.sessions.get(r.PathValue("id"))
+	if sess == nil {
+		s.writeErr(w, errNoSession)
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	res := sess.V.Result()
+	if res == nil {
+		// The last run was canceled and dropped its state; there is
+		// nothing to report until the next successful PUT.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusConflict)
+		io.WriteString(w, `{"error":{"kind":"unknown","message":"server: session has no result; re-submit the design"}}`+"\n")
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		out, err := scaldtv.JSONReport(res)
+		if err != nil {
+			s.writeErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(out)
+		io.WriteString(w, "\n")
+	case "errors":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, scaldtv.ErrorListing(res))
+	case "summary":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, scaldtv.Summary(res))
+	case "xref":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, scaldtv.CrossReference(res))
+	default:
+		s.writeErr(w, &scaldtv.Error{Kind: scaldtv.ParseError,
+			Msg: "server: unknown report format " + format + " (want json, errors, summary or xref)"})
+	}
+}
+
+// handleSessionDelete (DELETE /v1/sessions/{id}) evicts a session.
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.sessions.remove(r.PathValue("id")) {
+		s.writeErr(w, errNoSession)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -201,13 +201,19 @@ func (t *Table31) FromVerify(s verify.Stats) {
 	t.Sweeps = s.Sweeps
 }
 
+// HitRate is the fraction of cache lookups served from the cache, shared
+// by the Table 3-1 listing and the scaldtvd /metrics exposition.
+func HitRate(hits, misses int) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
 // CacheHitRate is the fraction of scheduled primitive evaluations served
 // from the memo cache.
 func (t Table31) CacheHitRate() float64 {
-	if t.CacheHits+t.CacheMisses == 0 {
-		return 0
-	}
-	return float64(t.CacheHits) / float64(t.CacheHits+t.CacheMisses)
+	return HitRate(t.CacheHits, t.CacheMisses)
 }
 
 // PerPrim is the verification cost per primitive (the paper reports

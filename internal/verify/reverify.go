@@ -1,12 +1,14 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"scaldtv/internal/eval"
 	"scaldtv/internal/netlist"
+	"scaldtv/internal/serr"
 	"scaldtv/internal/values"
 )
 
@@ -65,14 +67,22 @@ func (V *Verifier) Result() *Result { return V.res }
 
 // Verify runs a full verification and retains the converged state for
 // later Reverify calls.
-func (V *Verifier) Verify() (*Result, error) { return V.run(true) }
+func (V *Verifier) Verify() (*Result, error) { return V.run(context.Background(), true) }
+
+// VerifyContext is Verify with cooperative cancellation.  A canceled run
+// returns a structured error of kind serr.Canceled and retains no state,
+// so the next Verify or Reverify starts from scratch — cancellation can
+// abort a run but never corrupt the session.
+func (V *Verifier) VerifyContext(ctx context.Context) (*Result, error) {
+	return V.run(ctx, true)
+}
 
 // run is the full-verification engine behind both the package-level Run
 // (retain=false) and Verifier.Verify (retain=true).
-func (V *Verifier) run(retain bool) (*Result, error) {
+func (V *Verifier) run(ctx context.Context, retain bool) (*Result, error) {
 	d := V.d
 	if err := d.Check(); err != nil {
-		return nil, err
+		return nil, serr.Wrap(serr.Elaborate, err)
 	}
 	V.perCase, V.res = nil, nil
 	buildStart := time.Now()
@@ -80,6 +90,7 @@ func (V *Verifier) run(retain bool) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	v.ctx = ctx
 	res.Stats.BuildTime = time.Since(buildStart)
 
 	// The case list: an empty design-case list means a single unmapped
@@ -187,12 +198,22 @@ func (V *Verifier) run(retain bool) (*Result, error) {
 // converge, whose retained waveforms are not a fixed point) Reverify
 // transparently falls back to a full Verify.
 func (V *Verifier) Reverify(ch netlist.Changes) (*Result, error) {
+	return V.ReverifyContext(context.Background(), ch)
+}
+
+// ReverifyContext is Reverify with cooperative cancellation.  A canceled
+// re-verification returns a structured error of kind serr.Canceled and
+// drops the retained state — the resumed relaxation had already moved
+// some cases off their fixed point — so the next Reverify transparently
+// falls back to a full Verify and stays bit-identical to a from-scratch
+// run of the edited design.
+func (V *Verifier) ReverifyContext(ctx context.Context, ch netlist.Changes) (*Result, error) {
 	if V.perCase == nil || V.res == nil {
-		return V.Verify()
+		return V.VerifyContext(ctx)
 	}
 	for _, viol := range V.res.Violations {
 		if viol.Kind == ConvergenceViolation {
-			return V.Verify()
+			return V.VerifyContext(ctx)
 		}
 	}
 	d := V.d
@@ -201,7 +222,7 @@ func (V *Verifier) Reverify(ch netlist.Changes) (*Result, error) {
 	// the dirty sites need checking — a full d.Check() here would cost
 	// more than the reverification itself on local edits.
 	if err := d.CheckSites(ch); err != nil {
-		return nil, err
+		return nil, serr.Wrap(serr.Elaborate, err)
 	}
 
 	buildStart := time.Now()
@@ -223,7 +244,7 @@ func (V *Verifier) Reverify(ch netlist.Changes) (*Result, error) {
 		if pinned != tmpl.pinned[id] {
 			// Re-pinning is a structural change netlist.Diff never
 			// produces; a direct caller gets the full-run fallback.
-			return V.Verify()
+			return V.VerifyContext(ctx)
 		}
 		seeds = append(seeds, seedUpdate{id, w})
 	}
@@ -247,6 +268,9 @@ func (V *Verifier) Reverify(ch netlist.Changes) (*Result, error) {
 	workers := V.opts.workers(len(V.cases))
 	wallStart := time.Now()
 	outs := make([]caseOutcome, len(V.cases))
+	for _, rc := range V.perCase {
+		rc.ctx = ctx
+	}
 	if workers == 1 {
 		for ci := range V.cases {
 			outs[ci] = V.perCase[ci].reverifyCase(V.cases[ci], ch, dirtyPrim)
@@ -271,6 +295,14 @@ func (V *Verifier) Reverify(ch netlist.Changes) (*Result, error) {
 	}
 
 	for _, o := range outs {
+		if o.err != nil {
+			// An aborted case left its retained verifier somewhere between
+			// the old and the new fixed point.  Drop all retained state:
+			// the next call falls back to a full Verify, which is by
+			// construction bit-identical to a from-scratch run.
+			V.perCase, V.res = nil, nil
+			return nil, o.err
+		}
 		res.Cases = append(res.Cases, o.cr)
 		res.Violations = append(res.Violations, o.cr.Violations...)
 		res.Margins = append(res.Margins, o.margins...)
@@ -300,6 +332,12 @@ func (V *Verifier) Reverify(ch netlist.Changes) (*Result, error) {
 // rebuilds and runs a full verification.  The new design must have its
 // fanout index built (Builder.Build, Compile and RebuildFanout all do).
 func (V *Verifier) Update(nd *netlist.Design) (res *Result, incremental bool, err error) {
+	return V.UpdateContext(context.Background(), nd)
+}
+
+// UpdateContext is Update with cooperative cancellation, with the same
+// abort-don't-corrupt contract as ReverifyContext.
+func (V *Verifier) UpdateContext(ctx context.Context, nd *netlist.Design) (res *Result, incremental bool, err error) {
 	if nd == nil {
 		return nil, false, fmt.Errorf("verify: Update with nil design")
 	}
@@ -307,14 +345,14 @@ func (V *Verifier) Update(nd *netlist.Design) (res *Result, incremental bool, er
 	if !ok || V.perCase == nil {
 		V.d = nd
 		V.perCase, V.res = nil, nil
-		res, err = V.Verify()
+		res, err = V.VerifyContext(ctx)
 		return res, false, err
 	}
 	V.d = nd
 	for _, rc := range V.perCase {
 		rc.d = nd
 	}
-	res, err = V.Reverify(ch)
+	res, err = V.ReverifyContext(ctx, ch)
 	return res, err == nil, err
 }
 
@@ -350,6 +388,11 @@ func (v *verifier) reverifyCase(c netlist.Case, ch netlist.Changes, dirtyPrim []
 		v.enqueue(pi) // enqueue ignores checker primitives itself
 	}
 	conv := v.relax()
+	if v.aborted != nil {
+		err := v.aborted
+		v.aborted = nil
+		return caseOutcome{err: err}
+	}
 	out := caseOutcome{verifyTime: time.Since(verifyStart), sweeps: v.sweeps}
 
 	checkStart := time.Now()

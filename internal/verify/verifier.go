@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"scaldtv/internal/assertion"
 	"scaldtv/internal/eval"
 	"scaldtv/internal/netlist"
+	"scaldtv/internal/serr"
 	"scaldtv/internal/values"
 )
 
@@ -188,8 +190,18 @@ func (r *Result) Errors() bool { return len(r.Violations) > 0 }
 
 // verifier holds the relaxation state.
 type verifier struct {
-	d       *netlist.Design
-	opts    Options
+	d    *netlist.Design
+	opts Options
+	// ctx carries the run's cooperative-cancellation signal (nil means
+	// context.Background()).  It is polled only at schedule-neutral
+	// points — serial pass boundaries, wavefront level barriers and sweep
+	// starts — so cancellation can abort a run but can never change the
+	// result of one that completes: a canceled case reports an error
+	// instead of a result, never a partial result.  aborted records the
+	// structured cancellation error for runCase to surface.
+	ctx     context.Context
+	aborted error
+
 	sigs    []eval.Signal                  // current signal per net
 	initial []values.Waveform              // assertion/default seed per net
 	pinned  []bool                         // nets pinned to a clock assertion (§2.9)
@@ -262,7 +274,42 @@ type siteChecks struct {
 // Run verifies the design and returns the result.  The design must have
 // passed netlist validation (Builder.Build or Design.Check).
 func Run(d *netlist.Design, opts Options) (*Result, error) {
-	return (&Verifier{d: d, opts: opts}).run(false)
+	return RunContext(context.Background(), d, opts)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is canceled
+// (or its deadline expires) the relaxation aborts at the next pass
+// boundary or level barrier and the run returns a structured error of
+// kind serr.Canceled wrapping ctx.Err().  A run that completes is
+// bit-identical to an uncancelled one — cancellation can only abort,
+// never alter, a result.
+func RunContext(ctx context.Context, d *netlist.Design, opts Options) (*Result, error) {
+	return (&Verifier{d: d, opts: opts}).run(ctx, false)
+}
+
+// ctxCheck polls the run's context.  It records and returns a structured
+// cancellation error once the context is done, nil otherwise.
+func (v *verifier) ctxCheck() error {
+	if v.aborted != nil {
+		return v.aborted
+	}
+	if v.ctx == nil {
+		return nil
+	}
+	if err := v.ctx.Err(); err != nil {
+		v.aborted = serr.Wrap(serr.Canceled, err)
+		return v.aborted
+	}
+	return nil
+}
+
+// ctxCheckEvery polls the context only every 256th evaluation, keeping
+// the cost of cooperative cancellation out of the serial hot loop.
+func (v *verifier) ctxCheckEvery() error {
+	if v.ctx == nil || v.evals&0xff != 0 {
+		return nil
+	}
+	return v.ctxCheck()
 }
 
 // seedWave computes the §2.9 step-1 initial waveform of one net: a Force
@@ -274,13 +321,13 @@ func (v *verifier) seedWave(id netlist.NetID) (w values.Waveform, pinned, undef 
 	n := &v.d.Nets[id]
 	if fw, ok := v.opts.Force[id]; ok {
 		if n.Driver != netlist.NoDriver {
-			return w, false, false, fmt.Errorf("verify: cannot force driven net %q", n.Name)
+			return w, false, false, serr.Newf(serr.Assertion, "verify: cannot force driven net %q", n.Name)
 		}
 		if err := fw.Check(); err != nil {
-			return w, false, false, fmt.Errorf("verify: forced waveform for %q: %v", n.Name, err)
+			return w, false, false, serr.Newf(serr.Assertion, "verify: forced waveform for %q: %v", n.Name, err)
 		}
 		if fw.Period != v.d.Period {
-			return w, false, false, fmt.Errorf("verify: forced waveform for %q has period %v, want %v", n.Name, fw.Period, v.d.Period)
+			return w, false, false, serr.Newf(serr.Assertion, "verify: forced waveform for %q has period %v, want %v", n.Name, fw.Period, v.d.Period)
 		}
 		return fw, false, false, nil
 	}
@@ -288,7 +335,7 @@ func (v *verifier) seedWave(id netlist.NetID) (w values.Waveform, pinned, undef 
 	case n.Assert != nil:
 		aw, aerr := n.Assert.Waveform(v.d.Env())
 		if aerr != nil {
-			return w, false, false, fmt.Errorf("verify: net %q: %v", n.Name, aerr)
+			return w, false, false, serr.Newf(serr.Assertion, "verify: net %q: %v", n.Name, aerr)
 		}
 		pinned = n.Assert.Kind == assertion.Clock || n.Assert.Kind == assertion.PrecisionClock
 		return aw, pinned, false, nil
@@ -403,6 +450,7 @@ func (v *verifier) clone() *verifier {
 	w := &verifier{
 		d:         v.d,
 		opts:      v.opts,
+		ctx:       v.ctx,
 		sigs:      append([]eval.Signal(nil), v.sigs...),
 		initial:   v.initial,
 		pinned:    v.pinned,
@@ -484,6 +532,11 @@ func (v *verifier) runCase(c netlist.Case, first bool) caseOutcome {
 		return caseOutcome{err: err}
 	}
 	conv := v.relax()
+	if v.aborted != nil {
+		err := v.aborted
+		v.aborted = nil
+		return caseOutcome{err: err}
+	}
 	out := caseOutcome{verifyTime: time.Since(verifyStart), sweeps: v.sweeps}
 
 	checkStart := time.Now()
@@ -524,7 +577,7 @@ func (v *verifier) applyCase(c netlist.Case, first bool) error {
 			}
 		}
 		if !found {
-			return fmt.Errorf("verify: case %q names unknown signal %q", c.Label, as.Base)
+			return serr.Newf(serr.Elaborate, "verify: case %q names unknown signal %q", c.Label, as.Base)
 		}
 	}
 
@@ -748,8 +801,13 @@ func (v *verifier) evalPrim(pid netlist.PrimID, sc *evalScratch, dst []netlist.N
 // relax runs the event-driven evaluation to a fixed point (§2.9 step 2).
 // It reports whether the fixed point was reached within the pass cap.
 // With IntraWorkers > 1 the worklist is handed to the levelized wavefront
-// scheduler, which converges on the same fixed point.
+// scheduler, which converges on the same fixed point.  A canceled context
+// aborts the loop at a pass boundary, leaving v.aborted set; the partial
+// state is discarded by the caller.
 func (v *verifier) relax() bool {
+	if err := v.ctxCheck(); err != nil {
+		return false
+	}
 	if v.opts.intraWorkers() > 1 {
 		return v.wavefrontRelax()
 	}
@@ -759,6 +817,10 @@ func (v *verifier) relax() bool {
 	}
 	for v.queueLen() > 0 {
 		if v.evals >= cap {
+			v.clearQueue()
+			return false
+		}
+		if err := v.ctxCheckEvery(); err != nil {
 			v.clearQueue()
 			return false
 		}

@@ -199,6 +199,12 @@ func (v *verifier) wavefrontRelax() bool {
 	var tasks []int32
 	var results []compResult
 	for dirty() {
+		// Cancellation is polled only between sweeps and at level
+		// barriers — schedule-neutral points where no worker is running —
+		// so an aborted run never exposes a partially marked sweep.
+		if err := v.ctxCheck(); err != nil {
+			return false
+		}
 		v.sweeps++
 
 		// Parallel phase: levels in ascending order, each level's pending
@@ -251,6 +257,9 @@ func (v *verifier) wavefrontRelax() bool {
 				v.events += results[i].events
 			}
 			if v.evals >= capN {
+				return false
+			}
+			if err := v.ctxCheck(); err != nil {
 				return false
 			}
 			for i, ci := range tasks {

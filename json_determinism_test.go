@@ -1,0 +1,63 @@
+package scaldtv
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestJSONReportByteDeterminism locks the contract the scaldtvd service
+// depends on: the JSON report is byte-identical for every combination of
+// case workers, intra-case workers and cache setting, for every example
+// design.  (The report deliberately carries no event or timing counters,
+// which are schedule-dependent.)
+func TestJSONReportByteDeterminism(t *testing.T) {
+	designs, err := filepath.Glob(filepath.Join("examples", "*", "*.scald"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(designs) == 0 {
+		t.Fatal("no .scald designs under examples/")
+	}
+	for _, path := range designs {
+		name := strings.TrimSuffix(filepath.Base(path), ".scald")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			text := string(src) + "\n" + Library
+			var baseline []byte
+			for _, cfg := range []Options{
+				{Workers: 1},
+				{Workers: 2},
+				{Workers: 8},
+				{Workers: 1, IntraWorkers: 2},
+				{Workers: 2, IntraWorkers: 4},
+				{Workers: 1, NoCache: true},
+			} {
+				res, err := VerifySource(text, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, err := JSONReport(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if baseline == nil {
+					baseline = out
+					if !bytes.Contains(out, []byte(`"schema": 1`)) {
+						t.Fatalf("report missing schema version:\n%s", out)
+					}
+					continue
+				}
+				if !bytes.Equal(out, baseline) {
+					t.Errorf("JSON for %+v differs from Workers=1 baseline\n--- got ---\n%s\n--- want ---\n%s",
+						cfg, out, baseline)
+				}
+			}
+		})
+	}
+}

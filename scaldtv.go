@@ -28,10 +28,21 @@
 // units, ".S0-6" declares when a signal is stable, "-NAME" uses the
 // complement rail, and "&H" attaches evaluation directives to gated-clock
 // pins (§2.5, §2.6).
+//
+// Errors crossing the Compile/Verify boundaries are structured *Error
+// values classified by ErrorKind: ParseError (malformed HDL source),
+// ElaborateError (macro expansion or netlist validation failed),
+// AssertionError (a timing assertion or forced waveform has no
+// consistent seed waveform), LimitError (a configured bound was
+// exceeded) and CanceledError (a Context variant was canceled
+// mid-verification).  Test kinds with errors.Is against the
+// ErrParse … ErrCanceled sentinels, or recover position and message
+// with errors.As.  The scaldtvd verification service maps these kinds
+// onto HTTP statuses.
 package scaldtv
 
 import (
-	"fmt"
+	"context"
 
 	"scaldtv/internal/autocorr"
 	"scaldtv/internal/expand"
@@ -40,6 +51,7 @@ import (
 	"scaldtv/internal/lint"
 	"scaldtv/internal/netlist"
 	"scaldtv/internal/report"
+	"scaldtv/internal/serr"
 	"scaldtv/internal/tick"
 	"scaldtv/internal/values"
 	"scaldtv/internal/verify"
@@ -83,9 +95,53 @@ type (
 
 	// Verifier retains converged state between runs for incremental
 	// re-verification (Verify once, then Reverify or Update per edit).
+	// The VerifyContext/ReverifyContext/UpdateContext variants add
+	// cooperative cancellation with the abort-don't-corrupt contract
+	// described on Error.
 	Verifier = verify.Verifier
 	// Changes names the primitives and nets whose parameters were edited.
 	Changes = netlist.Changes
+
+	// Error is the structured error every Compile/Verify boundary
+	// returns: a Kind classifying the failing pipeline stage, the source
+	// Pos when known, and the formatted message.  Use errors.As to
+	// recover it from a wrapped chain, or errors.Is against the
+	// ErrParse … ErrCanceled sentinels to test the kind alone.  Canceled
+	// errors additionally wrap the context's cause, so
+	// errors.Is(err, context.Canceled) keeps working.
+	Error = serr.Error
+	// ErrorKind classifies an Error by pipeline stage.
+	ErrorKind = serr.Kind
+	// ErrorPos is a 1-based source position inside an Error.
+	ErrorPos = serr.Pos
+)
+
+// The error kinds a structured Error carries.
+const (
+	// ParseError: the HDL source failed lexing or parsing.
+	ParseError = serr.Parse
+	// ElaborateError: macro expansion or netlist validation rejected a
+	// structurally invalid design.
+	ElaborateError = serr.Elaborate
+	// AssertionError: a timing assertion or forced waveform could not
+	// produce a consistent seed.
+	AssertionError = serr.Assertion
+	// LimitError: a configured bound was exceeded (invalid sweep bounds,
+	// request-size or capacity limits).
+	LimitError = serr.Limit
+	// CanceledError: the run was abandoned because its context was
+	// canceled or its deadline expired.
+	CanceledError = serr.Canceled
+)
+
+// Sentinels for errors.Is kind tests: errors.Is(err, ErrParse) reports
+// whether err is (or wraps) a parse-kind Error, and so on.
+var (
+	ErrParse     = serr.Sentinel(serr.Parse)
+	ErrElaborate = serr.Sentinel(serr.Elaborate)
+	ErrAssertion = serr.Sentinel(serr.Assertion)
+	ErrLimit     = serr.Sentinel(serr.Limit)
+	ErrCanceled  = serr.Sentinel(serr.Canceled)
 )
 
 // Primitive kinds, re-exported for Builder users.
@@ -185,6 +241,17 @@ func Verify(d *Design, opts Options) (*Result, error) {
 	return verify.Run(d, opts)
 }
 
+// VerifyContext is Verify with cooperative cancellation: when ctx is
+// canceled (or its deadline expires) the relaxation aborts at the next
+// pass boundary or wavefront level barrier and the call returns an Error
+// of kind CanceledError wrapping ctx.Err().  Cancellation is checked only
+// at those schedule-neutral points, so a run that completes is
+// bit-identical to an uncancelled one for every Workers/IntraWorkers
+// setting.
+func VerifyContext(ctx context.Context, d *Design, opts Options) (*Result, error) {
+	return verify.RunContext(ctx, d, opts)
+}
+
 // NewVerifier creates a stateful verifier whose Reverify and Update
 // methods re-verify only the dirty cone after parameter edits, resuming
 // the retained fixed point (see DESIGN.md, "Incremental reverification").
@@ -200,11 +267,17 @@ func Diff(old, new *Design) (Changes, bool) { return netlist.Diff(old, new) }
 
 // VerifySource compiles and verifies HDL source in one step.
 func VerifySource(src string, opts Options) (*Result, error) {
+	return VerifySourceContext(context.Background(), src, opts)
+}
+
+// VerifySourceContext is VerifySource with cooperative cancellation (see
+// VerifyContext).
+func VerifySourceContext(ctx context.Context, src string, opts Options) (*Result, error) {
 	d, err := Compile(src)
 	if err != nil {
 		return nil, err
 	}
-	return Verify(d, opts)
+	return VerifyContext(ctx, d, opts)
 }
 
 // CorrInsertion records one automatic CORR-delay placement (§4.2.3).
@@ -226,14 +299,14 @@ func AutoCorr(d *Design) ([]CorrInsertion, error) { return autocorr.Apply(d) }
 // absolute.  It returns 0 with no error when even hi fails.
 func MinimumPeriod(src string, lo, hi, resolution Time) (Time, error) {
 	if lo <= 0 || hi < lo || resolution <= 0 {
-		return 0, fmt.Errorf("scaldtv: invalid sweep bounds %v..%v step %v", lo, hi, resolution)
+		return 0, serr.Newf(serr.Limit, "scaldtv: invalid sweep bounds %v..%v step %v", lo, hi, resolution)
 	}
 	f, err := hdl.Parse(src)
 	if err != nil {
 		return 0, err
 	}
 	if f.Period <= 0 {
-		return 0, fmt.Errorf("scaldtv: the design must declare a period to sweep against")
+		return 0, serr.Newf(serr.Elaborate, "scaldtv: the design must declare a period to sweep against")
 	}
 	basePeriod := f.Period
 	baseCU := f.ClockUnit
