@@ -18,11 +18,15 @@
 //	              disables the cache, results are bit-identical either way)
 //	-watch        stay running and re-verify on every save; parameter-only
 //	              edits reverify just the dirty cone incrementally
+//	-store dir    persist converged runs in a content-addressed cache:
+//	              already-seen designs answer without running the engine,
+//	              edited designs warm-start from the nearest snapshot
 //	-cpuprofile f write a CPU profile of the verification to f
 //	-memprofile f write an allocation profile (after verification) to f
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +37,7 @@ import (
 	"scaldtv"
 	"scaldtv/internal/sections"
 	"scaldtv/internal/stats"
+	"scaldtv/internal/store"
 )
 
 // main only converts run's exit code into os.Exit, so the profiling defers
@@ -60,6 +65,8 @@ func run() int {
 	intra := flag.Int("intra", 1, "intra-case evaluation workers: >1 enables levelized wavefront scheduling (reports are bit-identical)")
 	cache := flag.Bool("cache", true, "memoize primitive evaluations over interned waveforms (-cache=false disables)")
 	watchFlag := flag.Bool("watch", false, "re-verify on every save, reusing converged waveforms for parameter-only edits")
+	storeDir := flag.String("store", "", "persist converged runs in this content-addressed cache directory")
+	storeMax := flag.Int64("store-max", 0, "store size budget in bytes (0 = the 256 MiB default)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile taken after verification to this file")
 	flag.Parse()
@@ -93,6 +100,13 @@ func run() int {
 		}()
 	}
 	baseOpts := scaldtv.Options{Workers: *workers, IntraWorkers: *intra, NoCache: !*cache}
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir, *storeMax); err != nil {
+			return fail(err)
+		}
+	}
 
 	if *sectionsFlag {
 		if flag.NArg() < 2 {
@@ -127,7 +141,7 @@ func run() int {
 		return 2
 	}
 	if *watchFlag {
-		if err := watch(flag.Arg(0), *lib, baseOpts, os.Stdout, 200*time.Millisecond, 0); err != nil {
+		if err := watch(flag.Arg(0), *lib, baseOpts, st, os.Stdout, 200*time.Millisecond, 0); err != nil {
 			return fail(err)
 		}
 		return 0
@@ -174,8 +188,19 @@ func run() int {
 	opts := baseOpts
 	opts.KeepWaves = *summary || *art
 	opts.Margins = *slack > 0
-	res, err := scaldtv.Verify(design, opts)
-	if err != nil {
+	var res *scaldtv.Result
+	if st != nil {
+		// Store-mediated run: an already-seen design answers from its
+		// persisted fixed point, an edited one warm-starts from the
+		// nearest snapshot.  Reports stay byte-identical to a cold run;
+		// provenance goes to stderr so stdout does not change shape.
+		oc, err := store.Verify(context.Background(), st, design, text, opts, true)
+		if err != nil {
+			return fail(err)
+		}
+		res = oc.Res
+		fmt.Fprintf(os.Stderr, "scaldtv: store: %s\n", oc.Provenance)
+	} else if res, err = scaldtv.Verify(design, opts); err != nil {
 		return fail(err)
 	}
 

@@ -1,12 +1,15 @@
 package main
 
 import (
+	"context"
+	"crypto/sha256"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
 	"scaldtv"
+	"scaldtv/internal/store"
 )
 
 // watch re-verifies the design at path each time the file changes,
@@ -15,22 +18,31 @@ import (
 // reverify just the dirty cone.  Structural edits fall back to a full
 // run transparently.
 //
-// Changes are detected by polling the file's modification time and size
-// every poll interval.  maxUpdates > 0 bounds the number of successful
-// verification passes before returning (used by tests); 0 watches until
-// the process is killed.
-func watch(path string, lib bool, opts scaldtv.Options, out io.Writer, poll time.Duration, maxUpdates int) error {
+// Changes are detected by polling and hashing the file content every
+// poll interval.  A content hash — not (mtime, size) — is what decides
+// whether anything changed: editors that save an equal-length revision
+// within the filesystem's timestamp granularity would otherwise be
+// missed, and a touch without an edit would otherwise re-verify.
+//
+// With a non-nil store, the first pass is answered through it (cached
+// or warm-started from the nearest persisted snapshot) and every
+// converged fixed point is persisted back, so the watch loop survives
+// process restarts without losing its incremental state.
+//
+// maxUpdates > 0 bounds the number of successful verification passes
+// before returning (used by tests); 0 watches until the process is
+// killed.
+func watch(path string, lib bool, opts scaldtv.Options, st *store.Store, out io.Writer, poll time.Duration, maxUpdates int) error {
 	var (
-		V        *scaldtv.Verifier
-		lastMod  time.Time
-		lastSize int64
-		passes   int
+		V       *scaldtv.Verifier
+		lastSum [sha256.Size]byte
+		passes  int
 	)
 	for first := true; ; first = false {
 		if !first {
 			time.Sleep(poll)
 		}
-		fi, err := os.Stat(path)
+		src, err := os.ReadFile(path)
 		if err != nil {
 			if first {
 				return err
@@ -40,16 +52,12 @@ func watch(path string, lib bool, opts scaldtv.Options, out io.Writer, poll time
 			fmt.Fprintf(out, "watch: %s: %v\n", path, err)
 			continue
 		}
-		if !first && fi.ModTime().Equal(lastMod) && fi.Size() == lastSize {
+		sum := sha256.Sum256(src)
+		if !first && sum == lastSum {
 			continue
 		}
-		lastMod, lastSize = fi.ModTime(), fi.Size()
+		lastSum = sum
 
-		src, err := os.ReadFile(path)
-		if err != nil {
-			fmt.Fprintf(out, "watch: %s: %v\n", path, err)
-			continue
-		}
 		text := string(src)
 		if lib {
 			text += "\n" + scaldtv.Library
@@ -67,11 +75,20 @@ func watch(path string, lib bool, opts scaldtv.Options, out io.Writer, poll time
 		var (
 			res         *scaldtv.Result
 			incremental bool
+			provenance  store.Provenance
 		)
-		if V == nil {
+		switch {
+		case V == nil && st != nil:
+			oc, err2 := store.Verify(context.Background(), st, design, text, opts, true)
+			if err2 != nil {
+				err = err2
+				break
+			}
+			V, res, incremental, provenance = oc.V, oc.Res, oc.Incremental, oc.Provenance
+		case V == nil:
 			V = scaldtv.NewVerifier(design, opts)
 			res, err = V.Verify()
-		} else {
+		default:
 			res, incremental, err = V.Update(design)
 		}
 		if err != nil {
@@ -80,10 +97,22 @@ func watch(path string, lib bool, opts scaldtv.Options, out io.Writer, poll time
 			continue
 		}
 		elapsed := time.Since(start).Round(time.Microsecond)
-		if incremental {
+		if st != nil {
+			// Persist before reporting, so anything reacting to the output
+			// line (tests, scripts) observes the updated store.
+			store.Save(st, text, opts, V)
+		}
+		switch {
+		case provenance == store.Cached:
+			fmt.Fprintf(out, "watch: %s: %d violation(s) in %v (cached)\n",
+				path, len(res.Violations), elapsed)
+		case incremental && provenance == store.Warm:
+			fmt.Fprintf(out, "watch: %s: %d violation(s) in %v (warm: %d dirty instance(s), %d reused waveform(s))\n",
+				path, len(res.Violations), elapsed, res.Stats.DirtyPrims, res.Stats.ReusedWaves)
+		case incremental:
 			fmt.Fprintf(out, "watch: %s: %d violation(s) in %v (incremental: %d dirty instance(s), %d reused waveform(s))\n",
 				path, len(res.Violations), elapsed, res.Stats.DirtyPrims, res.Stats.ReusedWaves)
-		} else {
+		default:
 			fmt.Fprintf(out, "watch: %s: %d violation(s) in %v (full)\n",
 				path, len(res.Violations), elapsed)
 		}

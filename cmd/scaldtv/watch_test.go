@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"scaldtv"
+	"scaldtv/internal/store"
 )
 
 // lineWriter forwards each Write to a channel so the test can wait for
@@ -49,7 +50,7 @@ func TestWatchIncremental(t *testing.T) {
 	out := &lineWriter{ch: make(chan string, 16)}
 	done := make(chan error, 1)
 	go func() {
-		done <- watch(path, false, scaldtv.Options{Workers: 1}, out, 2*time.Millisecond, 3)
+		done <- watch(path, false, scaldtv.Options{Workers: 1}, nil, out, 2*time.Millisecond, 3)
 	}()
 	next := func(what string) string {
 		t.Helper()
@@ -99,7 +100,7 @@ func TestWatchCompileError(t *testing.T) {
 	out := &lineWriter{ch: make(chan string, 16)}
 	done := make(chan error, 1)
 	go func() {
-		done <- watch(path, false, scaldtv.Options{Workers: 1}, out, 2*time.Millisecond, 2)
+		done <- watch(path, false, scaldtv.Options{Workers: 1}, nil, out, 2*time.Millisecond, 2)
 	}()
 	next := func() string {
 		select {
@@ -140,9 +141,126 @@ func TestWatchCompileError(t *testing.T) {
 	}
 }
 
+// TestWatchSameTimestampEdit is the missed-edit regression test: an
+// editor that rewrites the file with equal-length content within one
+// filesystem timestamp tick (same mtime, same size) must still trigger
+// a re-verification.  The old (mtime, size) change detector missed this
+// save forever; content hashing catches it.
+func TestWatchSameTimestampEdit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "d.scald")
+	base := time.Now()
+	write := func(text string) {
+		t.Helper()
+		if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Pin the identical timestamp on both revisions.
+		if err := os.Chtimes(path, base, base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(watchV1)
+
+	out := &lineWriter{ch: make(chan string, 16)}
+	done := make(chan error, 1)
+	go func() {
+		done <- watch(path, false, scaldtv.Options{Workers: 1}, nil, out, 2*time.Millisecond, 2)
+	}()
+	next := func(what string) string {
+		t.Helper()
+		select {
+		case line := <-out.ch:
+			return line
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out waiting for %s", what)
+			return ""
+		}
+	}
+	if line := next("initial pass"); !strings.Contains(line, "(full)") {
+		t.Fatalf("initial pass not a full run: %q", line)
+	}
+
+	// Same byte length, same pinned mtime: only the content differs.
+	edited := strings.Replace(watchV1, "setup=2.5", "setup=3.5", 1)
+	if len(edited) != len(watchV1) {
+		t.Fatal("fixture edit is not length-preserving")
+	}
+	write(edited)
+	if line := next("same-timestamp edit"); !strings.Contains(line, "incremental") {
+		t.Fatalf("equal-length same-mtime save was missed or not incremental: %q", line)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWatchStorePersistence: with -store, the watch fixed point survives
+// a restart — the second watch's first pass is answered from the store,
+// and an edit after the restart still reverifies incrementally (warm).
+func TestWatchStorePersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.scald")
+	if err := os.WriteFile(path, []byte(watchV1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(filepath.Join(dir, "cache"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := scaldtv.Options{Workers: 1}
+
+	run := func(maxUpdates int) chan string {
+		out := &lineWriter{ch: make(chan string, 16)}
+		done := make(chan error, 1)
+		go func() {
+			done <- watch(path, false, opts, st, out, 2*time.Millisecond, maxUpdates)
+		}()
+		t.Cleanup(func() {
+			if err := <-done; err != nil {
+				t.Error(err)
+			}
+		})
+		return out.ch
+	}
+	next := func(ch chan string, what string) string {
+		t.Helper()
+		select {
+		case line := <-ch:
+			return line
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out waiting for %s", what)
+			return ""
+		}
+	}
+
+	ch1 := run(1)
+	if line := next(ch1, "first watch"); !strings.Contains(line, "(full)") {
+		t.Fatalf("first-ever pass not a full run: %q", line)
+	}
+
+	// "Restart": a fresh watch over the same store answers from it.
+	ch2 := run(2)
+	if line := next(ch2, "restarted watch"); !strings.Contains(line, "(cached)") {
+		t.Fatalf("restarted watch did not hit the store: %q", line)
+	}
+	edited := strings.Replace(watchV1, `"B1" delay=(1,2)`, `"B1" delay=(1,4)`, 1)
+	if err := os.WriteFile(path, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if line := next(ch2, "post-restart edit"); !strings.Contains(line, "incremental") {
+		t.Fatalf("edit after restart did not reverify incrementally: %q", line)
+	}
+
+	// A third watch over the edited design is again a store hit.
+	ch3 := run(1)
+	if line := next(ch3, "second restart"); !strings.Contains(line, "(cached)") {
+		t.Fatalf("second restart did not hit the store: %q", line)
+	}
+}
+
 // TestWatchMissingFile: a path that never existed is an immediate error.
 func TestWatchMissingFile(t *testing.T) {
-	err := watch(filepath.Join(t.TempDir(), "absent.scald"), false, scaldtv.Options{}, os.Stderr, time.Millisecond, 1)
+	err := watch(filepath.Join(t.TempDir(), "absent.scald"), false, scaldtv.Options{}, nil, os.Stderr, time.Millisecond, 1)
 	if err == nil {
 		t.Fatal("watch of a missing file did not fail")
 	}

@@ -5,6 +5,13 @@
 // cone.  See the package comment of internal/server for the endpoint
 // and admission-control details.
 //
+// With -store the daemon persists converged runs in a content-addressed
+// cache directory: repeated verify requests are answered from the store
+// before the design is even compiled (the X-Scaldtv-Provenance header
+// reports cached/warm/cold; the body bytes never change), sessions
+// warm-start from the nearest persisted snapshot, and the cache
+// survives restarts.
+//
 // On SIGTERM or SIGINT the daemon drains: new requests are refused with
 // 503 while in-flight verifications run to completion (bounded by
 // -drain), then the process exits 0.
@@ -25,6 +32,7 @@ import (
 
 	"scaldtv"
 	"scaldtv/internal/server"
+	"scaldtv/internal/store"
 )
 
 func main() {
@@ -38,8 +46,18 @@ func main() {
 	sessionTTL := flag.Duration("session-ttl", 30*time.Minute, "evict sessions idle longer than this")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request verification deadline")
 	drain := flag.Duration("drain", 30*time.Second, "shutdown grace for in-flight verifications")
+	storeDir := flag.String("store", "", "persist converged runs in this content-addressed cache directory")
+	storeMax := flag.Int64("store-max", 0, "store size budget in bytes (0 = the 256 MiB default)")
 	flag.Parse()
 
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir, *storeMax); err != nil {
+			fmt.Fprintf(os.Stderr, "scaldtvd: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if err := run(*addr, server.Config{
 		Options:     scaldtv.Options{Workers: *workers, IntraWorkers: *intra, NoCache: !*cache},
 		Pool:        *pool,
@@ -47,6 +65,7 @@ func main() {
 		MaxSessions: *sessions,
 		SessionTTL:  *sessionTTL,
 		Timeout:     *timeout,
+		Store:       st,
 	}, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "scaldtvd: %v\n", err)
 		os.Exit(1)

@@ -27,6 +27,8 @@ type metrics struct {
 	incrementals atomic.Int64 // …of which answered from the dirty cone
 	failures     atomic.Int64 // runs that returned an error
 	rejected     atomic.Int64 // admissions refused with 429
+	storeHits    atomic.Int64 // requests answered from the persistent store
+	storeWarm    atomic.Int64 // runs warm-started from a persisted snapshot
 
 	lastHitRate    atomic.Uint64 // float64 bits: cache hits / lookups, last run
 	lastDirtyRatio atomic.Uint64 // float64 bits: dirty prims / prims, last incremental run
@@ -74,14 +76,26 @@ func (m *metrics) quantiles() (p50, p99 float64, ok bool) {
 		return 0, 0, false
 	}
 	sort.Float64s(sorted)
-	rank := func(q float64) float64 {
-		i := int(math.Ceil(q*float64(n))) - 1
-		if i < 0 {
-			i = 0
-		}
-		return sorted[i]
+	return nearestRank(sorted, 1, 2), nearestRank(sorted, 99, 100), true
+}
+
+// nearestRank returns the q = num/den nearest-rank order statistic of a
+// sorted sample: the value at 1-based rank ceil(q·n), clamped to
+// [1, n].  The rank is computed in integer arithmetic; the float
+// equivalent math.Ceil(q*float64(n)) overshoots by a whole rank
+// whenever the product rounds just above an integer (0.28×25 =
+// 7.0000000000000009 → rank 8, not 7), silently reporting the next
+// higher sample.
+func nearestRank(sorted []float64, num, den int) float64 {
+	n := len(sorted)
+	r := (num*n + den - 1) / den
+	if r < 1 {
+		r = 1
 	}
-	return rank(0.50), rank(0.99), true
+	if r > n {
+		r = n
+	}
+	return sorted[r-1]
 }
 
 // render writes the Prometheus text-format exposition.
@@ -99,6 +113,8 @@ func (m *metrics) render(w io.Writer, queueDepth, sessions int) {
 	counter("scaldtvd_incremental_total", "Runs answered incrementally from the dirty cone.", m.incrementals.Load())
 	counter("scaldtvd_verify_failures_total", "Verification runs that returned an error.", m.failures.Load())
 	counter("scaldtvd_rejected_total", "Requests refused with 429 by admission control.", m.rejected.Load())
+	counter("scaldtvd_store_hits_total", "Requests answered from the persistent verification store.", m.storeHits.Load())
+	counter("scaldtvd_store_warm_total", "Runs warm-started from a persisted snapshot.", m.storeWarm.Load())
 	gaugeI("scaldtvd_queue_depth", "Requests holding or waiting for a verification slot.", queueDepth)
 	gaugeI("scaldtvd_sessions", "Live sessions in the LRU table.", sessions)
 	gaugeF("scaldtvd_cache_hit_rate", "Evaluation-memo hit rate of the most recent run.",

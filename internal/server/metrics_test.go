@@ -1,0 +1,101 @@
+package server
+
+import (
+	"math"
+	"testing"
+)
+
+// feed records n wall times of 1s, 2s, … n seconds (shuffled order must
+// not matter; observe sorts on read).
+func feed(m *metrics, n int) {
+	for i := n; i >= 1; i-- {
+		m.mu.Lock()
+		m.walls[m.next] = float64(i)
+		m.next++
+		if m.next == wallRing {
+			m.next, m.filled = 0, true
+		}
+		m.mu.Unlock()
+	}
+}
+
+// TestQuantilesNearestRank locks the nearest-rank definition on the
+// small and boundary sample sizes: rank ceil(q·n), 1-based, clamped.
+func TestQuantilesNearestRank(t *testing.T) {
+	cases := []struct {
+		n        int
+		p50, p99 float64
+	}{
+		{1, 1, 1},     // a single sample is every quantile
+		{2, 1, 2},     // p50 = rank ceil(1) = 1st, p99 = rank ceil(1.98) = 2nd
+		{3, 2, 3},     // p50 = rank 2 (the median), p99 = rank 3
+		{100, 50, 99}, // p99 of 1..100 is the 99th value, not the max
+		{101, 51, 100},
+	}
+	for _, c := range cases {
+		var m metrics
+		feed(&m, c.n)
+		p50, p99, ok := m.quantiles()
+		if !ok {
+			t.Fatalf("n=%d: quantiles reported no data", c.n)
+		}
+		if p50 != c.p50 || p99 != c.p99 {
+			t.Errorf("n=%d: quantiles = (%g, %g), want (%g, %g)", c.n, p50, p99, c.p50, c.p99)
+		}
+		if p99 < p50 {
+			t.Errorf("n=%d: p99 %g < p50 %g", c.n, p99, p50)
+		}
+	}
+	var empty metrics
+	if _, _, ok := empty.quantiles(); ok {
+		t.Error("quantiles reported data before the first run")
+	}
+}
+
+// TestNearestRankIntegerExact pins the regression the integer rank
+// computation fixes: float nearest rank (ceil(q*float64(n))) selects
+// one rank too high whenever the product rounds just above an integer.
+func TestNearestRankIntegerExact(t *testing.T) {
+	cases := []struct {
+		n, num, den int
+	}{
+		{25, 28, 100}, // 0.28×25  = 7.000000000000001  → float rank 8
+		{25, 56, 100}, // 0.56×25  = 14.000000000000002 → float rank 15
+		{50, 14, 100}, // 0.14×50  = 7.000000000000001  → float rank 8
+		{20, 95, 100},
+		{512, 1, 2},    // full ring, exact halves stay exact
+		{512, 99, 100}, // full ring p99
+	}
+	for _, c := range cases {
+		sorted := make([]float64, c.n)
+		for i := range sorted {
+			sorted[i] = float64(i + 1)
+		}
+		wantRank := (c.num*c.n + c.den - 1) / c.den // ceil in exact arithmetic
+		got := nearestRank(sorted, c.num, c.den)
+		if got != float64(wantRank) {
+			t.Errorf("nearestRank(n=%d, %d/%d) = %g, want rank %d", c.n, c.num, c.den, got, wantRank)
+		}
+		if floatRank := int(math.Ceil(float64(c.num) / float64(c.den) * float64(c.n))); floatRank != wantRank {
+			// Not a failure — documentation that this case is exactly the
+			// one the float formulation got wrong.
+			t.Logf("n=%d q=%d/%d: float rank %d vs exact rank %d", c.n, c.num, c.den, floatRank, wantRank)
+		}
+	}
+}
+
+// TestQuantilesRingWrap: once the ring has wrapped, quantiles cover the
+// whole window, not just the unwrapped prefix.
+func TestQuantilesRingWrap(t *testing.T) {
+	var m metrics
+	feed(&m, wallRing+10) // wraps; window holds wallRing samples
+	_, _, ok := m.quantiles()
+	if !ok {
+		t.Fatal("no data after wrap")
+	}
+	m.mu.Lock()
+	if !m.filled || m.next != 10 {
+		t.Errorf("ring state after wrap: filled=%v next=%d", m.filled, m.next)
+	}
+	m.mu.Unlock()
+}

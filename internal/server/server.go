@@ -46,6 +46,7 @@ import (
 
 	"scaldtv"
 	"scaldtv/internal/serr"
+	"scaldtv/internal/store"
 )
 
 // Config tunes the service.  The zero value gets sensible defaults from
@@ -72,6 +73,14 @@ type Config struct {
 	Timeout time.Duration
 	// MaxBody bounds the request body size in bytes.  Default 8 MiB.
 	MaxBody int64
+	// Store, when non-nil, is the persistent content-addressed
+	// verification cache: stateless verifies of already-seen designs are
+	// answered from it without taking an admission slot, session creates
+	// restore or warm-start from it, and every converged run is
+	// persisted back.  Response bodies are byte-identical with or
+	// without it; provenance travels out of band in the
+	// X-Scaldtv-Provenance header and the session envelope.
+	Store *store.Store
 
 	// now substitutes the clock (session TTL tests).
 	now func() time.Time
@@ -297,6 +306,42 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
+	writeReport := func(rep []byte, provenance store.Provenance) {
+		if provenance != "" {
+			w.Header().Set("X-Scaldtv-Provenance", string(provenance))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(rep)
+		io.WriteString(w, "\n")
+	}
+	if s.cfg.Store != nil {
+		// Source-text fast path: an exact repeat of a verified request is
+		// answered before the design is even compiled — parsing and
+		// elaborating a large design costs tens of milliseconds, the
+		// store probe a directory scan and a checksum pass.  It also
+		// bypasses admission control: a busy pool cannot queue (or
+		// reject) a request the engine never needs to see.
+		if rep, ok := s.cfg.Store.ServeReportSource(src, opts); ok {
+			s.met.storeHits.Add(1)
+			writeReport(rep, store.Cached)
+			return
+		}
+	}
+	d, err := scaldtv.Compile(src)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	if s.cfg.Store != nil {
+		// Second-level exact hit on the design fingerprint: catches a
+		// textually different spelling of an already-verified design
+		// (reformatted source, renamed macros), still without engine work.
+		if rep, ok := s.cfg.Store.ServeReport(d, opts); ok {
+			s.met.storeHits.Add(1)
+			writeReport(rep, store.Cached)
+			return
+		}
+	}
 	release, err := s.admit(ctx)
 	if err != nil {
 		s.writeErr(w, err)
@@ -307,7 +352,26 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		s.cfg.onVerifyStart(ctx)
 	}
 	start := time.Now()
-	res, err := scaldtv.VerifySourceContext(ctx, src, opts)
+	if s.cfg.Store != nil {
+		oc, err := store.Verify(ctx, s.cfg.Store, d, src, opts, false)
+		if err != nil {
+			s.met.failures.Add(1)
+			s.writeErr(w, err)
+			return
+		}
+		if oc.Res != nil {
+			s.met.observe(oc.Res, time.Since(start))
+		}
+		switch oc.Provenance {
+		case store.Cached: // a concurrent writer won the race since the probe
+			s.met.storeHits.Add(1)
+		case store.Warm:
+			s.met.storeWarm.Add(1)
+		}
+		writeReport(oc.Report, oc.Provenance)
+		return
+	}
+	res, err := scaldtv.VerifyContext(ctx, d, opts)
 	if err != nil {
 		s.met.failures.Add(1)
 		s.writeErr(w, err)
@@ -319,9 +383,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(out)
-	io.WriteString(w, "\n")
+	writeReport(out, "")
 }
 
 // errBody is the JSON error response.
@@ -344,6 +406,8 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, errNoSession):
 		return http.StatusNotFound
+	case errors.Is(err, errSessionGone):
+		return http.StatusGone
 	}
 	switch serr.KindOf(err) {
 	case serr.Parse:

@@ -9,10 +9,12 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scaldtv"
 	"scaldtv/internal/report"
+	"scaldtv/internal/store"
 )
 
 // A session retains a Verifier between requests, so a design edit is
@@ -27,13 +29,24 @@ type session struct {
 	V    *scaldtv.Verifier
 	opts scaldtv.Options
 
+	// dead is set (atomically, possibly while another request holds mu
+	// for a long verification) when the table evicts or deletes the
+	// session.  A handler that looked the session up before eviction
+	// re-checks it after acquiring mu and answers 410 instead of
+	// verifying into a session no request can ever reach again.
+	dead atomic.Bool
+
 	// Guarded by the owning table's mutex, not mu.
 	elem     *list.Element
 	lastUsed time.Time
 }
 
-// Session lookup sentinel, mapped to 404 by statusFor.
-var errNoSession = errors.New("server: no such session")
+// Session lookup sentinels: never-seen (or already swept) ids map to
+// 404, a session that was evicted between lookup and use maps to 410.
+var (
+	errNoSession   = errors.New("server: no such session")
+	errSessionGone = errors.New("server: session expired or deleted")
+)
 
 // sessionTable is an LRU-bounded, TTL-evicting map of live sessions.
 // Eviction is lazy: expired entries are swept on every lookup, insert and
@@ -58,7 +71,11 @@ func newSessionTable(max int, ttl time.Duration, now func() time.Time) *sessionT
 	}
 }
 
-// evictExpired removes sessions idle past the TTL.  Callers hold t.mu.
+// evictExpired removes sessions idle past the TTL, marking each victim
+// dead so a request that looked it up just before the sweep gets a
+// clean 410 instead of verifying into an unreachable session.  Callers
+// hold t.mu; the dead mark is an atomic store, so the sweep never
+// blocks behind a victim's in-flight verification.
 func (t *sessionTable) evictExpired() {
 	deadline := t.now().Add(-t.ttl)
 	for e := t.lru.Back(); e != nil; {
@@ -69,6 +86,7 @@ func (t *sessionTable) evictExpired() {
 		prev := e.Prev()
 		t.lru.Remove(e)
 		delete(t.byID, s.id)
+		s.dead.Store(true)
 		e = prev
 	}
 }
@@ -98,6 +116,7 @@ func (t *sessionTable) put(s *session) {
 		victim := e.Value.(*session)
 		t.lru.Remove(e)
 		delete(t.byID, victim.id)
+		victim.dead.Store(true)
 	}
 	s.lastUsed = t.now()
 	s.elem = t.lru.PushFront(s)
@@ -114,6 +133,7 @@ func (t *sessionTable) remove(id string) bool {
 	}
 	t.lru.Remove(s.elem)
 	delete(t.byID, id)
+	s.dead.Store(true)
 	return true
 }
 
@@ -147,11 +167,14 @@ type sessionEnvelope struct {
 	Primitives  int             `json:"primitives"`
 	Pass        bool            `json:"pass"`
 	Violations  int             `json:"violations"`
+	Provenance  string          `json:"provenance,omitempty"` // cached/warm/cold; only with a store
 	Report      json.RawMessage `json:"report"`
 }
 
 // writeEnvelope renders the session response for a completed run.
-func (s *Server) writeEnvelope(w http.ResponseWriter, code int, id string, res *scaldtv.Result) {
+// provenance is empty when the server runs without a store; the
+// embedded report stays byte-identical either way.
+func (s *Server) writeEnvelope(w http.ResponseWriter, code int, id string, res *scaldtv.Result, provenance store.Provenance) {
 	rep, err := scaldtv.JSONReport(res)
 	if err != nil {
 		s.writeErr(w, err)
@@ -167,6 +190,7 @@ func (s *Server) writeEnvelope(w http.ResponseWriter, code int, id string, res *
 		Primitives:  res.Stats.Primitives,
 		Pass:        !res.Errors(),
 		Violations:  len(res.Violations),
+		Provenance:  string(provenance),
 		Report:      rep,
 	}
 	out, err := json.MarshalIndent(&env, "", "  ")
@@ -206,18 +230,42 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
-	sess := &session{id: newSessionID(), V: scaldtv.NewVerifier(d, opts), opts: opts}
 	start := time.Now()
-	res, err := sess.V.VerifyContext(ctx)
-	if err != nil {
-		s.met.failures.Add(1)
-		s.writeErr(w, err)
-		return
+	var (
+		V          *scaldtv.Verifier
+		res        *scaldtv.Result
+		provenance store.Provenance
+	)
+	if s.cfg.Store != nil {
+		// Store-mediated create: an already-seen design restores its
+		// persisted fixed point, a structurally-known one warm-starts
+		// from the nearest snapshot and re-verifies only the diff cone.
+		oc, err := store.Verify(ctx, s.cfg.Store, d, src, opts, true)
+		if err != nil {
+			s.met.failures.Add(1)
+			s.writeErr(w, err)
+			return
+		}
+		V, res, provenance = oc.V, oc.Res, oc.Provenance
+		switch provenance {
+		case store.Cached:
+			s.met.storeHits.Add(1)
+		case store.Warm:
+			s.met.storeWarm.Add(1)
+		}
+	} else {
+		V = scaldtv.NewVerifier(d, opts)
+		if res, err = V.VerifyContext(ctx); err != nil {
+			s.met.failures.Add(1)
+			s.writeErr(w, err)
+			return
+		}
 	}
+	sess := &session{id: newSessionID(), V: V, opts: opts}
 	s.met.observe(res, time.Since(start))
 	s.sessions.put(sess)
 	w.Header().Set("Location", "/v1/sessions/"+sess.id)
-	s.writeEnvelope(w, http.StatusCreated, sess.id, res)
+	s.writeEnvelope(w, http.StatusCreated, sess.id, res, provenance)
 }
 
 // handleSessionUpdate (PUT /v1/sessions/{id}/design) adopts an edited
@@ -244,6 +292,13 @@ func (s *Server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 	// burst of edits to one session occupies at most one slot.
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	if sess.dead.Load() {
+		// Evicted between lookup and lock (TTL sweep, LRU pressure or a
+		// concurrent DELETE): the state is unreachable for any future
+		// request, so verifying into it would silently discard the work.
+		s.writeErr(w, errSessionGone)
+		return
+	}
 	release, err := s.admit(ctx)
 	if err != nil {
 		s.writeErr(w, err)
@@ -266,7 +321,12 @@ func (s *Server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.observe(res, time.Since(start))
-	s.writeEnvelope(w, http.StatusOK, sess.id, res)
+	if s.cfg.Store != nil {
+		// Persist the new fixed point so later creates — in this process
+		// or after a restart — find it cached or warm-startable.
+		store.Save(s.cfg.Store, src, sess.opts, sess.V)
+	}
+	s.writeEnvelope(w, http.StatusOK, sess.id, res, "")
 }
 
 // handleSessionReport (GET /v1/sessions/{id}/report) renders the
@@ -282,6 +342,10 @@ func (s *Server) handleSessionReport(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
+	if sess.dead.Load() {
+		s.writeErr(w, errSessionGone)
+		return
+	}
 	res := sess.V.Result()
 	if res == nil {
 		// The last run was canceled and dropped its state; there is

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSessionGoneDeterministic pins the exact race window: a handler
+// that looked a session up just before the TTL sweep removed it must
+// observe the dead mark after acquiring the session mutex and answer
+// 410 Gone — never verify into the unreachable session.
+func TestSessionGoneDeterministic(t *testing.T) {
+	now := time.Unix(1700000000, 0)
+	table := newSessionTable(2, time.Minute, func() time.Time { return now })
+	sess := &session{id: "s1"}
+	table.put(sess)
+
+	// The racing handler's lookup happens first…
+	if got := table.get("s1"); got != sess {
+		t.Fatal("lookup missed a live session")
+	}
+	// …then the TTL sweep runs (any table access sweeps).
+	now = now.Add(2 * time.Minute)
+	if n := table.len(); n != 0 {
+		t.Fatalf("table length %d after TTL expiry, want 0", n)
+	}
+	// The handler still holds the pointer; the dead mark is what turns
+	// its in-flight request into a clean 410.
+	if !sess.dead.Load() {
+		t.Error("evicted session not marked dead")
+	}
+	if code := statusFor(errSessionGone); code != http.StatusGone {
+		t.Errorf("errSessionGone maps to %d, want 410", code)
+	}
+
+	// LRU-pressure eviction marks its victims the same way.
+	old := &session{id: "old"}
+	table.put(old)
+	table.put(&session{id: "a"})
+	table.put(&session{id: "b"}) // capacity 2: "old" falls off
+	if !old.dead.Load() {
+		t.Error("LRU victim not marked dead")
+	}
+
+	// Explicit DELETE too.
+	del := &session{id: "del"}
+	table.put(del)
+	if !table.remove("del") {
+		t.Fatal("remove missed a live session")
+	}
+	if !del.dead.Load() {
+		t.Error("deleted session not marked dead")
+	}
+}
+
+// TestSessionEvictionRaceHammer exercises lookups, edits, report reads
+// and deletes concurrently with TTL sweeps and LRU pressure under an
+// injected clock.  Run with -race.  Every response must be one of the
+// clean outcomes — 200/201, 404 for swept-before-lookup, 410 for
+// evicted-after-lookup — and the server must neither panic nor deadlock.
+func TestSessionEvictionRaceHammer(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1700000000, 0)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	_, ts := newTestServer(t, Config{
+		SessionTTL:  time.Minute,
+		MaxSessions: 2, // constant LRU pressure between the workers
+		Pool:        4,
+		Queue:       256, // never 429 under this load
+		now:         clock,
+	})
+
+	const (
+		workers = 4
+		rounds  = 12
+	)
+	allowed := map[int]bool{
+		http.StatusOK:        true,
+		http.StatusCreated:   true,
+		http.StatusNotFound:  true, // swept before lookup
+		http.StatusGone:      true, // swept between lookup and use
+		http.StatusNoContent: true, // DELETE of a still-live session
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*rounds*4)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				resp, body := post(t, ts.URL+"/v1/sessions?lib=1", sessSource(2))
+				if resp.StatusCode != http.StatusCreated {
+					errs <- fmt.Sprintf("worker %d create: %d: %s", w, resp.StatusCode, body)
+					continue
+				}
+				var env sessionEnvelope
+				if err := json.Unmarshal(body, &env); err != nil {
+					errs <- err.Error()
+					continue
+				}
+				// Expire everything mid-flight on some rounds: requests
+				// that already fetched the session see dead → 410.
+				if r%3 == 0 {
+					advance(2 * time.Minute)
+				}
+				for _, req := range []struct{ method, url, body string }{
+					{http.MethodPut, "/v1/sessions/" + env.Session + "/design?lib=1", sessSource(3)},
+					{http.MethodGet, "/v1/sessions/" + env.Session + "/report", ""},
+					{http.MethodDelete, "/v1/sessions/" + env.Session, ""},
+				} {
+					resp, body := do(t, req.method, ts.URL+req.url, req.body)
+					if !allowed[resp.StatusCode] {
+						errs <- fmt.Sprintf("worker %d %s %s: status %d: %s", w, req.method, req.url, resp.StatusCode, body)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -1,0 +1,194 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func testEntry(key, structFP uint64, tag string) *Entry {
+	return &Entry{
+		Key:      key,
+		StructFP: structFP,
+		SrcKey:   key ^ 0x5eed, // distinct from Key, deterministic per entry
+		Source:   "design " + tag,
+		Report:   []byte(`{"tag":"` + tag + `"}`),
+		State:    bytes.Repeat([]byte(tag), 8),
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testEntry(0x1111, 0xaaaa, "one")
+	if err := st.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Get(0x1111)
+	if !ok {
+		t.Fatal("exact lookup missed")
+	}
+	if got.Key != want.Key || got.StructFP != want.StructFP || got.SrcKey != want.SrcKey ||
+		got.Source != want.Source || !bytes.Equal(got.Report, want.Report) || !bytes.Equal(got.State, want.State) {
+		t.Errorf("round trip mangled the entry: %+v", got)
+	}
+	if _, ok := st.Get(0x2222); ok {
+		t.Error("lookup of an absent key hit")
+	}
+	// Source-key lookup: hit requires both the key and the exact text.
+	if got, ok := st.GetBySource(want.SrcKey, want.Source); !ok || got.Key != want.Key {
+		t.Error("source-key lookup missed a stored entry")
+	}
+	if _, ok := st.GetBySource(want.SrcKey, "design other"); ok {
+		t.Error("source-key lookup hit with mismatched source text")
+	}
+	if _, ok := st.GetBySource(0x7777, want.Source); ok {
+		t.Error("lookup of an absent source key hit")
+	}
+	// Overwriting the same key is idempotent, not additive.
+	if err := st.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1 {
+		t.Errorf("store holds %d entries after re-put, want 1", st.Len())
+	}
+}
+
+func TestStoreNearestPrefersNewest(t *testing.T) {
+	st, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := testEntry(0x1, 0xaaaa, "old")
+	mid := testEntry(0x2, 0xbbbb, "mid") // different structure: never returned
+	new := testEntry(0x3, 0xaaaa, "new")
+	for _, e := range []*Entry{old, mid, new} {
+		if err := st.Put(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pin distinct mtimes — Put order within one test can land in the
+	// same filesystem tick.
+	base := time.Now().Add(-time.Hour)
+	for i, e := range []*Entry{old, mid, new} {
+		p := filepath.Join(st.Dir(), blobName(e.StructFP, e.Key, e.SrcKey))
+		if err := os.Chtimes(p, base.Add(time.Duration(i)*time.Minute), base.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok := st.Nearest(0xaaaa)
+	if !ok {
+		t.Fatal("nearest lookup missed")
+	}
+	if got.Key != new.Key {
+		t.Errorf("nearest returned key %#x, want the newest %#x", got.Key, new.Key)
+	}
+	if _, ok := st.Nearest(0xcccc); ok {
+		t.Error("nearest hit for an unknown structure")
+	}
+}
+
+func TestStoreCorruptBlobIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEntry(0x42, 0xdead, "x")
+	if err := st.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, blobName(e.StructFP, e.Key, e.SrcKey))
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptions := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"flipped byte", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/2] ^= 0x40
+			return c
+		}},
+		{"wrong version", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(blobMagic)] = 0xee // version field — checksum recomputed below
+			body := c[:len(c)-8]
+			return binary_le_put(body)
+		}},
+		{"empty", func([]byte) []byte { return nil }},
+	}
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			if err := os.WriteFile(path, c.mut(pristine), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := st.Get(e.Key); ok {
+				t.Error("corrupt blob served as a hit")
+			}
+			if _, ok := st.Nearest(e.StructFP); ok {
+				t.Error("corrupt blob served as a nearest hit")
+			}
+			if _, ok := st.GetBySource(e.SrcKey, e.Source); ok {
+				t.Error("corrupt blob served as a source-key hit")
+			}
+		})
+	}
+}
+
+// binary_le_put re-appends a valid checksum, so the "wrong version" case
+// tests the version gate rather than the checksum gate.
+func binary_le_put(body []byte) []byte {
+	out := append([]byte(nil), body...)
+	sum := fnv64(out)
+	for i := 0; i < 8; i++ {
+		out = append(out, byte(sum>>(8*i)))
+	}
+	return out
+}
+
+func TestStoreGC(t *testing.T) {
+	dir := t.TempDir()
+	// Budget fits roughly two of the ~100-byte test entries.
+	st, err := Open(dir, 220)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now().Add(-time.Hour)
+	var names []string
+	for i := 0; i < 5; i++ {
+		e := testEntry(uint64(i+1), uint64(0x100+i), "gc")
+		if err := st.Put(e); err != nil {
+			t.Fatal(err)
+		}
+		name := blobName(e.StructFP, e.Key, e.SrcKey)
+		names = append(names, name)
+		mt := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(filepath.Join(dir, name), mt, mt); err != nil && !os.IsNotExist(err) {
+			t.Fatal(err)
+		}
+	}
+	// Trigger one more GC pass with pinned mtimes in place.
+	last := testEntry(0x99, 0x999, "gc")
+	if err := st.Put(last); err != nil {
+		t.Fatal(err)
+	}
+	if n := st.Len(); n >= 6 {
+		t.Errorf("GC kept all %d entries over a 220-byte budget", n)
+	}
+	// The newest write always survives its own GC pass.
+	if _, err := os.Stat(filepath.Join(dir, blobName(last.StructFP, last.Key, last.SrcKey))); err != nil {
+		t.Errorf("the just-written entry was evicted: %v", err)
+	}
+	// The oldest pinned entry goes first.
+	if _, err := os.Stat(filepath.Join(dir, names[0])); err == nil {
+		t.Error("oldest entry survived GC while the budget was exceeded")
+	}
+}

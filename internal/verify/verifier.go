@@ -158,6 +158,12 @@ type Stats struct {
 	DirtyNets    int
 	ReusedWaves  int
 	ReverifyTime time.Duration
+
+	// Cached marks a result restored from a persisted snapshot
+	// (verify.Restore) rather than computed by relaxation.  It affects
+	// only the human-readable summary — the JSON report is byte-identical
+	// either way, which is the store's correctness contract.
+	Cached bool
 }
 
 // CaseResult is the outcome of one simulated case-analysis cycle (§2.7).
@@ -567,18 +573,9 @@ func (v *verifier) runCase(c netlist.Case, first bool) caseOutcome {
 // applyCase installs the case mapping (§2.7.1) and seeds the worklist: the
 // whole circuit for the first case, only the affected cone afterwards.
 func (v *verifier) applyCase(c netlist.Case, first bool) error {
-	newMap := make(map[netlist.NetID]values.Value)
-	for _, as := range c.Assignments {
-		found := false
-		for i := range v.d.Nets {
-			if netlist.BaseMatches(v.d.Nets[i].Base, as.Base) {
-				newMap[netlist.NetID(i)] = as.Value
-				found = true
-			}
-		}
-		if !found {
-			return serr.Newf(serr.Elaborate, "verify: case %q names unknown signal %q", c.Label, as.Base)
-		}
+	newMap, err := caseMapping(v.d, c)
+	if err != nil {
+		return err
 	}
 
 	// Nets leaving or entering the mapping must be re-seeded.
@@ -619,6 +616,26 @@ func (v *verifier) applyCase(c netlist.Case, first bool) error {
 		}
 	}
 	return nil
+}
+
+// caseMapping resolves a case's signal assignments (§2.7.1) to the
+// per-net constant map the relaxation applies.  Shared by applyCase and
+// snapshot restoration, which must rebuild the identical mapping.
+func caseMapping(d *netlist.Design, c netlist.Case) (map[netlist.NetID]values.Value, error) {
+	m := make(map[netlist.NetID]values.Value)
+	for _, as := range c.Assignments {
+		found := false
+		for i := range d.Nets {
+			if netlist.BaseMatches(d.Nets[i].Base, as.Base) {
+				m[netlist.NetID(i)] = as.Value
+				found = true
+			}
+		}
+		if !found {
+			return nil, serr.Newf(serr.Elaborate, "verify: case %q names unknown signal %q", c.Label, as.Base)
+		}
+	}
+	return m, nil
 }
 
 // mapped applies the active case mapping to a waveform destined for net
@@ -694,11 +711,17 @@ const (
 	defaultPassFloor    = 1000
 )
 
-func (v *verifier) passCap() int {
-	if v.opts.MaxPasses > 0 {
-		return v.opts.MaxPasses
+func (v *verifier) passCap() int { return v.opts.passCap(len(v.d.Prims)) }
+
+// passCap resolves the effective evaluation cap for a design with nPrims
+// primitives.  It is also part of the store's content address: two runs
+// with different caps can disagree on convergence, so they must never
+// share a cached report.
+func (o Options) passCap(nPrims int) int {
+	if o.MaxPasses > 0 {
+		return o.MaxPasses
 	}
-	limit := defaultEvalsPerPrim * len(v.d.Prims)
+	limit := defaultEvalsPerPrim * nPrims
 	if limit < defaultPassFloor {
 		limit = defaultPassFloor
 	}
