@@ -77,6 +77,40 @@ func BenchmarkTable31_VerifyOnly(b *testing.B) {
 	}
 }
 
+// BenchmarkTapeVerify compares the compiled evaluation tape (the default
+// engine) against the interpreter (-tape=false) on pre-expanded designs.
+// The tape leg runs once before the timer so the program is compiled and
+// its persistent caches are warm — the steady state a design iteration
+// loop lives in.  The CI bench job gates the chips=10009 pair on a ≥5x
+// single-thread win; results are bit-identical either way.
+func BenchmarkTapeVerify(b *testing.B) {
+	for _, chips := range []int{1003, 10009} {
+		d, _, err := gen.Generate(gen.Config{Chips: chips})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, engine := range []string{"tape", "interp"} {
+			opts := verify.Options{Workers: 1, NoTape: engine == "interp"}
+			b.Run(fmt.Sprintf("chips=%d/engine=%s", chips, engine), func(b *testing.B) {
+				if _, err := verify.Run(d, opts); err != nil {
+					b.Fatal(err) // warm the program, interner and memos
+				}
+				b.ResetTimer()
+				var s verify.Stats
+				for i := 0; i < b.N; i++ {
+					res, err := verify.Run(d, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					s = res.Stats
+				}
+				b.ReportMetric(float64(s.Events), "events")
+				b.ReportMetric(float64(s.TapeCompileTime.Nanoseconds()), "compile-ns")
+			})
+		}
+	}
+}
+
 // BenchmarkIncrementalReverify compares from-scratch verification of the
 // 1003-chip design against dirty-cone reverification after a
 // single-instance delay edit.  Each iteration applies a real edit —

@@ -64,6 +64,7 @@ func run() int {
 	workers := flag.Int("j", 0, "case-evaluation workers: 0 = one per CPU, 1 = sequential with incremental cone reuse")
 	intra := flag.Int("intra", 1, "intra-case evaluation workers: >1 enables levelized wavefront scheduling (reports are bit-identical)")
 	cache := flag.Bool("cache", true, "memoize primitive evaluations over interned waveforms (-cache=false disables)")
+	tapeFlag := flag.Bool("tape", true, "compile the design to a flat evaluation tape with persistent memo tables (-tape=false selects the interpreter)")
 	watchFlag := flag.Bool("watch", false, "re-verify on every save, reusing converged waveforms for parameter-only edits")
 	storeDir := flag.String("store", "", "persist converged runs in this content-addressed cache directory")
 	storeMax := flag.Int64("store-max", 0, "store size budget in bytes (0 = the 256 MiB default)")
@@ -99,7 +100,7 @@ func run() int {
 			}
 		}()
 	}
-	baseOpts := scaldtv.Options{Workers: *workers, IntraWorkers: *intra, NoCache: !*cache}
+	baseOpts := scaldtv.Options{Workers: *workers, IntraWorkers: *intra, NoCache: !*cache, NoTape: !*tapeFlag}
 	var st *store.Store
 	if *storeDir != "" {
 		var err error

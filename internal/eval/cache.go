@@ -50,14 +50,22 @@ type Cache struct {
 
 type cacheShard struct {
 	mu sync.RWMutex
-	m  map[string][]Signal
+	m  map[string]cacheEntry
+}
+
+// cacheEntry pairs one evaluation's outputs with their interned handles,
+// so a hit's consumer can compare and store results by handle without
+// re-hashing the waveforms.
+type cacheEntry struct {
+	outs []Signal
+	ids  []uint64
 }
 
 // NewCache returns an empty evaluation cache.
 func NewCache() *Cache {
 	c := &Cache{}
 	for i := range c.shards {
-		c.shards[i].m = make(map[string][]Signal)
+		c.shards[i].m = make(map[string]cacheEntry)
 	}
 	return c
 }
@@ -76,30 +84,37 @@ func (c *Cache) shard(key []byte) *cacheShard {
 	return &c.shards[h&(cacheShards-1)]
 }
 
-// Get looks up the outputs for a key built with AppendKey.  The key is
-// accepted as a byte slice so the caller can reuse one scratch buffer
-// across lookups without allocating.
-func (c *Cache) Get(key []byte) ([]Signal, bool) {
+// Get looks up the outputs for a key built with AppendKey, returning the
+// signals and their interned waveform handles.  The key is accepted as a
+// byte slice so the caller can reuse one scratch buffer across lookups
+// without allocating.
+func (c *Cache) Get(key []byte) ([]Signal, []uint64, bool) {
 	sh := c.shard(key)
 	sh.mu.RLock()
-	outs, ok := sh.m[string(key)]
+	e, ok := sh.m[string(key)]
 	sh.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
 	} else {
 		c.misses.Add(1)
 	}
-	return outs, ok
+	return e.outs, e.ids, ok
 }
 
-// Put stores the outputs of one evaluation.  The slice must not be
+// Put stores the outputs of one evaluation together with their interned
+// handles (ids[i] is the handle of outs[i].Wave).  Neither slice may be
 // modified afterwards.
-func (c *Cache) Put(key []byte, outs []Signal) {
+func (c *Cache) Put(key []byte, outs []Signal, ids []uint64) {
 	sh := c.shard(key)
 	sh.mu.Lock()
-	sh.m[string(key)] = outs
+	sh.m[string(key)] = cacheEntry{outs: outs, ids: ids}
 	sh.mu.Unlock()
 }
+
+// NoteHit records a memoization hit served on the cache's behalf by a
+// front-line structure (the tape's warm slots), so the hit/miss counters
+// reflect every evaluation avoided, whichever layer avoided it.
+func (c *Cache) NoteHit() { c.hits.Add(1) }
 
 // Stats reports hits, misses and resident entries.
 func (c *Cache) Stats() (hits, misses, entries int) {

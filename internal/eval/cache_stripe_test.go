@@ -43,9 +43,9 @@ func TestCacheConcurrentStripes(t *testing.T) {
 					// Each goroutine reuses one scratch buffer, like the
 					// verifier's per-worker key buffer.
 					buf = append(buf[:0], mk(i)...)
-					outs, ok := c.Get(buf)
+					outs, _, ok := c.Get(buf)
 					if !ok {
-						c.Put(buf, want[i])
+						c.Put(buf, want[i], nil)
 						continue
 					}
 					if len(outs) != 1 || !outs[0].Wave.Equal(want[i][0].Wave) {

@@ -94,15 +94,15 @@ func TestCacheRoundTrip(t *testing.T) {
 	d, get, id, _ := cacheFixture(t)
 	c := NewCache()
 	key := AppendKey(nil, d, &d.Prims[0], get, id)
-	if _, ok := c.Get(key); ok {
+	if _, _, ok := c.Get(key); ok {
 		t.Fatal("empty cache reported a hit")
 	}
 	outs, err := Prim(d, &d.Prims[0], get)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Put(key, outs)
-	cached, ok := c.Get(key)
+	c.Put(key, outs, nil)
+	cached, _, ok := c.Get(key)
 	if !ok {
 		t.Fatal("stored entry not found")
 	}
@@ -111,7 +111,7 @@ func TestCacheRoundTrip(t *testing.T) {
 	}
 	// The structurally identical twin hits the same entry.
 	twinKey := AppendKey(nil, d, &d.Prims[1], get, id)
-	if _, ok := c.Get(twinKey); !ok {
+	if _, _, ok := c.Get(twinKey); !ok {
 		t.Error("structurally identical primitive missed the shared entry")
 	}
 	if hits, misses, entries := c.Stats(); hits != 2 || misses != 1 || entries != 1 {
@@ -131,7 +131,7 @@ func TestCacheHitMatchesEvaluation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if cached, ok := c.Get(key); ok {
+		if cached, _, ok := c.Get(key); ok {
 			for i := range fresh {
 				if !cached[i].Wave.Equal(fresh[i].Wave) || cached[i].Dirs != fresh[i].Dirs {
 					t.Errorf("prim %d: cached output %d differs from evaluation", pi, i)
@@ -139,6 +139,6 @@ func TestCacheHitMatchesEvaluation(t *testing.T) {
 			}
 			continue
 		}
-		c.Put(key, fresh)
+		c.Put(key, fresh, nil)
 	}
 }

@@ -1,0 +1,125 @@
+package eval
+
+// This file is the table-driven gate path of the evaluation tape
+// (internal/tape): simple gates compose their inputs through the
+// precomputed packed truth tables of the values package instead of
+// per-sample function calls.  GateTableA mirrors evalGate statement for
+// statement — same vectored-bit economy, directive handling and delay
+// tail — so its outputs are segment-for-segment identical; kinds outside
+// TableKind keep the generic evaluator.
+
+import (
+	"scaldtv/internal/assertion"
+	"scaldtv/internal/netlist"
+	"scaldtv/internal/tick"
+	"scaldtv/internal/values"
+)
+
+// TableKind reports whether the kind is a simple gate evaluated by
+// GateTableA.  CHG is excluded: its n-ary fold over input activity has no
+// binary table form.
+func TableKind(k netlist.Kind) bool {
+	switch k {
+	case netlist.KBuf, netlist.KNot, netlist.KAnd, netlist.KNand, netlist.KOr, netlist.KNor, netlist.KXor:
+		return true
+	}
+	return false
+}
+
+// gateTableOf is gateFold with the connective as a packed table.
+func gateTableOf(k netlist.Kind) (*values.BinaryTable, bool) {
+	switch k {
+	case netlist.KAnd:
+		return values.AndTable, false
+	case netlist.KNand:
+		return values.AndTable, true
+	case netlist.KOr:
+		return values.OrTable, false
+	case netlist.KNor:
+		return values.OrTable, true
+	case netlist.KXor:
+		return values.XorTable, false
+	}
+	return nil, false
+}
+
+// PrimTableA is PrimA with simple gates dispatched through the packed
+// truth tables; every other kind falls through to the generic evaluator.
+func PrimTableA(d *netlist.Design, p *netlist.Prim, get Getter, a *values.Arena) ([]Signal, error) {
+	if TableKind(p.Kind) {
+		return GateTableA(d, p, get, a)
+	}
+	return PrimA(d, p, get, a)
+}
+
+// GateTableA evaluates a simple gate through packed truth tables.  The
+// body mirrors evalGate statement for statement; only the connective
+// application differs.  p.Kind must satisfy TableKind.
+func GateTableA(d *netlist.Design, p *netlist.Prim, get Getter, a *values.Arena) ([]Signal, error) {
+	out := make([]Signal, p.Width)
+	allPorts := make([]int, len(p.In))
+	for i := range allPorts {
+		allPorts[i] = i
+	}
+	for bit := 0; bit < p.Width; bit++ {
+		if bit > 0 && samePortBits(d, p, allPorts, bit, bit-1, get) {
+			out[bit] = out[bit-1]
+			continue
+		}
+		ins := make([]procIn, len(p.In))
+		for i, port := range p.In {
+			ins[i] = processConn(d, port.Bits[bit], get, a)
+		}
+
+		delay := p.Delay
+		zeroed := false
+		anyClock := false
+		for _, in := range ins {
+			if in.dir.ZeroesGate() {
+				delay = tick.Range{}
+				zeroed = true
+			}
+			if in.dir.ChecksStability() {
+				anyClock = true
+			}
+		}
+
+		var w values.Waveform
+		var rest assertion.Directives
+		switch p.Kind {
+		case netlist.KBuf, netlist.KNot:
+			w = ins[0].wave
+			if p.Kind == netlist.KNot {
+				w = w.MapTableA(values.NotTable, a)
+			}
+			rest = ins[0].rest
+		default:
+			tab, inv := gateTableOf(p.Kind)
+			waves := make([]values.Waveform, 0, len(ins))
+			for _, in := range ins {
+				if anyClock && !in.dir.ChecksStability() {
+					waves = append(waves, values.ConstA(d.Period, identity(p.Kind), a))
+					continue
+				}
+				waves = append(waves, in.wave)
+			}
+			w = waves[0]
+			for _, x := range waves[1:] {
+				w = values.CombineTableA(w, x, tab, a)
+			}
+			if inv {
+				w = w.MapTableA(values.NotTable, a)
+			}
+			rest = firstRest(ins, anyClock)
+		}
+
+		switch {
+		case p.RF != nil && !zeroed:
+			w = w.DelayRFA(p.RF.Rise, p.RF.Fall, a)
+		case !delay.IsZero():
+			w = w.DelayA(delay, a)
+		}
+		out[bit] = Signal{Wave: w, Dirs: rest}
+	}
+	return out, nil
+}

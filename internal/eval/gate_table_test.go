@@ -1,0 +1,105 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"scaldtv/internal/assertion"
+	"scaldtv/internal/netlist"
+	"scaldtv/internal/tick"
+	"scaldtv/internal/values"
+)
+
+// Property: GateTableA is segment-for-segment identical to the generic
+// evaluator over random gates — random kinds, widths, inversions,
+// directives, wire overrides, delays and rise/fall splits.
+func TestGateTableMatchesEvalGate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3141))
+	period := tick.Time(50000)
+	kinds := []netlist.Kind{
+		netlist.KBuf, netlist.KNot, netlist.KAnd, netlist.KNand,
+		netlist.KOr, netlist.KNor, netlist.KXor,
+	}
+	dirStrings := []assertion.Directives{"", "E", "Z", "A", "H", "W", "HZ", "AE"}
+
+	randWave := func() values.Waveform {
+		w := values.Const(period, values.All[rng.Intn(len(values.All))])
+		for j := 0; j < rng.Intn(4); j++ {
+			s := tick.Time(rng.Int63n(int64(period)))
+			e := tick.Time(rng.Int63n(int64(period)))
+			w = w.Paint(s, e, values.All[rng.Intn(len(values.All))])
+		}
+		if rng.Intn(3) == 0 {
+			w = w.WithSkew(tick.Time(rng.Int63n(int64(period / 4))))
+		}
+		return w
+	}
+
+	for i := 0; i < 3000; i++ {
+		kind := kinds[rng.Intn(len(kinds))]
+		nIn := 1
+		if kind != netlist.KBuf && kind != netlist.KNot {
+			nIn = 1 + rng.Intn(3)
+		}
+		width := 1 + rng.Intn(3)
+
+		d := &netlist.Design{
+			Name:        "t",
+			Period:      period,
+			DefaultWire: tick.Range{Min: 0, Max: tick.Time(rng.Int63n(300))},
+		}
+		sigs := make(map[netlist.NetID]Signal)
+		p := &netlist.Prim{Kind: kind, Name: "g", Width: width}
+		if rng.Intn(2) == 0 {
+			p.Delay = tick.Range{Min: tick.Time(rng.Int63n(500)), Max: tick.Time(500 + rng.Int63n(500))}
+		}
+		if kind != netlist.KBuf && kind != netlist.KNot && rng.Intn(4) == 0 {
+			p.RF = &netlist.RFDelay{
+				Rise: tick.Range{Min: 10, Max: tick.Time(10 + rng.Int63n(200))},
+				Fall: tick.Range{Min: 5, Max: tick.Time(5 + rng.Int63n(100))},
+			}
+		}
+		for pi := 0; pi < nIn; pi++ {
+			port := netlist.Port{Name: "I"}
+			for b := 0; b < width; b++ {
+				id := netlist.NetID(len(d.Nets))
+				net := netlist.Net{Name: "n", Driver: netlist.NoDriver}
+				if rng.Intn(4) == 0 {
+					net.Wire = &tick.Range{Min: 0, Max: tick.Time(rng.Int63n(200))}
+				}
+				d.Nets = append(d.Nets, net)
+				sigs[id] = Signal{Wave: randWave(), Dirs: dirStrings[rng.Intn(len(dirStrings))]}
+				port.Bits = append(port.Bits, netlist.Conn{
+					Net:        id,
+					Invert:     rng.Intn(3) == 0,
+					Directives: dirStrings[rng.Intn(len(dirStrings))],
+				})
+			}
+			p.In = append(p.In, port)
+		}
+		get := func(id netlist.NetID) Signal { return sigs[id] }
+
+		got, gotErr := GateTableA(d, p, get, nil)
+		want, wantErr := PrimA(d, p, get, nil)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("iteration %d (%v): error mismatch: table %v, generic %v", i, kind, gotErr, wantErr)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("iteration %d (%v): %d outputs, want %d", i, kind, len(got), len(want))
+		}
+		for b := range got {
+			if got[b].Dirs != want[b].Dirs {
+				t.Fatalf("iteration %d (%v) bit %d: dirs %q, want %q", i, kind, b, got[b].Dirs, want[b].Dirs)
+			}
+			gw, ww := got[b].Wave, want[b].Wave
+			if gw.Period != ww.Period || gw.Skew != ww.Skew || len(gw.Segs) != len(ww.Segs) {
+				t.Fatalf("iteration %d (%v) bit %d: wave %v, want %v", i, kind, b, gw, ww)
+			}
+			for j := range gw.Segs {
+				if gw.Segs[j] != ww.Segs[j] {
+					t.Fatalf("iteration %d (%v) bit %d: wave %v, want %v", i, kind, b, gw, ww)
+				}
+			}
+		}
+	}
+}

@@ -209,7 +209,26 @@ type Design struct {
 	// graph (Levelization).  It is derived from the fanout index;
 	// RebuildFanout invalidates it.
 	level atomic.Pointer[Levelization]
+
+	// engine caches a compiled evaluation program (internal/tape) derived
+	// from the design's structure.  The netlist package treats it as
+	// opaque; like level, it is invalidated by RebuildFanout.
+	engine atomic.Pointer[any]
 }
+
+// EngineCache returns the compiled-engine value stored by StoreEngineCache,
+// or nil.  The cache follows the structure-derived caches' contract:
+// numeric parameter edits keep it valid, structural edits go through
+// RebuildFanout which clears it.
+func (d *Design) EngineCache() any {
+	if p := d.engine.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// StoreEngineCache publishes a compiled-engine value for this design.
+func (d *Design) StoreEngineCache(v any) { d.engine.Store(&v) }
 
 // Env returns the assertion-rendering environment of the design.
 func (d *Design) Env() assertion.Env {
@@ -305,6 +324,7 @@ func (d *Design) Drivers(n NetID) []PrimID {
 // Table 3-3) from the primitive connections.
 func (d *Design) RebuildFanout() {
 	d.level.Store(nil)
+	d.engine.Store(nil)
 	for i := range d.Nets {
 		d.Nets[i].Fanout = d.Nets[i].Fanout[:0]
 		d.Nets[i].Driver = NoDriver
@@ -385,20 +405,49 @@ func (d *Design) Check() error {
 	return nil
 }
 
+// CheckParams re-validates only the numeric parameters that in-place edits
+// may change between runs — the clock period, the default delay/skew
+// ranges, and every primitive's delay ranges — with the same messages, and
+// in the same order, as the corresponding Check failures.  Callers holding
+// a structure-derived cache (Levelization, EngineCache) use it as the
+// cheap per-run revalidation: structural edits require a new Design, so
+// only these values can have gone bad since the full Check that built the
+// cache.
+func (d *Design) CheckParams() error {
+	if d.Period <= 0 {
+		return fmt.Errorf("netlist: design %q has no clock period", d.Name)
+	}
+	if !d.DefaultWire.Valid() || !d.PrecisionSkew.Valid() || !d.ClockSkew.Valid() {
+		return fmt.Errorf("netlist: design %q has invalid default delay/skew ranges", d.Name)
+	}
+	for pi := range d.Prims {
+		p := &d.Prims[pi]
+		if err := p.checkDelayParams(); err != nil {
+			return fmt.Errorf("netlist: primitive %q: %v", p.Name, err)
+		}
+	}
+	return nil
+}
+
+func (p *Prim) checkDelayParams() error {
+	if !p.Delay.Valid() || !p.SelectDelay.Valid() {
+		return fmt.Errorf("invalid delay range")
+	}
+	if p.RF != nil && (!p.RF.Rise.Valid() || !p.RF.Fall.Valid()) {
+		return fmt.Errorf("invalid rise/fall delay range")
+	}
+	return nil
+}
+
 func (p *Prim) checkShape() error {
 	if p.Width <= 0 {
 		return fmt.Errorf("width %d", p.Width)
 	}
-	if !p.Delay.Valid() || !p.SelectDelay.Valid() {
-		return fmt.Errorf("invalid delay range")
+	if err := p.checkDelayParams(); err != nil {
+		return err
 	}
-	if p.RF != nil {
-		if !p.RF.Rise.Valid() || !p.RF.Fall.Valid() {
-			return fmt.Errorf("invalid rise/fall delay range")
-		}
-		if !p.Kind.IsGate() {
-			return fmt.Errorf("%v cannot carry rise/fall delays", p.Kind)
-		}
+	if p.RF != nil && !p.Kind.IsGate() {
+		return fmt.Errorf("%v cannot carry rise/fall delays", p.Kind)
 	}
 	wantIn, wantOut := -1, -1
 	switch {

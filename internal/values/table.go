@@ -1,0 +1,124 @@
+package values
+
+import (
+	"fmt"
+
+	"scaldtv/internal/tick"
+)
+
+// This file encodes the seven-value connectives as precomputed packed-byte
+// truth tables, the representation the evaluation tape (internal/tape)
+// dispatches through: composing two runs becomes one branch-free index per
+// merged boundary instead of a function call per sample.
+
+// UnaryTable is a pointwise function over the seven-value algebra
+// precomputed as a lookup table indexed by Value.
+type UnaryTable [numValues]Value
+
+// BinaryTable packs a two-input connective into a flat 49-byte array so a
+// lookup is a single multiply-add index.  Rows[a] and Cols[b] hold the
+// partial applications f(a, ·) and f(·, b), ready to use as UnaryTables
+// when one operand is constant over the period.
+type BinaryTable struct {
+	Flat [numValues * numValues]Value
+	Rows [numValues]UnaryTable
+	Cols [numValues]UnaryTable
+}
+
+// At returns the table entry for the pair (a, b).
+func (t *BinaryTable) At(a, b Value) Value { return t.Flat[int(a)*numValues+int(b)] }
+
+// NewUnaryTable precomputes f over the seven values.
+func NewUnaryTable(f func(Value) Value) *UnaryTable {
+	var t UnaryTable
+	for _, v := range All {
+		t[v] = f(v)
+	}
+	return &t
+}
+
+// NewBinaryTable precomputes f over all 49 value pairs.
+func NewBinaryTable(f func(Value, Value) Value) *BinaryTable {
+	t := &BinaryTable{}
+	for _, a := range All {
+		for _, b := range All {
+			v := f(a, b)
+			t.Flat[int(a)*numValues+int(b)] = v
+			t.Rows[a][b] = v
+			t.Cols[b][a] = v
+		}
+	}
+	return t
+}
+
+// The standard connectives as packed tables.  Built in init from the
+// defining functions (orOf, not the memo arrays filled by value.go's init)
+// so initialisation order between files cannot matter.
+var (
+	OrTable  *BinaryTable
+	AndTable *BinaryTable
+	XorTable *BinaryTable
+	NotTable *UnaryTable
+)
+
+func init() {
+	OrTable = NewBinaryTable(orOf)
+	AndTable = NewBinaryTable(andOf)
+	XorTable = NewBinaryTable(xorOf)
+	NotTable = NewUnaryTable(Not)
+}
+
+// MapTableA is MapUnaryA with the function precomputed as a lookup table.
+func (w Waveform) MapTableA(t *UnaryTable, a *Arena) Waveform {
+	out := Waveform{Period: w.Period, Skew: w.Skew, Segs: a.makeSegs(len(w.Segs))}
+	for i, s := range w.Segs {
+		out.Segs[i] = Segment{V: t[s.V], W: s.W}
+	}
+	return out.normalizeOwned()
+}
+
+// CombineTableA is CombineA with the connective precomputed as a packed
+// truth table.  The three cases (constant left, constant right, both
+// changing) mirror CombineA exactly, so the result is identical; the only
+// changes are the table lookup per boundary and monotone segment cursors
+// in place of At's per-sample modular scan.
+func CombineTableA(a, b Waveform, t *BinaryTable, ar *Arena) Waveform {
+	if a.Period != b.Period {
+		panic(fmt.Sprintf("values: combining waveforms with different periods %v and %v", a.Period, b.Period))
+	}
+	if v, ok := a.ConstantValue(); ok {
+		return b.MapTableA(&t.Rows[v], ar)
+	}
+	if v, ok := b.ConstantValue(); ok {
+		return a.MapTableA(&t.Cols[v], ar)
+	}
+	ai := a.IncorporateSkewA(ar)
+	bi := b.IncorporateSkewA(ar)
+	bounds := mergedBoundariesA(ai, bi, ar)
+	out := Waveform{Period: a.Period}
+	out.Segs = ar.newSegs(len(bounds))
+	ia, ib := 0, 0
+	var ea, eb tick.Time
+	for i, bt := range bounds {
+		next := a.Period
+		if i+1 < len(bounds) {
+			next = bounds[i+1]
+		}
+		if next == bt {
+			continue
+		}
+		// The merged boundary list is ascending and covers [0, Period), so
+		// each cursor only ever moves forward to the segment containing bt.
+		for ea+ai.Segs[ia].W <= bt {
+			ea += ai.Segs[ia].W
+			ia++
+		}
+		for eb+bi.Segs[ib].W <= bt {
+			eb += bi.Segs[ib].W
+			ib++
+		}
+		v := t.Flat[int(ai.Segs[ia].V)*numValues+int(bi.Segs[ib].V)]
+		out.Segs = append(out.Segs, Segment{V: v, W: next - bt})
+	}
+	return out.normalizeOwned()
+}

@@ -1,0 +1,93 @@
+package values
+
+import (
+	"math/rand"
+	"testing"
+
+	"scaldtv/internal/tick"
+)
+
+// Every packed table entry must agree with the defining connective, and
+// the Rows/Cols partial applications with the flat array.
+func TestBinaryTablesMatchConnectives(t *testing.T) {
+	cases := []struct {
+		name string
+		tab  *BinaryTable
+		f    func(Value, Value) Value
+	}{
+		{"or", OrTable, Or},
+		{"and", AndTable, And},
+		{"xor", XorTable, Xor},
+	}
+	for _, c := range cases {
+		for _, a := range All {
+			for _, b := range All {
+				want := c.f(a, b)
+				if got := c.tab.At(a, b); got != want {
+					t.Errorf("%s table At(%v, %v) = %v, want %v", c.name, a, b, got, want)
+				}
+				if got := c.tab.Rows[a][b]; got != want {
+					t.Errorf("%s table Rows[%v][%v] = %v, want %v", c.name, a, b, got, want)
+				}
+				if got := c.tab.Cols[b][a]; got != want {
+					t.Errorf("%s table Cols[%v][%v] = %v, want %v", c.name, b, a, got, want)
+				}
+			}
+		}
+	}
+	for _, a := range All {
+		if got, want := NotTable[a], Not(a); got != want {
+			t.Errorf("NotTable[%v] = %v, want %v", a, got, want)
+		}
+	}
+}
+
+func randTableWave(rng *rand.Rand, period tick.Time) Waveform {
+	w := Const(period, All[rng.Intn(len(All))])
+	for j := 0; j < rng.Intn(5); j++ {
+		s := tick.Time(rng.Int63n(int64(period)))
+		e := tick.Time(rng.Int63n(int64(period)))
+		w = w.Paint(s, e, All[rng.Intn(len(All))])
+	}
+	if rng.Intn(3) == 0 {
+		w = w.WithSkew(tick.Time(rng.Int63n(int64(period / 2))))
+	}
+	return w
+}
+
+// Property: the table-driven combinators are segment-for-segment identical
+// to the function-driven ones, the equivalence the tape evaluator rests on.
+func TestTableCombineMatchesCombine(t *testing.T) {
+	rng := rand.New(rand.NewSource(1980))
+	tabs := []struct {
+		tab *BinaryTable
+		f   func(Value, Value) Value
+	}{{OrTable, Or}, {AndTable, And}, {XorTable, Xor}}
+	for i := 0; i < 2000; i++ {
+		a := randTableWave(rng, p50)
+		b := randTableWave(rng, p50)
+		tc := tabs[rng.Intn(len(tabs))]
+		got := CombineTableA(a, b, tc.tab, nil)
+		want := CombineA(a, b, tc.f, nil)
+		if got.Period != want.Period || got.Skew != want.Skew || len(got.Segs) != len(want.Segs) {
+			t.Fatalf("iteration %d: CombineTableA(%v, %v) = %v, want %v", i, a, b, got, want)
+		}
+		for j := range got.Segs {
+			if got.Segs[j] != want.Segs[j] {
+				t.Fatalf("iteration %d: CombineTableA(%v, %v) = %v, want %v", i, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestMapTableMatchesMapUnary(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for i := 0; i < 1000; i++ {
+		w := randTableWave(rng, p50)
+		got := w.MapTableA(NotTable, nil)
+		want := w.MapUnaryA(Not, nil)
+		if !got.Equal(want) || len(got.Segs) != len(want.Segs) {
+			t.Fatalf("iteration %d: MapTableA(%v) = %v, want %v", i, w, got, want)
+		}
+	}
+}

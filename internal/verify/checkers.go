@@ -1,11 +1,13 @@
 package verify
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"scaldtv/internal/assertion"
 	"scaldtv/internal/eval"
 	"scaldtv/internal/netlist"
+	"scaldtv/internal/tape"
 	"scaldtv/internal/tick"
 	"scaldtv/internal/values"
 )
@@ -29,10 +31,100 @@ func (v *verifier) check(caseLabel string) []Violation {
 	return out
 }
 
-// checkSite evaluates the constraint rules anchored at one primitive: the
-// checker primitives themselves, directive stability on multi-input
-// gates, and the clock-defined rule on storage elements.
+// checkSite evaluates the constraint rules anchored at one primitive.
+// On the compiled tape the site is routed through its precompiled plan
+// and the program's negative cache; the interpreter always runs the full
+// check.  Both paths produce identical violations and margins.
 func (v *verifier) checkSite(pi netlist.PrimID, caseLabel string) []Violation {
+	if v.prog == nil {
+		return v.checkSiteFull(pi, caseLabel)
+	}
+	return v.tapeCheckSite(pi, caseLabel)
+}
+
+// tapeCheckSite is the tape's checking path.  PlanNone sites are skipped
+// outright; PlanDirective sites first scan the resolved directive heads —
+// a gate none of whose inputs carries &A/&H has nothing to check, exactly
+// the case checkSiteFull's window loop degenerates to.  Every remaining
+// site consults its warm slot, then the negative cache: a site key — the
+// evaluation-memo key of everything the check reads, plus the checker
+// intervals — recorded as clean means the full check returned no
+// violations and no margins, so it is skipped.  Margins runs bypass both
+// entirely (margins are recorded even for passing constraints, so no
+// outcome is empty).
+func (v *verifier) tapeCheckSite(pi netlist.PrimID, caseLabel string) []Violation {
+	p := &v.d.Prims[pi]
+	switch v.prog.Plans[pi] {
+	case tape.PlanNone:
+		return nil
+	case tape.PlanDirective:
+		marked := false
+	scan:
+		for bit := 0; bit < p.Width; bit++ {
+			for _, port := range p.In {
+				if eval.ConnDirective(port.Bits[bit], v.get).ChecksStability() {
+					marked = true
+					break scan
+				}
+			}
+		}
+		if !marked {
+			return nil
+		}
+	}
+	if v.opts.Margins || v.sigID == nil {
+		return v.checkSiteFull(pi, caseLabel)
+	}
+	// Warm slot first: a clean-site variant (Outs == nil) records that the
+	// full check of these exact inputs was clean under the current
+	// environment generation — skipped with a handle walk, no key build,
+	// no lock.
+	if v.slots != nil && v.slotLookup(pi, p, true) != nil {
+		return nil
+	}
+	if v.getFn == nil {
+		v.getFn = func(n netlist.NetID) eval.Signal { return v.sigs[n] }
+		v.widFn = func(n netlist.NetID) uint64 { return v.sigID[n] }
+	}
+	v.siteKeyBuf = appendSiteKey(v.siteKeyBuf[:0], v.d, p, v.getFn, v.widFn)
+	if v.prog.Sites.Known(v.siteKeyBuf) {
+		if v.slots != nil {
+			v.publishSlot(pi, nil, nil)
+		}
+		return nil
+	}
+	mark := len(v.margins)
+	out := v.checkSiteFull(pi, caseLabel)
+	if out == nil && len(v.margins) == mark {
+		v.prog.Sites.Add(v.siteKeyBuf)
+		if v.slots != nil {
+			v.publishSlot(pi, nil, nil)
+		}
+	}
+	return out
+}
+
+// appendSiteKey builds a constraint site's negative-cache key: the
+// evaluation-memo key (kind, width, period, delay parameters, and per
+// input connection the complement rail, resolved directives, wire delay
+// and interned waveform handle — everything the checking functions read
+// through ConnWave and ConnDirective) extended with the checker
+// intervals, which the evaluator does not read.  Names and the case label
+// are deliberately absent: they only appear in non-empty outcomes, which
+// are never cached.
+func appendSiteKey(buf []byte, d *netlist.Design, p *netlist.Prim, get eval.Getter, wid eval.WaveID) []byte {
+	buf = eval.AppendKey(buf, d, p, get, wid)
+	buf = binary.AppendVarint(buf, int64(p.Setup))
+	buf = binary.AppendVarint(buf, int64(p.Hold))
+	buf = binary.AppendVarint(buf, int64(p.MinHigh))
+	buf = binary.AppendVarint(buf, int64(p.MinLow))
+	return buf
+}
+
+// checkSiteFull evaluates the constraint rules anchored at one primitive:
+// the checker primitives themselves, directive stability on multi-input
+// gates, and the clock-defined rule on storage elements.
+func (v *verifier) checkSiteFull(pi netlist.PrimID, caseLabel string) []Violation {
 	p := &v.d.Prims[pi]
 	switch p.Kind {
 	case netlist.KSetupHold:
@@ -365,11 +457,11 @@ func (v *verifier) checkClockDefined(p *netlist.Prim, caseLabel string) []Violat
 func (v *verifier) checkAssertions(caseLabel string) []Violation {
 	var out []Violation
 	reported := map[string]bool{}
-	for i := range v.d.Nets {
+	checkNet := func(i int) {
 		n := &v.d.Nets[i]
 		key := vectorBase(n.Base)
 		if n.Assert == nil || n.Driver == netlist.NoDriver || reported[key] {
-			continue
+			return
 		}
 		id := netlist.NetID(i)
 		switch n.Assert.Kind {
@@ -395,7 +487,7 @@ func (v *verifier) checkAssertions(caseLabel string) []Violation {
 			}
 		case assertion.Clock, assertion.PrecisionClock:
 			if !v.altOutSet[id] {
-				continue
+				return
 			}
 			computed := v.altOutW[id]
 			if !computed.IncorporateSkew().Equal(v.initial[id].IncorporateSkew()) {
@@ -407,6 +499,18 @@ func (v *verifier) checkAssertions(caseLabel string) []Violation {
 					Detail: "the generated clock does not match its assertion",
 				})
 			}
+		}
+	}
+	if v.prog != nil {
+		// The tape precomputed the candidate list (asserted and driven, in
+		// ascending net order — the interpreter's visit order); the skip
+		// conditions inside checkNet still apply, defensively.
+		for _, id := range v.prog.Seeds().AssertNets {
+			checkNet(int(id))
+		}
+	} else {
+		for i := range v.d.Nets {
+			checkNet(i)
 		}
 	}
 	return out

@@ -9,6 +9,7 @@ import (
 	"scaldtv/internal/eval"
 	"scaldtv/internal/netlist"
 	"scaldtv/internal/serr"
+	"scaldtv/internal/tape"
 	"scaldtv/internal/values"
 )
 
@@ -81,17 +82,37 @@ func (V *Verifier) VerifyContext(ctx context.Context) (*Result, error) {
 // (retain=false) and Verifier.Verify (retain=true).
 func (V *Verifier) run(ctx context.Context, retain bool) (*Result, error) {
 	d := V.d
-	if err := d.Check(); err != nil {
+	var prog *tape.Program
+	var compileTime time.Duration
+	if V.opts.useTape() {
+		// Tape path: obtain the design's compiled program (validating the
+		// structure on a cold compile) and refresh its numeric parameters
+		// and seed image.  The session adopts the program's persistent
+		// interner and memo so retained state and statistics stay
+		// consistent with what the relaxation actually uses.
+		compileStart := time.Now()
+		var err error
+		if prog, err = tape.For(d); err != nil {
+			return nil, err
+		}
+		if err := prog.Refresh(d); err != nil {
+			return nil, err
+		}
+		compileTime = time.Since(compileStart)
+		V.intern, V.cache = prog.Intern, prog.Evals
+	} else if err := d.Check(); err != nil {
 		return nil, serr.Wrap(serr.Elaborate, err)
 	}
 	V.perCase, V.res = nil, nil
 	buildStart := time.Now()
-	v, res, err := initVerifier(d, V.opts, V.intern, V.cache)
+	v, res, err := initVerifier(d, V.opts, V.intern, V.cache, prog)
 	if err != nil {
 		return nil, err
 	}
 	v.ctx = ctx
 	res.Stats.BuildTime = time.Since(buildStart)
+	res.Stats.Tape = prog != nil
+	res.Stats.TapeCompileTime = compileTime
 
 	// The case list: an empty design-case list means a single unmapped
 	// cycle.
@@ -144,6 +165,8 @@ func (V *Verifier) run(ctx context.Context, retain bool) (*Result, error) {
 					outs[ci] = cv.runCase(cases[ci], true)
 					if retain {
 						perCase[ci] = cv
+					} else if outs[ci].err == nil {
+						cv.releaseRunState()
 					}
 				}
 			}()
@@ -180,6 +203,10 @@ func (V *Verifier) run(ctx context.Context, retain bool) (*Result, error) {
 	}
 	if retain {
 		V.cases, V.perCase, V.res = cases, perCase, res
+	} else {
+		// One-shot run: the per-run tables go back to the program's pool
+		// for the next run to adopt.  Nothing in res references them.
+		v.releaseRunState()
 	}
 	return res, nil
 }
@@ -224,6 +251,20 @@ func (V *Verifier) ReverifyContext(ctx context.Context, ch netlist.Changes) (*Re
 	if err := d.CheckSites(ch); err != nil {
 		return nil, serr.Wrap(serr.Elaborate, err)
 	}
+	if p := V.perCase[0].prog; p != nil {
+		// The edit invalidates the warm slot table — its variants were
+		// captured under the old parameters — but re-hashing the whole
+		// environment (Refresh) is O(design) and would dwarf a small-edit
+		// reverification, so the retained case verifiers simply adopt a
+		// fresh empty table and relearn from the keyed memo, whose exact
+		// keys carry every live parameter and need no invalidation.  The
+		// program's own generation state is left stale on purpose: the
+		// next full run's Refresh re-validates it against the live design.
+		slots := tape.NewSlotTable(len(d.Prims))
+		for _, rc := range V.perCase {
+			rc.slots = slots
+		}
+	}
 
 	buildStart := time.Now()
 	// Recompute the seed waveforms of dirtied nets — validating first,
@@ -247,6 +288,16 @@ func (V *Verifier) ReverifyContext(ctx context.Context, ch netlist.Changes) (*Re
 			return V.VerifyContext(ctx)
 		}
 		seeds = append(seeds, seedUpdate{id, w})
+	}
+	if len(seeds) > 0 && tmpl.initialShared {
+		// The initial table aliases the compiled program's immutable seed
+		// image; copy before committing, re-pointing every retained case
+		// verifier so one commit keeps serving them all.
+		ni := append([]values.Waveform(nil), tmpl.initial...)
+		for _, rc := range V.perCase {
+			rc.initial = ni
+			rc.initialShared = false
+		}
 	}
 	for _, s := range seeds {
 		tmpl.initial[s.id] = s.w
@@ -351,6 +402,14 @@ func (V *Verifier) UpdateContext(ctx context.Context, nd *netlist.Design) (res *
 	V.d = nd
 	for _, rc := range V.perCase {
 		rc.d = nd
+	}
+	if p := V.perCase[0].prog; p != nil {
+		// The compiled program is structure-derived and Diff guarantees
+		// the structures match, so the edited design adopts it — its warm
+		// memo tables included.  Stale numeric parameters are caught by
+		// Refresh on the next full run; the memo keys carry every live
+		// parameter, so no entry needs invalidating.
+		nd.StoreEngineCache(p)
 	}
 	res, err = V.ReverifyContext(ctx, ch)
 	return res, err == nil, err

@@ -9,6 +9,7 @@ import (
 	"scaldtv/internal/assertion"
 	"scaldtv/internal/eval"
 	"scaldtv/internal/netlist"
+	"scaldtv/internal/tape"
 	"scaldtv/internal/tick"
 	"scaldtv/internal/values"
 )
@@ -141,10 +142,23 @@ func Restore(d *netlist.Design, opts Options, snap *Snapshot) (*Verifier, error)
 
 	V := NewVerifier(d, opts)
 	buildStart := time.Now()
-	v0, res, err := initVerifier(d, opts, V.intern, V.cache)
+	var prog *tape.Program
+	if opts.useTape() {
+		p, err := tape.For(d)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Refresh(d); err != nil {
+			return nil, err
+		}
+		prog = p
+		V.intern, V.cache = p.Intern, p.Evals
+	}
+	v0, res, err := initVerifier(d, opts, V.intern, V.cache, prog)
 	if err != nil {
 		return nil, err
 	}
+	res.Stats.Tape = prog != nil
 
 	perCase := make([]*verifier, len(cases))
 	for ci := range cases {

@@ -1,0 +1,115 @@
+package verify
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"scaldtv/internal/gen"
+	"scaldtv/internal/netlist"
+)
+
+// tapeParityDesigns returns the designs the tape parity checks sweep: the
+// hand-built multi-case circuit (violations, margins, muxed paths) and a
+// generated Mark IIA-style design with cases and injected failures (wired
+// fanout, registers, latches at scale).
+func tapeParityDesigns(t *testing.T) map[string]*netlist.Design {
+	t.Helper()
+	d, _, err := gen.Generate(gen.Config{Chips: 102, Cases: 4, Inject: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*netlist.Design{
+		"multicase": buildMultiCase(t, 8),
+		"generated": d,
+	}
+}
+
+// TestTapeParityMatrix: the compiled tape and the interpreter must produce
+// identical reports — violations, margins, kept waveforms, cross-reference
+// — for every Workers × IntraWorkers combination.  Run with -race: the
+// matrix exercises the shared slot table and scratch pool concurrently.
+func TestTapeParityMatrix(t *testing.T) {
+	for name, d := range tapeParityDesigns(t) {
+		t.Run(name, func(t *testing.T) {
+			base, err := Run(d, Options{Workers: 1, KeepWaves: true, Margins: true, NoTape: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range []int{1, 2, 8} {
+				for _, iw := range []int{1, 2, 8} {
+					opts := Options{Workers: w, IntraWorkers: iw, KeepWaves: true, Margins: true}
+					res, err := Run(d, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sameReports(t, fmt.Sprintf("interp vs tape w=%d iw=%d", w, iw), base, res)
+				}
+			}
+		})
+	}
+}
+
+// TestTapeRepeatedRunsIdentical: repeated tape runs of one design share a
+// program whose memo tables, warm slots and scratch pool carry state
+// between runs; every run must still report exactly the interpreter's
+// answer.  The second and later runs exercise the fully warm path (slot
+// hits, pooled tables, adopted seed image).
+func TestTapeRepeatedRunsIdentical(t *testing.T) {
+	for name, d := range tapeParityDesigns(t) {
+		t.Run(name, func(t *testing.T) {
+			want, err := Run(d, Options{Workers: 1, KeepWaves: true, Margins: true, NoTape: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 4; i++ {
+				got, err := Run(d, Options{Workers: 1, KeepWaves: true, Margins: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameReports(t, fmt.Sprintf("warm run %d", i), want, got)
+			}
+		})
+	}
+}
+
+// TestTapeSweepStressRace hammers one shared compiled program from many
+// concurrent verification runs — each itself fanning out case workers and
+// intra-case wavefront workers — and checks every run lands on the same
+// report.  Under -race this is the concurrency safety net for the slot
+// table's lock-free publishes, the scratch pool and the shared memo
+// tables.
+func TestTapeSweepStressRace(t *testing.T) {
+	for name, d := range tapeParityDesigns(t) {
+		t.Run(name, func(t *testing.T) {
+			want, err := Run(d, Options{Workers: 1, KeepWaves: true, Margins: true, NoTape: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const runs = 8
+			results := make([]*Result, runs)
+			errs := make([]error, runs)
+			var wg sync.WaitGroup
+			for i := 0; i < runs; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					opts := Options{
+						Workers:      1 + i%3,
+						IntraWorkers: 1 + (i/2)%3,
+						KeepWaves:    true,
+						Margins:      true,
+					}
+					results[i], errs[i] = Run(d, opts)
+				}(i)
+			}
+			wg.Wait()
+			for i := 0; i < runs; i++ {
+				if errs[i] != nil {
+					t.Fatalf("concurrent run %d: %v", i, errs[i])
+				}
+				sameReports(t, fmt.Sprintf("concurrent run %d", i), want, results[i])
+			}
+		})
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"scaldtv/internal/eval"
 	"scaldtv/internal/netlist"
 	"scaldtv/internal/serr"
+	"scaldtv/internal/tape"
 	"scaldtv/internal/values"
 )
 
@@ -69,7 +70,25 @@ type Options struct {
 	// Workers value; only the Stats cache counters differ.  The scaldtv
 	// driver exposes this as the -cache=false escape hatch.
 	NoCache bool
+	// NoTape disables the compiled evaluation tape.  By default (zero
+	// value, and unless NoCache also disables the interner the tape's
+	// memo tables require) the design is lowered once to a flat
+	// instruction tape (internal/tape) — opcode dispatch through packed
+	// seven-value truth tables, level-span wavefront sweeps, precompiled
+	// interned seeds, and persistent evaluation and constraint-site memos
+	// that survive across runs on the design's engine cache.  Reports are
+	// bit-identical with the tape on or off, for any Workers and
+	// IntraWorkers values; only timing and the Stats cache counters
+	// differ (with the tape, cache counters are cumulative over every run
+	// that shared the program).  The scaldtv driver exposes this as the
+	// -tape=false escape hatch.
+	NoTape bool
 }
+
+// useTape reports whether this run compiles and sweeps the evaluation
+// tape.  The tape's memo tables are built on interned handles, so NoCache
+// implies the interpreter.
+func (o Options) useTape() bool { return !o.NoTape && !o.NoCache }
 
 // intraWorkers resolves the effective intra-case worker count: 1 selects
 // the serial worklist engine, anything greater the wavefront scheduler.
@@ -81,9 +100,10 @@ func (o Options) intraWorkers() int {
 }
 
 // fillWavefrontStats records the levelization shape in the stats when the
-// wavefront engine is selected.
+// wavefront engine is selected — explicitly by IntraWorkers > 1, or
+// implicitly by the tape, which always sweeps level spans.
 func (o Options) fillWavefrontStats(d *netlist.Design, s *Stats) {
-	if o.intraWorkers() <= 1 {
+	if o.intraWorkers() <= 1 && !o.useTape() {
 		return
 	}
 	lev := d.Levelization()
@@ -164,6 +184,17 @@ type Stats struct {
 	// only the human-readable summary — the JSON report is byte-identical
 	// either way, which is the store's correctness contract.
 	Cached bool
+
+	// Tape marks a run executed on the compiled evaluation tape
+	// (Options.NoTape unset); TapeCompileTime is the time spent obtaining
+	// and refreshing the compiled program — near zero on warm runs, where
+	// the design's engine cache already holds it.  Reported separately
+	// from VerifyTime so the Table 3-1 style summary splits one-time
+	// lowering from per-run relaxation.  With the tape, CacheHits,
+	// CacheMisses, Interned and Deduped are cumulative over every run
+	// that shared the persistent program, not per run.
+	Tape            bool
+	TapeCompileTime time.Duration
 }
 
 // CaseResult is the outcome of one simulated case-analysis cycle (§2.7).
@@ -213,6 +244,24 @@ type verifier struct {
 	pinned  []bool                         // nets pinned to a clock assertion (§2.9)
 	caseMap map[netlist.NetID]values.Value // active case mapping (§2.7.1)
 	margins []Margin
+
+	// prog is the compiled evaluation tape (nil on interpreter runs).
+	// When set, v.intern and v.cache alias the program's persistent
+	// tables, initial/pinned may alias its precompiled seed image
+	// (initialShared; copy-on-write before mutation), primitive dispatch
+	// goes through the opcode jump table, relaxation always sweeps the
+	// level spans, and the checking phase consults the program's plans
+	// and negative site cache.  fresh marks a verifier whose sigs still
+	// equal its seeds, so the first case can skip re-seeding unmapped
+	// nets.  siteKeyBuf is the checking phase's key scratch; getFn/widFn
+	// are the getter closures built once for key building.
+	prog          *tape.Program
+	slots         *tape.SlotTable
+	initialShared bool
+	fresh         bool
+	siteKeyBuf    []byte
+	getFn         eval.Getter
+	widFn         eval.WaveID
 
 	// Computed value of pinned driven nets, for the assertion
 	// cross-check.  Indexed by net so concurrent wavefront workers commit
@@ -352,22 +401,86 @@ func (v *verifier) seedWave(id netlist.NetID) (w values.Waveform, pinned, undef 
 	}
 }
 
+// runState is the poolable per-run table set: every slice is sized by the
+// design's net or primitive count — megabytes on large designs — and is
+// recycled through the program's Scratch pool between non-retained runs,
+// so a warm run adopts the previous run's allocations instead of
+// allocating and zeroing fresh ones.
+type runState struct {
+	sigs      []eval.Signal
+	sigID     []uint64
+	altOutW   []values.Waveform
+	altOutSet []bool
+	inQueue   []bool
+}
+
+// fits reports whether the pooled tables match the design's dimensions.
+func (rs *runState) fits(d *netlist.Design) bool {
+	return len(rs.sigs) == len(d.Nets) && len(rs.sigID) == len(d.Nets) &&
+		len(rs.inQueue) == len(d.Prims)
+}
+
+// adoptRunState installs a pooled table set, clearing the flag tables a
+// run requires to start false.  The signal tables are left stale — every
+// path that reads them first overwrites them (the seed loop covers every
+// net, and altOutW reads are gated by altOutSet).
+func (v *verifier) adoptRunState(rs *runState) {
+	v.sigs = rs.sigs
+	v.sigID = rs.sigID
+	v.altOutW = rs.altOutW
+	v.altOutSet = rs.altOutSet
+	v.inQueue = rs.inQueue
+	clear(v.altOutSet)
+	clear(v.inQueue)
+}
+
+// releaseRunState returns the per-run tables to the program's pool.  Only
+// non-retained runs release: a retained case verifier keeps its converged
+// state for Reverify.  Run results hold no references into the pooled
+// slices — kept waveforms and margins copy the waveform values, whose
+// segment arrays live outside these tables.
+func (v *verifier) releaseRunState() {
+	if v.prog == nil || v.sigs == nil || v.sigID == nil {
+		return
+	}
+	v.prog.Scratch.Put(&runState{
+		sigs:      v.sigs,
+		sigID:     v.sigID,
+		altOutW:   v.altOutW,
+		altOutSet: v.altOutSet,
+		inQueue:   v.inQueue,
+	})
+	v.sigs, v.sigID, v.altOutW, v.altOutSet, v.inQueue = nil, nil, nil, nil, nil
+}
+
 // initVerifier builds the shared post-initialisation relaxation state
 // (§2.9 step 1) every case starts from.  A non-nil interner/cache pair is
 // adopted — the Verifier keeps them across runs so re-verification is
 // served from warm memo tables; otherwise fresh ones are created unless
-// NoCache asks for none.
-func initVerifier(d *netlist.Design, opts Options, intern *values.Interner, cache *eval.Cache) (*verifier, *Result, error) {
+// NoCache asks for none.  With a compiled program the interner and cache
+// are the program's persistent tables, the wired-OR slot maps are its
+// precompiled ones, and — absent Force overrides — the seed image is
+// adopted wholesale: shared waveform slices, precomputed handles, no
+// per-net assertion rendering or interning.
+func initVerifier(d *netlist.Design, opts Options, intern *values.Interner, cache *eval.Cache, prog *tape.Program) (*verifier, *Result, error) {
 	v := &verifier{
-		d:         d,
-		opts:      opts,
-		sigs:      make([]eval.Signal, len(d.Nets)),
-		initial:   make([]values.Waveform, len(d.Nets)),
-		pinned:    make([]bool, len(d.Nets)),
-		altOutW:   make([]values.Waveform, len(d.Nets)),
-		altOutSet: make([]bool, len(d.Nets)),
-		caseMap:   make(map[netlist.NetID]values.Value),
-		inQueue:   make([]bool, len(d.Prims)),
+		d:       d,
+		opts:    opts,
+		prog:    prog,
+		caseMap: make(map[netlist.NetID]values.Value),
+	}
+	if prog != nil {
+		intern, cache = prog.Intern, prog.Evals
+		v.slots = prog.Slots()
+		if rs, ok := prog.Scratch.Get().(*runState); ok && rs.fits(d) {
+			v.adoptRunState(rs)
+		}
+	}
+	if v.sigs == nil {
+		v.sigs = make([]eval.Signal, len(d.Nets))
+		v.altOutW = make([]values.Waveform, len(d.Nets))
+		v.altOutSet = make([]bool, len(d.Nets))
+		v.inQueue = make([]bool, len(d.Prims))
 	}
 	if !opts.NoCache {
 		if intern == nil {
@@ -376,11 +489,16 @@ func initVerifier(d *netlist.Design, opts Options, intern *values.Interner, cach
 		}
 		v.intern = intern
 		v.cache = cache
-		v.sigID = make([]uint64, len(d.Nets))
+		if v.sigID == nil {
+			v.sigID = make([]uint64, len(d.Nets))
+		}
 	}
 	res := &Result{Design: d}
 
-	if d.WiredOr {
+	switch {
+	case prog != nil:
+		v.wired, v.wiredSlot = prog.Wired, prog.WiredSlot
+	case d.WiredOr:
 		counts := map[netlist.NetID]int{}
 		for pi := range d.Prims {
 			for _, port := range d.Prims[pi].Out {
@@ -402,6 +520,8 @@ func initVerifier(d *netlist.Design, opts Options, intern *values.Interner, cach
 				v.wiredSlot[[2]int32{int32(n), int32(dp)}] = len(v.wiredSlot)
 			}
 		}
+	}
+	if v.wired != nil {
 		v.wiredOutW = make([]values.Waveform, len(v.wiredSlot))
 		v.wiredOutSet = make([]bool, len(v.wiredSlot))
 	}
@@ -410,21 +530,39 @@ func initVerifier(d *netlist.Design, opts Options, intern *values.Interner, cach
 	// their asserted waveform; stable-asserted nets seed S/C; driven nets
 	// without assertions start UNKNOWN; undriven, unasserted nets are
 	// taken to be always stable and listed for the designer's attention.
-	undefSeen := map[string]bool{}
-	for i := range d.Nets {
-		w, pinned, undef, err := v.seedWave(netlist.NetID(i))
-		if err != nil {
-			return nil, nil, err
+	if prog != nil && len(opts.Force) == 0 {
+		// Tape fast path: adopt the precompiled seed image.  The slices
+		// are shared read-only (copy-on-write before any mutation) and the
+		// handles are already interned in the program's interner.
+		seeds := prog.Seeds()
+		v.initial = seeds.Initial
+		v.pinned = seeds.Pinned
+		v.initialShared = true
+		copy(v.sigID, seeds.InitialID)
+		for i := range v.sigs {
+			v.sigs[i] = eval.Signal{Wave: seeds.Initial[i]}
 		}
-		v.initial[i] = w
-		v.pinned[i] = pinned
-		if undef && !undefSeen[d.Nets[i].Base] {
-			undefSeen[d.Nets[i].Base] = true
-			res.Undefined = append(res.Undefined, d.Nets[i].Base)
+		res.Undefined = append([]string(nil), seeds.Undefined...)
+	} else {
+		v.initial = make([]values.Waveform, len(d.Nets))
+		v.pinned = make([]bool, len(d.Nets))
+		undefSeen := map[string]bool{}
+		for i := range d.Nets {
+			w, pinned, undef, err := v.seedWave(netlist.NetID(i))
+			if err != nil {
+				return nil, nil, err
+			}
+			v.initial[i] = w
+			v.pinned[i] = pinned
+			if undef && !undefSeen[d.Nets[i].Base] {
+				undefSeen[d.Nets[i].Base] = true
+				res.Undefined = append(res.Undefined, d.Nets[i].Base)
+			}
+			v.setSig(netlist.NetID(i), eval.Signal{Wave: w})
 		}
-		v.setSig(netlist.NetID(i), eval.Signal{Wave: w})
+		sort.Strings(res.Undefined)
 	}
-	sort.Strings(res.Undefined)
+	v.fresh = true
 	res.Stats.Primitives = len(d.Prims)
 	res.Stats.Nets = len(d.Nets)
 	return v, res, nil
@@ -454,23 +592,40 @@ type caseOutcome struct {
 // only ever be served results that its own evaluation would reproduce.
 func (v *verifier) clone() *verifier {
 	w := &verifier{
-		d:         v.d,
-		opts:      v.opts,
-		ctx:       v.ctx,
-		sigs:      append([]eval.Signal(nil), v.sigs...),
-		initial:   v.initial,
-		pinned:    v.pinned,
-		altOutW:   make([]values.Waveform, len(v.d.Nets)),
-		altOutSet: make([]bool, len(v.d.Nets)),
-		caseMap:   make(map[netlist.NetID]values.Value),
-		wired:     v.wired,
-		wiredSlot: v.wiredSlot,
-		intern:    v.intern,
-		cache:     v.cache,
-		inQueue:   make([]bool, len(v.d.Prims)),
+		d:             v.d,
+		opts:          v.opts,
+		ctx:           v.ctx,
+		prog:          v.prog,
+		slots:         v.slots,
+		initialShared: v.initialShared,
+		fresh:         v.fresh,
+		initial:       v.initial,
+		pinned:        v.pinned,
+		caseMap:       make(map[netlist.NetID]values.Value),
+		wired:         v.wired,
+		wiredSlot:     v.wiredSlot,
+		intern:        v.intern,
+		cache:         v.cache,
 	}
+	if v.prog != nil {
+		if rs, ok := v.prog.Scratch.Get().(*runState); ok && rs.fits(v.d) {
+			w.adoptRunState(rs)
+		}
+	}
+	if w.sigs == nil {
+		w.sigs = make([]eval.Signal, len(v.d.Nets))
+		w.altOutW = make([]values.Waveform, len(v.d.Nets))
+		w.altOutSet = make([]bool, len(v.d.Nets))
+		w.inQueue = make([]bool, len(v.d.Prims))
+	}
+	copy(w.sigs, v.sigs)
 	if v.sigID != nil {
-		w.sigID = append([]uint64(nil), v.sigID...)
+		if w.sigID == nil {
+			w.sigID = make([]uint64, len(v.d.Nets))
+		}
+		copy(w.sigID, v.sigID)
+	} else {
+		w.sigID = nil
 	}
 	if v.wired != nil {
 		w.wiredOutW = make([]values.Waveform, len(v.wiredSlot))
@@ -522,6 +677,21 @@ func (v *verifier) storeSig(id netlist.NetID, sig eval.Signal) bool {
 	} else if sig.Wave.Equal(v.sigs[id].Wave) && sig.Dirs == v.sigs[id].Dirs {
 		return false
 	}
+	v.sigs[id] = sig
+	if v.changed != nil {
+		v.changed[id] = true
+	}
+	return true
+}
+
+// storeSigID is storeSig for a signal whose interned handle is already
+// known (from a cache entry or warm slot): the comparison and the store
+// are pure handle bookkeeping — no interning, no waveform hash.
+func (v *verifier) storeSigID(id netlist.NetID, sig eval.Signal, wid uint64) bool {
+	if wid == v.sigID[id] && sig.Dirs == v.sigs[id].Dirs {
+		return false
+	}
+	v.sigID[id] = wid
 	v.sigs[id] = sig
 	if v.changed != nil {
 		v.changed[id] = true
@@ -589,6 +759,24 @@ func (v *verifier) applyCase(c netlist.Case, first bool) error {
 	v.caseMap = newMap
 
 	if first {
+		if v.prog != nil && v.fresh {
+			// Tape fast path: the signals still equal the seeds (interned,
+			// handles installed), so re-seeding is the identity everywhere
+			// except under the incoming case mapping.  affected holds
+			// exactly the mapped nets — the verifier was fresh, so nothing
+			// is leaving a previous mapping.
+			v.fresh = false
+			for id := range affected {
+				v.setSig(id, eval.Signal{Wave: v.mapped(id, v.initial[id]), Dirs: v.sigs[id].Dirs})
+			}
+			for pi := range v.d.Prims {
+				if !v.d.Prims[pi].Kind.IsChecker() {
+					v.enqueue(netlist.PrimID(pi))
+				}
+			}
+			return nil
+		}
+		v.fresh = false
 		for i := range v.d.Nets {
 			id := netlist.NetID(i)
 			v.setSig(id, eval.Signal{Wave: v.mapped(id, v.initial[i]), Dirs: v.sigs[i].Dirs})
@@ -600,6 +788,7 @@ func (v *verifier) applyCase(c netlist.Case, first bool) error {
 		}
 		return nil
 	}
+	v.fresh = false
 	for id := range affected {
 		n := &v.d.Nets[id]
 		if n.Driver == netlist.NoDriver || v.pinned[id] {
@@ -737,6 +926,11 @@ type evalScratch struct {
 	arena  *values.Arena
 	get    eval.Getter
 	wid    eval.WaveID
+	// changed accumulates the nets moved by this worker's component
+	// evaluations within one level; compResult spans reference into it,
+	// and the level barrier truncates it once the spans are consumed, so
+	// the backing array is reused instead of grown afresh per component.
+	changed []netlist.NetID
 }
 
 func (v *verifier) newScratch() *evalScratch {
@@ -762,8 +956,22 @@ func (v *verifier) newScratch() *evalScratch {
 func (v *verifier) evalPrim(pid netlist.PrimID, sc *evalScratch, dst []netlist.NetID) []netlist.NetID {
 	p := &v.d.Prims[pid]
 	var outs []eval.Signal
+	var ids []uint64
 	var err error
-	if v.cache != nil {
+	switch {
+	case v.slots != nil:
+		// Warm-slot fast path: if one of the primitive's recent evaluations
+		// was computed from these exact inputs (interned handles + governing
+		// directives) under the current environment generation, reuse it
+		// without key building, hashing or locking.  Miss: fall through to
+		// the keyed memo and publish a fresh variant.
+		if sv := v.slotLookup(pid, p, false); sv != nil {
+			outs, ids = sv.Outs, sv.IDs
+			v.cache.NoteHit()
+			break
+		}
+		fallthrough
+	case v.cache != nil:
 		// Memoized evaluation: the key covers everything Prim reads,
 		// with input waveforms as interned handles, so a hit returns
 		// exactly what evaluation would produce.  Outputs are interned
@@ -771,17 +979,21 @@ func (v *verifier) evalPrim(pid netlist.PrimID, sc *evalScratch, dst []netlist.N
 		// entry references a worker's arena).
 		sc.keyBuf = eval.AppendKey(sc.keyBuf[:0], v.d, p, sc.get, sc.wid)
 		var ok bool
-		if outs, ok = v.cache.Get(sc.keyBuf); !ok {
-			outs, err = eval.PrimA(v.d, p, sc.get, sc.arena)
+		if outs, ids, ok = v.cache.Get(sc.keyBuf); !ok {
+			outs, err = v.dispatch(pid, p, sc)
 			if err == nil && outs != nil {
+				ids = make([]uint64, len(outs))
 				for i := range outs {
-					outs[i].Wave, _ = v.intern.Intern(outs[i].Wave)
+					outs[i].Wave, ids[i] = v.intern.Intern(outs[i].Wave)
 				}
-				v.cache.Put(sc.keyBuf, outs)
+				v.cache.Put(sc.keyBuf, outs, ids)
 			}
 		}
-	} else {
-		outs, err = eval.PrimA(v.d, p, sc.get, sc.arena)
+		if v.slots != nil && err == nil && outs != nil {
+			v.publishSlot(pid, outs, ids)
+		}
+	default:
+		outs, err = v.dispatch(pid, p, sc)
 	}
 	if err != nil || outs == nil {
 		return dst
@@ -805,6 +1017,17 @@ func (v *verifier) evalPrim(pid netlist.PrimID, sc *evalScratch, dst []netlist.N
 				folded = values.CombineA(folded, w, values.Or, sc.arena)
 			}
 			sig = eval.Signal{Wave: folded, Dirs: sig.Dirs}
+		} else if ids != nil && !v.pinned[id] {
+			// Handle-aware commit: the output's interned id is known, and
+			// on unmapped nets (the common case) the mapped waveform is the
+			// waveform itself, so the store is a handle compare — no
+			// re-interning, no waveform hash.
+			if _, hasMap := v.caseMap[id]; !hasMap {
+				if v.storeSigID(id, sig, ids[bit]) {
+					dst = append(dst, id)
+				}
+				continue
+			}
 		}
 		sig.Wave = v.mapped(id, sig.Wave)
 		if v.pinned[id] {
@@ -821,6 +1044,93 @@ func (v *verifier) evalPrim(pid netlist.PrimID, sc *evalScratch, dst []netlist.N
 	return dst
 }
 
+// slotLookup scans a primitive's warm slot for a variant whose recorded
+// inputs equal the current ones: per input bit (in AppendKey's connection
+// order), the interned handle of the incoming waveform and the governing
+// directive string.  Everything else evaluation reads is pinned by the
+// program's environment generation, so a match implies the variant's
+// outputs are exactly what evaluation would produce.  With site true it
+// matches clean checker-site variants (Outs == nil) instead.
+func (v *verifier) slotLookup(pid netlist.PrimID, p *netlist.Prim, site bool) *tape.SlotVar {
+	s := v.slots.Load(pid)
+	if s == nil {
+		return nil
+	}
+	for i := range s.Vars {
+		sv := &s.Vars[i]
+		if (sv.Outs == nil) == site && v.slotMatch(pid, sv) {
+			return sv
+		}
+	}
+	return nil
+}
+
+// slotMatch reports whether one variant's recorded inputs equal the
+// primitive's current inputs, scanning the program's flat connection
+// table instead of the netlist's nested port structure.
+func (v *verifier) slotMatch(pid netlist.PrimID, sv *tape.SlotVar) bool {
+	span := v.prog.ConnSpan[pid]
+	nets := v.prog.ConnNet[span[0]:span[1]]
+	if len(nets) != len(sv.In) {
+		return false
+	}
+	cdirs := v.prog.ConnDirs[span[0]:span[1]]
+	for k, n := range nets {
+		dirs := cdirs[k]
+		if dirs.Empty() {
+			dirs = v.sigs[n].Dirs
+		}
+		if in := &sv.In[k]; in.ID != v.sigID[n] || in.Dirs != dirs {
+			return false
+		}
+	}
+	return true
+}
+
+// publishSlot appends the primitive's current inputs and interned outputs
+// to its warm slot as a fresh variant, evicting the oldest beyond
+// tape.MaxSlotVars.  Slots are immutable once published, so the surviving
+// variants are copied into a new Slot; publishes happen only while a
+// cycle of states is being (re)learned, never in the warm steady state.
+// With nil outs it records a clean checker site.  Concurrent publishers
+// can lose each other's variant — last writer wins — which costs a
+// relearn, never correctness.
+func (v *verifier) publishSlot(pid netlist.PrimID, outs []eval.Signal, ids []uint64) {
+	span := v.prog.ConnSpan[pid]
+	nets := v.prog.ConnNet[span[0]:span[1]]
+	cdirs := v.prog.ConnDirs[span[0]:span[1]]
+	sv := tape.SlotVar{Outs: outs, IDs: ids, In: make([]tape.SlotInput, len(nets))}
+	for k, n := range nets {
+		dirs := cdirs[k]
+		if dirs.Empty() {
+			dirs = v.sigs[n].Dirs
+		}
+		sv.In[k] = tape.SlotInput{ID: v.sigID[n], Dirs: dirs}
+	}
+	var old []tape.SlotVar
+	if s := v.slots.Load(pid); s != nil {
+		old = s.Vars
+		if len(old) >= tape.MaxSlotVars {
+			old = old[len(old)-tape.MaxSlotVars+1:]
+		}
+	}
+	ns := &tape.Slot{Vars: make([]tape.SlotVar, 0, len(old)+1)}
+	ns.Vars = append(append(ns.Vars, old...), sv)
+	v.slots.Store(pid, ns)
+}
+
+// dispatch evaluates one primitive: through the tape's opcode jump table
+// when a program is compiled, else the generic evaluator.  The table path
+// is segment-for-segment identical (eval.GateTableA mirrors evalGate), so
+// the choice never affects results — or cache entries, which the two
+// paths can share.
+func (v *verifier) dispatch(pid netlist.PrimID, p *netlist.Prim, sc *evalScratch) ([]eval.Signal, error) {
+	if v.prog != nil {
+		return v.prog.Eval(pid, v.d, p, sc.get, sc.arena)
+	}
+	return eval.PrimA(v.d, p, sc.get, sc.arena)
+}
+
 // relax runs the event-driven evaluation to a fixed point (§2.9 step 2).
 // It reports whether the fixed point was reached within the pass cap.
 // With IntraWorkers > 1 the worklist is handed to the levelized wavefront
@@ -831,7 +1141,7 @@ func (v *verifier) relax() bool {
 	if err := v.ctxCheck(); err != nil {
 		return false
 	}
-	if v.opts.intraWorkers() > 1 {
+	if v.prog != nil || v.opts.intraWorkers() > 1 {
 		return v.wavefrontRelax()
 	}
 	cap := v.passCap()

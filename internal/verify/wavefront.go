@@ -46,6 +46,8 @@ import (
 // work counters, the nets whose stored signal changed (with repeats, for
 // feedback components that move a net more than once), and whether the
 // component still has pending members and must run again next sweep.
+// changed is a capacity-capped span of the worker scratch's accumulation
+// buffer, valid until the barrier truncates the buffer after marking.
 type compResult struct {
 	evals   int
 	events  int
@@ -69,6 +71,11 @@ type compResult struct {
 func (v *verifier) runComp(ci int32, sc *evalScratch, pending []bool, lev *netlist.Levelization) compResult {
 	c := &lev.Comps[ci]
 	var r compResult
+	n0 := len(sc.changed)
+	// span caps the result's view of the scratch buffer at its current
+	// length, so later appends by the same worker can never alias it (a
+	// relocated backing array keeps the already-written prefix valid).
+	span := func() []netlist.NetID { return sc.changed[n0:len(sc.changed):len(sc.changed)] }
 	if !c.Feedback {
 		for _, m := range c.Members {
 			if !pending[m] {
@@ -76,10 +83,10 @@ func (v *verifier) runComp(ci int32, sc *evalScratch, pending []bool, lev *netli
 			}
 			pending[m] = false
 			r.evals++
-			n0 := len(r.changed)
-			r.changed = v.evalPrim(m, sc, r.changed)
-			r.events += len(r.changed) - n0
+			sc.changed = v.evalPrim(m, sc, sc.changed)
 		}
+		r.events = len(sc.changed) - n0
+		r.changed = span()
 		return r
 	}
 
@@ -104,6 +111,7 @@ func (v *verifier) runComp(ci int32, sc *evalScratch, pending []bool, lev *netli
 				}
 			}
 			r.again = true
+			r.changed = span()
 			return r
 		}
 		m := queue[qi]
@@ -112,7 +120,7 @@ func (v *verifier) runComp(ci int32, sc *evalScratch, pending []bool, lev *netli
 		buf = v.evalPrim(m, sc, buf[:0])
 		for _, id := range buf {
 			r.events++
-			r.changed = append(r.changed, id)
+			sc.changed = append(sc.changed, id)
 			for _, q := range v.d.Nets[id].Fanout {
 				if lev.Comp[q] != ci || inQ[q] {
 					continue
@@ -122,13 +130,24 @@ func (v *verifier) runComp(ci int32, sc *evalScratch, pending []bool, lev *netli
 			}
 		}
 	}
+	r.changed = span()
 	return r
 }
 
 // wavefrontRelax converges the seeded worklist by levelized sweeps.  It
 // reports whether the fixed point was reached within the pass cap.
+//
+// This is also the compiled tape's execution loop (v.prog != nil): the
+// levelization comes from the program, each level's components are read
+// from the tape's contiguous level spans, and with one worker the level
+// runs inline on the calling goroutine — the serial tape sweep.  The
+// relaxation is the same confluent fixed-point iteration either way, so
+// results are bit-identical to the serial FIFO engine.
 func (v *verifier) wavefrontRelax() bool {
 	lev := v.d.Levelization()
+	if v.prog != nil {
+		lev = v.prog.Lev
+	}
 	nWorkers := v.opts.intraWorkers()
 	if v.wfScratch == nil {
 		v.wfScratch = make([]*evalScratch, nWorkers)
@@ -208,8 +227,14 @@ func (v *verifier) wavefrontRelax() bool {
 		v.sweeps++
 
 		// Parallel phase: levels in ascending order, each level's pending
-		// components fanned out over the worker pool.
-		for _, level := range lev.Levels {
+		// components fanned out over the worker pool.  On the tape the
+		// level is a contiguous span of the component order.
+		for li := range lev.Levels {
+			level := lev.Levels[li]
+			if v.prog != nil {
+				span := v.prog.LevelSpan[li]
+				level = v.prog.CompOrder[span[0]:span[1]]
+			}
 			tasks = tasks[:0]
 			for _, ci := range level {
 				if compPending[ci] {
@@ -224,8 +249,10 @@ func (v *verifier) wavefrontRelax() bool {
 				results = make([]compResult, len(tasks))
 			}
 			results = results[:len(tasks)]
-			if len(tasks) == 1 {
-				results[0] = v.runComp(tasks[0], v.wfScratch[0], pending, lev)
+			if len(tasks) == 1 || nWorkers == 1 {
+				for i := range tasks {
+					results[i] = v.runComp(tasks[i], v.wfScratch[0], pending, lev)
+				}
 			} else {
 				nw := nWorkers
 				if nw > len(tasks) {
@@ -268,6 +295,11 @@ func (v *verifier) wavefrontRelax() bool {
 				}
 				mark(results[i].changed, ci, seqPending)
 			}
+			// The changed spans are consumed; recycle every worker's
+			// accumulation buffer for the next level.
+			for _, sc := range v.wfScratch {
+				sc.changed = sc.changed[:0]
+			}
 		}
 
 		// Serial phase: sequential components in ascending order, on the
@@ -289,6 +321,7 @@ func (v *verifier) wavefrontRelax() bool {
 				seqNext[ci] = true
 			}
 			mark(r.changed, ci, seqNext)
+			v.wfScratch[0].changed = v.wfScratch[0].changed[:0]
 		}
 		seqPending, seqNext = seqNext, seqPending
 	}

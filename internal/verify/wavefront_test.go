@@ -154,18 +154,27 @@ func TestIntraReverify(t *testing.T) {
 }
 
 // TestIntraWavefrontStats: the levelization counters are reported exactly
-// when the wavefront engine runs, and stay zero under the serial engine.
+// when the wavefront engine runs — explicitly via IntraWorkers > 1 or
+// implicitly via the tape — and stay zero under the serial engine (which
+// requires NoTape, since the tape always sweeps level spans).
 func TestIntraWavefrontStats(t *testing.T) {
 	d, _, err := gen.Generate(gen.Config{Chips: 51, Cases: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial, err := Run(d, Options{Workers: 1})
+	serial, err := Run(d, Options{Workers: 1, NoTape: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if serial.Stats.IntraWorkers != 0 || serial.Stats.Levels != 0 || serial.Stats.SCCs != 0 || serial.Stats.Sweeps != 0 {
 		t.Errorf("serial run reports wavefront stats: %+v", serial.Stats)
+	}
+	tape, err := Run(d, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tape.Stats.Tape || tape.Stats.Levels == 0 || tape.Stats.SCCs == 0 || tape.Stats.Sweeps == 0 {
+		t.Errorf("tape run should report wavefront stats: %+v", tape.Stats)
 	}
 	res, err := Run(d, Options{Workers: 1, IntraWorkers: 8})
 	if err != nil {
@@ -215,7 +224,7 @@ func TestQueueBoundedCapacity(t *testing.T) {
 		prev = o
 	}
 	d := b.MustBuild()
-	v, _, err := initVerifier(d, Options{}, nil, nil)
+	v, _, err := initVerifier(d, Options{}, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,9 +10,10 @@ import (
 
 // TestJSONReportByteDeterminism locks the contract the scaldtvd service
 // depends on: the JSON report is byte-identical for every combination of
-// case workers, intra-case workers and cache setting, for every example
-// design.  (The report deliberately carries no event or timing counters,
-// which are schedule-dependent.)
+// case workers, intra-case workers, cache setting and evaluation engine
+// (compiled tape or interpreter), for every example design.  (The report
+// deliberately carries no event or timing counters, which are
+// schedule-dependent.)
 func TestJSONReportByteDeterminism(t *testing.T) {
 	designs, err := filepath.Glob(filepath.Join("examples", "*", "*.scald"))
 	if err != nil {
@@ -37,6 +38,9 @@ func TestJSONReportByteDeterminism(t *testing.T) {
 				{Workers: 1, IntraWorkers: 2},
 				{Workers: 2, IntraWorkers: 4},
 				{Workers: 1, NoCache: true},
+				{Workers: 1, NoTape: true},
+				{Workers: 2, IntraWorkers: 4, NoTape: true},
+				{Workers: 8, IntraWorkers: 8, NoTape: true},
 			} {
 				res, err := VerifySource(text, cfg)
 				if err != nil {
