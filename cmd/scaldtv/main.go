@@ -11,6 +11,12 @@
 //	-xref         print the cross-reference listing of undefined signals
 //	-stats        print execution and storage statistics
 //	-case n       print the summary for case n (default 0)
+//	-explore      discover the minimal case set that discharges U/C-poisoned
+//	              constraint sites (automatic case exploration); declared
+//	              cases are rediscovered, not required
+//	-delays m     delay model: worstcase (default) or statistical — the
+//	              statistical model reports a violation probability per
+//	              constraint site via deterministic quadrature
 //	-j n          case-evaluation workers (0 = one per CPU, 1 = sequential)
 //	-intra n      intra-case evaluation workers (1 = the serial worklist;
 //	              >1 = levelized wavefront scheduling, bit-identical reports)
@@ -52,6 +58,8 @@ func run() int {
 	xref := flag.Bool("xref", false, "print the cross-reference listing")
 	statsFlag := flag.Bool("stats", false, "print execution and storage statistics")
 	caseIdx := flag.Int("case", 0, "case index for the timing summary")
+	exploreFlag := flag.Bool("explore", false, "discover the minimal case set discharging U/C-poisoned constraint sites")
+	delaysFlag := flag.String("delays", "", "delay model: worstcase (default) or statistical")
 	autoCorr := flag.Bool("autocorr", false, "automatically insert CORR delays into register feedback paths (§4.2.3)")
 	art := flag.Bool("art", false, "print ASCII timing diagrams")
 	artWidth := flag.Int("artwidth", 64, "timing diagram width in columns")
@@ -100,7 +108,12 @@ func run() int {
 			}
 		}()
 	}
-	baseOpts := scaldtv.Options{Workers: *workers, IntraWorkers: *intra, NoCache: !*cache, NoTape: !*tapeFlag}
+	delays, err := scaldtv.ParseDelayModel(*delaysFlag)
+	if err != nil {
+		return fail(err)
+	}
+	baseOpts := scaldtv.Options{Workers: *workers, IntraWorkers: *intra, NoCache: !*cache,
+		NoTape: !*tapeFlag, Explore: *exploreFlag, Delays: delays}
 	var st *store.Store
 	if *storeDir != "" {
 		var err error
@@ -190,6 +203,12 @@ func run() int {
 	opts.KeepWaves = *summary || *art
 	opts.Margins = *slack > 0
 	var res *scaldtv.Result
+	if st != nil && (opts.Explore || opts.Delays != scaldtv.DelayWorstCase) {
+		// Restored snapshots cannot carry the exploration or statistical
+		// sections, so these modes always run the engine directly.
+		fmt.Fprintln(os.Stderr, "scaldtv: store: bypassed (-explore/-delays run the engine directly)")
+		st = nil
+	}
 	if st != nil {
 		// Store-mediated run: an already-seen design answers from its
 		// persisted fixed point, an edited one warm-starts from the
@@ -230,6 +249,14 @@ func run() int {
 	fmt.Print(scaldtv.Summary(res))
 	fmt.Println()
 	fmt.Print(scaldtv.ErrorListing(res))
+	if *exploreFlag {
+		fmt.Println()
+		fmt.Print(scaldtv.ExploreListing(res))
+	}
+	if opts.Delays == scaldtv.DelayStatistical {
+		fmt.Println()
+		fmt.Print(scaldtv.StatListing(res))
+	}
 	if *xref {
 		fmt.Println()
 		fmt.Print(scaldtv.CrossReference(res))

@@ -1,9 +1,12 @@
 // Command scaldtvd serves the SCALD Timing Verifier over HTTP: stateless
 // POST /v1/verify requests answer with the same JSON report bytes as
-// `scaldtv -json`, and stateful /v1/sessions retain a converged Verifier
-// so that design edits are re-verified incrementally from the dirty
-// cone.  See the package comment of internal/server for the endpoint
-// and admission-control details.
+// `scaldtv -json`, POST /v1/explore runs automatic case exploration
+// (the report carries the minimal case set discharging U/C-poisoned
+// constraint sites, matching `scaldtv -explore -json` byte for byte),
+// and stateful /v1/sessions retain a converged Verifier so that design
+// edits are re-verified incrementally from the dirty cone.  See the
+// package comment of internal/server for the endpoint and
+// admission-control details.
 //
 // With -store the daemon persists converged runs in a content-addressed
 // cache directory: repeated verify requests are answered from the store

@@ -295,31 +295,27 @@ func covers7(sym values.Value, conc logicsim.LValue) bool {
 	return true
 }
 
-// runDifferential simulates one case of a design with delays pinned by
-// mode and checks pointwise coverage over the final, steady-state
-// cycle.  It returns the number of definite concrete samples, a
-// measure of how much the check actually bit.
-func runDifferential(t *testing.T, d *netlist.Design, res *Result, ci, mode int) int {
+// cycleTrace is the concrete steady-state cycle of one simulated case,
+// sampled on a fixed grid: Vals[i][k] is the value of design net i at
+// offset k*Step into the cycle.
+type cycleTrace struct {
+	Step tick.Time
+	Vals [][]logicsim.LValue
+}
+
+// simulateCycle lowers the design onto the logic simulator with delays
+// pinned by mode, drives every undriven or pinned net with a concrete
+// refinement of its symbolic waveform (this is how case splits and
+// Force assignments reach the simulator: both override the symbolic
+// wave of an undriven net, so its refinement drives the pinned level),
+// runs to periodic steady state and samples the final cycle.
+func simulateCycle(t *testing.T, d *netlist.Design, waves []values.Waveform, pinnedNets map[netlist.NetID]bool, mode int) cycleTrace {
 	t.Helper()
 	period := d.Period
-	waves := res.Cases[ci].Waves
-
-	// Nets the case analysis pins keep their symbolic constant; their
-	// drivers are detached in the bridge.
-	pinnedNets := map[netlist.NetID]bool{}
-	if ci < len(d.Cases) {
-		for _, as := range d.Cases[ci].Assignments {
-			for i := range d.Nets {
-				if netlist.BaseMatches(d.Nets[i].Base, as.Base) {
-					pinnedNets[netlist.NetID(i)] = true
-				}
-			}
-		}
-	}
 	br := newSimBridge(d, pinnedNets, mode)
 
-	// Concrete input schedules: every undriven or case-pinned net is
-	// driven with a refinement of its own symbolic waveform.
+	// Concrete input schedules: every undriven or pinned net is driven
+	// with a refinement of its own symbolic waveform.
 	type netDrive struct {
 		node int
 		evs  []driveEvent
@@ -346,15 +342,14 @@ func runDifferential(t *testing.T, d *netlist.Design, res *Result, ci, mode int)
 		}
 	}
 
-	incs := make([]values.Waveform, len(d.Nets))
-	for i := range d.Nets {
-		incs[i] = waves[i].IncorporateSkew()
-	}
 	step := period / 256
 	if step == 0 {
 		step = 1
 	}
-	solid := 0
+	vals := make([][]logicsim.LValue, len(d.Nets))
+	for i := range vals {
+		vals[i] = make([]logicsim.LValue, 0, int(period/step)+1)
+	}
 	base := tick.Time(warm) * period
 	for off := tick.Time(0); off < period; off += step {
 		sim.Run(base + off)
@@ -362,7 +357,42 @@ func runDifferential(t *testing.T, d *netlist.Design, res *Result, ci, mode int)
 			t.Fatalf("mode %d: simulation exceeded %d events (zero-delay oscillation?)", mode, sim.Limit)
 		}
 		for i := range d.Nets {
-			cv := sim.Value(br.netOf[i])
+			vals[i] = append(vals[i], sim.Value(br.netOf[i]))
+		}
+	}
+	return cycleTrace{Step: step, Vals: vals}
+}
+
+// runDifferential simulates one case of a design with delays pinned by
+// mode and checks pointwise coverage over the final, steady-state
+// cycle.  It returns the number of definite concrete samples, a
+// measure of how much the check actually bit.
+func runDifferential(t *testing.T, d *netlist.Design, res *Result, ci, mode int) int {
+	t.Helper()
+	waves := res.Cases[ci].Waves
+
+	// Nets the case analysis pins keep their symbolic constant; their
+	// drivers are detached in the bridge.
+	pinnedNets := map[netlist.NetID]bool{}
+	if ci < len(d.Cases) {
+		for _, as := range d.Cases[ci].Assignments {
+			for i := range d.Nets {
+				if netlist.BaseMatches(d.Nets[i].Base, as.Base) {
+					pinnedNets[netlist.NetID(i)] = true
+				}
+			}
+		}
+	}
+	tr := simulateCycle(t, d, waves, pinnedNets, mode)
+
+	incs := make([]values.Waveform, len(d.Nets))
+	for i := range d.Nets {
+		incs[i] = waves[i].IncorporateSkew()
+	}
+	solid := 0
+	for k, off := 0, tick.Time(0); off < d.Period; k, off = k+1, off+tr.Step {
+		for i := range d.Nets {
+			cv := tr.Vals[i][k]
 			if cv == logicsim.L0 || cv == logicsim.L1 {
 				solid++
 			}

@@ -1,0 +1,117 @@
+package scaldtv
+
+import (
+	"fmt"
+	"testing"
+
+	"scaldtv/internal/gen"
+	"scaldtv/internal/netlist"
+	"scaldtv/internal/values"
+)
+
+// FuzzExploreMinimality fuzzes the explorer's headline claim over the
+// generated design family: when it reports a minimal case set, dropping
+// any one chosen split and re-verifying the reduced product must
+// re-poison at least one site the full set discharged.  The fuzzer
+// steers the generator's structural knobs — pipeline size, decode
+// depth, declared cases, the variable-length-cycle tail (the structure
+// for which case analysis is essential, §3.3.2) and the feedback
+// fraction — so the cover search runs against many candidate-cone
+// shapes, not just the hand-written example.
+func FuzzExploreMinimality(f *testing.F) {
+	f.Add(uint8(1), uint8(0), uint8(0), true, uint8(0))
+	f.Add(uint8(3), uint8(2), uint8(3), true, uint8(2))
+	f.Add(uint8(17), uint8(1), uint8(5), true, uint8(1))
+	f.Add(uint8(6), uint8(0), uint8(0), false, uint8(0))
+	f.Add(uint8(30), uint8(3), uint8(9), true, uint8(4))
+	f.Fuzz(func(t *testing.T, chips, depth, feedback uint8, varCycle bool, cases uint8) {
+		cfg := gen.Config{
+			Chips:         1 + int(chips)%40,
+			Depth:         int(depth) % 4,
+			Cases:         int(cases) % 5,
+			VariableCycle: varCycle,
+			Width:         8,
+			Feedback:      float64(feedback%10) / 10,
+		}
+		d, _, err := gen.Generate(cfg)
+		if err != nil {
+			t.Skip() // an unbuildable shape is the generator's concern
+		}
+		res, err := Verify(d, Options{Explore: true})
+		if err != nil {
+			t.Fatalf("explore: %v", err)
+		}
+		ex := res.Exploration
+		if ex == nil {
+			t.Fatal("explore run returned no Exploration")
+		}
+		if !ex.Minimal {
+			t.Fatalf("explorer disclaims minimality for %+v: %+v", cfg, ex)
+		}
+		if len(ex.Chosen) == 0 {
+			return // nothing discharged, nothing to minimise
+		}
+		discharged := map[string]bool{}
+		for _, s := range ex.Sites {
+			if s.Discharged {
+				discharged[s.Key()] = true
+			}
+		}
+		if len(discharged) == 0 {
+			t.Fatalf("splits %v chosen but no site discharged", ex.Chosen)
+		}
+
+		base := d.WithCases(nil)
+		for drop := range ex.Chosen {
+			reduced := make([]string, 0, len(ex.Chosen)-1)
+			for i, b := range ex.Chosen {
+				if i != drop {
+					reduced = append(reduced, b)
+				}
+			}
+			rd := base
+			if len(reduced) > 0 {
+				rd = base.WithCases(productOver(reduced))
+			}
+			rres, err := Verify(rd, Options{})
+			if err != nil {
+				t.Fatalf("reduced verify: %v", err)
+			}
+			repoisoned := false
+			for _, v := range rres.Violations {
+				if discharged[violationSiteKey(v)] {
+					repoisoned = true
+					break
+				}
+			}
+			if !repoisoned {
+				t.Fatalf("dropping split %q still discharges every site: case set %v is not minimal (cfg %+v)",
+					ex.Chosen[drop], ex.Chosen, cfg)
+			}
+		}
+	})
+}
+
+// productOver enumerates the full 0/1 product over the given bases, the
+// first base varying slowest — the explorer's own enumeration order.
+func productOver(bases []string) []netlist.Case {
+	n := len(bases)
+	out := make([]netlist.Case, 0, 1<<n)
+	for bits := 0; bits < 1<<n; bits++ {
+		var c netlist.Case
+		for i, b := range bases {
+			bit := 0
+			v := values.V0
+			if bits&(1<<(n-1-i)) != 0 {
+				bit, v = 1, values.V1
+			}
+			if c.Label != "" {
+				c.Label += ", "
+			}
+			c.Label += fmt.Sprintf("%s = %d", b, bit)
+			c.Assignments = append(c.Assignments, netlist.CaseAssign{Base: b, Value: v})
+		}
+		out = append(out, c)
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package scaldtv
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Metamorphic properties of the case explorer.  The explorer's choices
+// are tie-broken on declared net order, never on names, so a rename
+// that preserves the declaration order of every signal must leave the
+// exploration isomorphic: same sites, same candidate ranking, same
+// chosen splits, same minimal case set — with only the names mapped.
+// (The companion byte-determinism property — identical reports across
+// worker counts and engines — lives in TestExploreJSONByteDeterminism.)
+
+// exploreRename maps every identifier of the case-analysis example to a
+// fresh name.  Longer keys come first so the Replacer never splits
+// "CONTROL SIGNAL" into a rename of a shorter token.
+var exploreRename = [][2]string{
+	{"FIG 2-6 CASE ANALYSIS", "FIG 2-6 RENAMED"},
+	{"CONTROL SIGNAL", "STEER BIT"},
+	{"DELAY A", "PAD A"},
+	{"DELAY B", "PAD B"},
+	{"MUX 1", "SEL 1"},
+	{"MUX 2", "SEL 2"},
+	{"INPUT", "SOURCE"},
+	{"OUTPUT", "SINK"},
+	{"D1", "E7"},
+	{"D2", "E8"},
+	{"M1", "E9"},
+}
+
+func renamer() *strings.Replacer {
+	var pairs []string
+	for _, p := range exploreRename {
+		pairs = append(pairs, p[0], p[1])
+	}
+	return strings.NewReplacer(pairs...)
+}
+
+// TestExploreRenameInvariance runs the explorer on the case-analysis
+// example and on an identifier-for-identifier rename of it (declaration
+// order untouched), and requires the two Exploration reports to be
+// identical up to the rename.
+func TestExploreRenameInvariance(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("examples", "caseanalysis", "caseanalysis.scald"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := renamer()
+
+	explore := func(text string) []byte {
+		t.Helper()
+		res, err := VerifySource(text, Options{Explore: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Exploration == nil {
+			t.Fatal("no Exploration in result")
+		}
+		if len(res.Exploration.Chosen) == 0 {
+			t.Fatal("explorer chose no splits — the invariance check would be vacuous")
+		}
+		out, err := json.MarshalIndent(res.Exploration, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	orig := explore(string(src))
+	renamed := explore(r.Replace(string(src)))
+	if want := r.Replace(string(orig)); string(renamed) != want {
+		t.Errorf("exploration is not rename-invariant\n--- renamed run ---\n%s\n--- original run, renamed ---\n%s",
+			renamed, want)
+	}
+}
+
+// TestExploreDeclaredCasesIdempotent checks a second metamorphic
+// property: exploring a design that already declares the discovered
+// split changes nothing — the explorer strips declared cases,
+// rediscovers the same set, and the final verdict matches a plain
+// verification of the declared design.
+func TestExploreDeclaredCasesIdempotent(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("examples", "caseanalysis", "caseanalysis.scald"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(src)
+	stripped := regexpCaseLines(text)
+
+	resDeclared, err := VerifySource(text, Options{Explore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resStripped, err := VerifySource(stripped, Options{Explore: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dj, err := json.Marshal(resDeclared.Exploration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := json.Marshal(resStripped.Exploration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(dj) != string(sj) {
+		t.Errorf("exploration differs with and without the declared case lines\n--- declared ---\n%s\n--- stripped ---\n%s", dj, sj)
+	}
+
+	// And the explored verdict agrees with plainly verifying the
+	// designer's declared cases.
+	plain, err := VerifySource(text, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(resDeclared.Violations), len(plain.Violations); got != want {
+		t.Errorf("explored run reports %d violation(s), declared-case run %d", got, want)
+	}
+}
+
+// regexpCaseLines removes the `case` specification lines from HDL text.
+func regexpCaseLines(text string) string {
+	var keep []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "case ") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}

@@ -151,6 +151,81 @@ func TestGoldenExamples(t *testing.T) {
 	}
 }
 
+// TestGoldenExplore locks the case-exploration listing on the two
+// examples that bracket the feature: caseanalysis, where the explorer
+// rediscovers the designer's hand-written split, and hazard, where the
+// poisoned site is a real timing error no split can discharge.  The CI
+// explore job diffs exactly these files.
+func TestGoldenExplore(t *testing.T) {
+	for _, name := range []string{"caseanalysis", "hazard"} {
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("examples", name, name+".scald"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := VerifySource(string(src)+"\n"+Library, goldenOpts(Options{Explore: true}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			sb.WriteString(ErrorListing(res))
+			sb.WriteString("\n")
+			sb.WriteString(ExploreListing(res))
+			got := sb.String()
+
+			golden := filepath.Join("testdata", "explore", name+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("golden file missing (run go test -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("explore listing differs from golden file %s\n--- got ---\n%s\n--- want ---\n%s",
+					golden, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenStatistical locks the statistical delay-analysis listing on
+// the self-timed example (the design whose margins the worst-case model
+// reports as tight; the quadrature model prices them).
+func TestGoldenStatistical(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("examples", "selftimed", "selftimed.scald"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := VerifySource(string(src)+"\n"+Library, goldenOpts(Options{Delays: DelayStatistical}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := StatListing(res)
+	golden := filepath.Join("testdata", "explore", "selftimed_statistical.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run go test -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("statistical listing differs from golden file %s\n--- got ---\n%s\n--- want ---\n%s",
+			golden, got, want)
+	}
+}
+
 func TestJSONReport(t *testing.T) {
 	res, err := VerifySource(fig25Source, goldenOpts(Options{}))
 	if err != nil {

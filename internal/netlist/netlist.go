@@ -230,6 +230,37 @@ func (d *Design) EngineCache() any {
 // StoreEngineCache publishes a compiled-engine value for this design.
 func (d *Design) StoreEngineCache(v any) { d.engine.Store(&v) }
 
+// WithCases returns a design sharing this design's structure — nets,
+// primitives, name index — but carrying a different case-analysis list.
+// Case mappings are applied at relaxation time, not baked into any
+// structure-derived cache, so the levelization and compiled-engine caches
+// carry over: a verification of the variant starts warm.  The variant
+// must be treated as read-only structurally (no RebuildFanout); the case
+// exploration engine uses it to re-verify a design under a candidate case
+// set without copying the netlist.
+func (d *Design) WithCases(cases []Case) *Design {
+	nd := &Design{
+		Name:          d.Name,
+		Period:        d.Period,
+		ClockUnit:     d.ClockUnit,
+		DefaultWire:   d.DefaultWire,
+		PrecisionSkew: d.PrecisionSkew,
+		ClockSkew:     d.ClockSkew,
+		WiredOr:       d.WiredOr,
+		Nets:          d.Nets,
+		Prims:         d.Prims,
+		Cases:         cases,
+		byName:        d.byName,
+	}
+	if lv := d.level.Load(); lv != nil {
+		nd.level.Store(lv)
+	}
+	if e := d.engine.Load(); e != nil {
+		nd.engine.Store(e)
+	}
+	return nd
+}
+
 // Env returns the assertion-rendering environment of the design.
 func (d *Design) Env() assertion.Env {
 	cu := d.ClockUnit

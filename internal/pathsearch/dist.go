@@ -1,0 +1,381 @@
+package pathsearch
+
+import (
+	"math"
+	"sort"
+
+	"scaldtv/internal/netlist"
+	"scaldtv/internal/tick"
+)
+
+// Fixed-grid quadrature over arrival-time distributions: the machinery
+// behind the statistical verify mode (-delays=statistical).  A component
+// delay range [min,max] becomes a normal distribution truncated to its
+// data-sheet limits (mean = (min+max)/2, σ = (max−min)/6, the DIGSIM
+// convention of §1.4.1.2), discretised onto a uniform time grid.  Series
+// composition along a path is convolution; reconvergent paths combine as
+// the max (CDFs multiply) for the latest arrival and as the min for the
+// earliest.  Everything is deterministic — a fixed grid, no sampling —
+// so reports built on these numbers stay byte-identical across runs.
+
+// Dist is a probability mass function over arrival times on a uniform
+// grid: P(X = Start + i·Step) = P[i].  Start is always a multiple of
+// Step, so two distributions with the same step align index-for-index; a
+// single-point distribution (a zero-width delay) has len(P) == 1 with
+// all mass in P[0].  The zero value is "no distribution" (Empty).
+type Dist struct {
+	Start tick.Time
+	Step  tick.Time
+	P     []float64
+}
+
+// Empty reports whether the distribution carries no mass.
+func (d Dist) Empty() bool { return len(d.P) == 0 }
+
+// snap rounds t to the nearest grid multiple of step, halves away from
+// zero — the single deterministic rounding used everywhere so that every
+// Dist start stays on the common grid.
+func snap(t, step tick.Time) tick.Time {
+	if step <= 0 {
+		return t
+	}
+	if t >= 0 {
+		return ((t + step/2) / step) * step
+	}
+	return -(((-t + step/2) / step) * step)
+}
+
+// PointDist is the distribution of a delay known exactly: all mass on
+// the grid point nearest t.  This is the zero-width-interval edge case —
+// convolving with it is a pure shift, never a widening.
+func PointDist(t, step tick.Time) Dist {
+	return Dist{Start: snap(t, step), Step: step, P: []float64{1}}
+}
+
+// normCDF is Φ((x−mean)/sigma), the standard normal CDF.
+func normCDF(x, mean, sigma float64) float64 {
+	return 0.5 * (1 + math.Erf((x-mean)/(sigma*math.Sqrt2)))
+}
+
+// RangeDist discretises a delay range onto the grid: a truncated normal
+// with the 3σ limits at the data-sheet min and max.  A zero-width range
+// degenerates to a single-point distribution, and a range narrower than
+// one grid step collapses to the point at its midpoint — both edge cases
+// that used to be representable only as full intervals.
+func RangeDist(r tick.Range, step tick.Time) Dist {
+	if !r.Valid() {
+		r = tick.Range{Min: r.Max, Max: r.Min}
+	}
+	if r.Width() == 0 || step <= 0 {
+		return PointDist(r.Min, step)
+	}
+	lo, hi := snap(r.Min, step), snap(r.Max, step)
+	if lo == hi {
+		return Dist{Start: lo, Step: step, P: []float64{1}}
+	}
+	mean := float64(r.Min+r.Max) / 2
+	sigma := float64(r.Width()) / 6
+	n := int((hi-lo)/step) + 1
+	p := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		x := float64(lo + tick.Time(i)*step)
+		a := normCDF(x-float64(step)/2, mean, sigma)
+		b := normCDF(x+float64(step)/2, mean, sigma)
+		p[i] = b - a
+		total += p[i]
+	}
+	// Renormalise the truncation so the mass sums to one exactly.
+	if total > 0 {
+		for i := range p {
+			p[i] /= total
+		}
+	} else {
+		// Degenerate numerics (σ far smaller than the grid): point mass
+		// at the grid cell nearest the mean.
+		for i := range p {
+			p[i] = 0
+		}
+		p[len(p)/2] = 1
+	}
+	return Dist{Start: lo, Step: step, P: p}
+}
+
+// Convolve is the distribution of the sum of two independent delays —
+// series composition along a path.  Point masses short-circuit to a
+// shift, so chains of exact delays stay exact (single-point in,
+// single-point out).
+func Convolve(a, b Dist) Dist {
+	if a.Empty() {
+		return b
+	}
+	if b.Empty() {
+		return a
+	}
+	step := a.Step
+	if step <= 0 {
+		step = b.Step
+	}
+	if len(b.P) == 1 {
+		return Dist{Start: a.Start + b.Start, Step: step, P: a.P}
+	}
+	if len(a.P) == 1 {
+		return Dist{Start: a.Start + b.Start, Step: step, P: b.P}
+	}
+	p := make([]float64, len(a.P)+len(b.P)-1)
+	for i, pa := range a.P {
+		if pa == 0 {
+			continue
+		}
+		for j, pb := range b.P {
+			p[i+j] += pa * pb
+		}
+	}
+	return Dist{Start: a.Start + b.Start, Step: step, P: p}
+}
+
+// aligned returns both pmfs re-indexed onto one grid window covering
+// both supports.  Both inputs must share the step (PointDist takes the
+// step of its context, so the invariant holds across the DP).
+func aligned(a, b Dist) (start tick.Time, step tick.Time, pa, pb []float64) {
+	step = a.Step
+	if step <= 0 {
+		step = b.Step
+	}
+	start = a.Start
+	if b.Start < start {
+		start = b.Start
+	}
+	endA := a.Start + tick.Time(len(a.P)-1)*step
+	endB := b.Start + tick.Time(len(b.P)-1)*step
+	end := endA
+	if endB > end {
+		end = endB
+	}
+	n := 1
+	if step > 0 {
+		n = int((end-start)/step) + 1
+	}
+	pa = make([]float64, n)
+	pb = make([]float64, n)
+	offA, offB := 0, 0
+	if step > 0 {
+		offA = int((a.Start - start) / step)
+		offB = int((b.Start - start) / step)
+	}
+	copy(pa[offA:], a.P)
+	copy(pb[offB:], b.P)
+	return start, step, pa, pb
+}
+
+// CombineMax is the distribution of max(A, B) for independent arrivals —
+// the reconvergence rule for the latest arrival: CDFs multiply.
+func CombineMax(a, b Dist) Dist {
+	if a.Empty() {
+		return b
+	}
+	if b.Empty() {
+		return a
+	}
+	start, step, pa, pb := aligned(a, b)
+	p := make([]float64, len(pa))
+	fa, fb, prev := 0.0, 0.0, 0.0
+	for i := range p {
+		fa += pa[i]
+		fb += pb[i]
+		f := fa * fb
+		p[i] = f - prev
+		prev = f
+	}
+	return Dist{Start: start, Step: step, P: p}
+}
+
+// CombineMin is the distribution of min(A, B) for independent arrivals —
+// the reconvergence rule for the earliest arrival: survival functions
+// multiply.
+func CombineMin(a, b Dist) Dist {
+	if a.Empty() {
+		return b
+	}
+	if b.Empty() {
+		return a
+	}
+	start, step, pa, pb := aligned(a, b)
+	p := make([]float64, len(pa))
+	fa, fb, prev := 0.0, 0.0, 0.0
+	for i := range p {
+		fa += pa[i]
+		fb += pb[i]
+		f := 1 - (1-fa)*(1-fb)
+		p[i] = f - prev
+		prev = f
+	}
+	return Dist{Start: start, Step: step, P: p}
+}
+
+// CDF is P(X ≤ t).
+func (d Dist) CDF(t tick.Time) float64 {
+	if d.Empty() {
+		return 0
+	}
+	f := 0.0
+	for i, p := range d.P {
+		x := d.Start
+		if d.Step > 0 {
+			x += tick.Time(i) * d.Step
+		}
+		if x > t {
+			break
+		}
+		f += p
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Mean is the expected arrival in grid time.
+func (d Dist) Mean() float64 {
+	m := 0.0
+	for i, p := range d.P {
+		x := d.Start
+		if d.Step > 0 {
+			x += tick.Time(i) * d.Step
+		}
+		m += float64(x) * p
+	}
+	return m
+}
+
+// Mass is the total probability (1 up to rounding for any valid Dist).
+func (d Dist) Mass() float64 {
+	m := 0.0
+	for _, p := range d.P {
+		m += p
+	}
+	return m
+}
+
+// SiteDist is the arrival-time distribution at one constraint-site input
+// pin, for the start whose worst-case arrival is statistically critical.
+// WCMin/WCMax are the interval-analysis arrivals of the same paths, so a
+// caller holding a worst-case slack s can place the deadline at
+// WCMax + s (late checks) or WCMin − s (early checks) and read the
+// violation probability straight off the distribution.
+type SiteDist struct {
+	From  string // start net of the critical path
+	To    string // "prim:port" end-pin label
+	WCMin tick.Time
+	WCMax tick.Time
+	Late  Dist // latest-arrival distribution (max over reconvergent paths)
+	Early Dist // earliest-arrival distribution (min over reconvergent paths)
+}
+
+// DefaultDistStep is the quadrature grid: 1/256 of the clock period,
+// never finer than one tick.  Fixed per design — the "seed" of the
+// deterministic quadrature.
+func DefaultDistStep(period tick.Time) tick.Time {
+	step := period / 256
+	if step < 1 {
+		step = 1
+	}
+	return step
+}
+
+// AnalyzeDist runs the quadrature DP over the same combinational graph
+// as Analyze, producing one SiteDist per end pin (keyed by its
+// "prim:port" label), for the start with the largest worst-case arrival.
+// step ≤ 0 selects DefaultDistStep.  Designs with combinational loops
+// report the loop nets like Analyze; looped nets get no distribution.
+func AnalyzeDist(d *netlist.Design, step tick.Time) (map[string]SiteDist, []string) {
+	if step <= 0 {
+		step = DefaultDistStep(d.Period)
+	}
+	g := buildGraph(d)
+	n := len(d.Nets)
+	const unset = tick.Time(-1)
+	minA := make([]tick.Time, n)
+	maxA := make([]tick.Time, n)
+	late := make([]Dist, n)
+	early := make([]Dist, n)
+	out := make(map[string]SiteDist)
+	for _, s := range g.starts {
+		for i := 0; i < n; i++ {
+			minA[i], maxA[i] = unset, unset
+			late[i], early[i] = Dist{}, Dist{}
+		}
+		minA[s], maxA[s] = 0, 0
+		late[s] = PointDist(0, step)
+		early[s] = PointDist(0, step)
+		for _, u := range g.order {
+			if maxA[u] == unset {
+				continue
+			}
+			for _, e := range g.adj[u] {
+				ed := RangeDist(tick.Range{Min: e.min, Max: e.max}, step)
+				late[e.to] = CombineMax(late[e.to], Convolve(late[u], ed))
+				early[e.to] = CombineMin(early[e.to], Convolve(early[u], ed))
+				if na := minA[u] + e.min; minA[e.to] == unset || na < minA[e.to] {
+					minA[e.to] = na
+				}
+				if na := maxA[u] + e.max; na > maxA[e.to] {
+					maxA[e.to] = na
+				}
+			}
+		}
+		// Deterministic end sweep: the ends map iterates in random order,
+		// but entries with different labels never interact and same-label
+		// updates arrive in the deterministic start order, with a total
+		// keep-best rule.
+		for net, pins := range g.ends {
+			if maxA[net] == unset {
+				continue
+			}
+			for _, pin := range pins {
+				wd := RangeDist(pin.wire, step)
+				cand := SiteDist{
+					From:  d.Nets[s].Name,
+					To:    pin.label,
+					WCMin: minA[net] + pin.wire.Min,
+					WCMax: maxA[net] + pin.wire.Max,
+					Late:  Convolve(late[net], wd),
+					Early: Convolve(early[net], wd),
+				}
+				cur, ok := out[pin.label]
+				if !ok || cand.WCMax > cur.WCMax ||
+					(cand.WCMax == cur.WCMax && cand.From < cur.From) {
+					out[pin.label] = cand
+				}
+			}
+		}
+	}
+	return out, g.loops
+}
+
+// SiteDistsByPrim regroups AnalyzeDist output by checker/storage
+// instance name (the part of the end label before the colon), keeping
+// each instance's pins sorted by label so iteration is deterministic.
+func SiteDistsByPrim(sites map[string]SiteDist) map[string][]SiteDist {
+	byPrim := make(map[string][]SiteDist)
+	for label, sd := range sites {
+		prim := label
+		if i := lastColon(label); i >= 0 {
+			prim = label[:i]
+		}
+		byPrim[prim] = append(byPrim[prim], sd)
+	}
+	for _, sds := range byPrim {
+		sort.Slice(sds, func(i, j int) bool { return sds[i].To < sds[j].To })
+	}
+	return byPrim
+}
+
+func lastColon(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == ':' {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,200 @@
+package pathsearch
+
+import (
+	"math"
+	"testing"
+
+	"scaldtv/internal/netlist"
+	"scaldtv/internal/tick"
+)
+
+// Table tests for the quadrature distribution machinery, focused on the
+// edge cases interval analysis hides: zero-width delay ranges (exact
+// delays) and single-point distributions, alone and convolved with wide
+// ranges.
+
+const step = tick.Time(250) // 0.25 ns grid
+
+func TestRangeDistTable(t *testing.T) {
+	tests := []struct {
+		name      string
+		r         tick.Range
+		wantLen   int     // 0 = any length > 1
+		wantMean  float64 // grid time
+		meanTol   float64
+		wantStart tick.Time
+	}{
+		{name: "zero width at zero", r: tick.R(0, 0), wantLen: 1, wantMean: 0, wantStart: 0},
+		{name: "zero width nonzero", r: tick.R(10, 10), wantLen: 1, wantMean: 10000, wantStart: 10000},
+		{name: "zero width off grid", r: tick.Range{Min: 10100, Max: 10100}, wantLen: 1, wantMean: 10000, wantStart: 10000},
+		{name: "sub-step width collapses", r: tick.Range{Min: 10000, Max: 10100}, wantLen: 1, wantMean: 10000, wantStart: 10000},
+		{name: "normal range", r: tick.R(5, 15), wantMean: 10000, meanTol: float64(step)},
+		{name: "inverted range normalised", r: tick.Range{Min: 15000, Max: 5000}, wantMean: 10000, meanTol: float64(step)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			d := RangeDist(tc.r, step)
+			if tc.wantLen > 0 && len(d.P) != tc.wantLen {
+				t.Fatalf("len(P) = %d, want %d", len(d.P), tc.wantLen)
+			}
+			if tc.wantLen == 0 && len(d.P) <= 1 {
+				t.Fatalf("len(P) = %d, want a spread distribution", len(d.P))
+			}
+			if m := d.Mass(); math.Abs(m-1) > 1e-9 {
+				t.Errorf("mass = %v, want 1", m)
+			}
+			if math.Abs(d.Mean()-tc.wantMean) > tc.meanTol+1e-9 {
+				t.Errorf("mean = %v, want %v ± %v", d.Mean(), tc.wantMean, tc.meanTol)
+			}
+			if tc.wantLen == 1 && d.Start != tc.wantStart {
+				t.Errorf("start = %v, want %v", d.Start, tc.wantStart)
+			}
+			if d.Start%step != 0 {
+				t.Errorf("start %v not on the %v grid", d.Start, step)
+			}
+		})
+	}
+}
+
+func TestConvolveTable(t *testing.T) {
+	point := func(ns float64) Dist { return PointDist(tick.FromNS(ns), step) }
+	wide := RangeDist(tick.R(0, 12), step)
+	tests := []struct {
+		name     string
+		a, b     Dist
+		wantLen  int // 0 = any
+		wantMean float64
+		meanTol  float64
+	}{
+		{name: "point+point stays point", a: point(3), b: point(4), wantLen: 1, wantMean: 7000},
+		{name: "point shifts wide", a: point(10), b: wide, wantLen: len(wide.P), wantMean: 16000, meanTol: float64(step)},
+		{name: "wide shifted by point", a: wide, b: point(10), wantLen: len(wide.P), wantMean: 16000, meanTol: float64(step)},
+		{name: "empty identity left", a: Dist{}, b: wide, wantLen: len(wide.P), wantMean: 6000, meanTol: float64(step)},
+		{name: "empty identity right", a: wide, b: Dist{}, wantLen: len(wide.P), wantMean: 6000, meanTol: float64(step)},
+		{name: "wide+wide adds means", a: wide, b: wide, wantMean: 12000, meanTol: 2 * float64(step)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			d := Convolve(tc.a, tc.b)
+			if tc.wantLen > 0 && len(d.P) != tc.wantLen {
+				t.Fatalf("len(P) = %d, want %d", len(d.P), tc.wantLen)
+			}
+			if m := d.Mass(); math.Abs(m-1) > 1e-9 {
+				t.Errorf("mass = %v, want 1", m)
+			}
+			if math.Abs(d.Mean()-tc.wantMean) > tc.meanTol+1e-9 {
+				t.Errorf("mean = %v, want %v ± %v", d.Mean(), tc.wantMean, tc.meanTol)
+			}
+		})
+	}
+}
+
+func TestCombineMaxMinPoints(t *testing.T) {
+	a := PointDist(tick.FromNS(5), step)
+	b := PointDist(tick.FromNS(8), step)
+	if got := CombineMax(a, b); math.Abs(got.Mean()-8000) > 1e-9 {
+		t.Errorf("max of points: mean %v, want 8000", got.Mean())
+	}
+	if got := CombineMin(a, b); math.Abs(got.Mean()-5000) > 1e-9 {
+		t.Errorf("min of points: mean %v, want 5000", got.Mean())
+	}
+	// Max of a distribution with itself shifts mass late, min shifts early.
+	w := RangeDist(tick.R(0, 12), step)
+	if CombineMax(w, w).Mean() <= w.Mean() {
+		t.Error("max combine must not move the mean earlier")
+	}
+	if CombineMin(w, w).Mean() >= w.Mean() {
+		t.Error("min combine must not move the mean later")
+	}
+	// Mass is conserved by both combines.
+	if m := CombineMax(w, a).Mass(); math.Abs(m-1) > 1e-9 {
+		t.Errorf("max combine mass = %v", m)
+	}
+	if m := CombineMin(w, a).Mass(); math.Abs(m-1) > 1e-9 {
+		t.Errorf("min combine mass = %v", m)
+	}
+}
+
+func TestCDFMonotoneAndBounds(t *testing.T) {
+	d := Convolve(RangeDist(tick.R(2, 10), step), RangeDist(tick.R(1, 5), step))
+	prev := -1.0
+	for x := tick.Time(0); x <= tick.FromNS(20); x += step {
+		f := d.CDF(x)
+		if f < prev-1e-12 {
+			t.Fatalf("CDF not monotone at %v: %v < %v", x, f, prev)
+		}
+		if f < 0 || f > 1 {
+			t.Fatalf("CDF out of bounds at %v: %v", x, f)
+		}
+		prev = f
+	}
+	if f := d.CDF(tick.FromNS(20)); math.Abs(f-1) > 1e-9 {
+		t.Errorf("CDF beyond support = %v, want 1", f)
+	}
+	if f := d.CDF(0); f > 1e-9 {
+		t.Errorf("CDF before support = %v, want 0", f)
+	}
+}
+
+// TestAnalyzeDistChain drives the DP over a three-buffer chain, one of
+// the buffers an exact (zero-width) delay, and checks the end-pin
+// distribution against the worst-case interval analysis.
+func TestAnalyzeDistChain(t *testing.T) {
+	d := statChain(t, tick.R(5, 15), tick.R(10, 10), tick.R(2, 8))
+	sites, loops := AnalyzeDist(d, 0)
+	if len(loops) != 0 {
+		t.Fatalf("unexpected loops: %v", loops)
+	}
+	if len(sites) == 0 {
+		t.Fatal("no site distributions")
+	}
+	wc, err := Analyze(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sd := range sites {
+		if m := sd.Late.Mass(); math.Abs(m-1) > 1e-6 {
+			t.Errorf("%s: late mass %v", sd.To, m)
+		}
+		// The quadrature support must sit inside the worst-case interval
+		// (up to one grid cell of discretisation).
+		var wcMin, wcMax tick.Time = -1, -1
+		for _, ep := range wc.Endpoints {
+			if ep.To == sd.To && ep.From == sd.From {
+				wcMin, wcMax = ep.Min, ep.Max
+			}
+		}
+		if wcMax < 0 {
+			t.Fatalf("%s: no matching worst-case endpoint", sd.To)
+		}
+		if sd.WCMin != wcMin || sd.WCMax != wcMax {
+			t.Errorf("%s: WC [%v,%v], Analyze says [%v,%v]", sd.To, sd.WCMin, sd.WCMax, wcMin, wcMax)
+		}
+		stp := sd.Late.Step
+		if p := sd.Late.CDF(wcMax + stp); math.Abs(p-1) > 1e-6 {
+			t.Errorf("%s: mass beyond worst-case max (CDF(max)=%v)", sd.To, p)
+		}
+		if p := sd.Early.CDF(wcMin - stp - 1); p > 1e-6 {
+			t.Errorf("%s: mass before worst-case min (CDF=%v)", sd.To, p)
+		}
+	}
+}
+
+// statChain builds IN -> buf(r1) -> buf(r2) -> buf(r3) -> REG.D so the
+// register input terminates one path with the given delay ranges.
+func statChain(t *testing.T, rs ...tick.Range) *netlist.Design {
+	t.Helper()
+	b := netlist.NewBuilder("DIST CHAIN")
+	b.SetPeriod(100 * tick.NS)
+	b.SetDefaultWire(tick.Range{})
+	prev := b.Net("IN .S0-50")
+	for i, r := range rs {
+		next := b.Net("N" + string(rune('0'+i)))
+		b.Buf("B"+string(rune('0'+i)), r, []netlist.NetID{next}, netlist.Conns(prev))
+		prev = next
+	}
+	q := b.Net("Q")
+	b.Register("REG", tick.R(1, 2), []netlist.NetID{q},
+		netlist.Conn{Net: b.Net("CK .P40-60")}, netlist.Conns(prev))
+	return b.MustBuild()
+}

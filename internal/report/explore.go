@@ -1,0 +1,96 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"scaldtv/internal/verify"
+)
+
+// ExploreListing renders the case-exploration report: the poisoned
+// constraint sites, the candidate provenance (what was ranked, what each
+// probe cost), and the emitted minimal case set, spelled as case
+// directives ready to paste into the source.
+func ExploreListing(res *verify.Result) string {
+	ex := res.Exploration
+	if ex == nil {
+		return "case exploration unavailable: run the verifier with Explore\n"
+	}
+	var sb strings.Builder
+	sb.WriteString("CASE EXPLORATION\n\n")
+	if len(ex.Sites) == 0 {
+		sb.WriteString("  no U/C-poisoned constraint sites: no case splits needed\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "  %d poisoned constraint site(s)\n", len(ex.Sites))
+	for _, s := range ex.Sites {
+		state := "NOT DISCHARGED"
+		if s.Discharged {
+			state = "discharged"
+		}
+		fmt.Fprintf(&sb, "    %-24s %-22s %-28s %s",
+			trunc(s.Prim, 24), trunc(s.Data, 22), trunc(s.Kind.String(), 28), state)
+		if len(s.By) > 0 {
+			fmt.Fprintf(&sb, " by %s", strings.Join(s.By, ", "))
+		}
+		sb.WriteString("\n")
+	}
+
+	sb.WriteString("\n  candidate control signals (ranked by poisoned sites in forward cone)\n")
+	fmt.Fprintf(&sb, "    %-26s %6s %10s %10s %7s  %s\n",
+		"SIGNAL", "SITES", "CONE PRIMS", "CONE NETS", "PROBES", "")
+	for _, c := range ex.Candidates {
+		mark := ""
+		if c.Chosen {
+			mark = "<< CHOSEN"
+		}
+		fmt.Fprintf(&sb, "    %-26s %6d %10d %10d %7d  %s\n",
+			trunc(c.Base, 26), c.Sites, c.ConePrims, c.ConeNets, c.Probes, mark)
+	}
+	if ex.Skipped > 0 {
+		fmt.Fprintf(&sb, "    … %d reachable candidate(s) beyond the probe cap were not probed\n", ex.Skipped)
+	}
+
+	sb.WriteString("\n")
+	if len(ex.CaseSet) == 0 {
+		sb.WriteString("  no case split discharges the poisoned sites\n")
+	} else {
+		kind := "case set"
+		if ex.Minimal {
+			kind = "minimal case set"
+		}
+		fmt.Fprintf(&sb, "  %s (%d cycle(s)):\n", kind, len(ex.CaseSet))
+		for _, label := range ex.CaseSet {
+			fmt.Fprintf(&sb, "    case %s\n", label)
+		}
+	}
+	if ex.Residual > 0 {
+		fmt.Fprintf(&sb, "\n  %d violation(s) remain under this case set — real timing errors, not case artifacts\n",
+			ex.Residual)
+	}
+	return sb.String()
+}
+
+// StatListing renders the statistical-mode site probabilities: one row
+// per constraint evaluation, the probability that the constraint is
+// violated when every delay is drawn from a truncated normal over its
+// data-sheet range instead of pinned at the worst-case corner.
+func StatListing(res *verify.Result) string {
+	if len(res.SiteProbs) == 0 {
+		return "statistical listing unavailable: run the verifier with -delays=statistical\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "STATISTICAL DELAY ANALYSIS — design %s (truncated-normal quadrature, σ = range/6)\n\n",
+		res.Design.Name)
+	fmt.Fprintf(&sb, "  %-12s %-34s %-26s %10s  %s\n",
+		"P(VIOLATE)", "CHECKER", "DATA", "WC SLACK", "CRITICAL FROM")
+	for _, p := range res.SiteProbs {
+		mark := ""
+		if p.Prob > 0 {
+			mark = "  << AT RISK"
+		}
+		fmt.Fprintf(&sb, "  %-12.6f %-34s %-26s %10.1f  %s%s\n",
+			p.Prob, trunc(p.Prim, 34), trunc(p.Data, 26), p.SlackNS, trunc(p.From, 24), mark)
+	}
+	return sb.String()
+}

@@ -22,6 +22,52 @@ type jsonViolation struct {
 	Detail     string  `json:"detail,omitempty"`
 }
 
+// jsonSiteProb is one constraint site's statistical-mode violation
+// probability.
+type jsonSiteProb struct {
+	Kind        string  `json:"kind"`
+	Case        string  `json:"case,omitempty"`
+	Primitive   string  `json:"primitive"`
+	Data        string  `json:"data,omitempty"`
+	Clock       string  `json:"clock,omitempty"`
+	SlackNS     float64 `json:"slack_ns"`
+	From        string  `json:"from,omitempty"`
+	Probability float64 `json:"probability"`
+}
+
+// jsonExploration is the case-exploration section: the poisoned sites,
+// the full candidate provenance, and the emitted minimal case set.  All
+// fields are structural or derived from deterministic probe outcomes, so
+// the section is byte-identical across engines and worker counts.
+type jsonExploration struct {
+	Sites      []jsonExploredSite     `json:"sites"`
+	Candidates []jsonExploreCandidate `json:"candidates"`
+	Chosen     []string               `json:"chosen"`
+	CaseSet    []string               `json:"case_set"`
+	Minimal    bool                   `json:"minimal"`
+	Residual   int                    `json:"residual"`
+	Skipped    int                    `json:"skipped,omitempty"`
+}
+
+type jsonExploredSite struct {
+	Kind       string   `json:"kind"`
+	Primitive  string   `json:"primitive"`
+	Data       string   `json:"data,omitempty"`
+	Clock      string   `json:"clock,omitempty"`
+	Discharged bool     `json:"discharged"`
+	By         []string `json:"by,omitempty"`
+}
+
+type jsonExploreCandidate struct {
+	Base       string `json:"base"`
+	Sites      int    `json:"sites"`
+	ConePrims  int    `json:"cone_prims"`
+	ConeNets   int    `json:"cone_nets"`
+	Probes     int    `json:"probes,omitempty"`
+	Discharges []int  `json:"discharges,omitempty"`
+	Chosen     bool   `json:"chosen,omitempty"`
+}
+
 // SchemaVersion identifies the JSON report layout.  Bump it on any
 // incompatible change to the emitted fields; consumers should check it
 // before interpreting the rest of the document.
@@ -33,6 +79,10 @@ type jsonViolation struct {
 // report across Options.Workers settings.  Everything emitted now is
 // bit-identical for every Workers/IntraWorkers/NoCache combination —
 // the contract the scaldtvd service relies on.
+//
+// Version 1 later gained the optional delay_model, site_probs and
+// exploration fields — additive and omitted when absent, so consumers of
+// the original layout keep working and the version stays 1.
 const SchemaVersion = 1
 
 // jsonReport is the machine-readable verification outcome, for CI
@@ -50,6 +100,11 @@ type jsonReport struct {
 	Violations []jsonViolation `json:"violations"`
 	Undefined  []string        `json:"undefined_signals,omitempty"`
 	Pass       bool            `json:"pass"`
+
+	// Optional sections, additive within schema 1.
+	DelayModel  string           `json:"delay_model,omitempty"`
+	SiteProbs   []jsonSiteProb   `json:"site_probs,omitempty"`
+	Exploration *jsonExploration `json:"exploration,omitempty"`
 }
 
 // JSON renders the verification result as machine-readable JSON.  The
@@ -91,6 +146,60 @@ func JSON(res *verify.Result) ([]byte, error) {
 			jv.ClockWave = WaveString(v.ClockWave)
 		}
 		out.Violations = append(out.Violations, jv)
+	}
+	if len(res.SiteProbs) > 0 {
+		out.DelayModel = string(verify.DelayStatistical)
+		for _, p := range res.SiteProbs {
+			out.SiteProbs = append(out.SiteProbs, jsonSiteProb{
+				Kind:        p.Kind.String(),
+				Case:        p.Case,
+				Primitive:   p.Prim,
+				Data:        p.Data,
+				Clock:       p.Clock,
+				SlackNS:     p.SlackNS,
+				From:        p.From,
+				Probability: p.Prob,
+			})
+		}
+	}
+	if ex := res.Exploration; ex != nil {
+		jx := &jsonExploration{
+			Sites:      []jsonExploredSite{},
+			Candidates: []jsonExploreCandidate{},
+			Chosen:     ex.Chosen,
+			CaseSet:    ex.CaseSet,
+			Minimal:    ex.Minimal,
+			Residual:   ex.Residual,
+			Skipped:    ex.Skipped,
+		}
+		if jx.Chosen == nil {
+			jx.Chosen = []string{}
+		}
+		if jx.CaseSet == nil {
+			jx.CaseSet = []string{}
+		}
+		for _, s := range ex.Sites {
+			jx.Sites = append(jx.Sites, jsonExploredSite{
+				Kind:       s.Kind.String(),
+				Primitive:  s.Prim,
+				Data:       s.Data,
+				Clock:      s.Clock,
+				Discharged: s.Discharged,
+				By:         s.By,
+			})
+		}
+		for _, c := range ex.Candidates {
+			jx.Candidates = append(jx.Candidates, jsonExploreCandidate{
+				Base:       c.Base,
+				Sites:      c.Sites,
+				ConePrims:  c.ConePrims,
+				ConeNets:   c.ConeNets,
+				Probes:     c.Probes,
+				Discharges: c.Discharges,
+				Chosen:     c.Chosen,
+			})
+		}
+		out.Exploration = jx
 	}
 	return json.MarshalIndent(out, "", "  ")
 }

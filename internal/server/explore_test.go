@@ -1,0 +1,66 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scaldtv"
+)
+
+// TestExploreEndpointParity is the acceptance contract of POST
+// /v1/explore: the response body is byte-identical to the CLI's
+// `scaldtv -explore -json` output, for both the dischargeable
+// case-analysis example and the hazard example whose violation is real.
+func TestExploreEndpointParity(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, name := range []string{"caseanalysis", "hazard"} {
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("..", "..", "examples", name, name+".scald"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := cliJSON(t, string(src), scaldtv.Options{Explore: true})
+			for _, q := range []string{"lib=1", "lib=1&j=2&intra=2"} {
+				resp, got := post(t, ts.URL+"/v1/explore?"+q, string(src))
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("?%s: status %d: %s", q, resp.StatusCode, got)
+				}
+				if !bytes.Contains(got, []byte(`"exploration"`)) {
+					t.Fatalf("?%s: response carries no exploration section:\n%s", q, got)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("?%s: response differs from scaldtv -explore -json\n--- got ---\n%s\n--- want ---\n%s", q, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestExploreEndpointStatistical: the ?delays=statistical query selects
+// the statistical delay model, and a bad model name is a 400.
+func TestExploreEndpointStatistical(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	src, err := os.ReadFile(filepath.Join("..", "..", "examples", "selftimed", "selftimed.scald"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cliJSON(t, string(src), scaldtv.Options{Explore: true, Delays: scaldtv.DelayStatistical})
+	resp, got := post(t, ts.URL+"/v1/explore?lib=1&delays=statistical", string(src))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Contains(got, []byte(`"delay_model": "statistical"`)) {
+		t.Fatalf("response carries no statistical section:\n%s", got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("response differs from the statistical CLI report\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	resp, got = post(t, ts.URL+"/v1/explore?lib=1&delays=quantum", string(src))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad delay model: status %d, want 400: %s", resp.StatusCode, got)
+	}
+}

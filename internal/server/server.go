@@ -6,6 +6,10 @@
 // Endpoints:
 //
 //	POST   /v1/verify                  stateless: HDL source in, JSON report out
+//	POST   /v1/explore                 stateless automatic case exploration:
+//	                                   the report carries the minimal case set
+//	                                   discharging U/C-poisoned sites
+//	                                   (?delays=statistical adds probabilities)
 //	POST   /v1/sessions                compile + verify, retain a Verifier
 //	PUT    /v1/sessions/{id}/design    diff against the retained design and
 //	                                   re-verify the dirty cone only
@@ -145,6 +149,7 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/verify", s.handleVerify)
+	s.mux.HandleFunc("POST /v1/explore", s.handleExplore)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
 	s.mux.HandleFunc("PUT /v1/sessions/{id}/design", s.handleSessionUpdate)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/report", s.handleSessionReport)
@@ -384,6 +389,63 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeReport(out, "")
+}
+
+// handleExplore is the stateless POST /v1/explore endpoint: automatic
+// case exploration over the same request shape as /v1/verify, answered
+// with the JSON report carrying the exploration section (and, with
+// ?delays=statistical, per-site violation probabilities).  The response
+// is byte-identical to `scaldtv -explore -json` for the same input.
+// Restored snapshots cannot carry the exploration section, so this
+// endpoint always runs the engine — there is no store fast path — and
+// provenance is simply absent.
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	src, opts, err := s.readRequest(r)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	opts.Explore = true
+	if v := r.URL.Query().Get("delays"); v != "" {
+		dm, err := scaldtv.ParseDelayModel(v)
+		if err != nil {
+			s.writeErr(w, serr.Newf(serr.Parse, "server: query parameter delays=%q: %v", v, err))
+			return
+		}
+		opts.Delays = dm
+	}
+	d, err := scaldtv.Compile(src)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	release, err := s.admit(ctx)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	defer release()
+	if s.cfg.onVerifyStart != nil {
+		s.cfg.onVerifyStart(ctx)
+	}
+	start := time.Now()
+	res, err := scaldtv.VerifyContext(ctx, d, opts)
+	if err != nil {
+		s.met.failures.Add(1)
+		s.writeErr(w, err)
+		return
+	}
+	s.met.observe(res, time.Since(start))
+	out, err := scaldtv.JSONReport(res)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+	io.WriteString(w, "\n")
 }
 
 // errBody is the JSON error response.

@@ -175,6 +175,12 @@ type Table31 struct {
 	SCCs         int
 	FeedbackSCCs int
 	Sweeps       int
+
+	// Case-exploration counters (PR 8): populated when automatic case
+	// exploration ran (-explore).
+	ExploreCandidates int
+	ExploreProbes     int
+	ExploreTime       time.Duration
 }
 
 // FromVerify fills the verifier-side rows.
@@ -199,6 +205,9 @@ func (t *Table31) FromVerify(s verify.Stats) {
 	t.SCCs = s.SCCs
 	t.FeedbackSCCs = s.FeedbackSCCs
 	t.Sweeps = s.Sweeps
+	t.ExploreCandidates = s.ExploreCandidates
+	t.ExploreProbes = s.ExploreProbes
+	t.ExploreTime = s.ExploreTime
 }
 
 // HitRate is the fraction of cache lookups served from the cache, shared
@@ -270,6 +279,12 @@ func (t Table31) String() string {
 		fmt.Fprintf(&sb, "    dirty signals                  %d\n", t.DirtyNets)
 		fmt.Fprintf(&sb, "    reused waveforms               %d\n", t.ReusedWaves)
 		fmt.Fprintf(&sb, "    reverify wall time             %12v\n", t.ReverifyTime)
+	}
+	if t.ExploreCandidates > 0 {
+		sb.WriteString("  CASE EXPLORATION\n")
+		fmt.Fprintf(&sb, "    candidate signals ranked       %d\n", t.ExploreCandidates)
+		fmt.Fprintf(&sb, "    incremental split probes       %d\n", t.ExploreProbes)
+		fmt.Fprintf(&sb, "    exploration wall time          %12v\n", t.ExploreTime)
 	}
 	fmt.Fprintf(&sb, "\n  %d primitives, %d events, %d case(s)\n", t.Primitives, t.Events, t.Cases)
 	fmt.Fprintf(&sb, "  per primitive %v, per event %v\n", t.PerPrim(), t.PerEvent())

@@ -1,0 +1,127 @@
+package verify
+
+import "fmt"
+
+// DelayModel selects how component delay ranges are interpreted during
+// verification.  The zero value is the paper's worst-case interval
+// propagation; DelayStatistical adds a deterministic quadrature post-pass
+// that turns every constraint-site margin into a violation probability
+// (Result.SiteProbs).  The scaldtv driver exposes this as -delays.
+type DelayModel string
+
+// The delay models.
+const (
+	DelayWorstCase   DelayModel = ""            // §2.2 min/max interval propagation
+	DelayStatistical DelayModel = "statistical" // truncated-normal quadrature probabilities
+)
+
+// ParseDelayModel resolves the -delays flag spelling.
+func ParseDelayModel(s string) (DelayModel, error) {
+	switch s {
+	case "", "worstcase", "worst-case":
+		return DelayWorstCase, nil
+	case "statistical":
+		return DelayStatistical, nil
+	}
+	return DelayWorstCase, fmt.Errorf("verify: unknown delay model %q (want worstcase or statistical)", s)
+}
+
+// SiteProb is the statistical-mode outcome of one constraint evaluation:
+// the probability that the constraint is violated when every component
+// delay is drawn from a truncated normal over its data-sheet range,
+// instead of pinned at the worst-case corner.  One entry per collected
+// Margin, in the same deterministic order; Prob is rounded to 1e-6 so
+// reports stay byte-identical across engines and worker counts.
+type SiteProb struct {
+	Kind  ViolationKind
+	Case  string
+	Prim  string
+	Data  string
+	Clock string
+
+	SlackNS float64 // worst-case slack of the same evaluation
+	From    string  // start net of the statistically critical path
+	Prob    float64 // violation probability, rounded to 1e-6
+}
+
+// Exploration is the case-exploration report produced by the
+// internal/explore engine when Options.Explore is set.  The verify
+// package defines only the data — so the report and stats layers can
+// render it without importing the engine — and internal/explore fills it.
+//
+// Everything in it is deterministic: Sites in violation-report order,
+// Candidates in rank order (cone membership desc, then declared net
+// order), Chosen and CaseSet in declared-order products.
+type Exploration struct {
+	// Sites are the U/C-poisoned constraint sites of the unsplit run —
+	// violations whose observed waveforms carry unknown (U) or
+	// spuriously-changing (C) values, the ones case analysis exists to
+	// discharge (§2.7).
+	Sites []ExploredSite
+	// Candidates are the control signals considered, ranked.  Entries the
+	// search never probed (ruled out by cone membership, or beyond the
+	// candidate cap) are still listed with Probes == 0 so the provenance
+	// is complete.
+	Candidates []ExploreCandidate
+	// Chosen lists the bases of the splits in the minimal cover, in
+	// declared net order.
+	Chosen []string
+	// CaseSet is the emitted case set: the binary product of the chosen
+	// splits, each label in the parser's "BASE = v" spelling, directly
+	// reusable as case directives.
+	CaseSet []string
+	// Minimal reports that dropping any one chosen split re-poisons some
+	// site (verified by re-probing each reduced set).
+	Minimal bool
+	// Residual counts violations that remain under the emitted case set —
+	// real timing errors no case split can discharge.
+	Residual int
+	// Skipped counts candidates beyond the search cap that were ranked
+	// but never probed.  Zero means the search was exhaustive.
+	Skipped int
+}
+
+// ExploredSite is one U/C-poisoned constraint site.
+type ExploredSite struct {
+	Kind  ViolationKind
+	Prim  string
+	Data  string
+	Clock string
+	// Discharged reports whether the emitted case set removes the
+	// violation at this site.
+	Discharged bool
+	// By lists the chosen split bases whose cones reach this site, in
+	// declared net order.
+	By []string
+}
+
+// Key identifies the site independent of the case label and edge time —
+// the identity under which a violation is considered discharged.
+func (s ExploredSite) Key() string {
+	return s.Kind.String() + "|" + s.Prim + "|" + s.Data + "|" + s.Clock
+}
+
+// ExploreCandidate is the provenance record for one candidate control
+// signal: how it ranked, what probing it cost, and what it discharged.
+type ExploreCandidate struct {
+	Base string   // signal base name (split label spelling)
+	Nets []string // member net names, declared order
+
+	// Sites counts poisoned sites inside the candidate's forward cone —
+	// the ranking key: a split can only discharge sites it reaches.
+	Sites int
+	// ConePrims/ConeNets are the structural forward-cone size of the
+	// candidate's nets: the upper bound on work an incremental probe
+	// re-evaluates.  Structural, so identical across engines and worker
+	// counts — the deterministic "reverify cost" of the provenance.
+	ConePrims int
+	ConeNets  int
+	// Probes counts incremental case evaluations spent on this candidate
+	// (0 when ranking alone ruled it out).
+	Probes int
+	// Discharges indexes into Exploration.Sites: the sites this split
+	// discharges on its own.
+	Discharges []int
+	// Chosen marks membership in the minimal cover.
+	Chosen bool
+}

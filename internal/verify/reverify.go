@@ -46,6 +46,11 @@ type Verifier struct {
 	cases   []netlist.Case
 	perCase []*verifier // converged state per case, in declared order
 	res     *Result     // last merged result
+
+	// statMargins marks margins collected only for the statistical
+	// post-pass (Options.Delays), to be stripped from the result the
+	// caller sees.
+	statMargins bool
 }
 
 // NewVerifier prepares a verification session for the design.  Nothing is
@@ -82,6 +87,12 @@ func (V *Verifier) VerifyContext(ctx context.Context) (*Result, error) {
 // (retain=false) and Verifier.Verify (retain=true).
 func (V *Verifier) run(ctx context.Context, retain bool) (*Result, error) {
 	d := V.d
+	if V.opts.Delays == DelayStatistical && !V.opts.Margins {
+		// The statistical post-pass reads every constraint outcome, so
+		// collect margins internally and strip them before returning.
+		V.opts.Margins = true
+		V.statMargins = true
+	}
 	var prog *tape.Program
 	var compileTime time.Duration
 	if V.opts.useTape() {
@@ -200,6 +211,12 @@ func (V *Verifier) run(ctx context.Context, retain bool) (*Result, error) {
 	if v.cache != nil {
 		res.Stats.CacheHits, res.Stats.CacheMisses, _ = v.cache.Stats()
 		res.Stats.Interned, res.Stats.Deduped = v.intern.Stats()
+	}
+	if V.opts.Delays == DelayStatistical {
+		V.fillSiteProbs(res)
+		if V.statMargins {
+			res.Margins = nil
+		}
 	}
 	if retain {
 		V.cases, V.perCase, V.res = cases, perCase, res
@@ -372,6 +389,12 @@ func (V *Verifier) ReverifyContext(ctx context.Context, ch netlist.Changes) (*Re
 	if V.cache != nil {
 		res.Stats.CacheHits, res.Stats.CacheMisses, _ = V.cache.Stats()
 		res.Stats.Interned, res.Stats.Deduped = V.intern.Stats()
+	}
+	if V.opts.Delays == DelayStatistical {
+		V.fillSiteProbs(res)
+		if V.statMargins {
+			res.Margins = nil
+		}
 	}
 	V.res = res
 	return res, nil

@@ -263,6 +263,20 @@ func Fingerprint(d *netlist.Design, opts Options) uint64 {
 		mix(uint64(id))
 		mix(opts.Force[id].Fingerprint())
 	}
+	// Result-affecting modes beyond the relaxation parameters: explore
+	// rewrites the case list, statistical mode adds SiteProbs.  Snapshots
+	// cannot carry either section, so their results must never collide
+	// with plain runs in the store (the scaldtv driver additionally skips
+	// the store entirely when exploring).
+	if opts.Explore {
+		mix(1)
+	} else {
+		mix(0)
+	}
+	for _, b := range []byte(opts.Delays) {
+		mix(uint64(b))
+	}
+	mix(uint64(len(opts.Delays)))
 	return h
 }
 

@@ -83,6 +83,21 @@ type Options struct {
 	// that shared the program).  The scaldtv driver exposes this as the
 	// -tape=false escape hatch.
 	NoTape bool
+	// Explore requests automatic case exploration: after a converged run,
+	// U/C-poisoned constraint sites are discharged by searching control-
+	// signal splits (the internal/explore engine, dispatched by the
+	// scaldtv entry points), and the result carries an Exploration
+	// report.  The verify package itself only declares the option — it
+	// participates in the store fingerprint — and the report data.
+	Explore bool
+	// Delays selects the delay model.  DelayStatistical adds a
+	// deterministic quadrature post-pass over the combinational graph
+	// (internal/pathsearch.AnalyzeDist) that reports each constraint
+	// site's violation *probability* in Result.SiteProbs, alongside the
+	// usual worst-case outcome.  No RNG is involved: the quadrature runs
+	// on a fixed grid, so statistical reports are as byte-deterministic
+	// as worst-case ones.
+	Delays DelayModel
 }
 
 // useTape reports whether this run compiles and sweeps the evaluation
@@ -195,6 +210,15 @@ type Stats struct {
 	// that shared the persistent program, not per run.
 	Tape            bool
 	TapeCompileTime time.Duration
+
+	// Case-exploration counters, set only when Options.Explore ran the
+	// internal/explore engine.  ExploreCandidates counts control signals
+	// ranked, ExploreProbes the incremental split evaluations spent on
+	// the search (both deterministic for a given design); ExploreTime is
+	// the wall-clock time of the whole exploration phase.
+	ExploreCandidates int
+	ExploreProbes     int
+	ExploreTime       time.Duration
 }
 
 // CaseResult is the outcome of one simulated case-analysis cycle (§2.7).
@@ -214,12 +238,14 @@ type CaseResult struct {
 // then the checker primitives in design order (each emitting its edges in
 // cycle order), then the assertion cross-checks in net order.
 type Result struct {
-	Design     *netlist.Design
-	Cases      []CaseResult // one per case, in declared case order
-	Violations []Violation  // all cases, ordered by (case index, constraint site)
-	Margins    []Margin     // every constraint outcome, when Options.Margins is set
-	Undefined  []string     // cross-reference listing: undriven nets with no assertion (§2.5)
-	Stats      Stats
+	Design      *netlist.Design
+	Cases       []CaseResult // one per case, in declared case order
+	Violations  []Violation  // all cases, ordered by (case index, constraint site)
+	Margins     []Margin     // every constraint outcome, when Options.Margins is set
+	Undefined   []string     // cross-reference listing: undriven nets with no assertion (§2.5)
+	Exploration *Exploration // case-exploration report, when Options.Explore ran
+	SiteProbs   []SiteProb   // violation probabilities, when Options.Delays is DelayStatistical
+	Stats       Stats
 }
 
 // Errors reports whether any violation was detected.

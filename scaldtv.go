@@ -46,6 +46,7 @@ import (
 
 	"scaldtv/internal/autocorr"
 	"scaldtv/internal/expand"
+	"scaldtv/internal/explore"
 	"scaldtv/internal/hdl"
 	"scaldtv/internal/lib"
 	"scaldtv/internal/lint"
@@ -92,6 +93,20 @@ type (
 
 	// ExpandReport carries macro-expansion statistics (Table 3-2).
 	ExpandReport = expand.Report
+
+	// Exploration is the case-exploration report attached to a Result
+	// when Options.Explore is set.
+	Exploration = verify.Exploration
+	// ExploredSite is one U/C-poisoned constraint site found by case
+	// exploration.
+	ExploredSite = verify.ExploredSite
+	// ExploreCandidate is the provenance record for one candidate split.
+	ExploreCandidate = verify.ExploreCandidate
+	// DelayModel selects worst-case or statistical delay interpretation.
+	DelayModel = verify.DelayModel
+	// SiteProb is one constraint site's violation probability under the
+	// statistical delay model.
+	SiteProb = verify.SiteProb
 
 	// Verifier retains converged state between runs for incremental
 	// re-verification (Verify once, then Reverify or Update per edit).
@@ -179,6 +194,16 @@ const (
 	ConvergenceViolation  = verify.ConvergenceViolation
 )
 
+// The delay models (Options.Delays).
+const (
+	DelayWorstCase   = verify.DelayWorstCase
+	DelayStatistical = verify.DelayStatistical
+)
+
+// ParseDelayModel resolves the -delays flag spelling ("worstcase" or
+// "statistical").
+func ParseDelayModel(s string) (DelayModel, error) { return verify.ParseDelayModel(s) }
+
 // The seven signal values.
 const (
 	V0 = values.V0
@@ -236,8 +261,16 @@ func CompileWithLibrary(header, body string) (*Design, error) {
 	return Compile(header + "\n" + Library + "\n" + body)
 }
 
-// Verify runs the Timing Verifier on a design.
+// Verify runs the Timing Verifier on a design.  With Options.Explore set
+// it instead runs automatic case exploration (internal/explore): declared
+// cases are stripped, the control-signal splits that discharge the
+// U/C-poisoned constraint sites are searched for, and the result is the
+// verification under the discovered minimal case set, with
+// Result.Exploration describing the search.
 func Verify(d *Design, opts Options) (*Result, error) {
+	if opts.Explore {
+		return explore.Run(d, opts)
+	}
 	return verify.Run(d, opts)
 }
 
@@ -249,6 +282,9 @@ func Verify(d *Design, opts Options) (*Result, error) {
 // bit-identical to an uncancelled one for every Workers/IntraWorkers
 // setting.
 func VerifyContext(ctx context.Context, d *Design, opts Options) (*Result, error) {
+	if opts.Explore {
+		return explore.RunContext(ctx, d, opts)
+	}
 	return verify.RunContext(ctx, d, opts)
 }
 
@@ -383,6 +419,15 @@ func JSONReport(res *Result) ([]byte, error) { return report.JSON(res) }
 // SlackListing renders constraint margins sorted most-critical first,
 // with the §1.1 cycle-time estimate (requires Options.Margins).
 func SlackListing(res *Result, topN int) string { return report.SlackListing(res, topN) }
+
+// ExploreListing renders the case-exploration report: poisoned sites,
+// candidate provenance, and the emitted minimal case set (requires
+// Options.Explore).
+func ExploreListing(res *Result) string { return report.ExploreListing(res) }
+
+// StatListing renders the statistical-mode violation probabilities per
+// constraint site (requires Options.Delays == DelayStatistical).
+func StatListing(res *Result) string { return report.StatListing(res) }
 
 // DOT renders a design as a Graphviz digraph for visualisation.
 func DOT(d *Design) string { return report.DOT(d) }

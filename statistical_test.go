@@ -1,0 +1,87 @@
+package scaldtv
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestStatisticalSiteProbSemantics locks the two ends of the
+// -delays=statistical pricing model from the HDL surface down.
+//
+// A violated constraint fed by a SHALLOW path (one wide-range buffer)
+// must price as real risk: the truncated normal still has visible mass
+// within |slack| of its data-sheet limit, so P(VIOLATE) > 0 and the
+// listing marks the row AT RISK.
+//
+// A violated constraint fed by a DEEP path must price at ~0 even though
+// the worst-case verdict is a hard violation: hitting the interval bound
+// needs every component at its 3σ corner simultaneously, and the
+// convolved tail within a few ns of that bound carries ~1e-10 of mass.
+// That pessimism gap is the reason the mode exists (§1.4.1.2) — this
+// test keeps it a documented behavior, not a silent surprise.
+func TestStatisticalSiteProbSemantics(t *testing.T) {
+	shallow := `design SHALLOW
+period 50ns
+clockunit 6.25ns
+defaultwire 0ns 0ns
+buf B1 delay=(5.0,47.0) ("GO .S0-1") -> (D)
+setuphold CHK setup=2.0 hold=1.0 (D, "MCK .P0-4")
+`
+	var deep strings.Builder
+	deep.WriteString("design DEEP\nperiod 50ns\nclockunit 6.25ns\ndefaultwire 0ns 0ns\n")
+	prev := `"GO .S0-1"`
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&deep, "buf B%d delay=(1.0,4.0) (%s) -> (N%d)\n", i, prev, i)
+		prev = fmt.Sprintf("N%d", i)
+	}
+	fmt.Fprintf(&deep, "setuphold CHK setup=2.0 hold=1.0 (%s, \"MCK .P0-4\")\n", prev)
+
+	t.Run("shallow-at-risk", func(t *testing.T) {
+		res, err := VerifySource(shallow, Options{Delays: DelayStatistical})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) == 0 {
+			t.Fatal("the shallow design must be violated at the worst-case corner")
+		}
+		if len(res.SiteProbs) != 2 {
+			t.Fatalf("SiteProbs = %d rows, want 2 (set-up and hold)", len(res.SiteProbs))
+		}
+		for _, p := range res.SiteProbs {
+			if p.SlackNS >= 0 {
+				t.Errorf("%s %s: slack %.1f ns, want negative", p.Kind, p.Prim, p.SlackNS)
+			}
+			if p.Prob <= 0 || p.Prob >= 0.5 {
+				t.Errorf("%s %s: P = %v, want small but strictly positive", p.Kind, p.Prim, p.Prob)
+			}
+		}
+		if l := StatListing(res); !strings.Contains(l, "<< AT RISK") {
+			t.Errorf("listing does not mark the shallow violated site AT RISK:\n%s", l)
+		}
+	})
+
+	t.Run("deep-prices-to-zero", func(t *testing.T) {
+		res, err := VerifySource(deep.String(), Options{Delays: DelayStatistical})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) == 0 {
+			t.Fatal("the deep design must be violated at the worst-case corner")
+		}
+		if len(res.SiteProbs) == 0 {
+			t.Fatal("the violated deep site is missing from SiteProbs")
+		}
+		for _, p := range res.SiteProbs {
+			if p.SlackNS >= 0 {
+				t.Errorf("%s %s: slack %.1f ns, want negative", p.Kind, p.Prim, p.SlackNS)
+			}
+			if p.Prob != 0 {
+				t.Errorf("%s %s: P = %v, want 0 — a 12-component tail cannot reach its interval bound", p.Kind, p.Prim, p.Prob)
+			}
+		}
+		if l := StatListing(res); strings.Contains(l, "<< AT RISK") {
+			t.Errorf("deep-path rows must not be marked AT RISK:\n%s", l)
+		}
+	})
+}
