@@ -1,0 +1,284 @@
+// Command scaldload replays concurrent verification traffic against a
+// scaldtvd service (standalone, worker or coordinator) and reports
+// throughput and latency quantiles.  It is the measurement half of the
+// cluster scale-out: point it at one worker, then at a coordinator over
+// N workers, and compare ops/s on the same mix.
+//
+// The workload is synthetic Mark IIA-style designs from internal/gen —
+// the same generator the engine benchmarks use — replayed as two kinds
+// of stream:
+//
+//	verify   stateless POST /v1/verify round trips
+//	session  POST /v1/sessions, then -edits parameter-only design edits
+//	         (PUT …/design, each re-verified incrementally server-side),
+//	         then DELETE
+//
+// -mix selects the blend; each concurrent stream cycles through -designs
+// distinct design variants so caches are exercised without collapsing
+// the run into one hot key.  Tenant identities round-robin over -tenants
+// (the X-Scaldtv-Tenant header), exercising fair admission.
+//
+// Output: one human line per second-ish of progress on stderr if -v, and
+// a final summary on stdout — total ops, errors, wall time, throughput,
+// and p50/p95/p99 op latency — plus the same figures as JSON with -json.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scaldtv/internal/gen"
+)
+
+type opKind string
+
+const (
+	opVerify opKind = "verify"
+	opCreate opKind = "create"
+	opEdit   opKind = "edit"
+	opDelete opKind = "delete"
+)
+
+// sample is one completed operation.
+type sample struct {
+	kind opKind
+	wall time.Duration
+	err  bool
+}
+
+// collector accumulates samples across streams.
+type collector struct {
+	mu      sync.Mutex
+	samples []sample
+	done    atomic.Int64
+	errs    atomic.Int64
+}
+
+func (c *collector) add(s sample) {
+	c.done.Add(1)
+	if s.err {
+		c.errs.Add(1)
+	}
+	c.mu.Lock()
+	c.samples = append(c.samples, s)
+	c.mu.Unlock()
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:7333", "service base URL")
+	streams := flag.Int("c", 16, "concurrent client streams")
+	total := flag.Int("n", 200, "total operations to issue across all streams")
+	mix := flag.String("mix", "both", "workload mix: verify, session or both")
+	designs := flag.Int("designs", 8, "distinct design variants cycled per stream")
+	chips := flag.Int("chips", 50, "approximate chip count of the smallest design variant")
+	cases := flag.Int("cases", 4, "declared case-analysis cases per design (drives cluster fan-out)")
+	edits := flag.Int("edits", 3, "design edits per session stream")
+	tenants := flag.Int("tenants", 1, "tenant identities to round-robin (X-Scaldtv-Tenant)")
+	timeout := flag.Duration("timeout", 120*time.Second, "per-operation client timeout")
+	jsonOut := flag.Bool("json", false, "print the summary as JSON too")
+	verbose := flag.Bool("v", false, "log per-stream errors to stderr")
+	flag.Parse()
+
+	if *mix != "verify" && *mix != "session" && *mix != "both" {
+		fmt.Fprintf(os.Stderr, "scaldload: -mix %q (want verify, session or both)\n", *mix)
+		os.Exit(2)
+	}
+	base := strings.TrimRight(*addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	// Pre-generate the design variants (generation is deterministic, so a
+	// coordinator and a standalone server see the exact same bytes).
+	sources := make([]string, *designs)
+	for i := range sources {
+		sources[i] = gen.Source(gen.Config{Chips: *chips + i*17, Cases: *cases})
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	col := &collector{}
+	var next atomic.Int64 // global operation ticket counter
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < *streams; s++ {
+		wg.Add(1)
+		go func(stream int) {
+			defer wg.Done()
+			for {
+				ticket := int(next.Add(1)) - 1
+				if ticket >= *total {
+					return
+				}
+				src := sources[(stream+ticket)%len(sources)]
+				tenant := fmt.Sprintf("load-%d", stream%*tenants)
+				sessionOp := *mix == "session" || (*mix == "both" && ticket%2 == 1)
+				if sessionOp {
+					runSession(client, base, tenant, src, *edits, col, *verbose)
+				} else {
+					runVerify(client, base, tenant, src, col, *verbose)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	report(col, wall, *jsonOut)
+	if col.errs.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+// post issues one operation and records its latency.
+func do(client *http.Client, method, url, tenant string, body string, wantStatus int, kind opKind, col *collector, verbose bool) bool {
+	var rd io.Reader
+	if body != "" {
+		rd = bytes.NewReader([]byte(body))
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		col.add(sample{kind: kind, err: true})
+		return false
+	}
+	req.Header.Set("X-Scaldtv-Tenant", tenant)
+	start := time.Now()
+	resp, err := client.Do(req)
+	wall := time.Since(start)
+	if err != nil {
+		if verbose {
+			fmt.Fprintf(os.Stderr, "scaldload: %s %s: %v\n", method, url, err)
+		}
+		col.add(sample{kind: kind, wall: wall, err: true})
+		return false
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	ok := resp.StatusCode == wantStatus
+	if !ok && verbose {
+		fmt.Fprintf(os.Stderr, "scaldload: %s %s: HTTP %d (want %d): %.120s\n",
+			method, url, resp.StatusCode, wantStatus, out)
+	}
+	col.add(sample{kind: kind, wall: wall, err: !ok})
+	return ok
+}
+
+func runVerify(client *http.Client, base, tenant, src string, col *collector, verbose bool) {
+	do(client, http.MethodPost, base+"/v1/verify", tenant, src, http.StatusOK, opVerify, col, verbose)
+}
+
+// runSession drives one designer loop: create, edits wire-delay tweaks
+// (parameter-only, so a session-holding server answers each from the
+// dirty cone), delete.
+func runSession(client *http.Client, base, tenant, src string, edits int, col *collector, verbose bool) {
+	var rd io.Reader = bytes.NewReader([]byte(src))
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/sessions", rd)
+	if err != nil {
+		col.add(sample{kind: opCreate, err: true})
+		return
+	}
+	req.Header.Set("X-Scaldtv-Tenant", tenant)
+	start := time.Now()
+	resp, err := client.Do(req)
+	wall := time.Since(start)
+	if err != nil {
+		if verbose {
+			fmt.Fprintf(os.Stderr, "scaldload: create: %v\n", err)
+		}
+		col.add(sample{kind: opCreate, wall: wall, err: true})
+		return
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		if verbose {
+			fmt.Fprintf(os.Stderr, "scaldload: create: HTTP %d: %.120s\n", resp.StatusCode, body)
+		}
+		col.add(sample{kind: opCreate, wall: wall, err: true})
+		return
+	}
+	var env struct {
+		Session string `json:"session"`
+	}
+	if json.Unmarshal(body, &env) != nil || env.Session == "" {
+		col.add(sample{kind: opCreate, wall: wall, err: true})
+		return
+	}
+	col.add(sample{kind: opCreate, wall: wall})
+
+	for e := 0; e < edits; e++ {
+		// Parameter-only edit: nudge the default wire delay.  The design
+		// stays timing-clean (margins are tens of ns), and the server's
+		// incremental path re-verifies only the affected cone.
+		edited := strings.Replace(src, "defaultwire 0ns 2ns",
+			fmt.Sprintf("defaultwire 0ns 2.%03dns", e+1), 1)
+		do(client, http.MethodPut, base+"/v1/sessions/"+env.Session+"/design", tenant,
+			edited, http.StatusOK, opEdit, col, verbose)
+	}
+	do(client, http.MethodDelete, base+"/v1/sessions/"+env.Session, tenant,
+		"", http.StatusNoContent, opDelete, col, verbose)
+}
+
+// report prints the final summary.
+func report(col *collector, wall time.Duration, jsonOut bool) {
+	col.mu.Lock()
+	samples := col.samples
+	col.mu.Unlock()
+
+	lat := make([]float64, 0, len(samples))
+	perKind := map[opKind]int{}
+	for _, s := range samples {
+		if !s.err {
+			lat = append(lat, s.wall.Seconds())
+		}
+		perKind[s.kind]++
+	}
+	sort.Float64s(lat)
+	q := func(p float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p*float64(len(lat)-1) + 0.5)
+		return lat[i]
+	}
+	ops := len(samples)
+	errs := int(col.errs.Load())
+	thr := float64(ops-errs) / wall.Seconds()
+
+	fmt.Printf("scaldload: %d ops (%d errors) in %.2fs — %.1f ops/s\n", ops, errs, wall.Seconds(), thr)
+	var kinds []string
+	for k := range perKind {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  %-8s %d\n", k, perKind[opKind(k)])
+	}
+	fmt.Printf("  latency  p50 %.1fms  p95 %.1fms  p99 %.1fms\n",
+		q(0.50)*1e3, q(0.95)*1e3, q(0.99)*1e3)
+
+	if jsonOut {
+		out := map[string]any{
+			"ops":         ops,
+			"errors":      errs,
+			"wall_s":      wall.Seconds(),
+			"ops_per_s":   thr,
+			"p50_ms":      q(0.50) * 1e3,
+			"p95_ms":      q(0.95) * 1e3,
+			"p99_ms":      q(0.99) * 1e3,
+			"ops_by_kind": perKind,
+		}
+		enc, _ := json.Marshal(out)
+		fmt.Println(string(enc))
+	}
+}

@@ -18,6 +18,19 @@
 // On SIGTERM or SIGINT the daemon drains: new requests are refused with
 // 503 while in-flight verifications run to completion (bounded by
 // -drain), then the process exits 0.
+//
+// Cluster scale-out: with -worker the daemon additionally serves the
+// batched sub-job endpoint POST /v1/batch (one case-analysis partition
+// per ndjson line), making it an engine worker.  With
+// -cluster host1:port,host2:port the daemon becomes a coordinator: it
+// fans each verification's declared cases across the workers in batches,
+// routes sessions to their owner worker by consistent hashing, retries
+// partitions on surviving workers when one dies mid-batch, and merges
+// the parts in declared case order — the distributed report is
+// byte-identical to a local `scaldtv -json` run.  Tenants (the
+// X-Scaldtv-Tenant header) get fair round-robin admission with
+// per-tenant bounded queues (-tenant-queue) and per-tenant quota
+// counters in /metrics.
 package main
 
 import (
@@ -33,7 +46,10 @@ import (
 	"syscall"
 	"time"
 
+	"strings"
+
 	"scaldtv"
+	"scaldtv/internal/cluster"
 	"scaldtv/internal/server"
 	"scaldtv/internal/store"
 )
@@ -52,6 +68,9 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "shutdown grace for in-flight verifications")
 	storeDir := flag.String("store", "", "persist converged runs in this content-addressed cache directory")
 	storeMax := flag.Int64("store-max", 0, "store size budget in bytes (0 = the 256 MiB default)")
+	workerMode := flag.Bool("worker", false, "serve the cluster batch endpoint POST /v1/batch next to the ordinary API")
+	clusterList := flag.String("cluster", "", "coordinate over these comma-separated worker base URLs instead of verifying locally")
+	tenantQueue := flag.Int("tenant-queue", 0, "per-tenant waiting requests before 429 (0 = -queue)")
 	flag.Parse()
 
 	var st *store.Store
@@ -62,23 +81,66 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if err := run(*addr, server.Config{
+	cfg := server.Config{
 		Options:     scaldtv.Options{Workers: *workers, IntraWorkers: *intra, NoCache: !*cache, NoTape: !*tapeFlag},
 		Pool:        *pool,
 		Queue:       *queue,
+		TenantQueue: *tenantQueue,
 		MaxSessions: *sessions,
 		SessionTTL:  *sessionTTL,
 		Timeout:     *timeout,
 		Store:       st,
-	}, *drain); err != nil {
+	}
+	if *clusterList != "" {
+		if *workerMode {
+			fmt.Fprintln(os.Stderr, "scaldtvd: -worker and -cluster are mutually exclusive")
+			os.Exit(1)
+		}
+		var endpoints []string
+		for _, ep := range strings.Split(*clusterList, ",") {
+			ep = strings.TrimSpace(ep)
+			if ep == "" {
+				continue
+			}
+			if !strings.Contains(ep, "://") {
+				ep = "http://" + ep
+			}
+			endpoints = append(endpoints, strings.TrimRight(ep, "/"))
+		}
+		if len(endpoints) == 0 {
+			fmt.Fprintln(os.Stderr, "scaldtvd: -cluster needs at least one worker endpoint")
+			os.Exit(1)
+		}
+		coord := cluster.NewCoordinator(cluster.CoordinatorConfig{Endpoints: endpoints})
+		defer coord.Close()
+		cfg.Cluster = coord
+		log.Printf("scaldtvd: coordinating %d worker(s): %s", len(endpoints), strings.Join(endpoints, ", "))
+	}
+	var wk *cluster.Worker
+	if *workerMode {
+		wk = cluster.NewWorker(cluster.WorkerConfig{Store: st})
+	}
+	if err := run(*addr, cfg, wk, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "scaldtvd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg server.Config, drain time.Duration) error {
+func run(addr string, cfg server.Config, wk *cluster.Worker, drain time.Duration) error {
 	s := server.New(cfg)
-	httpSrv := &http.Server{Handler: s.Handler()}
+	handler := s.Handler()
+	if wk != nil {
+		// Worker mode: the batch endpoint rides next to the ordinary API
+		// (the coordinator health-checks the shared /healthz, so draining
+		// a worker steers batches away), with the worker's own counters
+		// under /worker/metrics.
+		outer := http.NewServeMux()
+		outer.Handle("/v1/batch", wk.Handler())
+		outer.Handle("/worker/", http.StripPrefix("/worker", wk.Handler()))
+		outer.Handle("/", handler)
+		handler = outer
+	}
+	httpSrv := &http.Server{Handler: handler}
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scaldtv/internal/gen"
+	"scaldtv/internal/verify"
+)
+
+// oneCoreWorker emulates a worker machine with one engine core inside
+// this process: requests to the wrapped handler run one at a time, so a
+// worker's capacity is bounded the way a real single-core worker host's
+// is.  Without this, every in-process httptest worker shares the whole
+// machine and workers=1 is never capacity-bound, hiding the scale-out
+// the benchmark exists to measure.
+func oneCoreWorker(h http.Handler) http.Handler {
+	var mu sync.Mutex
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		h.ServeHTTP(rw, r)
+	})
+}
+
+// BenchmarkClusterThroughput measures concurrent distributed
+// verification throughput — the scaldload scenario — on paper-scale
+// 1003-chip designs with 8 declared cases: several client streams cycle
+// over four design variants against a coordinator with 1 vs 2 workers,
+// each worker emulating a one-core machine (see oneCoreWorker).  Each
+// sub-job runs single-threaded (Workers:1), so worker count — not
+// intra-run parallelism — is what divides the wall time; on a multi-core
+// host the 2-worker cluster must approach 2x the single-worker
+// throughput (the CI gate holds the scaldload ratio above 1.7x; this
+// benchmark records the same scale-out for the archived JSON chain).
+// Workers are warmed with one untimed pass over every variant first:
+// steady-state cluster traffic hits the design caches, which is the
+// deployment scenario the scale-out serves.
+func BenchmarkClusterThroughput(b *testing.B) {
+	sources := make([]string, 4)
+	for i := range sources {
+		sources[i] = gen.Source(gen.Config{Chips: 1003 + i*17, Cases: 8})
+	}
+	for _, n := range []int{1, 2} {
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
+			endpoints := make([]string, n)
+			for i := range endpoints {
+				w := NewWorker(WorkerConfig{})
+				srv := httptest.NewServer(oneCoreWorker(w.Handler()))
+				defer srv.Close()
+				endpoints[i] = srv.URL
+			}
+			c := NewCoordinator(CoordinatorConfig{
+				Endpoints: endpoints,
+				Backoff:   time.Millisecond,
+			})
+			defer c.Close()
+			opts := verify.Options{Workers: 1}
+			for _, src := range sources {
+				if _, _, err := c.Verify(context.Background(), src, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var seq atomic.Int64
+			b.SetParallelism(4) // 4×GOMAXPROCS concurrent client streams
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(seq.Add(1))
+					src := sources[i%len(sources)]
+					if _, _, err := c.Verify(context.Background(), src, opts); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkClusterBatchRPC isolates the wire cost: a small already-warm
+// design verified over the cluster, so ns/op approximates
+// protocol+partition+merge overhead per verification rather than engine
+// time.
+func BenchmarkClusterBatchRPC(b *testing.B) {
+	src := gen.Source(gen.Config{Chips: 50, Cases: 2})
+	w := NewWorker(WorkerConfig{})
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+	c := NewCoordinator(CoordinatorConfig{Endpoints: []string{srv.URL}})
+	defer c.Close()
+	opts := verify.Options{Workers: 1}
+	if _, _, err := c.Verify(context.Background(), src, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Verify(context.Background(), src, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ring is a consistent-hash ring over worker endpoints: sessions and
+// whole-run jobs map to a stable owner, so repeat traffic for one design
+// lands on the worker whose design cache, tape memo tables and
+// persistent store are already warm — and when a worker dies, only the
+// keys it owned move (to their next clockwise neighbour) instead of the
+// whole keyspace reshuffling.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker int // index into the coordinator's worker list
+}
+
+// ringReplicas is the virtual-node count per worker; 64 keeps the
+// keyspace split within a few percent of even for small clusters.
+const ringReplicas = 64
+
+// mix64 is the murmur3 finalizer: FNV over short, similar strings (the
+// virtual-node labels) places points unevenly, and the finalizer's
+// avalanche spreads them across the full keyspace.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// newRing builds the ring for n workers.
+func newRing(n int) *ring {
+	r := &ring{points: make([]ringPoint, 0, n*ringReplicas)}
+	for w := 0; w < n; w++ {
+		for i := 0; i < ringReplicas; i++ {
+			r.points = append(r.points, ringPoint{
+				hash:   mix64(srcHash(fmt.Sprintf("worker-%d#%d", w, i))),
+				worker: w,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].worker < r.points[j].worker
+	})
+	return r
+}
+
+// owner returns the worker owning key, skipping workers the alive
+// predicate rejects by walking clockwise — the consistent-hash failover
+// order.  It returns -1 when no worker is alive.
+func (r *ring) owner(key uint64, alive func(int) bool) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	key = mix64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	seen := make(map[int]bool)
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.worker] {
+			continue
+		}
+		seen[p.worker] = true
+		if alive == nil || alive(p.worker) {
+			return p.worker
+		}
+	}
+	return -1
+}

@@ -85,11 +85,17 @@ type jsonExploreCandidate struct {
 // the original layout keep working and the version stays 1.
 const SchemaVersion = 1
 
-// jsonReport is the machine-readable verification outcome, for CI
+// Report is the machine-readable verification outcome, for CI
 // integration.  The design name and per-case labels identify what was
 // verified; the labels are in declared case order, matching the case
 // grouping of the violations list.
-type jsonReport struct {
+//
+// A Report is also the wire form of a *partial* verification — a
+// case-subset run on a cluster worker (see NewPartial): the same
+// structure then describes only the cases the worker ran, and
+// MergeParts reassembles the full document from the partition's parts
+// in declared case order, byte-identical to a local single-process run.
+type Report struct {
 	Schema     int             `json:"schema"`
 	Design     string          `json:"design"`
 	PeriodNS   float64         `json:"period_ns"`
@@ -107,11 +113,14 @@ type jsonReport struct {
 	Exploration *jsonExploration `json:"exploration,omitempty"`
 }
 
-// JSON renders the verification result as machine-readable JSON.  The
-// output is byte-deterministic for a given design and verification
-// outcome, regardless of worker counts or cache settings.
-func JSON(res *verify.Result) ([]byte, error) {
-	out := jsonReport{
+// NewPartial renders a verification result into the Report structure
+// without marshalling it.  For a full run the outcome is exactly what
+// JSON serializes; for a case-subset run (a design narrowed with
+// netlist.Design.WithCases on a cluster worker) it is one mergeable part:
+// the head fields describe the whole design, the case labels, violations
+// and site probabilities cover only the cases this run evaluated.
+func NewPartial(res *verify.Result) *Report {
+	out := &Report{
 		Schema:     SchemaVersion,
 		Design:     res.Design.Name,
 		PeriodNS:   res.Design.Period.NS(),
@@ -201,5 +210,16 @@ func JSON(res *verify.Result) ([]byte, error) {
 		}
 		out.Exploration = jx
 	}
+	return out
+}
+
+// JSON renders the verification result as machine-readable JSON.  The
+// output is byte-deterministic for a given design and verification
+// outcome, regardless of worker counts or cache settings.
+func JSON(res *verify.Result) ([]byte, error) {
+	return marshalReport(NewPartial(res))
+}
+
+func marshalReport(out *Report) ([]byte, error) {
 	return json.MarshalIndent(out, "", "  ")
 }

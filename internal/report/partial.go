@@ -1,0 +1,80 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The distributed-merge half of the report package: a verification run
+// partitioned into case subsets on cluster workers comes back as one
+// Report part per partition (NewPartial), and MergeParts reassembles the
+// single-document report in declared case order.  The merge is purely
+// positional — parts must be supplied in the order their case ranges
+// were declared — and the result is byte-identical to report.JSON of the
+// equivalent local single-process run: the head fields are
+// design-structural (every part agrees on them), case labels, violations
+// and site probabilities concatenate in case order, and pass/delay-model
+// are recomputed exactly the way a local run computes them.
+
+// MergeParts assembles a full report document from partition parts in
+// declared case order.  A single part merges to exactly its own
+// serialization, so whole-run results (including store-served ones
+// round-tripped through ParsePart) pass through byte-identically.
+func MergeParts(parts []*Report) ([]byte, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("report: merge of zero parts")
+	}
+	head := parts[0]
+	out := &Report{
+		Schema:     head.Schema,
+		Design:     head.Design,
+		PeriodNS:   head.PeriodNS,
+		Primitives: head.Primitives,
+		Nets:       head.Nets,
+		CaseLabels: []string{},
+		Violations: []jsonViolation{},
+		Undefined:  head.Undefined,
+	}
+	for _, p := range parts {
+		out.Cases += p.Cases
+		out.CaseLabels = append(out.CaseLabels, p.CaseLabels...)
+		out.Violations = append(out.Violations, p.Violations...)
+		out.SiteProbs = append(out.SiteProbs, p.SiteProbs...)
+		if p.DelayModel != "" {
+			// A case subset with no probability-bearing site omits the
+			// model string even under statistical delays; any part that
+			// carries it fixes the document's model, exactly as a local run
+			// sets it when SiteProbs come out non-empty.
+			out.DelayModel = p.DelayModel
+		}
+		if p.Exploration != nil && out.Exploration == nil {
+			// Exploration is global to a run and never split across parts.
+			out.Exploration = p.Exploration
+		}
+	}
+	out.Pass = len(out.Violations) == 0
+	return marshalReport(out)
+}
+
+// ParsePart decodes a rendered report document back into its Report
+// structure, so a stored whole-run report (the persistent store's cached
+// bytes) can travel the cluster wire as a part.  Marshalling the parsed
+// part reproduces the stored bytes exactly: the document was produced by
+// the same marshaller, float64 values round-trip losslessly, and
+// omitted optional fields decode to their zero values which re-omit.
+func ParsePart(rep []byte) (*Report, error) {
+	var p Report
+	if err := json.Unmarshal(rep, &p); err != nil {
+		return nil, fmt.Errorf("report: parse part: %w", err)
+	}
+	if p.Schema != SchemaVersion {
+		return nil, fmt.Errorf("report: part schema %d, want %d", p.Schema, SchemaVersion)
+	}
+	if p.CaseLabels == nil {
+		p.CaseLabels = []string{}
+	}
+	if p.Violations == nil {
+		p.Violations = []jsonViolation{}
+	}
+	return &p, nil
+}

@@ -126,3 +126,24 @@ func KindOf(err error) Kind {
 	}
 	return KindUnknown
 }
+
+// ParseKind inverts String: it maps a wire identifier back onto its
+// Kind, so structured errors survive an RPC hop (the cluster batch
+// protocol ships kinds as strings).  Unrecognized identifiers — and the
+// literal "unknown" — map to KindUnknown.
+func ParseKind(s string) Kind {
+	switch s {
+	case "parse":
+		return Parse
+	case "elaborate":
+		return Elaborate
+	case "assertion":
+		return Assertion
+	case "limit":
+		return Limit
+	case "canceled":
+		return Canceled
+	default:
+		return KindUnknown
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"scaldtv"
+	"scaldtv/internal/cluster"
 	"scaldtv/internal/stats"
 )
 
@@ -52,6 +53,20 @@ func (m *metrics) observe(res *scaldtv.Result, wall time.Duration) {
 				float64(res.Stats.DirtyPrims) / float64(res.Stats.Primitives)))
 		}
 	}
+	m.mu.Lock()
+	m.walls[m.next] = wall.Seconds()
+	m.next++
+	if m.next == wallRing {
+		m.next, m.filled = 0, true
+	}
+	m.mu.Unlock()
+}
+
+// observeWall records one completed distributed run, where only the
+// wall time is known locally (the engine statistics live on the
+// workers that ran the partitions).
+func (m *metrics) observeWall(wall time.Duration) {
+	m.verifies.Add(1)
 	m.mu.Lock()
 	m.walls[m.next] = wall.Seconds()
 	m.next++
@@ -127,4 +142,39 @@ func (m *metrics) render(w io.Writer, queueDepth, sessions int) {
 		fmt.Fprintf(w, "scaldtvd_verify_wall_seconds{quantile=\"0.5\"} %g\n", p50)
 		fmt.Fprintf(w, "scaldtvd_verify_wall_seconds{quantile=\"0.99\"} %g\n", p99)
 	}
+}
+
+// renderTenants writes the per-tenant admission quota series.
+func renderTenants(w io.Writer, tenants []tenantSnapshot) {
+	if len(tenants) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP scaldtvd_tenant_admitted_total Requests granted a verification slot, per tenant.\n# TYPE scaldtvd_tenant_admitted_total counter\n")
+	for _, t := range tenants {
+		fmt.Fprintf(w, "scaldtvd_tenant_admitted_total{tenant=%q} %d\n", t.Tenant, t.Admitted)
+	}
+	fmt.Fprintf(w, "# HELP scaldtvd_tenant_rejected_total Requests refused with 429, per tenant.\n# TYPE scaldtvd_tenant_rejected_total counter\n")
+	for _, t := range tenants {
+		fmt.Fprintf(w, "scaldtvd_tenant_rejected_total{tenant=%q} %d\n", t.Tenant, t.Rejected)
+	}
+	fmt.Fprintf(w, "# HELP scaldtvd_tenant_queued Requests currently waiting for a slot, per tenant.\n# TYPE scaldtvd_tenant_queued gauge\n")
+	for _, t := range tenants {
+		fmt.Fprintf(w, "scaldtvd_tenant_queued{tenant=%q} %d\n", t.Tenant, t.Queued)
+	}
+}
+
+// renderCluster writes the coordinator's fan-out counters.
+func renderCluster(w io.Writer, st cluster.Stats) {
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("scaldtvd_cluster_workers", "Configured engine workers.", st.Workers)
+	gauge("scaldtvd_cluster_healthy", "Workers currently passing health checks.", st.Healthy)
+	counter("scaldtvd_cluster_subjobs_total", "Sub-jobs dispatched to workers.", st.Dispatched)
+	counter("scaldtvd_cluster_batches_total", "Batch RPCs issued to workers.", st.Batches)
+	counter("scaldtvd_cluster_failovers_total", "Sub-jobs re-dispatched after a worker failure.", st.Failovers)
+	counter("scaldtvd_cluster_local_runs_total", "Sub-jobs that fell back to a local engine run.", st.LocalRuns)
 }

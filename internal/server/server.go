@@ -35,6 +35,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -49,6 +50,7 @@ import (
 	"context"
 
 	"scaldtv"
+	"scaldtv/internal/cluster"
 	"scaldtv/internal/serr"
 	"scaldtv/internal/store"
 )
@@ -85,6 +87,21 @@ type Config struct {
 	// without it; provenance travels out of band in the
 	// X-Scaldtv-Provenance header and the session envelope.
 	Store *store.Store
+	// Cluster, when non-nil, turns this server into a coordinator:
+	// verifications fan out across the cluster's engine workers (report
+	// bytes stay identical to a local run) and session requests proxy to
+	// the worker owning the session.  Admission control still applies —
+	// the pool then bounds concurrent *distributed* runs.
+	Cluster *cluster.Coordinator
+	// TenantQueue bounds how many admitted requests may wait for a pool
+	// slot per tenant (the X-Scaldtv-Tenant header; empty means the
+	// shared "default" tenant).  Waiters are granted round-robin across
+	// tenants, so one tenant's burst cannot starve another's queue.
+	// Default Queue.
+	TenantQueue int
+	// MaxTenants bounds how many distinct tenants are tracked before new
+	// ones aggregate into the shared "other" bucket.  Default 64.
+	MaxTenants int
 
 	// now substitutes the clock (session TTL tests).
 	now func() time.Time
@@ -99,8 +116,7 @@ type Server struct {
 	cfg      Config
 	pool     int
 	queue    int
-	slots    chan struct{}
-	inflight atomic.Int64
+	fq       *fairQueue
 	draining atomic.Bool
 	sessions *sessionTable
 	met      metrics
@@ -137,6 +153,12 @@ func New(cfg Config) *Server {
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = 8 << 20
 	}
+	if cfg.TenantQueue <= 0 {
+		cfg.TenantQueue = cfg.Queue
+	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = 64
+	}
 	if cfg.now == nil {
 		cfg.now = time.Now
 	}
@@ -144,7 +166,7 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		pool:     cfg.Pool,
 		queue:    cfg.Queue,
-		slots:    make(chan struct{}, cfg.Pool),
+		fq:       newFairQueue(cfg.Pool, cfg.TenantQueue, cfg.MaxTenants),
 		sessions: newSessionTable(cfg.MaxSessions, cfg.SessionTTL, cfg.now),
 		mux:      http.NewServeMux(),
 	}
@@ -170,7 +192,7 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // QueueDepth reports how many admitted requests currently hold or wait
 // for a verification slot.
-func (s *Server) QueueDepth() int { return int(s.inflight.Load()) }
+func (s *Server) QueueDepth() int { return s.fq.depth() }
 
 // Admission sentinels, mapped to 429 / 503 by writeErr.
 var (
@@ -178,29 +200,20 @@ var (
 	errDraining   = errors.New("server: draining, not accepting new work")
 )
 
-// admit reserves a verification slot, waiting in the bounded queue when
-// the pool is busy.  It never blocks unboundedly: beyond Pool+Queue
-// requests in flight it fails fast with errOverloaded, and a canceled
-// request stops waiting.  The returned release func must be called once.
-func (s *Server) admit(ctx context.Context) (func(), error) {
+// admit reserves a verification slot for the request's tenant, waiting
+// in the tenant's bounded queue when the pool is busy.  It never blocks
+// unboundedly: a tenant with a full queue fails fast with errOverloaded,
+// and a canceled request frees its queue position immediately.  The
+// returned release func must be called once.
+func (s *Server) admit(ctx context.Context, r *http.Request) (func(), error) {
 	if s.draining.Load() {
 		return nil, errDraining
 	}
-	if n := s.inflight.Add(1); n > int64(s.pool+s.queue) {
-		s.inflight.Add(-1)
+	release, err := s.fq.admit(ctx, r.Header.Get(tenantHeader))
+	if errors.Is(err, errOverloaded) {
 		s.met.rejected.Add(1)
-		return nil, errOverloaded
 	}
-	select {
-	case s.slots <- struct{}{}:
-		return func() {
-			<-s.slots
-			s.inflight.Add(-1)
-		}, nil
-	case <-ctx.Done():
-		s.inflight.Add(-1)
-		return nil, serr.Wrap(serr.Canceled, ctx.Err())
-	}
+	return release, err
 }
 
 // reqCtx attaches the per-request verification deadline to the request's
@@ -319,6 +332,31 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		w.Write(rep)
 		io.WriteString(w, "\n")
 	}
+	if s.cfg.Cluster != nil {
+		// Coordinator mode: the run fans out across the engine workers
+		// (the coordinator compiles through its own design cache and the
+		// workers answer from theirs, so no local compile happens here)
+		// and the merged report is byte-identical to a local run.
+		release, err := s.admit(ctx, r)
+		if err != nil {
+			s.writeErr(w, err)
+			return
+		}
+		defer release()
+		if s.cfg.onVerifyStart != nil {
+			s.cfg.onVerifyStart(ctx)
+		}
+		start := time.Now()
+		rep, prov, err := s.cfg.Cluster.Verify(ctx, src, opts)
+		if err != nil {
+			s.met.failures.Add(1)
+			s.writeErr(w, err)
+			return
+		}
+		s.met.observeWall(time.Since(start))
+		writeReport(rep, store.Provenance(prov))
+		return
+	}
 	if s.cfg.Store != nil {
 		// Source-text fast path: an exact repeat of a verified request is
 		// answered before the design is even compiled — parsing and
@@ -347,7 +385,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	release, err := s.admit(ctx)
+	release, err := s.admit(ctx, r)
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -416,12 +454,35 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		}
 		opts.Delays = dm
 	}
+	if s.cfg.Cluster != nil {
+		release, err := s.admit(ctx, r)
+		if err != nil {
+			s.writeErr(w, err)
+			return
+		}
+		defer release()
+		if s.cfg.onVerifyStart != nil {
+			s.cfg.onVerifyStart(ctx)
+		}
+		start := time.Now()
+		rep, _, err := s.cfg.Cluster.Verify(ctx, src, opts)
+		if err != nil {
+			s.met.failures.Add(1)
+			s.writeErr(w, err)
+			return
+		}
+		s.met.observeWall(time.Since(start))
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(rep)
+		io.WriteString(w, "\n")
+		return
+	}
 	d, err := scaldtv.Compile(src)
 	if err != nil {
 		s.writeErr(w, err)
 		return
 	}
-	release, err := s.admit(ctx)
+	release, err := s.admit(ctx, r)
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -525,4 +586,38 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.met.render(w, s.QueueDepth(), s.sessions.len())
+	renderTenants(w, s.fq.snapshot())
+	if s.cfg.Cluster != nil {
+		renderCluster(w, s.cfg.Cluster.Snapshot())
+	}
+}
+
+// clusterProxy forwards a session-scoped request to its owner worker
+// when running as a coordinator; it reports whether it handled the
+// request.  Session state lives worker-side, so the coordinator routes
+// by session id (exactly, via the route table) or, for creates, by the
+// design source — repeat creates of one design land on the worker
+// already holding it compiled and warm.
+func (s *Server) clusterProxy(w http.ResponseWriter, r *http.Request) bool {
+	if s.cfg.Cluster == nil {
+		return false
+	}
+	if s.draining.Load() {
+		s.writeErr(w, errDraining)
+		return true
+	}
+	key := r.PathValue("id")
+	if key == "" {
+		body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, s.cfg.MaxBody))
+		if err != nil {
+			s.writeErr(w, serr.Newf(serr.Limit, "server: reading request body: %v", err))
+			return true
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		key = string(body)
+	}
+	if !s.cfg.Cluster.ProxySession(w, r, key) {
+		s.writeErr(w, serr.Newf(serr.Limit, "server: no cluster worker reachable"))
+	}
+	return true
 }

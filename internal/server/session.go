@@ -209,6 +209,9 @@ func (s *Server) writeEnvelope(w http.ResponseWriter, code int, id string, res *
 // session id.  Worker and cache options are fixed for the session's
 // lifetime here; later PUTs only carry source.
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	if s.clusterProxy(w, r) {
+		return
+	}
 	ctx, cancel := s.reqCtx(r)
 	defer cancel()
 	src, opts, err := s.readRequest(r)
@@ -216,7 +219,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
-	release, err := s.admit(ctx)
+	release, err := s.admit(ctx, r)
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -276,6 +279,9 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 // the retained state inside the verifier (abort-don't-corrupt), so the
 // session survives and the next PUT simply runs from scratch.
 func (s *Server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
+	if s.clusterProxy(w, r) {
+		return
+	}
 	sess := s.sessions.get(r.PathValue("id"))
 	if sess == nil {
 		s.writeErr(w, errNoSession)
@@ -299,7 +305,7 @@ func (s *Server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, errSessionGone)
 		return
 	}
-	release, err := s.admit(ctx)
+	release, err := s.admit(ctx, r)
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -335,6 +341,9 @@ func (s *Server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 // Fig 3-11 constraint-error listing), summary (run statistics), xref
 // (the unasserted-signals cross reference).
 func (s *Server) handleSessionReport(w http.ResponseWriter, r *http.Request) {
+	if s.clusterProxy(w, r) {
+		return
+	}
 	sess := s.sessions.get(r.PathValue("id"))
 	if sess == nil {
 		s.writeErr(w, errNoSession)
@@ -382,6 +391,9 @@ func (s *Server) handleSessionReport(w http.ResponseWriter, r *http.Request) {
 
 // handleSessionDelete (DELETE /v1/sessions/{id}) evicts a session.
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	if s.clusterProxy(w, r) {
+		return
+	}
 	if !s.sessions.remove(r.PathValue("id")) {
 		s.writeErr(w, errNoSession)
 		return
