@@ -14,9 +14,14 @@
 //	-explore      discover the minimal case set that discharges U/C-poisoned
 //	              constraint sites (automatic case exploration); declared
 //	              cases are rediscovered, not required
-//	-delays m     delay model: worstcase (default) or statistical — the
-//	              statistical model reports a violation probability per
-//	              constraint site via deterministic quadrature
+//	-delays m     delay model: worstcase (default), statistical or
+//	              analytic — the statistical model reports a violation
+//	              probability per constraint site via deterministic
+//	              quadrature; the analytic model evaluates parameterized
+//	              delay expressions at a point and reports each site's
+//	              margin surface over the declared parameter box
+//	-param n=v    bind design parameter n to value v for the analytic
+//	              model (repeatable; implies -delays=analytic)
 //	-j n          case-evaluation workers (0 = one per CPU, 1 = sequential)
 //	-intra n      intra-case evaluation workers (1 = the serial worklist;
 //	              >1 = levelized wavefront scheduling, bit-identical reports)
@@ -38,6 +43,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"scaldtv"
@@ -59,7 +66,20 @@ func run() int {
 	statsFlag := flag.Bool("stats", false, "print execution and storage statistics")
 	caseIdx := flag.Int("case", 0, "case index for the timing summary")
 	exploreFlag := flag.Bool("explore", false, "discover the minimal case set discharging U/C-poisoned constraint sites")
-	delaysFlag := flag.String("delays", "", "delay model: worstcase (default) or statistical")
+	delaysFlag := flag.String("delays", "", "delay model: worstcase (default), statistical or analytic")
+	params := map[string]float64{}
+	flag.Func("param", "bind design parameter name=value for the analytic model (repeatable)", func(s string) error {
+		name, val, ok := strings.Cut(s, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("want name=value, got %q", s)
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("parameter %s: %v", name, err)
+		}
+		params[name] = v
+		return nil
+	})
 	autoCorr := flag.Bool("autocorr", false, "automatically insert CORR delays into register feedback paths (§4.2.3)")
 	art := flag.Bool("art", false, "print ASCII timing diagrams")
 	artWidth := flag.Int("artwidth", 64, "timing diagram width in columns")
@@ -111,6 +131,12 @@ func run() int {
 	delays, err := scaldtv.ParseDelayModel(*delaysFlag)
 	if err != nil {
 		return fail(err)
+	}
+	if len(params) > 0 {
+		if !scaldtv.IsWorstCase(delays) && *delaysFlag != "analytic" {
+			return fail(fmt.Errorf("-param requires the analytic delay model, not -delays=%s", *delaysFlag))
+		}
+		delays = scaldtv.AnalyticDelays{Params: params}
 	}
 	baseOpts := scaldtv.Options{Workers: *workers, IntraWorkers: *intra, NoCache: !*cache,
 		NoTape: !*tapeFlag, Explore: *exploreFlag, Delays: delays}
@@ -203,9 +229,10 @@ func run() int {
 	opts.KeepWaves = *summary || *art
 	opts.Margins = *slack > 0
 	var res *scaldtv.Result
-	if st != nil && (opts.Explore || opts.Delays != scaldtv.DelayWorstCase) {
-		// Restored snapshots cannot carry the exploration or statistical
-		// sections, so these modes always run the engine directly.
+	if st != nil && (opts.Explore || !scaldtv.IsWorstCase(opts.Delays)) {
+		// Restored snapshots cannot carry the exploration, statistical or
+		// margin-surface sections, so these modes always run the engine
+		// directly.
 		fmt.Fprintln(os.Stderr, "scaldtv: store: bypassed (-explore/-delays run the engine directly)")
 		st = nil
 	}
@@ -253,9 +280,13 @@ func run() int {
 		fmt.Println()
 		fmt.Print(scaldtv.ExploreListing(res))
 	}
-	if opts.Delays == scaldtv.DelayStatistical {
+	if len(res.SiteProbs) > 0 {
 		fmt.Println()
 		fmt.Print(scaldtv.StatListing(res))
+	}
+	if res.MarginSurface != nil {
+		fmt.Println()
+		fmt.Print(scaldtv.SurfaceListing(res))
 	}
 	if *xref {
 		fmt.Println()

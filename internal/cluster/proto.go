@@ -31,6 +31,7 @@ import (
 
 	"scaldtv/internal/report"
 	"scaldtv/internal/serr"
+	"scaldtv/internal/tick"
 	"scaldtv/internal/verify"
 )
 
@@ -41,39 +42,59 @@ import (
 // deliberately absent — the service layer never populates them, and the
 // coordinator runs forced verifications locally.
 type JobOptions struct {
-	Workers   int    `json:"workers,omitempty"`
-	Intra     int    `json:"intra,omitempty"`
-	NoCache   bool   `json:"no_cache,omitempty"`
-	NoTape    bool   `json:"no_tape,omitempty"`
-	MaxPasses int    `json:"max_passes,omitempty"`
-	Delays    string `json:"delays,omitempty"`
-	Explore   bool   `json:"explore,omitempty"`
+	Workers   int  `json:"workers,omitempty"`
+	Intra     int  `json:"intra,omitempty"`
+	NoCache   bool `json:"no_cache,omitempty"`
+	NoTape    bool `json:"no_tape,omitempty"`
+	MaxPasses int  `json:"max_passes,omitempty"`
+	Explore   bool `json:"explore,omitempty"`
+
+	// The delay model, decomposed: Delays is the model's canonical name
+	// ("" = worst case), DelayGrid the statistical quadrature step, and
+	// DelayParams the analytic parameter overrides.
+	Delays      string             `json:"delays,omitempty"`
+	DelayGrid   int64              `json:"delay_grid,omitempty"`
+	DelayParams map[string]float64 `json:"delay_params,omitempty"`
 }
 
 // WireOptions projects an engine option set onto its wire form.
 func WireOptions(opts verify.Options) JobOptions {
-	return JobOptions{
+	o := JobOptions{
 		Workers:   opts.Workers,
 		Intra:     opts.IntraWorkers,
 		NoCache:   opts.NoCache,
 		NoTape:    opts.NoTape,
 		MaxPasses: opts.MaxPasses,
-		Delays:    string(opts.Delays),
 		Explore:   opts.Explore,
 	}
+	switch m := opts.Delays.(type) {
+	case verify.StatisticalDelays:
+		o.Delays = m.Name()
+		o.DelayGrid = int64(m.Grid)
+	case verify.AnalyticDelays:
+		o.Delays = m.Name()
+		o.DelayParams = m.Params
+	}
+	return o
 }
 
 // Options reconstructs the engine option set on the worker side.
 func (o JobOptions) Options() verify.Options {
-	return verify.Options{
+	opts := verify.Options{
 		Workers:      o.Workers,
 		IntraWorkers: o.Intra,
 		NoCache:      o.NoCache,
 		NoTape:       o.NoTape,
 		MaxPasses:    o.MaxPasses,
-		Delays:       verify.DelayModel(o.Delays),
 		Explore:      o.Explore,
 	}
+	switch o.Delays {
+	case "statistical":
+		opts.Delays = verify.StatisticalDelays{Grid: tick.Time(o.DelayGrid)}
+	case "analytic":
+		opts.Delays = verify.AnalyticDelays{Params: o.DelayParams}
+	}
+	return opts
 }
 
 // SubJob is one unit of batched work: a case-analysis partition of a

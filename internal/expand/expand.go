@@ -7,6 +7,7 @@ package expand
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -14,6 +15,7 @@ import (
 	"scaldtv/internal/hdl"
 	"scaldtv/internal/netlist"
 	"scaldtv/internal/serr"
+	"scaldtv/internal/tick"
 	"scaldtv/internal/values"
 )
 
@@ -82,6 +84,9 @@ type expander struct {
 	macros map[string]*hdl.Macro
 	report *Report
 	labels map[string]int // per-kind counters for default labels
+
+	paramIdx map[string]int32 // declared parameter name → Design.Params index
+	fnIDs    map[string]int32 // canonical delay-function key → AddDelayFn handle
 }
 
 // frame is one level of macro expansion context.
@@ -136,7 +141,18 @@ func expandFile(f *hdl.File) (*netlist.Design, *Report, error) {
 			Census: map[netlist.Kind]int{}, CensusBits: map[netlist.Kind]int{},
 			UsesByMacro: map[string]int{}, PrimsByMacro: map[string]int{},
 		},
-		labels: map[string]int{},
+		labels:   map[string]int{},
+		paramIdx: map[string]int32{},
+		fnIDs:    map[string]int32{},
+	}
+	// Design parameter declarations; a parameter without an explicit
+	// range is fixed at its default.
+	for _, pd := range f.Params {
+		lo, hi := pd.Lo, pd.Hi
+		if !pd.HasRange {
+			lo, hi = pd.Default, pd.Default
+		}
+		e.paramIdx[pd.Name] = b.Param(pd.Name, pd.Default, lo, hi)
 	}
 	// Pass 1: collect macro definitions.
 	for _, m := range f.Macros {
@@ -334,6 +350,56 @@ func (e *expander) outNets(se *hdl.SigExpr, fr *frame) ([]netlist.NetID, error) 
 	return out, nil
 }
 
+// affine lowers one side of a parsed delay expression to the netlist's
+// picosecond affine form, resolving parameter names to indices, merging
+// repeated parameters and dropping zero coefficients so identical
+// expressions share a canonical spelling.
+func (e *expander) affine(x hdl.DExpr, line int) (netlist.Affine, error) {
+	a := netlist.Affine{Base: tick.Time(math.Round(x.ConstNS * 1000))}
+	pos := map[int32]int{}
+	for _, t := range x.Terms {
+		pi, ok := e.paramIdx[t.Param]
+		if !ok {
+			return a, fmt.Errorf("expand: line %d: delay expression references undeclared parameter %q", line, t.Param)
+		}
+		if j, seen := pos[pi]; seen {
+			a.Coeffs[j].PS += t.NS * 1000
+		} else {
+			pos[pi] = len(a.Coeffs)
+			a.Coeffs = append(a.Coeffs, netlist.Coeff{Param: pi, PS: t.NS * 1000})
+		}
+	}
+	kept := a.Coeffs[:0]
+	for _, c := range a.Coeffs {
+		if c.PS != 0 {
+			kept = append(kept, c)
+		}
+	}
+	a.Coeffs = kept
+	return a, nil
+}
+
+// delayFn lowers an instance's delay expression pair to a shared
+// analytic delay function, deduplicating identical functions so term
+// sets over them stay small.
+func (e *expander) delayFn(inst *hdl.Instance) (int32, error) {
+	mn, err := e.affine(inst.DelayExprMin, inst.Line)
+	if err != nil {
+		return 0, err
+	}
+	mx, err := e.affine(inst.DelayExprMax, inst.Line)
+	if err != nil {
+		return 0, err
+	}
+	key := fmt.Sprintf("%d%v|%d%v", mn.Base, mn.Coeffs, mx.Base, mx.Coeffs)
+	if id, ok := e.fnIDs[key]; ok {
+		return id, nil
+	}
+	id := e.b.AddDelayFn(netlist.DelayFn{Min: mn, Max: mx})
+	e.fnIDs[key] = id
+	return id, nil
+}
+
 var kindByName = map[string]netlist.Kind{
 	"buf": netlist.KBuf, "not": netlist.KNot,
 	"and": netlist.KAnd, "or": netlist.KOr,
@@ -397,6 +463,22 @@ func (e *expander) instance(inst *hdl.Instance, fr *frame, depth int) error {
 		outs = append(outs, o)
 	}
 
+	// A delay expression lowers to a shared analytic function; the
+	// primitive is built with a placeholder delay and bound to the
+	// function, which sets Delay to the default-point evaluation.
+	var fnID int32
+	if inst.HasDelayExpr {
+		var err error
+		if fnID, err = e.delayFn(inst); err != nil {
+			return err
+		}
+	}
+	bind := func(id netlist.PrimID) {
+		if fnID > 0 && id >= 0 {
+			e.b.BindDelayFn(id, fnID)
+		}
+	}
+
 	need := func(nIn, nOut int) error {
 		if len(ins) != nIn || len(outs) != nOut {
 			return fmt.Errorf("expand: line %d: %s needs %d inputs and %d outputs, has %d and %d",
@@ -420,7 +502,7 @@ func (e *expander) instance(inst *hdl.Instance, fr *frame, depth int) error {
 		if inst.HasRF {
 			e.b.GateRF(k, label, inst.Rise, inst.Fall, outs[0], ins...)
 		} else {
-			e.b.Gate(k, label, inst.Delay, outs[0], ins...)
+			bind(e.b.Gate(k, label, inst.Delay, outs[0], ins...))
 		}
 	case k.NumSelects() > 0:
 		ns := k.NumSelects()
@@ -436,7 +518,7 @@ func (e *expander) instance(inst *hdl.Instance, fr *frame, depth int) error {
 			sel[i] = s
 		}
 		e.tally(fr, k, len(outs[0]))
-		e.b.Mux(k, label, inst.Delay, inst.SelDelay, outs[0], sel, ins[ns:]...)
+		bind(e.b.Mux(k, label, inst.Delay, inst.SelDelay, outs[0], sel, ins[ns:]...))
 	case k == netlist.KReg, k == netlist.KLatch:
 		if err := need(2, 1); err != nil {
 			return err
@@ -447,9 +529,9 @@ func (e *expander) instance(inst *hdl.Instance, fr *frame, depth int) error {
 		}
 		e.tally(fr, k, len(outs[0]))
 		if k == netlist.KReg {
-			e.b.Register(label, inst.Delay, outs[0], ck, ins[1])
+			bind(e.b.Register(label, inst.Delay, outs[0], ck, ins[1]))
 		} else {
-			e.b.Latch(label, inst.Delay, outs[0], ck, ins[1])
+			bind(e.b.Latch(label, inst.Delay, outs[0], ck, ins[1]))
 		}
 	case k == netlist.KRegRS, k == netlist.KLatchRS:
 		if err := need(4, 1); err != nil {
@@ -469,9 +551,9 @@ func (e *expander) instance(inst *hdl.Instance, fr *frame, depth int) error {
 		}
 		e.tally(fr, k, len(outs[0]))
 		if k == netlist.KRegRS {
-			e.b.RegisterRS(label, inst.Delay, outs[0], ck, ins[1], set, rst)
+			bind(e.b.RegisterRS(label, inst.Delay, outs[0], ck, ins[1], set, rst))
 		} else {
-			e.b.LatchRS(label, inst.Delay, outs[0], ck, ins[1], set, rst)
+			bind(e.b.LatchRS(label, inst.Delay, outs[0], ck, ins[1], set, rst))
 		}
 	case k == netlist.KSetupHold, k == netlist.KSetupRiseHoldFall:
 		if err := need(2, 0); err != nil {

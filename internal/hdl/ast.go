@@ -21,7 +21,39 @@ type File struct {
 	Signals   []SignalDecl
 	Wires     []WireDecl
 	Cases     []CaseDecl
+	Params    []ParamDecl
 }
+
+// ParamDecl declares a named design parameter at file level: a real
+// value delay expressions may reference ("param load = 1.0 range 0.5
+// 4.0").  Without an explicit range the parameter is fixed at its
+// default.
+type ParamDecl struct {
+	Name     string
+	Default  float64
+	HasRange bool
+	Lo, Hi   float64
+	Line     int
+}
+
+// DExpr is an affine delay expression over named design parameters, in
+// the language's customary nanoseconds: ConstNS + Σ Terms[i].NS ·
+// value(Terms[i].Param).  A constant expression has no Terms.  Values
+// stay in source units (ns) so formatting round-trips exactly; the
+// expander converts to picoseconds once.
+type DExpr struct {
+	ConstNS float64
+	Terms   []DTerm
+}
+
+// DTerm is one parameter term: NS nanoseconds per unit of Param.
+type DTerm struct {
+	Param string
+	NS    float64
+}
+
+// Constant reports whether the expression has no parameter dependence.
+func (e DExpr) Constant() bool { return len(e.Terms) == 0 }
 
 // Macro is a named, parameterized definition expanded at each use
 // (§2.4, Fig 3-5).
@@ -74,15 +106,19 @@ type Instance struct {
 	Label string // optional instance label
 
 	// Properties.
-	HasDelay    bool
-	Delay       tick.Range
-	HasSelDelay bool
-	SelDelay    tick.Range
-	HasRF       bool
-	Rise, Fall  tick.Range // direction-dependent delays (§4.2.2)
-	Setup, Hold tick.Time
-	High, Low   tick.Time
-	ParamVals   map[string]Expr // value-parameter bindings for "use"
+	HasDelay bool
+	Delay    tick.Range
+	// A delay written as an expression over parameters keeps its
+	// symbolic form; HasDelay/Delay stay unset for it.
+	HasDelayExpr               bool
+	DelayExprMin, DelayExprMax DExpr
+	HasSelDelay                bool
+	SelDelay                   tick.Range
+	HasRF                      bool
+	Rise, Fall                 tick.Range // direction-dependent delays (§4.2.2)
+	Setup, Hold                tick.Time
+	High, Low                  tick.Time
+	ParamVals                  map[string]Expr // value-parameter bindings for "use"
 
 	Ins   []*SigExpr          // positional inputs (primitives)
 	Outs  []*SigExpr          // positional outputs (primitives)

@@ -2,6 +2,7 @@ package hdl
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"scaldtv/internal/tick"
@@ -33,6 +34,13 @@ func Format(f *File) string {
 	}
 	if f.WiredOr {
 		sb.WriteString("wiredor\n")
+	}
+	for _, pd := range f.Params {
+		fmt.Fprintf(&sb, "param %s = %s", fmtName(pd.Name), fmtFloat(pd.Default))
+		if pd.HasRange {
+			fmt.Fprintf(&sb, " range %s %s", fmtFloat(pd.Lo), fmtFloat(pd.Hi))
+		}
+		sb.WriteString("\n")
 	}
 	for _, sd := range f.Signals {
 		fmt.Fprintf(&sb, "signal %s%s\n", fmtName(sd.Name), fmtRange(sd.HasRange, sd.Lo, sd.Hi))
@@ -124,6 +132,40 @@ func fmtTime(t tick.Time) string {
 	return t.String() + "ns"
 }
 
+// fmtFloat renders a real value with the shortest exact spelling.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// fmtDExpr renders a delay expression in canonical term order: the
+// constant first (when present), then each parameter term as
+// coefficient*name.
+func fmtDExpr(e DExpr) string {
+	var sb strings.Builder
+	wrote := false
+	if e.ConstNS != 0 || len(e.Terms) == 0 {
+		sb.WriteString(fmtFloat(e.ConstNS))
+		wrote = true
+	}
+	for _, t := range e.Terms {
+		ns := t.NS
+		if wrote {
+			if ns < 0 {
+				sb.WriteString(" - ")
+				ns = -ns
+			} else {
+				sb.WriteString(" + ")
+			}
+		} else if ns < 0 {
+			sb.WriteString("-")
+			ns = -ns
+		}
+		fmt.Fprintf(&sb, "%s*%s", fmtFloat(ns), t.Param)
+		wrote = true
+	}
+	return sb.String()
+}
+
 func fmtRange(has bool, lo, hi Expr) string {
 	if !has {
 		return ""
@@ -186,6 +228,9 @@ func fmtInstance(inst *Instance) string {
 	}
 	if inst.HasDelay {
 		fmt.Fprintf(&sb, " delay=(%s,%s)", inst.Delay.Min, inst.Delay.Max)
+	}
+	if inst.HasDelayExpr {
+		fmt.Fprintf(&sb, " delay=(%s, %s)", fmtDExpr(inst.DelayExprMin), fmtDExpr(inst.DelayExprMax))
 	}
 	if inst.HasSelDelay {
 		fmt.Fprintf(&sb, " seldelay=(%s,%s)", inst.SelDelay.Min, inst.SelDelay.Max)

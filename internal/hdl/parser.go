@@ -2,6 +2,7 @@ package hdl
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -143,6 +144,142 @@ func (p *Parser) parseDelayPair() (tick.Range, error) {
 	return r, nil
 }
 
+// parseFloat reads an optionally-negated bare real number.
+func (p *Parser) parseFloat() (float64, error) {
+	neg := false
+	if p.isPunct("-") {
+		neg = true
+		if err := p.next(); err != nil {
+			return 0, err
+		}
+	}
+	if p.tok.Kind != TNumber {
+		return 0, p.errf("expected a number, found %s", p.tok)
+	}
+	v, err := strconv.ParseFloat(p.tok.Text, 64)
+	if err != nil {
+		return 0, p.errf("invalid number %q", p.tok.Text)
+	}
+	if neg {
+		v = -v
+	}
+	return v, p.next()
+}
+
+// numberNS reads the current number token as nanoseconds: bare numbers
+// are nanoseconds (the language's customary delay unit), and unit
+// suffixes are accepted as in parseTime.
+func (p *Parser) numberNS() (float64, error) {
+	if v, err := strconv.ParseFloat(p.tok.Text, 64); err == nil {
+		return v, p.next()
+	}
+	t, err := tick.Parse(p.tok.Text)
+	if err != nil {
+		return 0, p.errf("%v", err)
+	}
+	return float64(t) / 1000, p.next()
+}
+
+// parseDExpr parses one side of a delay expression: an affine sum of
+// terms, each a number, a parameter name, or a number*parameter product
+// in either order ("0.8 + 0.3*load - temp*0.01").
+func (p *Parser) parseDExpr() (DExpr, error) {
+	var e DExpr
+	neg := false
+	if p.isPunct("-") {
+		neg = true
+		if err := p.next(); err != nil {
+			return e, err
+		}
+	}
+	for {
+		if err := p.parseDTerm(&e, neg); err != nil {
+			return e, err
+		}
+		if p.isPunct("+") {
+			neg = false
+		} else if p.isPunct("-") {
+			neg = true
+		} else {
+			return e, nil
+		}
+		if err := p.next(); err != nil {
+			return e, err
+		}
+	}
+}
+
+func (p *Parser) parseDTerm(e *DExpr, neg bool) error {
+	sign := 1.0
+	if neg {
+		sign = -1
+	}
+	switch {
+	case p.tok.Kind == TNumber:
+		ns, err := p.numberNS()
+		if err != nil {
+			return err
+		}
+		if p.isPunct("*") {
+			if err := p.next(); err != nil {
+				return err
+			}
+			if p.tok.Kind != TIdent {
+				return p.errf("expected a parameter name after *, found %s", p.tok)
+			}
+			e.Terms = append(e.Terms, DTerm{Param: p.tok.Text, NS: sign * ns})
+			return p.next()
+		}
+		e.ConstNS += sign * ns
+		return nil
+	case p.tok.Kind == TIdent:
+		name := p.tok.Text
+		if err := p.next(); err != nil {
+			return err
+		}
+		ns := 1.0 // a bare parameter contributes 1 ns per unit
+		if p.isPunct("*") {
+			if err := p.next(); err != nil {
+				return err
+			}
+			if p.tok.Kind != TNumber {
+				return p.errf("expected a number after *, found %s", p.tok)
+			}
+			v, err := p.numberNS()
+			if err != nil {
+				return err
+			}
+			ns = v
+		}
+		e.Terms = append(e.Terms, DTerm{Param: name, NS: sign * ns})
+		return nil
+	}
+	return p.errf("expected a delay term, found %s", p.tok)
+}
+
+// parseDelayExprPair reads "( dexpr , dexpr )"; pure-constant pairs are
+// the classic delay=(min,max) form.
+func (p *Parser) parseDelayExprPair() (DExpr, DExpr, error) {
+	if err := p.expectPunct("("); err != nil {
+		return DExpr{}, DExpr{}, err
+	}
+	mn, err := p.parseDExpr()
+	if err != nil {
+		return mn, DExpr{}, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return mn, DExpr{}, err
+	}
+	mx, err := p.parseDExpr()
+	if err != nil {
+		return mn, mx, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return mn, mx, err
+	}
+	return mn, mx, nil
+}
+
 // parseDelayQuad reads "( rmin , rmax , fmin , fmax )" for the
 // direction-dependent delays of §4.2.2.
 func (p *Parser) parseDelayQuad() (tick.Range, tick.Range, error) {
@@ -241,6 +378,39 @@ func (p *Parser) parseFile() (*File, error) {
 			} else {
 				f.HasCSkew, f.CSkew = true, r
 			}
+			if err := p.semicolon(); err != nil {
+				return nil, err
+			}
+		case kw == "param":
+			line := p.tok.Line
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			n, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("="); err != nil {
+				return nil, err
+			}
+			def, err := p.parseFloat()
+			if err != nil {
+				return nil, err
+			}
+			pd := ParamDecl{Name: n, Default: def, Line: line}
+			if p.isKeyword("range") {
+				if err := p.next(); err != nil {
+					return nil, err
+				}
+				if pd.Lo, err = p.parseFloat(); err != nil {
+					return nil, err
+				}
+				if pd.Hi, err = p.parseFloat(); err != nil {
+					return nil, err
+				}
+				pd.HasRange = true
+			}
+			f.Params = append(f.Params, pd)
 			if err := p.semicolon(); err != nil {
 				return nil, err
 			}
@@ -515,11 +685,20 @@ func (p *Parser) parseInstance() (*Instance, error) {
 		}
 		switch key {
 		case "delay":
-			r, err := p.parseDelayPair()
+			mn, mx, err := p.parseDelayExprPair()
 			if err != nil {
 				return nil, err
 			}
-			inst.HasDelay, inst.Delay = true, r
+			if mn.Constant() && mx.Constant() {
+				r := tick.Range{Min: tick.Time(math.Round(mn.ConstNS * 1000)), Max: tick.Time(math.Round(mx.ConstNS * 1000))}
+				if !r.Valid() {
+					return nil, p.errf("inverted delay range %s", r)
+				}
+				inst.HasDelay, inst.Delay = true, r
+			} else {
+				inst.HasDelayExpr = true
+				inst.DelayExprMin, inst.DelayExprMax = mn, mx
+			}
 		case "seldelay":
 			r, err := p.parseDelayPair()
 			if err != nil {

@@ -358,6 +358,44 @@ func (b *Builder) MinPulse(name string, minHigh, minLow tick.Time, in Conn) Prim
 		In: []Port{{Name: "I", Bits: []Conn{in}}}})
 }
 
+// Param declares a named design parameter with its default value and
+// allowed range, returning its index for use in Coeff.  Redeclaring a
+// name is an error.
+func (b *Builder) Param(name string, def, lo, hi float64) int32 {
+	for _, p := range b.d.Params {
+		if p.Name == name {
+			b.fail("parameter %q declared twice", name)
+			return -1
+		}
+	}
+	b.d.Params = append(b.d.Params, Param{Name: name, Default: def, Lo: lo, Hi: hi})
+	return int32(len(b.d.Params) - 1)
+}
+
+// AddDelayFn appends an analytic delay function, returning the 1-based
+// handle Prim.Fn uses (via BindDelayFn).
+func (b *Builder) AddDelayFn(fn DelayFn) int32 {
+	b.d.DelayFns = append(b.d.DelayFns, fn)
+	return int32(len(b.d.DelayFns))
+}
+
+// BindDelayFn marks a primitive's delay as the evaluation of the given
+// analytic function (a 1-based AddDelayFn handle), setting Prim.Delay to
+// the function's value at the design's default parameter point.
+func (b *Builder) BindDelayFn(id PrimID, fn int32) *Builder {
+	if id < 0 || int(id) >= len(b.d.Prims) {
+		b.fail("BindDelayFn: primitive %d out of range", id)
+		return b
+	}
+	if fn <= 0 || int(fn) > len(b.d.DelayFns) {
+		b.fail("BindDelayFn: delay function %d out of range", fn)
+		return b
+	}
+	b.d.Prims[id].Fn = fn
+	b.d.Prims[id].Delay = b.d.DelayFns[fn-1].Eval(b.d.ParamDefaults())
+	return b
+}
+
 // AddCase appends a case-analysis cycle (§2.7.1).
 func (b *Builder) AddCase(label string, assigns ...CaseAssign) *Builder {
 	b.d.Cases = append(b.d.Cases, Case{Label: label, Assignments: assigns})

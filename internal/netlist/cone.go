@@ -150,6 +150,12 @@ func Diff(old, new *Design) (Changes, bool) {
 	if !casesEqual(old.Cases, new.Cases) {
 		return ch, false
 	}
+	// The analytic delay tables are structural: a retained run's symbolic
+	// margin surfaces are derived from them, so any table or binding edit
+	// must go through a scratch verification.
+	if !delayFnsEqual(old, new) {
+		return ch, false
+	}
 	for i := range old.Nets {
 		on, nn := &old.Nets[i], &new.Nets[i]
 		if on.Name != nn.Name || on.Base != nn.Base {
@@ -177,6 +183,9 @@ func Diff(old, new *Design) (Changes, bool) {
 	for i := range old.Prims {
 		op, np := &old.Prims[i], &new.Prims[i]
 		if !connectivityEqual(op, np) {
+			return ch, false
+		}
+		if op.Fn != np.Fn {
 			return ch, false
 		}
 		if op.Kind != np.Kind || op.Name != np.Name ||
@@ -223,6 +232,37 @@ func connectivityEqual(a, b *Prim) bool {
 			if ap.Bits[bi] != bp.Bits[bi] {
 				return false
 			}
+		}
+	}
+	return true
+}
+
+// delayFnsEqual compares the analytic delay tables of two designs.
+func delayFnsEqual(old, new *Design) bool {
+	if len(old.Params) != len(new.Params) || len(old.DelayFns) != len(new.DelayFns) {
+		return false
+	}
+	for i := range old.Params {
+		if old.Params[i] != new.Params[i] {
+			return false
+		}
+	}
+	for i := range old.DelayFns {
+		if !affineEqual(old.DelayFns[i].Min, new.DelayFns[i].Min) ||
+			!affineEqual(old.DelayFns[i].Max, new.DelayFns[i].Max) {
+			return false
+		}
+	}
+	return true
+}
+
+func affineEqual(a, b Affine) bool {
+	if a.Base != b.Base || len(a.Coeffs) != len(b.Coeffs) {
+		return false
+	}
+	for i := range a.Coeffs {
+		if a.Coeffs[i] != b.Coeffs[i] {
+			return false
 		}
 	}
 	return true

@@ -1,8 +1,19 @@
 package netlist
 
 import (
+	"math"
+
 	"scaldtv/internal/tick"
 )
+
+// floatBits hashes a float by its IEEE bit pattern, canonicalizing the
+// two zeros so -0.0 and +0.0 fingerprint alike.
+func floatBits(v float64) uint64 {
+	if v == 0 {
+		return 0
+	}
+	return math.Float64bits(v)
+}
 
 // Design fingerprinting extends the canonical-form FNV hashing of
 // values.Waveform.Fingerprint to whole elaborated netlists, giving the
@@ -107,9 +118,11 @@ func Fingerprint(d *Design) uint64 {
 		f.time(p.Hold)
 		f.time(p.MinHigh)
 		f.time(p.MinLow)
+		f.i64(int64(p.Fn))
 		d.hashPorts(&f, p, true)
 	}
 	d.hashCases(&f)
+	d.hashDelayFns(&f)
 	return f.h
 }
 
@@ -147,9 +160,13 @@ func StructuralFingerprint(d *Design) uint64 {
 		f.bool(p.Kind.IsGate())
 		f.int(p.Kind.NumSelects())
 		f.int(p.Width)
+		// The analytic-function binding is structural: Diff refuses edits
+		// that change which function (if any) produces a prim's delay.
+		f.i64(int64(p.Fn))
 		d.hashPorts(&f, p, false)
 	}
 	d.hashCases(&f)
+	d.hashDelayFns(&f)
 	return f.h
 }
 
@@ -190,6 +207,33 @@ func (d *Design) hashPorts(f *fnvSum, p *Prim, withNames bool) {
 		f.int(len(port.Bits))
 		for _, n := range port.Bits {
 			f.i64(int64(n))
+		}
+	}
+}
+
+// hashDelayFns hashes the analytic delay tables.  They enter both
+// fingerprints — Diff treats any change to them as structural, because
+// the symbolic margin surfaces a retained run carries are derived from
+// these tables, not from the concrete Prim.Delay values.
+func (d *Design) hashDelayFns(f *fnvSum) {
+	f.int(len(d.Params))
+	for i := range d.Params {
+		p := &d.Params[i]
+		f.str(p.Name)
+		f.u64(floatBits(p.Default))
+		f.u64(floatBits(p.Lo))
+		f.u64(floatBits(p.Hi))
+	}
+	f.int(len(d.DelayFns))
+	for i := range d.DelayFns {
+		fn := &d.DelayFns[i]
+		for _, a := range [2]Affine{fn.Min, fn.Max} {
+			f.time(a.Base)
+			f.int(len(a.Coeffs))
+			for _, c := range a.Coeffs {
+				f.i64(int64(c.Param))
+				f.u64(floatBits(c.PS))
+			}
 		}
 	}
 }

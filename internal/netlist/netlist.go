@@ -157,6 +157,14 @@ type Prim struct {
 	Setup, Hold     tick.Time // checker intervals (§2.4.4)
 	MinHigh, MinLow tick.Time // minimum pulse widths (§2.4.5)
 
+	// Fn, when positive, names the analytic delay function this
+	// primitive's Delay was evaluated from: Design.DelayFns[Fn-1]
+	// (1-based so the zero value means "constant delay").  Delay always
+	// holds a concrete evaluation — the engine never reads Fn — but the
+	// path-search layer uses it to build symbolic margin surfaces and
+	// Design.PinParams uses it to re-evaluate Delay at another point.
+	Fn int32
+
 	In  []Port
 	Out []OutPort
 }
@@ -202,6 +210,12 @@ type Design struct {
 	Nets  []Net
 	Prims []Prim
 	Cases []Case
+
+	// Params and DelayFns are the analytic delay tables (params.go):
+	// named design parameters and the affine delay functions over them
+	// that parametric primitives (Prim.Fn > 0) were evaluated from.
+	Params   []Param
+	DelayFns []DelayFn
 
 	byName map[string]NetID
 
@@ -250,6 +264,8 @@ func (d *Design) WithCases(cases []Case) *Design {
 		Nets:          d.Nets,
 		Prims:         d.Prims,
 		Cases:         cases,
+		Params:        d.Params,
+		DelayFns:      d.DelayFns,
 		byName:        d.byName,
 	}
 	if lv := d.level.Load(); lv != nil {
@@ -390,6 +406,9 @@ func (d *Design) Check() error {
 	if !d.DefaultWire.Valid() || !d.PrecisionSkew.Valid() || !d.ClockSkew.Valid() {
 		return fmt.Errorf("netlist: design %q has invalid default delay/skew ranges", d.Name)
 	}
+	if err := d.checkDelayFns(); err != nil {
+		return fmt.Errorf("netlist: design %q: %v", d.Name, err)
+	}
 	driven := make(map[NetID]PrimID)
 	for pi := range d.Prims {
 		p := &d.Prims[pi]
@@ -450,6 +469,9 @@ func (d *Design) CheckParams() error {
 	}
 	if !d.DefaultWire.Valid() || !d.PrecisionSkew.Valid() || !d.ClockSkew.Valid() {
 		return fmt.Errorf("netlist: design %q has invalid default delay/skew ranges", d.Name)
+	}
+	if err := d.checkDelayFns(); err != nil {
+		return fmt.Errorf("netlist: design %q: %v", d.Name, err)
 	}
 	for pi := range d.Prims {
 		p := &d.Prims[pi]

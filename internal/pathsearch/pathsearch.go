@@ -36,6 +36,15 @@ type Analysis struct {
 type edge struct {
 	to       int32
 	min, max tick.Time
+
+	// Analytic decomposition of the same edge: when fn > 0 the traversed
+	// primitive's delay is Design.DelayFns[fn-1] and cmin/cmax hold only
+	// the constant part (wire + select extra), so min = cmin + fn.Min at
+	// the default point and likewise for max.  The worst-case and
+	// statistical DPs read only min/max; the analytic DP reads fn and the
+	// constant parts.
+	fn         int32
+	cmin, cmax tick.Time
 }
 
 type endPin struct {
@@ -109,8 +118,15 @@ func buildGraph(d *netlist.Design) *graph {
 						delay = tick.Range{}
 					}
 					total := w.Add(delay).Add(extra)
+					fn := int32(0)
+					cmin, cmax := total.Min, total.Max
+					if p.Fn > 0 && !dir.ZeroesGate() {
+						fn = p.Fn
+						ce := w.Add(extra)
+						cmin, cmax = ce.Min, ce.Max
+					}
 					for o := range outNets {
-						adj[c.Net] = append(adj[c.Net], edge{to: o, min: total.Min, max: total.Max})
+						adj[c.Net] = append(adj[c.Net], edge{to: o, min: total.Min, max: total.Max, fn: fn, cmin: cmin, cmax: cmax})
 					}
 				}
 			}

@@ -35,6 +35,30 @@ type jsonSiteProb struct {
 	Probability float64 `json:"probability"`
 }
 
+// jsonParamBinding is one design parameter of an analytic-mode run: its
+// declared box and the value the engine was pinned at.
+type jsonParamBinding struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Lo    float64 `json:"lo"`
+	Hi    float64 `json:"hi"`
+}
+
+// jsonSurfaceSite is one constraint site of the analytic margin surface:
+// the slack at the pinned point, and the worst slack over the whole
+// parameter box together with the binding corner that attains it.
+type jsonSurfaceSite struct {
+	Kind         string             `json:"kind"`
+	Case         string             `json:"case,omitempty"`
+	Primitive    string             `json:"primitive"`
+	Data         string             `json:"data,omitempty"`
+	Clock        string             `json:"clock,omitempty"`
+	SlackNS      float64            `json:"slack_ns"`
+	Exact        bool               `json:"exact"`
+	WorstSlackNS float64            `json:"worst_slack_ns"`
+	Corner       map[string]float64 `json:"corner,omitempty"`
+}
+
 // jsonExploration is the case-exploration section: the poisoned sites,
 // the full candidate provenance, and the emitted minimal case set.  All
 // fields are structural or derived from deterministic probe outcomes, so
@@ -81,8 +105,9 @@ type jsonExploreCandidate struct {
 // the contract the scaldtvd service relies on.
 //
 // Version 1 later gained the optional delay_model, site_probs and
-// exploration fields — additive and omitted when absent, so consumers of
-// the original layout keep working and the version stays 1.
+// exploration fields, then the analytic-mode params and margin_surface
+// sections — all additive and omitted when absent, so consumers of the
+// original layout keep working and the version stays 1.
 const SchemaVersion = 1
 
 // Report is the machine-readable verification outcome, for CI
@@ -108,9 +133,11 @@ type Report struct {
 	Pass       bool            `json:"pass"`
 
 	// Optional sections, additive within schema 1.
-	DelayModel  string           `json:"delay_model,omitempty"`
-	SiteProbs   []jsonSiteProb   `json:"site_probs,omitempty"`
-	Exploration *jsonExploration `json:"exploration,omitempty"`
+	DelayModel  string             `json:"delay_model,omitempty"`
+	SiteProbs   []jsonSiteProb     `json:"site_probs,omitempty"`
+	Params      []jsonParamBinding `json:"params,omitempty"`
+	Surface     []jsonSurfaceSite  `json:"margin_surface,omitempty"`
+	Exploration *jsonExploration   `json:"exploration,omitempty"`
 }
 
 // NewPartial renders a verification result into the Report structure
@@ -157,7 +184,7 @@ func NewPartial(res *verify.Result) *Report {
 		out.Violations = append(out.Violations, jv)
 	}
 	if len(res.SiteProbs) > 0 {
-		out.DelayModel = string(verify.DelayStatistical)
+		out.DelayModel = verify.DelayStatistical.Name()
 		for _, p := range res.SiteProbs {
 			out.SiteProbs = append(out.SiteProbs, jsonSiteProb{
 				Kind:        p.Kind.String(),
@@ -169,6 +196,34 @@ func NewPartial(res *verify.Result) *Report {
 				From:        p.From,
 				Probability: p.Prob,
 			})
+		}
+	}
+	if ms := res.MarginSurface; ms != nil {
+		out.DelayModel = "analytic"
+		out.Params = []jsonParamBinding{}
+		for _, p := range ms.Params {
+			out.Params = append(out.Params, jsonParamBinding{
+				Name: p.Name, Value: p.Value, Lo: p.Lo, Hi: p.Hi,
+			})
+		}
+		out.Surface = []jsonSurfaceSite{}
+		for i := range ms.Sites {
+			s := &ms.Sites[i]
+			corner, worst := ms.BindingCorner(i)
+			js := jsonSurfaceSite{
+				Kind:         s.Kind.String(),
+				Case:         s.Case,
+				Primitive:    s.Prim,
+				Data:         s.Data,
+				Clock:        s.Clock,
+				SlackNS:      s.Slack0.NS(),
+				Exact:        s.Exact,
+				WorstSlackNS: worst.NS(),
+			}
+			if len(corner) > 0 {
+				js.Corner = corner
+			}
+			out.Surface = append(out.Surface, js)
 		}
 	}
 	if ex := res.Exploration; ex != nil {

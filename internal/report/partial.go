@@ -47,6 +47,13 @@ func MergeParts(parts []*Report) ([]byte, error) {
 			// sets it when SiteProbs come out non-empty.
 			out.DelayModel = p.DelayModel
 		}
+		out.Surface = append(out.Surface, p.Surface...)
+		if p.Params != nil && out.Params == nil {
+			// The parameter bindings are global to a run: every part was
+			// verified at the same pinned point, so the first part that
+			// carries them fixes the document's bindings.
+			out.Params = p.Params
+		}
 		if p.Exploration != nil && out.Exploration == nil {
 			// Exploration is global to a run and never split across parts.
 			out.Exploration = p.Exploration

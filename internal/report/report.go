@@ -208,6 +208,15 @@ func Summary(res *verify.Result) string {
 			s.DirtyPrims, s.DirtyNets, s.ReusedWaves)
 		fmt.Fprintf(&sb, "  reverify wall time   %v\n", s.ReverifyTime)
 	}
+	if ms := res.MarginSurface; ms != nil {
+		line := "analytic"
+		if b := BindingString(ms.Params); b != "" {
+			line += " (" + b + ")"
+		}
+		fmt.Fprintf(&sb, "  delay model          %s\n", line)
+	} else if len(res.SiteProbs) > 0 {
+		fmt.Fprintf(&sb, "  delay model          statistical\n")
+	}
 	fmt.Fprintf(&sb, "  violations           %d\n", len(res.Violations))
 	fmt.Fprintf(&sb, "  undefined signals    %d\n", len(res.Undefined))
 	return sb.String()

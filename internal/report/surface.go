@@ -1,0 +1,80 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"scaldtv/internal/verify"
+)
+
+// SurfaceListing renders the analytic-mode margin surface: one row per
+// constraint site with the slack at the pinned parameter point, the worst
+// slack anywhere in the declared parameter box, and the binding corner
+// that attains it.
+func SurfaceListing(res *verify.Result) string {
+	ms := res.MarginSurface
+	if ms == nil {
+		return "margin surface unavailable: run the verifier with -delays=analytic\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ANALYTIC MARGIN SURFACE — design %s\n\n", res.Design.Name)
+	if len(ms.Params) > 0 {
+		sb.WriteString("  parameters:")
+		for _, p := range ms.Params {
+			fmt.Fprintf(&sb, " %s=%s [%s, %s]", p.Name, fmtF(p.Value), fmtF(p.Lo), fmtF(p.Hi))
+		}
+		sb.WriteString("\n\n")
+	}
+	if len(ms.Sites) == 0 {
+		sb.WriteString("  no constraint site has a combinational arrival path\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "  %-34s %-26s %10s %12s  %s\n",
+		"CHECKER", "DATA", "SLACK", "WORST SLACK", "BINDING CORNER")
+	for i := range ms.Sites {
+		s := &ms.Sites[i]
+		corner, worst := ms.BindingCorner(i)
+		mark := ""
+		if worst < 0 {
+			mark = "  << AT RISK"
+		}
+		if !s.Exact {
+			mark += "  (inexact)"
+		}
+		fmt.Fprintf(&sb, "  %-34s %-26s %10.1f %12.1f  %s%s\n",
+			trunc(s.Prim, 34), trunc(s.Data, 26), s.Slack0.NS(), worst.NS(),
+			cornerString(corner), mark)
+	}
+	return sb.String()
+}
+
+// cornerString renders a binding corner as sorted name=value pairs.
+func cornerString(corner map[string]float64) string {
+	if len(corner) == 0 {
+		return "-"
+	}
+	names := make([]string, 0, len(corner))
+	for n := range corner {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = n + "=" + fmtF(corner[n])
+	}
+	return strings.Join(parts, " ")
+}
+
+// BindingString renders parameter bindings as sorted name=value pairs —
+// the spelling the scaldtvd provenance header and the run summary share.
+func BindingString(params []verify.ParamBinding) string {
+	parts := make([]string, len(params))
+	for i, p := range params {
+		parts[i] = p.Name + "=" + fmtF(p.Value)
+	}
+	return strings.Join(parts, " ")
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

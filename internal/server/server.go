@@ -6,6 +6,12 @@
 // Endpoints:
 //
 //	POST   /v1/verify                  stateless: HDL source in, JSON report out
+//	                                   (?delays= selects the delay model,
+//	                                   repeatable ?param=name=value — or the
+//	                                   JSON body's params field — binds design
+//	                                   parameters, and the body's corners field
+//	                                   queries the margin surface at extra
+//	                                   parameter points from the one run)
 //	POST   /v1/explore                 stateless automatic case exploration:
 //	                                   the report carries the minimal case set
 //	                                   discharging U/C-poisoned sites
@@ -42,6 +48,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -233,24 +240,39 @@ type verifyRequest struct {
 	Workers *int   `json:"workers"`
 	Intra   *int   `json:"intra"`
 	Cache   *bool  `json:"cache"`
+
+	// Delays selects the delay model ("worstcase", "statistical",
+	// "analytic"); Params binds design parameters for the analytic model
+	// (present Params imply it).  Corners, valid only with the analytic
+	// model, asks the margin surface of the one verification run to
+	// evaluate the listed parameter points: the response then becomes
+	// {"report": <standard report>, "corners": [...]} with one entry per
+	// queried point.
+	Delays  string               `json:"delays,omitempty"`
+	Params  map[string]float64   `json:"params,omitempty"`
+	Corners []map[string]float64 `json:"corners,omitempty"`
 }
 
 // readRequest decodes a verification request: the HDL source (library
-// appended when lib is set) and the effective options.
-func (s *Server) readRequest(r *http.Request) (src string, opts scaldtv.Options, err error) {
+// appended when lib is set), the effective options and any corner
+// queries.  The delay model comes from the JSON body (delays, params)
+// or the query string (?delays=, repeatable ?param=name=value), query
+// winning; parameter bindings imply the analytic model, mirroring the
+// scaldtv -param flag.
+func (s *Server) readRequest(r *http.Request) (src string, opts scaldtv.Options, corners []map[string]float64, err error) {
 	opts = s.cfg.Options
 	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, s.cfg.MaxBody))
 	if err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			return "", opts, serr.Newf(serr.Limit, "server: request body over %d bytes", s.cfg.MaxBody)
+			return "", opts, nil, serr.Newf(serr.Limit, "server: request body over %d bytes", s.cfg.MaxBody)
 		}
-		return "", opts, serr.Wrap(serr.Canceled, err)
+		return "", opts, nil, serr.Wrap(serr.Canceled, err)
 	}
 	req := verifyRequest{}
 	if strings.Contains(r.Header.Get("Content-Type"), "json") {
 		if err := json.Unmarshal(body, &req); err != nil {
-			return "", opts, serr.Newf(serr.Parse, "server: request body: %v", err)
+			return "", opts, nil, serr.Newf(serr.Parse, "server: request body: %v", err)
 		}
 	} else {
 		req.Source = string(body)
@@ -289,28 +311,109 @@ func (s *Server) readRequest(r *http.Request) (src string, opts scaldtv.Options,
 		opts.NoCache = !*req.Cache
 	}
 	if err := intParam("j", &opts.Workers); err != nil {
-		return "", opts, err
+		return "", opts, nil, err
 	}
 	if err := intParam("intra", &opts.IntraWorkers); err != nil {
-		return "", opts, err
+		return "", opts, nil, err
 	}
 	cache, err := boolParam("cache", !opts.NoCache)
 	if err != nil {
-		return "", opts, err
+		return "", opts, nil, err
 	}
 	opts.NoCache = !cache
 	lib, err := boolParam("lib", req.Lib)
 	if err != nil {
-		return "", opts, err
+		return "", opts, nil, err
+	}
+	delays := req.Delays
+	if v := q.Get("delays"); v != "" {
+		delays = v
+	}
+	params := map[string]float64{}
+	for name, v := range req.Params {
+		params[name] = v
+	}
+	for _, pv := range q["param"] {
+		name, val, ok := strings.Cut(pv, "=")
+		if !ok || name == "" {
+			return "", opts, nil, serr.Newf(serr.Parse, "server: query parameter param=%q: want name=value", pv)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return "", opts, nil, serr.Newf(serr.Parse, "server: query parameter param=%q: %v", pv, err)
+		}
+		params[name] = f
+	}
+	if delays != "" || len(params) > 0 {
+		dm, err := scaldtv.ParseDelayModel(delays)
+		if err != nil {
+			return "", opts, nil, serr.Newf(serr.Parse, "server: delays=%q: %v", delays, err)
+		}
+		if len(params) > 0 {
+			if !scaldtv.IsWorstCase(dm) && delays != "analytic" {
+				return "", opts, nil, serr.Newf(serr.Parse, "server: parameter bindings require the analytic delay model, not delays=%q", delays)
+			}
+			dm = scaldtv.AnalyticDelays{Params: params}
+		}
+		opts.Delays = dm
+	}
+	if len(req.Corners) > 0 && !isAnalytic(opts) {
+		return "", opts, nil, serr.Newf(serr.Parse, "server: corner queries require the analytic delay model")
 	}
 	if req.Source == "" {
-		return "", opts, serr.Newf(serr.Parse, "server: empty design source")
+		return "", opts, nil, serr.Newf(serr.Parse, "server: empty design source")
 	}
 	src = req.Source
 	if lib {
 		src += "\n" + scaldtv.Library
 	}
-	return src, opts, nil
+	return src, opts, req.Corners, nil
+}
+
+// isAnalytic reports whether the effective delay model is the analytic
+// one.
+func isAnalytic(opts scaldtv.Options) bool {
+	_, ok := opts.Delays.(scaldtv.AnalyticDelays)
+	return ok
+}
+
+// delayProvenance renders the active delay model and its parameter
+// bindings for the X-Scaldtv-Provenance header; empty for the worst-case
+// default, so the header bytes of pre-existing requests do not change.
+func delayProvenance(opts scaldtv.Options) string {
+	switch m := opts.Delays.(type) {
+	case scaldtv.StatisticalDelays:
+		if m.Grid > 0 {
+			return fmt.Sprintf("delays=statistical grid=%d", int64(m.Grid))
+		}
+		return "delays=statistical"
+	case scaldtv.AnalyticDelays:
+		var sb strings.Builder
+		sb.WriteString("delays=analytic")
+		names := make([]string, 0, len(m.Params))
+		for name := range m.Params {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&sb, " %s=%s", name, strconv.FormatFloat(m.Params[name], 'g', -1, 64))
+		}
+		return sb.String()
+	}
+	return ""
+}
+
+// joinProvenance combines the store provenance and the delay-model
+// description into one X-Scaldtv-Provenance header value.
+func joinProvenance(prov, model string) string {
+	switch {
+	case prov == "":
+		return model
+	case model == "":
+		return prov
+	default:
+		return prov + "; " + model
+	}
 }
 
 // handleVerify is the stateless POST /v1/verify endpoint.  The response
@@ -319,20 +422,20 @@ func (s *Server) readRequest(r *http.Request) (src string, opts scaldtv.Options,
 func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.reqCtx(r)
 	defer cancel()
-	src, opts, err := s.readRequest(r)
+	src, opts, corners, err := s.readRequest(r)
 	if err != nil {
 		s.writeErr(w, err)
 		return
 	}
 	writeReport := func(rep []byte, provenance store.Provenance) {
-		if provenance != "" {
-			w.Header().Set("X-Scaldtv-Provenance", string(provenance))
+		if p := joinProvenance(string(provenance), delayProvenance(opts)); p != "" {
+			w.Header().Set("X-Scaldtv-Provenance", p)
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(rep)
 		io.WriteString(w, "\n")
 	}
-	if s.cfg.Cluster != nil {
+	if s.cfg.Cluster != nil && len(corners) == 0 {
 		// Coordinator mode: the run fans out across the engine workers
 		// (the coordinator compiles through its own design cache and the
 		// workers answer from theirs, so no local compile happens here)
@@ -357,7 +460,11 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeReport(rep, store.Provenance(prov))
 		return
 	}
-	if s.cfg.Store != nil {
+	// Restored snapshots cannot carry the statistical or margin-surface
+	// report sections, so non-worst-case delay models always run the
+	// engine directly, exactly as the scaldtv driver does.
+	useStore := s.cfg.Store != nil && scaldtv.IsWorstCase(opts.Delays)
+	if useStore {
 		// Source-text fast path: an exact repeat of a verified request is
 		// answered before the design is even compiled — parsing and
 		// elaborating a large design costs tens of milliseconds, the
@@ -375,7 +482,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
-	if s.cfg.Store != nil {
+	if useStore {
 		// Second-level exact hit on the design fingerprint: catches a
 		// textually different spelling of an already-verified design
 		// (reformatted source, renamed macros), still without engine work.
@@ -395,7 +502,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		s.cfg.onVerifyStart(ctx)
 	}
 	start := time.Now()
-	if s.cfg.Store != nil {
+	if useStore {
 		oc, err := store.Verify(ctx, s.cfg.Store, d, src, opts, false)
 		if err != nil {
 			s.met.failures.Add(1)
@@ -426,7 +533,69 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
+	if len(corners) > 0 {
+		out, err = cornerResponse(res, out, corners)
+		if err != nil {
+			s.writeErr(w, err)
+			return
+		}
+	}
 	writeReport(out, "")
+}
+
+// cornerBody is the response of a corner-querying verification: the
+// standard JSON report plus, per queried parameter point, the slack of
+// every margin-surface site evaluated there — one engine run answering
+// every corner.
+type cornerBody struct {
+	Report  json.RawMessage `json:"report"`
+	Corners []cornerAnswer  `json:"corners"`
+}
+
+type cornerAnswer struct {
+	Params     map[string]float64 `json:"params"`
+	Violations []cornerViolation  `json:"violations,omitempty"`
+	Pass       bool               `json:"pass"`
+}
+
+type cornerViolation struct {
+	Checker string `json:"checker"`
+	Data    string `json:"data,omitempty"`
+	Case    string `json:"case,omitempty"`
+	SlackNS string `json:"slack_ns"`
+}
+
+// cornerResponse evaluates the run's margin surface at each queried
+// parameter point and wraps the report with the answers.  Points outside
+// the declared parameter box (or naming unknown parameters) are request
+// errors.
+func cornerResponse(res *scaldtv.Result, rep []byte, corners []map[string]float64) ([]byte, error) {
+	ms := res.MarginSurface
+	if ms == nil {
+		return nil, serr.Newf(serr.Elaborate, "server: corner queries require the analytic delay model")
+	}
+	body := cornerBody{Report: rep, Corners: make([]cornerAnswer, 0, len(corners))}
+	for _, c := range corners {
+		vio, err := ms.Violations(c)
+		if err != nil {
+			return nil, serr.Newf(serr.Parse, "server: corner query: %v", err)
+		}
+		ans := cornerAnswer{Params: c, Pass: len(vio) == 0}
+		if ans.Params == nil {
+			ans.Params = map[string]float64{}
+		}
+		for _, v := range vio {
+			site := &ms.Sites[v.Site]
+			ans.Violations = append(ans.Violations, cornerViolation{
+				Checker: site.Prim,
+				Data:    site.Data,
+				Case:    site.Case,
+				SlackNS: v.Slack.String(),
+			})
+		}
+		body.Corners = append(body.Corners, ans)
+	}
+	return json.MarshalIndent(&body, "", "  ")
 }
 
 // handleExplore is the stateless POST /v1/explore endpoint: automatic
@@ -440,20 +609,12 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.reqCtx(r)
 	defer cancel()
-	src, opts, err := s.readRequest(r)
+	src, opts, _, err := s.readRequest(r)
 	if err != nil {
 		s.writeErr(w, err)
 		return
 	}
 	opts.Explore = true
-	if v := r.URL.Query().Get("delays"); v != "" {
-		dm, err := scaldtv.ParseDelayModel(v)
-		if err != nil {
-			s.writeErr(w, serr.Newf(serr.Parse, "server: query parameter delays=%q: %v", v, err))
-			return
-		}
-		opts.Delays = dm
-	}
 	if s.cfg.Cluster != nil {
 		release, err := s.admit(ctx, r)
 		if err != nil {

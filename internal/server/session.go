@@ -214,7 +214,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.reqCtx(r)
 	defer cancel()
-	src, opts, err := s.readRequest(r)
+	src, opts, _, err := s.readRequest(r)
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -289,7 +289,7 @@ func (s *Server) handleSessionUpdate(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.reqCtx(r)
 	defer cancel()
-	src, _, err := s.readRequest(r) // session options stay fixed; only source counts
+	src, _, _, err := s.readRequest(r) // session options stay fixed; only source counts
 	if err != nil {
 		s.writeErr(w, err)
 		return

@@ -266,6 +266,7 @@ func envSig(d *netlist.Design) uint64 {
 		h.time(pr.Hold)
 		h.time(pr.MinHigh)
 		h.time(pr.MinLow)
+		h.u64(uint64(pr.Fn))
 		for pi := range pr.In {
 			port := &pr.In[pi]
 			h.u64(uint64(len(port.Bits)))
@@ -273,6 +274,28 @@ func envSig(d *netlist.Design) uint64 {
 				h.u64(uint64(c.Net))
 				h.bit(c.Invert)
 				h.str(string(c.Directives))
+			}
+		}
+	}
+	// The analytic tables: Prim.Delay already pins every fn-bound delay at
+	// the run's parameter point — so two pinnings of one design differ
+	// above — but the tables themselves travel with the design and feed
+	// the symbolic post-pass, so a table edit must invalidate too.
+	h.u64(uint64(len(d.Params)))
+	for _, p := range d.Params {
+		h.str(p.Name)
+		h.u64(math.Float64bits(p.Default))
+		h.u64(math.Float64bits(p.Lo))
+		h.u64(math.Float64bits(p.Hi))
+	}
+	h.u64(uint64(len(d.DelayFns)))
+	for i := range d.DelayFns {
+		for _, a := range [2]netlist.Affine{d.DelayFns[i].Min, d.DelayFns[i].Max} {
+			h.time(a.Base)
+			h.u64(uint64(len(a.Coeffs)))
+			for _, c := range a.Coeffs {
+				h.u64(uint64(c.Param))
+				h.u64(math.Float64bits(c.PS))
 			}
 		}
 	}

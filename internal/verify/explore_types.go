@@ -1,31 +1,5 @@
 package verify
 
-import "fmt"
-
-// DelayModel selects how component delay ranges are interpreted during
-// verification.  The zero value is the paper's worst-case interval
-// propagation; DelayStatistical adds a deterministic quadrature post-pass
-// that turns every constraint-site margin into a violation probability
-// (Result.SiteProbs).  The scaldtv driver exposes this as -delays.
-type DelayModel string
-
-// The delay models.
-const (
-	DelayWorstCase   DelayModel = ""            // §2.2 min/max interval propagation
-	DelayStatistical DelayModel = "statistical" // truncated-normal quadrature probabilities
-)
-
-// ParseDelayModel resolves the -delays flag spelling.
-func ParseDelayModel(s string) (DelayModel, error) {
-	switch s {
-	case "", "worstcase", "worst-case":
-		return DelayWorstCase, nil
-	case "statistical":
-		return DelayStatistical, nil
-	}
-	return DelayWorstCase, fmt.Errorf("verify: unknown delay model %q (want worstcase or statistical)", s)
-}
-
 // SiteProb is the statistical-mode outcome of one constraint evaluation:
 // the probability that the constraint is violated when every component
 // delay is drawn from a truncated normal over its data-sheet range,

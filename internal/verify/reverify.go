@@ -47,10 +47,16 @@ type Verifier struct {
 	perCase []*verifier // converged state per case, in declared order
 	res     *Result     // last merged result
 
-	// statMargins marks margins collected only for the statistical
+	// statMargins marks margins collected only for a delay-model
 	// post-pass (Options.Delays), to be stripped from the result the
 	// caller sees.
 	statMargins bool
+
+	// Analytic mode pins the design at one parameter point before the
+	// first run; pinVals is that point and pinned records that V.d is
+	// already the pinned clone.
+	pinVals []float64
+	pinned  bool
 }
 
 // NewVerifier prepares a verification session for the design.  Nothing is
@@ -87,11 +93,24 @@ func (V *Verifier) VerifyContext(ctx context.Context) (*Result, error) {
 // (retain=false) and Verifier.Verify (retain=true).
 func (V *Verifier) run(ctx context.Context, retain bool) (*Result, error) {
 	d := V.d
-	if V.opts.Delays == DelayStatistical && !V.opts.Margins {
-		// The statistical post-pass reads every constraint outcome, so
-		// collect margins internally and strip them before returning.
+	if !IsWorstCase(V.opts.Delays) && !V.opts.Margins {
+		// The statistical and analytic post-passes read every constraint
+		// outcome, so collect margins internally and strip them before
+		// returning.
 		V.opts.Margins = true
 		V.statMargins = true
+	}
+	if am, ok := V.opts.analytic(); ok && !V.pinned {
+		// Analytic mode: resolve the parameter point θ0 (declared
+		// defaults plus the model's overrides) and pin the design there.
+		// The relaxation then runs on plain constant delays; the symbolic
+		// surface is rebuilt by fillMarginSurface after the merge.
+		vals, err := d.ParamValues(am.Params)
+		if err != nil {
+			return nil, serr.Wrap(serr.Elaborate, err)
+		}
+		d = d.PinParams(vals)
+		V.d, V.pinVals, V.pinned = d, vals, true
 	}
 	var prog *tape.Program
 	var compileTime time.Duration
@@ -212,11 +231,14 @@ func (V *Verifier) run(ctx context.Context, retain bool) (*Result, error) {
 		res.Stats.CacheHits, res.Stats.CacheMisses, _ = v.cache.Stats()
 		res.Stats.Interned, res.Stats.Deduped = v.intern.Stats()
 	}
-	if V.opts.Delays == DelayStatistical {
-		V.fillSiteProbs(res)
-		if V.statMargins {
-			res.Margins = nil
-		}
+	if sm, ok := V.opts.statistical(); ok {
+		V.fillSiteProbs(res, sm.Grid)
+	}
+	if _, ok := V.opts.analytic(); ok {
+		V.fillMarginSurface(res, V.pinVals)
+	}
+	if V.statMargins {
+		res.Margins = nil
 	}
 	if retain {
 		V.cases, V.perCase, V.res = cases, perCase, res
@@ -390,11 +412,14 @@ func (V *Verifier) ReverifyContext(ctx context.Context, ch netlist.Changes) (*Re
 		res.Stats.CacheHits, res.Stats.CacheMisses, _ = V.cache.Stats()
 		res.Stats.Interned, res.Stats.Deduped = V.intern.Stats()
 	}
-	if V.opts.Delays == DelayStatistical {
-		V.fillSiteProbs(res)
-		if V.statMargins {
-			res.Margins = nil
-		}
+	if sm, ok := V.opts.statistical(); ok {
+		V.fillSiteProbs(res, sm.Grid)
+	}
+	if _, ok := V.opts.analytic(); ok {
+		V.fillMarginSurface(res, V.pinVals)
+	}
+	if V.statMargins {
+		res.Margins = nil
 	}
 	V.res = res
 	return res, nil
@@ -414,6 +439,17 @@ func (V *Verifier) Update(nd *netlist.Design) (res *Result, incremental bool, er
 func (V *Verifier) UpdateContext(ctx context.Context, nd *netlist.Design) (res *Result, incremental bool, err error) {
 	if nd == nil {
 		return nil, false, fmt.Errorf("verify: Update with nil design")
+	}
+	if am, ok := V.opts.analytic(); ok {
+		// Re-pin the edited design at the session's parameter point so
+		// the diff compares — and the relaxation runs on — the same
+		// constant-delay view as the retained state.
+		vals, err := nd.ParamValues(am.Params)
+		if err != nil {
+			return nil, false, serr.Wrap(serr.Elaborate, err)
+		}
+		nd = nd.PinParams(vals)
+		V.pinVals, V.pinned = vals, true
 	}
 	ch, ok := netlist.Diff(V.d, nd)
 	if !ok || V.perCase == nil {

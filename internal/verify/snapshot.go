@@ -264,19 +264,24 @@ func Fingerprint(d *netlist.Design, opts Options) uint64 {
 		mix(opts.Force[id].Fingerprint())
 	}
 	// Result-affecting modes beyond the relaxation parameters: explore
-	// rewrites the case list, statistical mode adds SiteProbs.  Snapshots
-	// cannot carry either section, so their results must never collide
-	// with plain runs in the store (the scaldtv driver additionally skips
-	// the store entirely when exploring).
+	// rewrites the case list, statistical mode adds SiteProbs, analytic
+	// mode pins the delays at a parameter point and adds MarginSurface.
+	// Snapshots cannot carry any of those sections, so their results
+	// must never collide with plain runs in the store (the scaldtv
+	// driver additionally skips the store entirely for those modes).
+	// The model contributes its canonical key string — "" for worst
+	// case, "statistical" for the default grid — preserving the
+	// fingerprint bytes of the former string-typed field.
 	if opts.Explore {
 		mix(1)
 	} else {
 		mix(0)
 	}
-	for _, b := range []byte(opts.Delays) {
+	key := delayModelKey(opts.Delays)
+	for _, b := range []byte(key) {
 		mix(uint64(b))
 	}
-	mix(uint64(len(opts.Delays)))
+	mix(uint64(len(key)))
 	return h
 }
 

@@ -4,9 +4,10 @@ import (
 	"math"
 
 	"scaldtv/internal/pathsearch"
+	"scaldtv/internal/tick"
 )
 
-// Statistical delay mode (Options.Delays == DelayStatistical): a
+// Statistical delay mode (Options.Delays is StatisticalDelays): a
 // deterministic post-pass over a finished worst-case verification.  The
 // relaxation itself still runs on min/max intervals — so violations,
 // margins and waveforms are exactly the worst-case ones — and the
@@ -24,9 +25,10 @@ import (
 // fillSiteProbs computes Result.SiteProbs from the collected margins and
 // the design's arrival-time distributions.  Margins whose checker has no
 // combinational path ending at it (clock-only sites, assertion
-// cross-checks) carry no arrival distribution and are skipped.
-func (V *Verifier) fillSiteProbs(res *Result) {
-	sites, _ := pathsearch.AnalyzeDist(V.d, 0)
+// cross-checks) carry no arrival distribution and are skipped.  grid is
+// the quadrature step (StatisticalDelays.Grid; 0 = period/256).
+func (V *Verifier) fillSiteProbs(res *Result, grid tick.Time) {
+	sites, _ := pathsearch.AnalyzeDist(V.d, grid)
 	if len(sites) == 0 {
 		return
 	}

@@ -90,13 +90,17 @@ type Options struct {
 	// report.  The verify package itself only declares the option — it
 	// participates in the store fingerprint — and the report data.
 	Explore bool
-	// Delays selects the delay model.  DelayStatistical adds a
-	// deterministic quadrature post-pass over the combinational graph
-	// (internal/pathsearch.AnalyzeDist) that reports each constraint
-	// site's violation *probability* in Result.SiteProbs, alongside the
-	// usual worst-case outcome.  No RNG is involved: the quadrature runs
-	// on a fixed grid, so statistical reports are as byte-deterministic
-	// as worst-case ones.
+	// Delays selects the delay model — nil (or MinMaxDelays) for the
+	// paper's worst-case interval propagation, StatisticalDelays for the
+	// deterministic quadrature post-pass reporting each constraint
+	// site's violation *probability* in Result.SiteProbs, AnalyticDelays
+	// to pin the design's analytic delay functions at one parameter
+	// point and retain the symbolic per-site margin functions in
+	// Result.MarginSurface.  No RNG is involved anywhere: all three
+	// models produce byte-deterministic reports.  Construct models with
+	// their typed constructors (or ParseDelayModel for flag spellings);
+	// the DelayWorstCase and DelayStatistical variables keep the former
+	// constant spellings working.
 	Delays DelayModel
 }
 
@@ -244,8 +248,14 @@ type Result struct {
 	Margins     []Margin     // every constraint outcome, when Options.Margins is set
 	Undefined   []string     // cross-reference listing: undriven nets with no assertion (§2.5)
 	Exploration *Exploration // case-exploration report, when Options.Explore ran
-	SiteProbs   []SiteProb   // violation probabilities, when Options.Delays is DelayStatistical
-	Stats       Stats
+	SiteProbs   []SiteProb   // violation probabilities, when Options.Delays is StatisticalDelays
+
+	// MarginSurface carries the symbolic per-site margin functions of an
+	// analytic-mode run (Options.Delays is AnalyticDelays): slack at any
+	// parameter point in the declared box, without re-running the engine.
+	MarginSurface *MarginSurface
+
+	Stats Stats
 }
 
 // Errors reports whether any violation was detected.

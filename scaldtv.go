@@ -102,11 +102,31 @@ type (
 	ExploredSite = verify.ExploredSite
 	// ExploreCandidate is the provenance record for one candidate split.
 	ExploreCandidate = verify.ExploreCandidate
-	// DelayModel selects worst-case or statistical delay interpretation.
+	// DelayModel selects how delays are interpreted: MinMaxDelays
+	// (worst-case intervals), StatisticalDelays (violation
+	// probabilities) or AnalyticDelays (parameterized delay functions
+	// with a symbolic margin surface).
 	DelayModel = verify.DelayModel
+	// MinMaxDelays is the worst-case interval delay model (the default).
+	MinMaxDelays = verify.MinMaxDelays
+	// StatisticalDelays is the quadrature probability delay model.
+	StatisticalDelays = verify.StatisticalDelays
+	// AnalyticDelays pins parameterized delay functions at one point and
+	// retains the symbolic margin surface.
+	AnalyticDelays = verify.AnalyticDelays
 	// SiteProb is one constraint site's violation probability under the
 	// statistical delay model.
 	SiteProb = verify.SiteProb
+	// MarginSurface is the symbolic per-site margin report of an
+	// analytic-mode run: slack at any parameter point in the declared
+	// box, answered without re-running the engine.
+	MarginSurface = verify.MarginSurface
+	// ParamBinding is one design parameter with its box and pinned value.
+	ParamBinding = verify.ParamBinding
+	// SurfaceSite is one constraint site's symbolic margin function.
+	SurfaceSite = verify.SurfaceSite
+	// CornerSlack is one site's slack at a queried parameter point.
+	CornerSlack = verify.CornerSlack
 
 	// Verifier retains converged state between runs for incremental
 	// re-verification (Verify once, then Reverify or Update per edit).
@@ -194,15 +214,40 @@ const (
 	ConvergenceViolation  = verify.ConvergenceViolation
 )
 
-// The delay models (Options.Delays).
-const (
+// The delay models (Options.Delays), as ready-made values: the former
+// constant spellings keep working with the typed DelayModel interface.
+var (
 	DelayWorstCase   = verify.DelayWorstCase
 	DelayStatistical = verify.DelayStatistical
 )
 
-// ParseDelayModel resolves the -delays flag spelling ("worstcase" or
-// "statistical").
+// ParseDelayModel resolves the -delays flag spelling ("worstcase",
+// "statistical" or "analytic") — the compatibility adapter from the
+// stringly-typed API.  New code should construct the typed models
+// directly: MinMaxDelays{}, StatisticalDelays{Grid: g},
+// AnalyticDelays{Params: m}.
 func ParseDelayModel(s string) (DelayModel, error) { return verify.ParseDelayModel(s) }
+
+// IsWorstCase reports whether the model (possibly nil) is the plain
+// worst-case interval model.
+func IsWorstCase(m DelayModel) bool { return verify.IsWorstCase(m) }
+
+// NewMinMaxDelays returns the worst-case interval delay model.
+func NewMinMaxDelays() MinMaxDelays { return verify.NewMinMaxDelays() }
+
+// NewStatisticalDelays returns the statistical delay model with the
+// given quadrature grid (0 selects the period/256 default); negative
+// grids are rejected.
+func NewStatisticalDelays(grid Time) (StatisticalDelays, error) {
+	return verify.NewStatisticalDelays(grid)
+}
+
+// NewAnalyticDelays returns the analytic delay model pinned at the
+// given parameter overrides; non-finite values are rejected and the map
+// is copied.
+func NewAnalyticDelays(params map[string]float64) (AnalyticDelays, error) {
+	return verify.NewAnalyticDelays(params)
+}
 
 // The seven signal values.
 const (
@@ -261,31 +306,30 @@ func CompileWithLibrary(header, body string) (*Design, error) {
 	return Compile(header + "\n" + Library + "\n" + body)
 }
 
-// Verify runs the Timing Verifier on a design.  With Options.Explore set
+// VerifyContext runs the Timing Verifier on a design — the primary entry
+// point; Verify is the context-free shorthand.  With Options.Explore set
 // it instead runs automatic case exploration (internal/explore): declared
 // cases are stripped, the control-signal splits that discharge the
 // U/C-poisoned constraint sites are searched for, and the result is the
 // verification under the discovered minimal case set, with
 // Result.Exploration describing the search.
-func Verify(d *Design, opts Options) (*Result, error) {
-	if opts.Explore {
-		return explore.Run(d, opts)
-	}
-	return verify.Run(d, opts)
-}
-
-// VerifyContext is Verify with cooperative cancellation: when ctx is
-// canceled (or its deadline expires) the relaxation aborts at the next
-// pass boundary or wavefront level barrier and the call returns an Error
-// of kind CanceledError wrapping ctx.Err().  Cancellation is checked only
-// at those schedule-neutral points, so a run that completes is
-// bit-identical to an uncancelled one for every Workers/IntraWorkers
+//
+// When ctx is canceled (or its deadline expires) the relaxation aborts at
+// the next pass boundary or wavefront level barrier and the call returns
+// an Error of kind CanceledError wrapping ctx.Err().  Cancellation is
+// checked only at those schedule-neutral points, so a run that completes
+// is bit-identical to an uncancelled one for every Workers/IntraWorkers
 // setting.
 func VerifyContext(ctx context.Context, d *Design, opts Options) (*Result, error) {
 	if opts.Explore {
 		return explore.RunContext(ctx, d, opts)
 	}
 	return verify.RunContext(ctx, d, opts)
+}
+
+// Verify is VerifyContext with context.Background().
+func Verify(d *Design, opts Options) (*Result, error) {
+	return VerifyContext(context.Background(), d, opts)
 }
 
 // NewVerifier creates a stateful verifier whose Reverify and Update
@@ -301,19 +345,20 @@ func NewVerifier(d *Design, opts Options) *Verifier {
 // ok is false when the change is structural and needs a full run.
 func Diff(old, new *Design) (Changes, bool) { return netlist.Diff(old, new) }
 
-// VerifySource compiles and verifies HDL source in one step.
-func VerifySource(src string, opts Options) (*Result, error) {
-	return VerifySourceContext(context.Background(), src, opts)
-}
-
-// VerifySourceContext is VerifySource with cooperative cancellation (see
-// VerifyContext).
+// VerifySourceContext compiles and verifies HDL source in one step — the
+// primary entry point, with the cancellation contract of VerifyContext;
+// VerifySource is the context-free shorthand.
 func VerifySourceContext(ctx context.Context, src string, opts Options) (*Result, error) {
 	d, err := Compile(src)
 	if err != nil {
 		return nil, err
 	}
 	return VerifyContext(ctx, d, opts)
+}
+
+// VerifySource is VerifySourceContext with context.Background().
+func VerifySource(src string, opts Options) (*Result, error) {
+	return VerifySourceContext(context.Background(), src, opts)
 }
 
 // CorrInsertion records one automatic CORR-delay placement (§4.2.3).
@@ -426,8 +471,14 @@ func SlackListing(res *Result, topN int) string { return report.SlackListing(res
 func ExploreListing(res *Result) string { return report.ExploreListing(res) }
 
 // StatListing renders the statistical-mode violation probabilities per
-// constraint site (requires Options.Delays == DelayStatistical).
+// constraint site (requires Options.Delays = StatisticalDelays{...}).
 func StatListing(res *Result) string { return report.StatListing(res) }
+
+// SurfaceListing renders the analytic-mode margin surface: each
+// constraint site's slack at the pinned parameter point and its worst
+// slack over the declared parameter box, with the binding corner
+// (requires Options.Delays = AnalyticDelays{...}).
+func SurfaceListing(res *Result) string { return report.SurfaceListing(res) }
 
 // DOT renders a design as a Graphviz digraph for visualisation.
 func DOT(d *Design) string { return report.DOT(d) }
